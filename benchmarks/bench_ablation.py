@@ -1,0 +1,88 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+* PassTwo strategy: row-descent (strong reading of Fig. 5) vs
+  level-sweep (literal reading).
+* Row-ranking metric: the paper's 1/slack weighting vs plain
+  critical-cell counts.
+* Generator grid resolution: 25 / 50 / 100 mV.
+"""
+
+import pytest
+
+from repro.core import build_problem, solve_heuristic, solve_single_bb
+from repro.flow import implement
+from repro.tech import Technology
+
+DESIGNS = ("c3540", "c5315")
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_strategy_and_ranking(benchmark, problem_factory, out_dir):
+    def run():
+        rows = []
+        for name in DESIGNS:
+            problem = problem_factory(name, 0.10)
+            baseline = solve_single_bb(problem).leakage_nw
+            variants = {
+                "row-descent/inverse-slack": solve_heuristic(
+                    problem, 3, "row-descent", "inverse-slack"),
+                "row-descent/gate-count": solve_heuristic(
+                    problem, 3, "row-descent", "gate-count"),
+                "level-sweep/inverse-slack": solve_heuristic(
+                    problem, 3, "level-sweep", "inverse-slack"),
+            }
+            rows.append((name, baseline, {
+                key: sol.savings_vs(baseline)
+                for key, sol in variants.items()}))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["PassTwo ablation (beta=10%, C=3): savings % vs single BB", ""]
+    for name, _baseline, savings in rows:
+        for variant, value in savings.items():
+            lines.append(f"  {name:<8} {variant:<28} {value:>7.2f}%")
+        lines.append("")
+    text = "\n".join(lines)
+    (out_dir / "ablation_strategy.txt").write_text(text)
+    print("\n" + text)
+
+    for name, _baseline, savings in rows:
+        # the strong reading dominates the literal one
+        assert (savings["row-descent/inverse-slack"]
+                >= savings["level-sweep/inverse-slack"] - 1e-9), name
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_grid_resolution(benchmark, out_dir):
+    """Finer bias grids buy savings; coarser grids cost leakage."""
+    def run():
+        results = {}
+        for resolution in (0.025, 0.05, 0.10):
+            tech = Technology(name=f"repro45_{resolution}",
+                              vbs_resolution=resolution)
+            flow = implement("c3540", tech=tech)
+            problem = build_problem(flow.placed, flow.clib, 0.10,
+                                    analyzer=flow.analyzer,
+                                    paths=list(flow.paths),
+                                    dcrit_ps=flow.dcrit_ps)
+            baseline = solve_single_bb(problem)
+            clustered = solve_heuristic(problem, 3)
+            results[resolution] = (baseline.leakage_uw,
+                                   clustered.leakage_uw)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["bias-grid resolution ablation (c3540, beta=10%, C=3)", "",
+             f"{'grid (mV)':>10} {'singleBB uW':>12} {'clustered uW':>13}"]
+    for resolution, (single, clustered) in sorted(results.items()):
+        lines.append(f"{resolution * 1000:>10.0f} {single:>12.3f} "
+                     f"{clustered:>13.3f}")
+    text = "\n".join(lines)
+    (out_dir / "ablation_grid.txt").write_text(text + "\n")
+    print("\n" + text)
+
+    # a coarser grid can only cost leakage at the single-BB level
+    # (PassOne rounds the needed voltage up to the next grid step)
+    assert results[0.10][0] >= results[0.025][0] - 1e-9

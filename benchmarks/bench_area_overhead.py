@@ -1,0 +1,47 @@
+"""E6: physical implementation overheads (paper Sec. 3.3 + Sec. 5).
+
+Checks, on real allocation solutions across the small benchmarks:
+  * contact-cell row-utilization increase <= ~6 %;
+  * well-separation area overhead < 5 %;
+  * at most 2 distributed vbs rails.
+"""
+
+import pytest
+
+from repro.core import solve_heuristic
+from repro.layout import area_report
+
+DESIGNS = ("c1355", "c3540", "c5315", "c7552")
+
+
+@pytest.mark.benchmark(group="area")
+def test_area_overheads(benchmark, flow_factory, problem_factory, out_dir):
+    def analyse():
+        reports = {}
+        for name in DESIGNS:
+            flow = flow_factory(name)
+            problem = problem_factory(name, 0.10)
+            solution = solve_heuristic(problem, 3)
+            reports[name] = area_report(
+                flow.placed, solution.levels_array, problem.vbs_levels)
+        return reports
+
+    reports = benchmark.pedantic(analyse, rounds=1, iterations=1)
+
+    lines = ["implementation overheads on heuristic solutions "
+             "(beta=10%, C=3)", ""]
+    for name, report in reports.items():
+        lines.append(report.format())
+        lines.append("")
+    text = "\n".join(lines)
+    (out_dir / "area_overhead.txt").write_text(text)
+    print("\n" + text)
+
+    for name, report in reports.items():
+        # paper: <= ~6% utilization increase from contact cells
+        assert report.contacts.max_utilization_increase <= 0.065, name
+        # paper: well separation area always below 5%
+        assert report.wells.area_overhead_fraction < 0.05, name
+        # paper: no more than two distributed voltages
+        assert report.route.num_bias_values <= 2, name
+        assert report.contacts.fits_without_area_growth, name

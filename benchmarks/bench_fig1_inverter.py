@@ -1,0 +1,54 @@
+"""E1 / Figure 1: inverter delay & leakage vs forward body bias.
+
+Paper anchors: linear speed-up reaching ~21 % at vbs = 0.95 V,
+exponential leakage growth reaching ~12.74x, and a junction-current
+knee that clamps the usable range to 0..0.5 V.
+"""
+
+import pytest
+
+from repro.tech import sweep_inverter, usable_bias_limit
+
+
+def _format_sweep(points):
+    lines = [f"{'vbs (V)':>8} {'delay (ps)':>11} {'speedup %':>10} "
+             f"{'leakage (nW)':>13} {'ratio':>8} {'junction %':>11}"]
+    for point in points:
+        lines.append(
+            f"{point.vbs:>8.2f} {point.delay_ps:>11.2f} "
+            f"{point.speedup_fraction * 100:>10.2f} "
+            f"{point.leakage_nw:>13.4f} {point.leakage_ratio:>8.2f} "
+            f"{point.junction_fraction * 100:>11.4f}")
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_inverter_sweep(benchmark, out_dir):
+    points = benchmark(sweep_inverter)
+
+    table = _format_sweep(points)
+    (out_dir / "fig1_inverter_sweep.txt").write_text(
+        "Figure 1 reproduction: inverter vs forward body bias\n"
+        "paper anchors: 21% speedup and 12.74x leakage at 0.95 V\n\n"
+        + table + "\n")
+    print("\n" + table)
+
+    last = points[-1]
+    # paper anchor: ~21% speed-up at 0.95 V
+    assert last.speedup_fraction == pytest.approx(0.21, abs=0.01)
+    # paper anchor: ~12.74x leakage at 0.95 V
+    assert last.leakage_ratio == pytest.approx(12.74, rel=0.03)
+    # linear speed-up, exponential leakage
+    speedups = [p.speedup_fraction for p in points]
+    increments = [b - a for a, b in zip(speedups, speedups[1:])]
+    assert max(increments) < 2.5 * min(increments)
+    ratios = [b.leakage_nw / a.leakage_nw
+              for a, b in zip(points, points[1:])]
+    assert min(ratios) > 1.1
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_usable_range(benchmark):
+    """Paper Sec. 3.2: junction current limits usable FBB to 0.5 V."""
+    limit = benchmark(usable_bias_limit)
+    assert limit == pytest.approx(0.5)

@@ -1,0 +1,53 @@
+"""E2 / Figure 2: central bias generator tuning four circuit blocks.
+
+Fig. 2 sketches a die with four blocks, each flagging timing alarms
+(Tc1..Tc4) and receiving its own pair of vbs rails from a central
+generator.  This bench runs that scenario end to end in simulation:
+four blocks with different die slowdowns, each calibrated closed-loop.
+"""
+
+import pytest
+
+from repro.flow import characterized_library, implement
+from repro.tuning import TuningController
+
+BLOCKS = ("c1355", "c3540", "c5315", "c7552")
+SLOWDOWNS = (0.02, 0.05, 0.08, 0.03)
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_four_block_tuning(benchmark, flow_factory, out_dir):
+    clib = characterized_library()
+
+    def tune_all():
+        outcomes = {}
+        for name, beta in zip(BLOCKS, SLOWDOWNS):
+            flow = flow_factory(name)
+            controller = TuningController(flow.placed, flow.clib,
+                                          max_clusters=3)
+            outcomes[name] = (beta, controller.calibrate(beta),
+                              controller.generator)
+        return outcomes
+
+    outcomes = benchmark.pedantic(tune_all, rounds=1, iterations=1)
+
+    lines = ["Figure 2 scenario: central generator tuning four blocks", ""]
+    for name, (beta, outcome, generator) in outcomes.items():
+        rails = ", ".join(f"{rail}={vbs * 1000:.0f}mV"
+                          for rail, vbs in generator.rail_voltages.items())
+        lines.append(
+            f"block {name:<8} slowdown {beta:.0%}: "
+            f"{'converged' if outcome.converged else 'FAILED'} in "
+            f"{outcome.iterations} iteration(s), rails [{rails}], "
+            f"leakage {outcome.leakage_nw / 1e3:.3f} uW")
+    text = "\n".join(lines)
+    (out_dir / "fig2_tuning.txt").write_text(text + "\n")
+    print("\n" + text)
+
+    for name, (beta, outcome, generator) in outcomes.items():
+        assert outcome.converged, name
+        # each block uses at most the 2 rails the generator provides
+        assert len(generator.rail_voltages) <= clib.tech.bias_rules \
+            .max_bias_rails, name
+        assert outcome.solution is not None
+        assert outcome.solution.num_clusters <= 3

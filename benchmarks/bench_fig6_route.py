@@ -1,0 +1,51 @@
+"""E8 / Figure 6: placed-and-routed c5315 with two vbs rail pairs.
+
+The paper's demonstrator: the c5315 benchmark placed, clustered, and
+routed with one bundle of body-bias lines (2 vbs = 4 rails) through the
+core.  This bench produces the same artefact as DEF + SVG and verifies
+the rails' geometry.
+"""
+
+import pytest
+
+from repro.core import solve_heuristic
+from repro.lefdef import read_def, write_def
+from repro.layout import route_bias_rails, svg_layout
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_routed_c5315(benchmark, flow_factory, problem_factory,
+                           out_dir):
+    flow = flow_factory("c5315")
+    problem = problem_factory("c5315", 0.10)
+
+    def place_and_route():
+        solution = solve_heuristic(problem, 3)
+        route = route_bias_rails(flow.placed, solution.levels_array,
+                                 problem.vbs_levels)
+        def_path = out_dir / "fig6_c5315.def"
+        write_def(flow.placed, def_path,
+                  special_nets=route.special_nets())
+        svg_layout(flow.placed, solution.levels,
+                   out_dir / "fig6_c5315.svg", route=route)
+        return solution, route, def_path
+
+    solution, route, def_path = benchmark.pedantic(
+        place_and_route, rounds=1, iterations=1)
+
+    parsed = read_def(def_path)
+    print(f"\nFig. 6 artefact: {def_path.name} with "
+          f"{len(parsed.components)} components, "
+          f"{len(parsed.special_nets)} bias rails "
+          f"({route.num_bias_values} vbs values); SVG alongside")
+
+    # the paper routed one bundle for 2 vbs values on the small design
+    assert 1 <= route.num_bias_values <= 2
+    assert len(parsed.special_nets) == len(route.rails)
+    assert len(parsed.components) == flow.num_gates
+    # rails span the full core height on the top metal
+    for net in parsed.special_nets:
+        (x1, y1, x2, y2) = net.rects_um[0]
+        assert y1 == 0.0
+        assert y2 == pytest.approx(flow.placed.floorplan.core_height_um)
+        assert net.layer == flow.clib.tech.bias_rules.rail_layer

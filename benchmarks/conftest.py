@@ -1,0 +1,57 @@
+"""Shared benchmark fixtures: cached design flows and an output dir.
+
+Each benchmark regenerates one table or figure of the paper and writes
+its artefact under ``benchmarks/out/`` so EXPERIMENTS.md can reference
+the measured numbers.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+OUT_DIR = Path(__file__).resolve().parent / "out"
+
+_FLOW_CACHE = {}
+
+
+@pytest.fixture(scope="session")
+def out_dir():
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def flow_factory():
+    """Session-cached `implement()` so benches share synthesis/placement."""
+    from repro.flow import implement
+
+    def get(name: str):
+        if name not in _FLOW_CACHE:
+            _FLOW_CACHE[name] = implement(name)
+        return _FLOW_CACHE[name]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def problem_factory(flow_factory):
+    """(design, beta) -> FBBProblem, reusing cached flows and paths."""
+    from repro.core import build_problem
+
+    cache = {}
+
+    def get(name: str, beta: float):
+        key = (name, beta)
+        if key not in cache:
+            flow = flow_factory(name)
+            cache[key] = build_problem(
+                flow.placed, flow.clib, beta, analyzer=flow.analyzer,
+                paths=list(flow.paths), dcrit_ps=flow.dcrit_ps)
+        return cache[key]
+
+    return get

@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make `src/` importable without an installed package.
+
+The canonical install is `pip install -e .` (or `python setup.py develop`
+in offline environments without the `wheel` package).  This hook is a
+safety net so that `pytest` run from a fresh checkout still finds the
+`repro` package.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

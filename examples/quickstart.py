@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: clustered FBB allocation on one benchmark.
+
+Implements a c5315-class design (synthesis -> placement -> STA), builds
+the allocation problem for a 5 % die slowdown, and compares block-level
+FBB (the paper's baseline) against the clustered ILP and heuristic.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (build_problem, implement, solve_heuristic, solve_ilp,
+                   solve_single_bb)
+from repro.layout import area_report, ascii_layout, route_bias_rails
+
+
+def main() -> None:
+    print("implementing c5315 (generate -> map -> size -> place -> STA)...")
+    flow = implement("c5315")
+    print(f"  {flow.num_gates} gates on {flow.num_rows} rows, "
+          f"Dcrit = {flow.dcrit_ps:.0f} ps")
+
+    beta = 0.05
+    problem = build_problem(flow.placed, flow.clib, beta,
+                            analyzer=flow.analyzer, paths=list(flow.paths),
+                            dcrit_ps=flow.dcrit_ps)
+    print(f"  beta = {beta:.0%}: {problem.num_constraints} violating paths "
+          "to recover\n")
+
+    baseline = solve_single_bb(problem)
+    print("block-level FBB baseline:")
+    print(f"  {baseline.describe()}\n")
+
+    heuristic = solve_heuristic(problem, max_clusters=3)
+    ilp = solve_ilp(problem, max_clusters=3)
+    for solution in (heuristic, ilp):
+        print(solution.describe())
+        print(f"  leakage savings vs single BB: "
+              f"{solution.savings_vs(baseline.leakage_nw):.2f}%")
+    print()
+
+    print("physical implementation cost of the heuristic solution:")
+    report = area_report(flow.placed, heuristic.levels_array,
+                         problem.vbs_levels)
+    print(report.format())
+    print()
+
+    route = route_bias_rails(flow.placed, heuristic.levels_array,
+                             problem.vbs_levels)
+    print("clustered layout (rows coloured by bias, '|' = vbs rails):")
+    print(ascii_layout(flow.placed, heuristic.levels, width_chars=60,
+                       route=route))
+
+
+if __name__ == "__main__":
+    main()

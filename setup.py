@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline evaluation environment lacks the `wheel` package, so PEP 517
+editable installs fail with `invalid command 'bdist_wheel'`.  Keeping a
+setup.py (and omitting [build-system] from pyproject.toml) lets
+`pip install -e .` fall back to `setup.py develop`, which works offline.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""repro — physically clustered forward body biasing (DATE 2009).
+
+Reproduction of Sathanur et al., *"Physically Clustered Forward Body
+Biasing for Variability Compensation in Nanometer CMOS design"*,
+DATE 2009.
+
+The package implements the paper's contribution — row-level clustered
+FBB allocation (exact ILP + two-pass linear heuristic) — and every
+substrate it stands on: a 45 nm-like device/cell model, netlist and
+benchmark generators, a row placer, LEF/DEF I/O, static timing analysis,
+leakage accounting, an MILP solver, the physical bias-implementation
+rules, variability models and a closed-loop tuning controller.
+
+Quickstart::
+
+    from repro import implement, build_problem, solve_heuristic
+    from repro import solve_single_bb
+
+    flow = implement("c5315")                       # synth+place+STA
+    problem = build_problem(flow.placed, flow.clib, beta=0.05)
+    baseline = solve_single_bb(problem)             # block-level FBB
+    clustered = solve_heuristic(problem, max_clusters=3)
+    print(clustered.savings_vs(baseline.leakage_nw), "% leakage saved")
+"""
+
+from repro.core import (BiasSolution, FBBProblem, build_problem, pass_one,
+                        pass_two, solve_heuristic, solve_ilp,
+                        solve_single_bb, uniform_solution)
+from repro.flow import (ExperimentConfig, FlowResult, Table1Row,
+                        characterized_library, format_table1, implement,
+                        run_design_beta, run_table1)
+from repro.tech import (CellLibrary, CharacterizedLibrary, Technology,
+                        characterize_library, reduced_library,
+                        sweep_inverter)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BiasSolution",
+    "CellLibrary",
+    "CharacterizedLibrary",
+    "ExperimentConfig",
+    "FBBProblem",
+    "FlowResult",
+    "Table1Row",
+    "Technology",
+    "__version__",
+    "build_problem",
+    "characterize_library",
+    "characterized_library",
+    "format_table1",
+    "implement",
+    "pass_one",
+    "pass_two",
+    "reduced_library",
+    "run_design_beta",
+    "run_table1",
+    "solve_heuristic",
+    "solve_ilp",
+    "solve_single_bb",
+    "sweep_inverter",
+    "uniform_solution",
+]

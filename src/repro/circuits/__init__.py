@@ -1,0 +1,27 @@
+"""Benchmark circuit generators (the paper's nine evaluation designs)."""
+
+from repro.circuits.catalog import (BENCHMARK_NAMES, PAPER_GATE_COUNTS,
+                                    PAPER_ROW_COUNTS, build_benchmark,
+                                    small_benchmarks)
+from repro.circuits.datapath import adder_128bits
+from repro.circuits.industrial import control_cloud, industrial_module
+from repro.circuits.iscas import (c1355_like, c3540_like, c5315_like,
+                                  c6288_like, c7552_like)
+from repro.circuits.primitives import CircuitKit
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "CircuitKit",
+    "PAPER_GATE_COUNTS",
+    "PAPER_ROW_COUNTS",
+    "adder_128bits",
+    "build_benchmark",
+    "c1355_like",
+    "c3540_like",
+    "c5315_like",
+    "c6288_like",
+    "c7552_like",
+    "control_cloud",
+    "industrial_module",
+    "small_benchmarks",
+]

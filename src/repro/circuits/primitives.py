@@ -1,0 +1,210 @@
+"""Reusable structural building blocks for the benchmark generators.
+
+:class:`CircuitKit` wraps a :class:`repro.netlist.core.Netlist` and adds
+named gates with auto-generated instance/net names, returning output net
+names so blocks compose functionally::
+
+    kit = CircuitKit(netlist, prefix="alu")
+    total, carry = kit.ripple_adder(a_bits, b_bits)
+
+All blocks emit *generic* functions (including XOR2) — technology mapping
+decomposes whatever the reduced library lacks.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetlistError
+from repro.netlist.core import Netlist
+
+
+class CircuitKit:
+    """Structural netlist builder with a naming prefix."""
+
+    def __init__(self, netlist: Netlist, prefix: str = "u") -> None:
+        self.netlist = netlist
+        self.prefix = prefix
+        self._counter = 0
+
+    def _name(self, kind: str) -> str:
+        self._counter += 1
+        return f"{self.prefix}_{kind}{self._counter}"
+
+    def gate(self, function: str, *inputs: str, output: str | None = None) -> str:
+        """Add one gate; returns its output net name."""
+        out = output or self.netlist.fresh_net(f"{self.prefix}_w")
+        self.netlist.add_gate(self._name(function.lower()), function,
+                              list(inputs), out)
+        return out
+
+    # -- one-liners ------------------------------------------------------------
+
+    def inv(self, a: str, output: str | None = None) -> str:
+        return self.gate("INV", a, output=output)
+
+    def buf(self, a: str, output: str | None = None) -> str:
+        return self.gate("BUF", a, output=output)
+
+    def and2(self, a: str, b: str, output: str | None = None) -> str:
+        return self.gate("AND2", a, b, output=output)
+
+    def or2(self, a: str, b: str, output: str | None = None) -> str:
+        return self.gate("OR2", a, b, output=output)
+
+    def nand2(self, a: str, b: str, output: str | None = None) -> str:
+        return self.gate("NAND2", a, b, output=output)
+
+    def nor2(self, a: str, b: str, output: str | None = None) -> str:
+        return self.gate("NOR2", a, b, output=output)
+
+    def xor2(self, a: str, b: str, output: str | None = None) -> str:
+        return self.gate("XOR2", a, b, output=output)
+
+    def xnor2(self, a: str, b: str, output: str | None = None) -> str:
+        return self.gate("XNOR2", a, b, output=output)
+
+    def dff(self, d: str, output: str | None = None) -> str:
+        return self.gate("DFF", d, output=output)
+
+    # -- trees ------------------------------------------------------------------
+
+    def tree(self, function2: str, nets: list[str],
+             output: str | None = None) -> str:
+        """Balanced binary tree of a 2-input function over ``nets``."""
+        if not nets:
+            raise NetlistError("tree needs at least one input net")
+        layer = list(nets)
+        while len(layer) > 1:
+            next_layer = []
+            for index in range(0, len(layer) - 1, 2):
+                is_last_pair = len(layer) == 2
+                next_layer.append(self.gate(
+                    function2, layer[index], layer[index + 1],
+                    output=output if is_last_pair else None))
+            if len(layer) % 2:
+                next_layer.append(layer[-1])
+            layer = next_layer
+        if len(nets) == 1 and output is not None:
+            return self.buf(layer[0], output=output)
+        return layer[0]
+
+    def and_tree(self, nets: list[str], output: str | None = None) -> str:
+        return self.tree("AND2", nets, output)
+
+    def or_tree(self, nets: list[str], output: str | None = None) -> str:
+        return self.tree("OR2", nets, output)
+
+    def parity_tree(self, nets: list[str], output: str | None = None) -> str:
+        """XOR reduction — the workhorse of the ECC benchmark."""
+        return self.tree("XOR2", nets, output)
+
+    # -- arithmetic ---------------------------------------------------------------
+
+    def half_adder(self, a: str, b: str) -> tuple[str, str]:
+        """Returns (sum, carry)."""
+        return self.xor2(a, b), self.and2(a, b)
+
+    def full_adder(self, a: str, b: str, cin: str) -> tuple[str, str]:
+        """Returns (sum, carry-out); classic 2-XOR + majority structure."""
+        partial = self.xor2(a, b)
+        total = self.xor2(partial, cin)
+        carry = self.or2(self.and2(a, b), self.and2(partial, cin))
+        return total, carry
+
+    def ripple_adder(self, a_bits: list[str], b_bits: list[str],
+                     cin: str | None = None) -> tuple[list[str], str]:
+        """LSB-first ripple-carry adder; returns (sum bits, carry-out)."""
+        if len(a_bits) != len(b_bits):
+            raise NetlistError("adder operand widths differ")
+        if not a_bits:
+            raise NetlistError("adder needs at least one bit")
+        sums: list[str] = []
+        carry = cin
+        for a, b in zip(a_bits, b_bits):
+            if carry is None:
+                total, carry = self.half_adder(a, b)
+            else:
+                total, carry = self.full_adder(a, b, carry)
+            sums.append(total)
+        return sums, carry
+
+    def carry_select_adder(self, a_bits: list[str], b_bits: list[str],
+                           block: int = 4) -> tuple[list[str], str]:
+        """Carry-select adder: faster and larger than ripple (more gates)."""
+        if len(a_bits) != len(b_bits):
+            raise NetlistError("adder operand widths differ")
+        sums: list[str] = []
+        carry: str | None = None
+        for start in range(0, len(a_bits), block):
+            a_blk = a_bits[start:start + block]
+            b_blk = b_bits[start:start + block]
+            if carry is None:
+                blk_sums, carry = self.ripple_adder(a_blk, b_blk)
+                sums.extend(blk_sums)
+                continue
+            zero_sums, zero_carry = self.ripple_adder(a_blk, b_blk)
+            one = self.or2(a_blk[0], self.inv(a_blk[0]))  # constant 1
+            one_sums, one_carry = self.ripple_adder(a_blk, b_blk, cin=one)
+            for zero_s, one_s in zip(zero_sums, one_sums):
+                sums.append(self.mux2(zero_s, one_s, carry))
+            carry = self.mux2(zero_carry, one_carry, carry)
+        assert carry is not None
+        return sums, carry
+
+    # -- selection / comparison -----------------------------------------------------
+
+    def mux2(self, a: str, b: str, select: str,
+             output: str | None = None) -> str:
+        """2:1 mux: out = select ? b : a (NAND-style, 4 gates)."""
+        select_n = self.inv(select)
+        low = self.nand2(a, select_n)
+        high = self.nand2(b, select)
+        return self.nand2(low, high, output=output)
+
+    def mux4(self, inputs: list[str], selects: list[str],
+             output: str | None = None) -> str:
+        """4:1 mux from three 2:1 muxes; selects = [s0, s1]."""
+        if len(inputs) != 4 or len(selects) != 2:
+            raise NetlistError("mux4 needs 4 inputs and 2 selects")
+        low = self.mux2(inputs[0], inputs[1], selects[0])
+        high = self.mux2(inputs[2], inputs[3], selects[0])
+        return self.mux2(low, high, selects[1], output=output)
+
+    def equality(self, a_bits: list[str], b_bits: list[str],
+                 output: str | None = None) -> str:
+        """1 iff the two buses are bit-wise equal."""
+        bits = [self.xnor2(a, b) for a, b in zip(a_bits, b_bits)]
+        return self.and_tree(bits, output)
+
+    def magnitude(self, a_bits: list[str], b_bits: list[str],
+                  output: str | None = None) -> str:
+        """1 iff bus a > bus b (unsigned, LSB-first buses)."""
+        greater: str | None = None
+        equal_so_far: str | None = None
+        for a, b in zip(reversed(a_bits), reversed(b_bits)):  # MSB first
+            b_n = self.inv(b)
+            a_gt_b = self.and2(a, b_n)
+            a_eq_b = self.xnor2(a, b)
+            if greater is None:
+                greater = a_gt_b
+                equal_so_far = a_eq_b
+            else:
+                assert equal_so_far is not None
+                greater = self.or2(greater, self.and2(equal_so_far, a_gt_b))
+                equal_so_far = self.and2(equal_so_far, a_eq_b)
+        assert greater is not None
+        if output is not None:
+            return self.buf(greater, output=output)
+        return greater
+
+    # -- registers -----------------------------------------------------------------
+
+    def register(self, data_bits: list[str],
+                 outputs: list[str] | None = None) -> list[str]:
+        """A bank of DFFs, one per data bit."""
+        if outputs is not None and len(outputs) != len(data_bits):
+            raise NetlistError("register output width mismatch")
+        result = []
+        for index, bit in enumerate(data_bits):
+            out = outputs[index] if outputs is not None else None
+            result.append(self.dff(bit, output=out))
+        return result

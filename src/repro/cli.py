@@ -1,0 +1,115 @@
+"""Command-line interface: ``repro-fbb``.
+
+Subcommands:
+
+* ``table1 [designs...]`` — regenerate the paper's Table 1;
+* ``fig1`` — the inverter delay/leakage sweep of Fig. 1;
+* ``allocate DESIGN --beta B --clusters C`` — one allocation run;
+* ``layout DESIGN --beta B`` — ASCII layout view with bias clusters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.circuits.catalog import BENCHMARK_NAMES
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.flow import ExperimentConfig, format_table1, run_table1
+    designs = tuple(args.designs) if args.designs else BENCHMARK_NAMES[:6]
+    config = ExperimentConfig(
+        ilp_time_limit_s=args.ilp_time_limit,
+        skip_ilp_above_rows=args.skip_ilp_above_rows)
+    rows = run_table1(designs, config)
+    print(format_table1(rows))
+    return 0
+
+
+def _cmd_fig1(_args: argparse.Namespace) -> int:
+    from repro.tech import sweep_inverter
+    print(f"{'vbs (V)':>8} {'delay (ps)':>11} {'speedup %':>10} "
+          f"{'leakage (nW)':>13} {'ratio':>7}")
+    for point in sweep_inverter():
+        print(f"{point.vbs:>8.2f} {point.delay_ps:>11.2f} "
+              f"{point.speedup_fraction * 100:>10.2f} "
+              f"{point.leakage_nw:>13.4f} {point.leakage_ratio:>7.2f}")
+    return 0
+
+
+def _cmd_allocate(args: argparse.Namespace) -> int:
+    from repro.core import build_problem, solve_heuristic, solve_ilp, \
+        solve_single_bb
+    from repro.flow import implement
+    flow = implement(args.design)
+    problem = build_problem(flow.placed, flow.clib, args.beta,
+                            analyzer=flow.analyzer,
+                            paths=list(flow.paths),
+                            dcrit_ps=flow.dcrit_ps)
+    baseline = solve_single_bb(problem)
+    print(baseline.describe())
+    if args.ilp:
+        solution = solve_ilp(problem, args.clusters)
+    else:
+        solution = solve_heuristic(problem, args.clusters)
+    print(solution.describe())
+    print(f"savings vs single BB: "
+          f"{solution.savings_vs(baseline.leakage_nw):.2f}%")
+    return 0
+
+
+def _cmd_layout(args: argparse.Namespace) -> int:
+    from repro.core import build_problem, solve_heuristic
+    from repro.flow import implement
+    from repro.layout import ascii_layout, route_bias_rails
+    flow = implement(args.design)
+    problem = build_problem(flow.placed, flow.clib, args.beta,
+                            analyzer=flow.analyzer,
+                            paths=list(flow.paths),
+                            dcrit_ps=flow.dcrit_ps)
+    solution = solve_heuristic(problem, args.clusters)
+    route = route_bias_rails(flow.placed, solution.levels_array,
+                             problem.vbs_levels)
+    print(ascii_layout(flow.placed, solution.levels, route=route))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fbb",
+        description="Physically clustered FBB (DATE 2009 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table1 = sub.add_parser("table1", help="regenerate Table 1")
+    table1.add_argument("designs", nargs="*",
+                        help=f"subset of {', '.join(BENCHMARK_NAMES)}")
+    table1.add_argument("--ilp-time-limit", type=float, default=120.0)
+    table1.add_argument("--skip-ilp-above-rows", type=int, default=None)
+    table1.set_defaults(func=_cmd_table1)
+
+    fig1 = sub.add_parser("fig1", help="inverter bias sweep (Fig. 1)")
+    fig1.set_defaults(func=_cmd_fig1)
+
+    allocate = sub.add_parser("allocate", help="run one allocation")
+    allocate.add_argument("design", choices=BENCHMARK_NAMES)
+    allocate.add_argument("--beta", type=float, default=0.05)
+    allocate.add_argument("--clusters", type=int, default=3)
+    allocate.add_argument("--ilp", action="store_true")
+    allocate.set_defaults(func=_cmd_allocate)
+
+    layout = sub.add_parser("layout", help="ASCII clustered layout")
+    layout.add_argument("design", choices=BENCHMARK_NAMES)
+    layout.add_argument("--beta", type=float, default=0.05)
+    layout.add_argument("--clusters", type=int, default=3)
+    layout.set_defaults(func=_cmd_layout)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,201 @@
+"""The row-clustered FBB allocation problem (paper Sec. 4.1 pre-processing).
+
+Given a placed design, a characterized library and a slowdown
+coefficient ``beta``, this module assembles everything both allocation
+algorithms consume:
+
+* ``L[i, j]`` — leakage of row ``i`` at bias level ``j`` (objective data);
+* the pruned critical-path set ``Pi`` (longest path through each cell,
+  filtered to the paths whose degraded delay violates ``Dcrit``);
+* ``D[k, i]`` — the degraded delay that path ``k``'s gates contribute on
+  row ``i``.  The paper's coefficient ``a[i,j,k]`` (delay reduction of
+  path ``k`` when row ``i`` gets voltage ``j``) factors as
+  ``a[i,j,k] = D[k,i] * speedup_j`` because body bias scales every gate
+  delay by one technology-level factor;
+* ``req[k]`` — the required recovery of path ``k``:
+  ``pd_k * (1 + beta) - Dcrit``.
+
+Sign convention: the paper's Eq. (2) writes the timing constraint with
+mixed signs (a "reduction" bounded above by a negative number); we use
+the equivalent physically-readable form **recovery >= requirement**:
+``sum_i D[k,i] * speedup(level_i) >= req[k]``.
+
+``check_timing`` is the vectorised CheckTiming of Fig. 4: one sparse
+mat-vec per call, which is what makes the two-pass heuristic's inner
+loop linear-time in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse import csr_matrix
+
+from repro.errors import AllocationError
+from repro.placement.placed_design import PlacedDesign
+from repro.power.leakage import leakage_matrix
+from repro.sta.engine import TimingAnalyzer
+from repro.sta.paths import TimingPath, extract_paths, violating_paths
+from repro.tech.characterize import CharacterizedLibrary
+
+#: numerical slack tolerance for timing feasibility, picoseconds
+TIMING_TOL_PS = 1e-6
+
+
+@dataclass(frozen=True)
+class FBBProblem:
+    """Immutable problem instance for the allocation algorithms."""
+
+    design_name: str
+    beta: float
+    dcrit_ps: float
+    num_rows: int
+    vbs_levels: tuple[float, ...]
+    speedups: np.ndarray
+    """speedup[j]: fractional delay reduction at bias level j."""
+    leakage_nw: np.ndarray
+    """L[i, j]: leakage of row i at level j, nanowatts. Shape (N, P)."""
+    recovery: csr_matrix
+    """D[k, i]: degraded gate delay of path k on row i, ps. Shape (M, N)."""
+    gate_counts: csr_matrix
+    """Q[k, i]: number of path-k cells on row i. Shape (M, N)."""
+    required_ps: np.ndarray
+    """req[k]: recovery needed by path k, picoseconds. Shape (M,)."""
+    paths: tuple[TimingPath, ...]
+    """The pruned violating-path set Pi, aligned with matrix rows."""
+
+    @property
+    def num_levels(self) -> int:
+        """The paper's P (11 for the default 0..0.5 V / 50 mV grid)."""
+        return len(self.vbs_levels)
+
+    @property
+    def num_constraints(self) -> int:
+        """The paper's M (Table 1's 'No.Constr' column)."""
+        return len(self.required_ps)
+
+    # -- feasibility and cost ---------------------------------------------------
+
+    def _check_levels(self, levels: np.ndarray) -> np.ndarray:
+        levels = np.asarray(levels)
+        if levels.shape != (self.num_rows,):
+            raise AllocationError(
+                f"assignment needs {self.num_rows} levels, got "
+                f"{levels.shape}")
+        if levels.min(initial=0) < 0 or \
+                levels.max(initial=0) >= self.num_levels:
+            raise AllocationError("bias level outside grid")
+        return levels.astype(int)
+
+    def path_slacks_ps(self, levels: np.ndarray) -> np.ndarray:
+        """Per-path slack: achieved recovery minus requirement."""
+        levels = self._check_levels(levels)
+        if self.num_constraints == 0:
+            return np.zeros(0)
+        speedup_per_row = self.speedups[levels]
+        return self.recovery @ speedup_per_row - self.required_ps
+
+    def check_timing(self, levels: np.ndarray) -> bool:
+        """The paper's CheckTiming (Fig. 4): all paths recovered?"""
+        if self.num_constraints == 0:
+            return True
+        return bool(self.path_slacks_ps(levels).min() >= -TIMING_TOL_PS)
+
+    def total_leakage_nw(self, levels: np.ndarray) -> float:
+        """Design leakage of an assignment (the ILP objective, Eq. 1)."""
+        levels = self._check_levels(levels)
+        return float(
+            self.leakage_nw[np.arange(self.num_rows), levels].sum())
+
+    def num_clusters(self, levels: np.ndarray) -> int:
+        """Distinct voltages used, counting no-bias as a cluster."""
+        levels = self._check_levels(levels)
+        return len(np.unique(levels))
+
+    def row_criticality(self, levels: np.ndarray,
+                        ranking: str = "inverse-slack") -> np.ndarray:
+        """The heuristic's row-ranking metric.
+
+        ``"inverse-slack"`` is the paper's ct_i = sum_k Q[k,i]/slack_k,
+        with slacks evaluated at the given assignment (PassOne's uniform
+        solution) and floored at a small epsilon so just-passing paths
+        dominate.  ``"gate-count"`` is the ablation variant that ignores
+        slack and counts critical-path cells per row.
+        """
+        if self.num_constraints == 0:
+            return np.zeros(self.num_rows)
+        if ranking == "gate-count":
+            return np.asarray(
+                self.gate_counts.T @ np.ones(self.num_constraints)).ravel()
+        if ranking != "inverse-slack":
+            raise AllocationError(f"unknown ranking metric {ranking!r}")
+        slacks = self.path_slacks_ps(levels)
+        epsilon = max(1e-3, float(self.required_ps.max()) * 1e-6)
+        weights = 1.0 / np.maximum(slacks, epsilon)
+        return np.asarray(self.gate_counts.T @ weights).ravel()
+
+
+def build_problem(placed: PlacedDesign, clib: CharacterizedLibrary,
+                  beta: float,
+                  analyzer: TimingAnalyzer | None = None,
+                  paths: list[TimingPath] | None = None,
+                  dcrit_ps: float | None = None) -> FBBProblem:
+    """Run the Sec. 4.1 pre-processing on a placed design.
+
+    ``analyzer``/``paths``/``dcrit_ps`` can be supplied to reuse STA
+    results across multiple betas (the experiment harness does).
+    """
+    if beta < 0:
+        raise AllocationError(f"beta must be non-negative, got {beta}")
+    if placed.num_rows == 0:
+        raise AllocationError("placed design has no rows")
+
+    if analyzer is None:
+        analyzer = TimingAnalyzer.for_placed(placed)
+    if paths is None:
+        paths = extract_paths(analyzer)
+    if dcrit_ps is None:
+        dcrit_ps = max(path.delay_ps for path in paths)
+
+    constraint_paths = violating_paths(paths, dcrit_ps, beta)
+    row_of = {name: placed.row_of(name) for name in placed.netlist.gates}
+
+    data: list[float] = []
+    counts: list[float] = []
+    rows_idx: list[int] = []
+    cols_idx: list[int] = []
+    derate = 1.0 + beta
+    for k, path in enumerate(constraint_paths):
+        per_row_delay: dict[int, float] = {}
+        per_row_count: dict[int, int] = {}
+        for gate_name, delay in zip(path.gates, path.gate_delays_ps):
+            row = row_of[gate_name]
+            per_row_delay[row] = per_row_delay.get(row, 0.0) + delay * derate
+            per_row_count[row] = per_row_count.get(row, 0) + 1
+        for row, delay in per_row_delay.items():
+            rows_idx.append(k)
+            cols_idx.append(row)
+            data.append(delay)
+            counts.append(per_row_count[row])
+
+    shape = (len(constraint_paths), placed.num_rows)
+    recovery = csr_matrix((data, (rows_idx, cols_idx)), shape=shape)
+    gate_counts = csr_matrix((counts, (rows_idx, cols_idx)), shape=shape)
+    required = np.array(
+        [path.delay_ps * derate - dcrit_ps for path in constraint_paths])
+
+    speedups = np.array([1.0 - scale for scale in clib.delay_scales])
+    return FBBProblem(
+        design_name=placed.netlist.name,
+        beta=beta,
+        dcrit_ps=dcrit_ps,
+        num_rows=placed.num_rows,
+        vbs_levels=clib.vbs_levels,
+        speedups=speedups,
+        leakage_nw=leakage_matrix(placed, clib),
+        recovery=recovery,
+        gate_counts=gate_counts,
+        required_ps=required,
+        paths=tuple(constraint_paths),
+    )

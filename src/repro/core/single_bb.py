@@ -1,0 +1,48 @@
+"""PassOne / block-level single-voltage FBB (the paper's baseline).
+
+The paper compares against "Single BB": the whole block receives one
+body-bias voltage, chosen as the smallest grid voltage that recovers all
+violating paths.  That is exactly PassOne of the two-pass heuristic
+(Fig. 5), and Table 1's ``Single BB`` column is its leakage.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.problem import FBBProblem
+from repro.core.solution import BiasSolution
+from repro.errors import InfeasibleError
+
+
+def pass_one(problem: FBBProblem) -> int:
+    """Smallest uniform bias level meeting timing (Fig. 5, PassOne).
+
+    Raises :class:`InfeasibleError` when even the maximum forward bias
+    cannot recover the slowdown — the die cannot be compensated by FBB
+    alone.
+    """
+    for level in range(problem.num_levels):
+        levels = np.full(problem.num_rows, level)
+        if problem.check_timing(levels):
+            return level
+    raise InfeasibleError(
+        f"{problem.design_name}: no uniform bias level up to "
+        f"{problem.vbs_levels[-1]:.2f} V recovers beta="
+        f"{problem.beta:.0%} slowdown")
+
+
+def solve_single_bb(problem: FBBProblem) -> BiasSolution:
+    """Block-level FBB baseline: one voltage for the whole design."""
+    start = time.perf_counter()
+    level = pass_one(problem)
+    return BiasSolution(
+        problem=problem,
+        levels=tuple([level] * problem.num_rows),
+        method="single-bb",
+        runtime_s=time.perf_counter() - start,
+        optimal=False,
+        extras={"jopt": level},
+    )

@@ -1,0 +1,93 @@
+"""BiasSolution: a per-row voltage assignment plus its bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.problem import FBBProblem
+from repro.errors import AllocationError
+
+
+@dataclass(frozen=True)
+class BiasSolution:
+    """The result of an allocation run.
+
+    ``levels[i]`` is the bias-grid index assigned to row ``i`` (0 means
+    no body bias).  The solution knows its leakage, cluster structure
+    and how it was produced.
+    """
+
+    problem: FBBProblem
+    levels: tuple[int, ...]
+    method: str
+    runtime_s: float = 0.0
+    optimal: bool = False
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.levels) != self.problem.num_rows:
+            raise AllocationError(
+                f"solution covers {len(self.levels)} rows, problem has "
+                f"{self.problem.num_rows}")
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def levels_array(self) -> np.ndarray:
+        return np.asarray(self.levels, dtype=int)
+
+    @property
+    def leakage_nw(self) -> float:
+        return self.problem.total_leakage_nw(self.levels_array)
+
+    @property
+    def leakage_uw(self) -> float:
+        return self.leakage_nw / 1e3
+
+    @property
+    def num_clusters(self) -> int:
+        return self.problem.num_clusters(self.levels_array)
+
+    @property
+    def is_timing_feasible(self) -> bool:
+        return self.problem.check_timing(self.levels_array)
+
+    def vbs_of_row(self, row: int) -> float:
+        """Body-bias voltage assigned to a row, volts."""
+        return self.problem.vbs_levels[self.levels[row]]
+
+    def clusters(self) -> dict[float, list[int]]:
+        """Voltage -> rows mapping, voltages ascending (NBB first)."""
+        grouping: dict[float, list[int]] = {}
+        for row, level in enumerate(self.levels):
+            grouping.setdefault(self.problem.vbs_levels[level], []).append(row)
+        return dict(sorted(grouping.items()))
+
+    def savings_vs(self, baseline_leakage_nw: float) -> float:
+        """Leakage savings in percent against a baseline (Table 1)."""
+        if baseline_leakage_nw <= 0:
+            raise AllocationError("baseline leakage must be positive")
+        return 100.0 * (1.0 - self.leakage_nw / baseline_leakage_nw)
+
+    def describe(self) -> str:
+        """One-line summary for logs and reports."""
+        cluster_text = ", ".join(
+            f"{vbs * 1000:.0f}mV x{len(rows)}"
+            for vbs, rows in self.clusters().items())
+        return (f"{self.problem.design_name} [{self.method}] "
+                f"beta={self.problem.beta:.0%}: leakage "
+                f"{self.leakage_uw:.3f} uW, {self.num_clusters} clusters "
+                f"({cluster_text}), timing "
+                f"{'OK' if self.is_timing_feasible else 'VIOLATED'}")
+
+
+def uniform_solution(problem: FBBProblem, level: int,
+                     method: str = "uniform") -> BiasSolution:
+    """All rows at one bias level (block-level FBB)."""
+    if not 0 <= level < problem.num_levels:
+        raise AllocationError(f"level {level} outside grid")
+    return BiasSolution(problem=problem,
+                        levels=tuple([level] * problem.num_rows),
+                        method=method)

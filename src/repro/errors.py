@@ -1,0 +1,69 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at flow boundaries while the
+subclasses keep diagnostics precise.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class TechnologyError(ReproError):
+    """Invalid technology parameters or characterization inputs."""
+
+
+class NetlistError(ReproError):
+    """Structural netlist problems: dangling pins, cycles, bad names."""
+
+
+class ParseError(ReproError):
+    """Malformed input file (.bench, Verilog, LEF, DEF, .lib)."""
+
+    def __init__(self, message: str, filename: str | None = None,
+                 line: int | None = None) -> None:
+        location = ""
+        if filename is not None:
+            location = f"{filename}:"
+        if line is not None:
+            location += f"{line}:"
+        if location:
+            message = f"{location} {message}"
+        super().__init__(message)
+        self.filename = filename
+        self.line = line
+
+
+class PlacementError(ReproError):
+    """Placement failures: overcapacity floorplans, illegal sites."""
+
+
+class TimingError(ReproError):
+    """Static timing analysis failures (e.g. combinational cycles)."""
+
+
+class SolverError(ReproError):
+    """ILP/LP solver failures other than infeasibility."""
+
+
+class InfeasibleError(SolverError):
+    """The optimisation problem admits no feasible solution."""
+
+
+class TimeoutError_(SolverError):
+    """Solver hit its time budget before proving optimality."""
+
+
+class AllocationError(ReproError):
+    """FBB allocation problems: no voltage grid, empty row set, etc."""
+
+
+class LayoutError(ReproError):
+    """Physical implementation rule violations (contacts, wells, rails)."""
+
+
+class TuningError(ReproError):
+    """Post-silicon tuning loop failures (sensor or generator limits)."""

@@ -1,0 +1,19 @@
+"""End-to-end flow orchestration and experiment harness."""
+
+from repro.flow.design_flow import (FlowResult, characterized_library,
+                                    implement)
+from repro.flow.experiment import (ExperimentConfig, Table1Row,
+                                   run_design_beta, run_table1)
+from repro.flow.reports import format_sweep, format_table1
+
+__all__ = [
+    "ExperimentConfig",
+    "FlowResult",
+    "Table1Row",
+    "characterized_library",
+    "format_sweep",
+    "format_table1",
+    "implement",
+    "run_design_beta",
+    "run_table1",
+]

@@ -1,0 +1,89 @@
+"""End-to-end design flow: generate -> map -> size -> place -> STA.
+
+One call takes a benchmark name (or a prebuilt netlist) to a fully
+analysed :class:`FlowResult`, mirroring the paper's Synopsys flow
+(Physical Compiler synthesis + placement, PrimeTime timing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.catalog import build_benchmark
+from repro.netlist.core import Netlist
+from repro.placement.placed_design import PlacedDesign
+from repro.placement.placer import place_design
+from repro.sta.engine import TimingAnalyzer
+from repro.sta.paths import TimingPath, extract_paths
+from repro.synth.mapping import map_netlist
+from repro.synth.sizing import size_for_load
+from repro.tech.cells import reduced_library
+from repro.tech.characterize import (CharacterizedLibrary,
+                                     characterize_library)
+from repro.tech.technology import Technology
+
+
+@dataclass(frozen=True)
+class FlowResult:
+    """Everything downstream steps need about one implemented design."""
+
+    netlist: Netlist
+    placed: PlacedDesign
+    clib: CharacterizedLibrary
+    analyzer: TimingAnalyzer
+    paths: tuple[TimingPath, ...]
+    dcrit_ps: float
+
+    @property
+    def name(self) -> str:
+        return self.netlist.name
+
+    @property
+    def num_gates(self) -> int:
+        return self.netlist.num_gates
+
+    @property
+    def num_rows(self) -> int:
+        return self.placed.num_rows
+
+
+_CLIB_CACHE: dict[str, CharacterizedLibrary] = {}
+
+
+def characterized_library(tech: Technology | None = None
+                          ) -> CharacterizedLibrary:
+    """Build (and cache) the characterized reduced library for a node."""
+    if tech is None:
+        tech = Technology()
+    cached = _CLIB_CACHE.get(tech.name)
+    if cached is None or cached.tech is not tech and cached.tech != tech:
+        cached = characterize_library(reduced_library(tech))
+        _CLIB_CACHE[tech.name] = cached
+    return cached
+
+
+def implement(source: str | Netlist,
+              tech: Technology | None = None,
+              utilization: float = 0.75,
+              sizing_budget_ps: float | None = None) -> FlowResult:
+    """Run the full implementation flow on a benchmark name or netlist."""
+    clib = characterized_library(tech)
+    library = clib.library
+    netlist = (build_benchmark(source) if isinstance(source, str)
+               else source)
+    mapped = map_netlist(netlist, library)
+    if sizing_budget_ps is None:
+        size_for_load(mapped, library)
+    else:
+        size_for_load(mapped, library, budget_ps=sizing_budget_ps)
+    placed = place_design(mapped, library, utilization=utilization)
+    analyzer = TimingAnalyzer.for_placed(placed)
+    paths = tuple(extract_paths(analyzer))
+    return FlowResult(
+        netlist=mapped,
+        placed=placed,
+        clib=clib,
+        analyzer=analyzer,
+        paths=paths,
+        dcrit_ps=paths[0].delay_ps,
+    )

@@ -1,0 +1,117 @@
+"""Table 1 experiment harness.
+
+Runs the paper's main experiment: for each design and slowdown beta,
+the Single BB baseline, the exact ILP and the two-pass heuristic at
+cluster budgets C = 2 and C = 3, reporting leakage savings and the
+timing-constraint counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.heuristic import solve_heuristic
+from repro.core.ilp_alloc import solve_ilp
+from repro.core.problem import FBBProblem, build_problem
+from repro.core.single_bb import solve_single_bb
+from repro.errors import TimeoutError_
+from repro.flow.design_flow import FlowResult, implement
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One (design, beta) row of the paper's Table 1."""
+
+    design: str
+    gates: int
+    rows: int
+    beta: float
+    single_bb_uw: float
+    ilp_savings: dict[int, float | None]
+    """C -> savings %, None when the ILP timed out (paper's '-')."""
+    heuristic_savings: dict[int, float]
+    num_constraints: int
+    ilp_runtime_s: float
+    heuristic_runtime_s: float
+
+    def ilp_cell(self, clusters: int) -> str:
+        value = self.ilp_savings.get(clusters)
+        return "-" if value is None else f"{value:.2f}"
+
+
+@dataclass
+class ExperimentConfig:
+    """Knobs for a Table 1 regeneration run."""
+
+    betas: tuple[float, ...] = (0.05, 0.10)
+    cluster_budgets: tuple[int, ...] = (2, 3)
+    ilp_backend: str = "highs"
+    ilp_time_limit_s: float = 120.0
+    skip_ilp_above_rows: int | None = None
+    """Mimic the paper: no ILP results for the largest designs."""
+    heuristic_strategy: str = "row-descent"
+    extra: dict = field(default_factory=dict)
+
+
+def run_design_beta(flow: FlowResult, beta: float,
+                    config: ExperimentConfig) -> Table1Row:
+    """One Table 1 row: all methods on one (design, beta) pair."""
+    problem: FBBProblem = build_problem(
+        flow.placed, flow.clib, beta,
+        analyzer=flow.analyzer, paths=list(flow.paths),
+        dcrit_ps=flow.dcrit_ps)
+    baseline = solve_single_bb(problem)
+
+    ilp_savings: dict[int, float | None] = {}
+    ilp_runtime = 0.0
+    skip_ilp = (config.skip_ilp_above_rows is not None
+                and problem.num_rows > config.skip_ilp_above_rows)
+    for clusters in config.cluster_budgets:
+        if skip_ilp:
+            ilp_savings[clusters] = None
+            continue
+        try:
+            solution = solve_ilp(problem, clusters,
+                                 backend=config.ilp_backend,
+                                 time_limit_s=config.ilp_time_limit_s)
+            ilp_savings[clusters] = solution.savings_vs(baseline.leakage_nw)
+            ilp_runtime += solution.runtime_s
+        except TimeoutError_:
+            ilp_savings[clusters] = None
+
+    heuristic_savings: dict[int, float] = {}
+    heuristic_runtime = 0.0
+    for clusters in config.cluster_budgets:
+        solution = solve_heuristic(problem, clusters,
+                                   strategy=config.heuristic_strategy)
+        heuristic_savings[clusters] = solution.savings_vs(
+            baseline.leakage_nw)
+        heuristic_runtime += solution.runtime_s
+
+    return Table1Row(
+        design=flow.name,
+        gates=flow.num_gates,
+        rows=flow.num_rows,
+        beta=beta,
+        single_bb_uw=baseline.leakage_uw,
+        ilp_savings=ilp_savings,
+        heuristic_savings=heuristic_savings,
+        num_constraints=problem.num_constraints,
+        ilp_runtime_s=ilp_runtime,
+        heuristic_runtime_s=heuristic_runtime,
+    )
+
+
+def run_table1(designs: tuple[str, ...],
+               config: ExperimentConfig | None = None,
+               flows: dict[str, FlowResult] | None = None
+               ) -> list[Table1Row]:
+    """Regenerate Table 1 for the given designs."""
+    if config is None:
+        config = ExperimentConfig()
+    rows = []
+    for name in designs:
+        flow = flows[name] if flows is not None else implement(name)
+        for beta in config.betas:
+            rows.append(run_design_beta(flow, beta, config))
+    return rows

@@ -1,0 +1,45 @@
+"""Fixed-width report tables for the experiment harness."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.flow.experiment import Table1Row
+
+
+def format_table1(rows: Sequence[Table1Row],
+                  cluster_budgets: tuple[int, ...] = (2, 3)) -> str:
+    """Render experiment rows in the paper's Table 1 layout."""
+    ilp_heads = "".join(f"  ILP C={c} " for c in cluster_budgets)
+    heur_heads = "".join(f" Heur C={c}" for c in cluster_budgets)
+    header = (f"{'Benchmark':<15}{'Gates':>7}{'Rows':>6}{'beta':>6}"
+              f"{'SingleBB':>10}{ilp_heads}{heur_heads}{'No.Constr':>11}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        ilp_cells = "".join(f"{row.ilp_cell(c):>9} "
+                            for c in cluster_budgets)
+        heur_cells = "".join(f"{row.heuristic_savings[c]:>9.2f}"
+                             for c in cluster_budgets)
+        lines.append(
+            f"{row.design:<15}{row.gates:>7}{row.rows:>6}"
+            f"{row.beta * 100:>5.0f}%"
+            f"{row.single_bb_uw:>9.2f}u{ilp_cells}{heur_cells}"
+            f"{row.num_constraints:>11}")
+    lines.append("")
+    lines.append("Single BB in uW; ILP/Heuristic columns are leakage "
+                 "savings % vs Single BB; '-' = ILP not run/converged.")
+    return "\n".join(lines)
+
+
+def format_sweep(design: str, beta: float,
+                 budgets: Sequence[int],
+                 savings: Sequence[float]) -> str:
+    """Render the cluster-count sweep (paper Sec. 5, c5315 C=2..11)."""
+    header = f"cluster-count sweep: {design}, beta={beta:.0%}"
+    lines = [header, f"{'C':>4} {'savings %':>10} {'marginal':>10}"]
+    previous = None
+    for budget, value in zip(budgets, savings):
+        marginal = "" if previous is None else f"{value - previous:+10.2f}"
+        lines.append(f"{budget:>4} {value:>10.2f} {marginal:>10}")
+        previous = value
+    return "\n".join(lines)

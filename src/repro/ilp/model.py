@@ -1,0 +1,184 @@
+"""Solver-independent MILP model container.
+
+The paper casts FBB allocation as a set-partitioning ILP and solves it
+with lp_solve.  This module is our lp_solve substitute's front half: a
+plain description of variables, linear constraints and the objective,
+consumable by any of the backends (pure-Python branch & bound, or
+scipy's HiGHS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import SolverError
+
+
+class Sense(Enum):
+    """Constraint sense."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+class Status(Enum):
+    """Solve outcome."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    TIMEOUT = "timeout"
+    UNBOUNDED = "unbounded"
+
+
+@dataclass
+class Constraint:
+    coeffs: dict[int, float]
+    sense: Sense
+    rhs: float
+    name: str = ""
+
+
+@dataclass
+class Solution:
+    """Result of a MILP solve."""
+
+    status: Status
+    objective: float | None
+    values: np.ndarray | None
+    nodes_explored: int = 0
+    incumbent_is_feasible: bool = False
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status is Status.OPTIMAL
+
+
+@dataclass
+class MilpModel:
+    """Minimisation MILP with binary and continuous variables."""
+
+    name: str = "milp"
+    _num_vars: int = 0
+    _objective: dict[int, float] = field(default_factory=dict)
+    _integer: list[bool] = field(default_factory=list)
+    _lower: list[float] = field(default_factory=list)
+    _upper: list[float] = field(default_factory=list)
+    _names: list[str] = field(default_factory=list)
+    constraints: list[Constraint] = field(default_factory=list)
+
+    # -- variables -------------------------------------------------------------
+
+    def add_binary(self, name: str = "") -> int:
+        """Add a 0/1 variable; returns its index."""
+        return self._add_var(True, 0.0, 1.0, name)
+
+    def add_continuous(self, lower: float = 0.0,
+                       upper: float = float("inf"),
+                       name: str = "") -> int:
+        return self._add_var(False, lower, upper, name)
+
+    def _add_var(self, integer: bool, lower: float, upper: float,
+                 name: str) -> int:
+        if lower > upper:
+            raise SolverError(f"variable {name!r}: lower {lower} > upper "
+                              f"{upper}")
+        index = self._num_vars
+        self._num_vars += 1
+        self._integer.append(integer)
+        self._lower.append(lower)
+        self._upper.append(upper)
+        self._names.append(name or f"x{index}")
+        return index
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    @property
+    def integer_mask(self) -> np.ndarray:
+        return np.array(self._integer, dtype=bool)
+
+    @property
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        return (np.array(self._lower), np.array(self._upper))
+
+    def variable_name(self, index: int) -> str:
+        return self._names[index]
+
+    # -- objective / constraints --------------------------------------------------
+
+    def set_objective(self, coeffs: dict[int, float]) -> None:
+        """Minimise sum(coeffs[i] * x[i])."""
+        self._check_indices(coeffs)
+        self._objective = dict(coeffs)
+
+    def objective_vector(self) -> np.ndarray:
+        vector = np.zeros(self._num_vars)
+        for index, coeff in self._objective.items():
+            vector[index] = coeff
+        return vector
+
+    def add_constraint(self, coeffs: dict[int, float], sense: Sense,
+                       rhs: float, name: str = "") -> None:
+        if not coeffs:
+            raise SolverError(f"constraint {name!r} has no terms")
+        self._check_indices(coeffs)
+        self.constraints.append(Constraint(dict(coeffs), sense, rhs, name))
+
+    def _check_indices(self, coeffs: dict[int, float]) -> None:
+        for index in coeffs:
+            if not 0 <= index < self._num_vars:
+                raise SolverError(f"unknown variable index {index}")
+
+    # -- matrix form -----------------------------------------------------------------
+
+    def to_matrix_form(self) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                      np.ndarray, np.ndarray]:
+        """Return (c, A_ub, b_ub, A_eq, b_eq) with GE rows negated."""
+        num_ub = sum(1 for con in self.constraints
+                     if con.sense is not Sense.EQ)
+        num_eq = len(self.constraints) - num_ub
+        a_ub = np.zeros((num_ub, self._num_vars))
+        b_ub = np.zeros(num_ub)
+        a_eq = np.zeros((num_eq, self._num_vars))
+        b_eq = np.zeros(num_eq)
+        iu = ie = 0
+        for con in self.constraints:
+            if con.sense is Sense.EQ:
+                for index, coeff in con.coeffs.items():
+                    a_eq[ie, index] = coeff
+                b_eq[ie] = con.rhs
+                ie += 1
+                continue
+            flip = -1.0 if con.sense is Sense.GE else 1.0
+            for index, coeff in con.coeffs.items():
+                a_ub[iu, index] = flip * coeff
+            b_ub[iu] = flip * con.rhs
+            iu += 1
+        return self.objective_vector(), a_ub, b_ub, a_eq, b_eq
+
+    def check_solution(self, values: np.ndarray,
+                       tolerance: float = 1e-6) -> bool:
+        """Verify a value vector satisfies all constraints and bounds."""
+        lower, upper = self.bounds
+        if np.any(values < lower - tolerance):
+            return False
+        if np.any(values > upper + tolerance):
+            return False
+        mask = self.integer_mask
+        if np.any(np.abs(values[mask] - np.round(values[mask])) > tolerance):
+            return False
+        for con in self.constraints:
+            total = sum(coeff * values[index]
+                        for index, coeff in con.coeffs.items())
+            if con.sense is Sense.LE and total > con.rhs + tolerance:
+                return False
+            if con.sense is Sense.GE and total < con.rhs - tolerance:
+                return False
+            if con.sense is Sense.EQ and abs(total - con.rhs) > tolerance:
+                return False
+        return True

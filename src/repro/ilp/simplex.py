@@ -1,0 +1,212 @@
+"""Dense two-phase simplex LP solver (from scratch).
+
+A compact, dependency-free LP solver used as the teaching/backstop engine
+under the pure-Python branch & bound.  Solves::
+
+    minimise    c . x
+    subject to  A_ub x <= b_ub
+                A_eq x == b_eq
+                lb <= x <= ub   (finite bounds handled as rows)
+
+via the standard-form tableau method with Bland's anti-cycling rule.
+For the problem sizes the FBB ILP produces on small designs this is
+plenty; the HiGHS backend takes over for large ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SolverError
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class LpResult:
+    status: str          # "optimal" | "infeasible" | "unbounded"
+    objective: float | None
+    x: np.ndarray | None
+
+
+def _to_standard_form(c, a_ub, b_ub, a_eq, b_eq, lower, upper):
+    """Shift variables to x' = x - lb >= 0; add upper bounds as rows."""
+    num_vars = len(c)
+    lower = np.asarray(lower, dtype=float)
+    upper = np.asarray(upper, dtype=float)
+    if np.any(~np.isfinite(lower)):
+        raise SolverError("simplex backend requires finite lower bounds")
+
+    # Substitute x = x' + lb
+    b_ub_shift = b_ub - a_ub @ lower if len(b_ub) else b_ub
+    b_eq_shift = b_eq - a_eq @ lower if len(b_eq) else b_eq
+
+    finite_upper = np.isfinite(upper)
+    ub_rows = []
+    ub_rhs = []
+    for index in np.nonzero(finite_upper)[0]:
+        row = np.zeros(num_vars)
+        row[index] = 1.0
+        ub_rows.append(row)
+        ub_rhs.append(upper[index] - lower[index])
+    if ub_rows:
+        a_ub_full = np.vstack([a_ub, np.array(ub_rows)]) if len(a_ub) \
+            else np.array(ub_rows)
+        b_ub_full = np.concatenate([b_ub_shift, np.array(ub_rhs)]) \
+            if len(b_ub) else np.array(ub_rhs)
+    else:
+        a_ub_full, b_ub_full = a_ub, b_ub_shift
+    return a_ub_full, b_ub_full, a_eq, b_eq_shift
+
+
+def _pivot(tableau: np.ndarray, basis: list[int], row: int, col: int) -> None:
+    tableau[row] /= tableau[row, col]
+    for other in range(tableau.shape[0]):
+        if other != row and abs(tableau[other, col]) > _EPS:
+            tableau[other] -= tableau[other, col] * tableau[row]
+    basis[row] = col
+
+
+def _simplex_core(tableau: np.ndarray, basis: list[int],
+                  num_structural: int, max_iter: int) -> str:
+    """Minimise the objective row in-place; returns status."""
+    num_rows = tableau.shape[0] - 1
+    for _ in range(max_iter):
+        objective_row = tableau[-1, :-1]
+        # Bland's rule: smallest index with negative reduced cost.
+        entering = -1
+        for col in range(len(objective_row)):
+            if objective_row[col] < -_EPS:
+                entering = col
+                break
+        if entering < 0:
+            return "optimal"
+        # ratio test
+        best_ratio = None
+        leaving = -1
+        for row in range(num_rows):
+            coef = tableau[row, entering]
+            if coef > _EPS:
+                ratio = tableau[row, -1] / coef
+                if (best_ratio is None or ratio < best_ratio - _EPS or
+                        (abs(ratio - best_ratio) <= _EPS
+                         and basis[row] < basis[leaving])):
+                    best_ratio = ratio
+                    leaving = row
+        if leaving < 0:
+            return "unbounded"
+        _pivot(tableau, basis, leaving, entering)
+    raise SolverError(f"simplex exceeded {max_iter} iterations")
+
+
+def solve_lp(c, a_ub=None, b_ub=None, a_eq=None, b_eq=None,
+             lower=None, upper=None, max_iter: int = 20000) -> LpResult:
+    """Solve the LP; see module docstring for the form handled."""
+    c = np.asarray(c, dtype=float)
+    num_vars = len(c)
+    a_ub = np.zeros((0, num_vars)) if a_ub is None else np.asarray(
+        a_ub, dtype=float)
+    b_ub = np.zeros(0) if b_ub is None else np.asarray(b_ub, dtype=float)
+    a_eq = np.zeros((0, num_vars)) if a_eq is None else np.asarray(
+        a_eq, dtype=float)
+    b_eq = np.zeros(0) if b_eq is None else np.asarray(b_eq, dtype=float)
+    lower = np.zeros(num_vars) if lower is None else np.asarray(
+        lower, dtype=float)
+    upper = np.full(num_vars, np.inf) if upper is None else np.asarray(
+        upper, dtype=float)
+
+    a_ub2, b_ub2, a_eq2, b_eq2 = _to_standard_form(
+        c, a_ub, b_ub, a_eq, b_eq, lower, upper)
+
+    num_ub = a_ub2.shape[0]
+    num_eq = a_eq2.shape[0]
+    num_rows = num_ub + num_eq
+
+    # Build [A | slacks | artificials | rhs]; ensure rhs >= 0.
+    a_all = np.vstack([a_ub2, a_eq2]) if num_rows else np.zeros(
+        (0, num_vars))
+    b_all = np.concatenate([b_ub2, b_eq2]) if num_rows else np.zeros(0)
+    slack = np.zeros((num_rows, num_ub))
+    for i in range(num_ub):
+        slack[i, i] = 1.0
+    for row in range(num_rows):
+        if b_all[row] < 0:
+            a_all[row] *= -1
+            b_all[row] *= -1
+            if row < num_ub:
+                slack[row, row] = -1.0
+
+    total_cols = num_vars + num_ub
+    needs_artificial = []
+    for row in range(num_rows):
+        if row < num_ub and slack[row, row] > 0:
+            continue
+        needs_artificial.append(row)
+    num_art = len(needs_artificial)
+
+    tableau = np.zeros((num_rows + 1, total_cols + num_art + 1))
+    tableau[:num_rows, :num_vars] = a_all
+    tableau[:num_rows, num_vars:num_vars + num_ub] = slack
+    tableau[:num_rows, -1] = b_all
+    basis: list[int] = [0] * num_rows
+    art_col = total_cols
+    art_of_row = {}
+    for row in range(num_rows):
+        if row < num_ub and slack[row, row] > 0:
+            basis[row] = num_vars + row
+        else:
+            tableau[row, art_col] = 1.0
+            basis[row] = art_col
+            art_of_row[row] = art_col
+            art_col += 1
+
+    # Phase 1: minimise sum of artificials.  The objective row stores
+    # reduced costs with rhs = -(current objective value).
+    if num_art:
+        for row, col in art_of_row.items():
+            tableau[-1] -= tableau[row]
+            tableau[-1, col] += 1.0  # phase-1 cost of the artificial itself
+        status = _simplex_core(tableau, basis, num_vars, max_iter)
+        if status != "optimal":
+            raise SolverError("phase-1 simplex failed unexpectedly")
+        if abs(tableau[-1, -1]) > 1e-7:
+            return LpResult("infeasible", None, None)
+        # Drive remaining artificials out of the basis if possible.
+        for row in range(num_rows):
+            if basis[row] >= total_cols:
+                pivot_col = -1
+                for col in range(total_cols):
+                    if abs(tableau[row, col]) > _EPS:
+                        pivot_col = col
+                        break
+                if pivot_col >= 0:
+                    _pivot(tableau, basis, row, pivot_col)
+        # Rows still basic in an artificial are redundant: drop them.
+        keep = [row for row in range(num_rows) if basis[row] < total_cols]
+        if len(keep) < num_rows:
+            tableau = np.vstack([tableau[keep], tableau[-1:]])
+            basis = [basis[row] for row in keep]
+            num_rows = len(keep)
+        tableau = np.delete(
+            tableau, np.s_[total_cols:total_cols + num_art], axis=1)
+
+    # Phase 2: real objective.
+    tableau[-1, :] = 0.0
+    tableau[-1, :num_vars] = c
+    for row in range(num_rows):
+        col = basis[row]
+        if col < tableau.shape[1] - 1 and abs(tableau[-1, col]) > _EPS:
+            tableau[-1] -= tableau[-1, col] * tableau[row]
+    status = _simplex_core(tableau, basis, num_vars, max_iter)
+    if status == "unbounded":
+        return LpResult("unbounded", None, None)
+
+    x_std = np.zeros(tableau.shape[1] - 1)
+    for row in range(num_rows):
+        if basis[row] < len(x_std):
+            x_std[basis[row]] = tableau[row, -1]
+    x = x_std[:num_vars] + np.asarray(lower, dtype=float)
+    objective = float(c @ x)
+    return LpResult("optimal", objective, x)

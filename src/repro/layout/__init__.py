@@ -1,0 +1,29 @@
+"""Physical implementation of row-clustered body biasing."""
+
+from repro.layout.area import (MAX_UTILIZATION_INCREASE,
+                               MAX_WELL_AREA_FRACTION, AreaReport,
+                               area_report)
+from repro.layout.contacts import (ContactPlan, RowContactPlan,
+                                   insert_contacts)
+from repro.layout.render import ascii_layout, svg_layout
+from repro.layout.routing import BiasRail, RoutePlan, route_bias_rails
+from repro.layout.wells import (WellSeparationReport,
+                                boundary_count_upper_bound, well_separation)
+
+__all__ = [
+    "AreaReport",
+    "BiasRail",
+    "ContactPlan",
+    "MAX_UTILIZATION_INCREASE",
+    "MAX_WELL_AREA_FRACTION",
+    "RoutePlan",
+    "RowContactPlan",
+    "WellSeparationReport",
+    "area_report",
+    "ascii_layout",
+    "boundary_count_upper_bound",
+    "insert_contacts",
+    "route_bias_rails",
+    "svg_layout",
+    "well_separation",
+]

@@ -1,0 +1,64 @@
+"""Combined physical-implementation cost report (Sec. 3.3 + Sec. 5).
+
+Gathers the three implementation costs of row-clustered FBB into one
+report: contact-cell utilization increase, well-separation area, and
+rail count — with the paper's acceptance bounds (<= 6 % utilization
+increase, < 5 % area, <= 2 distributed rails) checked explicitly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.layout.contacts import ContactPlan, insert_contacts
+from repro.layout.routing import RoutePlan, route_bias_rails
+from repro.layout.wells import WellSeparationReport, well_separation
+from repro.placement.placed_design import PlacedDesign
+
+#: the paper's reported bounds
+MAX_UTILIZATION_INCREASE = 0.06
+MAX_WELL_AREA_FRACTION = 0.05
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Implementation cost of one clustered-FBB solution."""
+
+    design_name: str
+    contacts: ContactPlan
+    wells: WellSeparationReport
+    route: RoutePlan
+
+    @property
+    def within_paper_bounds(self) -> bool:
+        return (self.contacts.max_utilization_increase
+                <= MAX_UTILIZATION_INCREASE + 1e-9
+                and self.wells.area_overhead_fraction
+                < MAX_WELL_AREA_FRACTION)
+
+    def format(self) -> str:
+        lines = [
+            f"implementation cost for {self.design_name}:",
+            f"  contact cells: +{self.contacts.total_added_sites} sites, "
+            f"max row utilization increase "
+            f"{self.contacts.max_utilization_increase:.1%}",
+            f"  well separation: {self.wells.num_boundaries} boundaries, "
+            f"{self.wells.area_overhead_percent:.2f}% area",
+            f"  bias rails: {len(self.route.rails)} "
+            f"({self.route.num_bias_values} voltages)",
+            f"  within paper bounds: "
+            f"{'yes' if self.within_paper_bounds else 'NO'}",
+        ]
+        return "\n".join(lines)
+
+
+def area_report(placed: PlacedDesign, row_levels: Sequence[int],
+                vbs_levels: Sequence[float]) -> AreaReport:
+    """Full implementation-cost analysis of a cluster assignment."""
+    return AreaReport(
+        design_name=placed.netlist.name,
+        contacts=insert_contacts(placed),
+        wells=well_separation(placed, row_levels),
+        route=route_bias_rails(placed, row_levels, vbs_levels),
+    )

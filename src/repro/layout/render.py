@@ -1,0 +1,109 @@
+"""Layout rendering: ASCII (terminal) and SVG (file) views.
+
+Regenerates the visual artefacts of the paper: Fig. 3 (abstract two-row
+layout with bias contacts and well separation) and Fig. 6 (placed &
+routed c5315 with two vbs rail pairs) as ASCII/SVG, colour-coding rows
+by bias cluster and overlaying the rails.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.errors import LayoutError
+from repro.layout.routing import RoutePlan
+from repro.placement.placed_design import PlacedDesign
+
+_CLUSTER_CHARS = ".12abcdefg"
+_CLUSTER_COLORS = ("#d9d9d9", "#f28e2b", "#4e79a7", "#59a14f", "#e15759",
+                   "#b07aa1", "#edc948", "#76b7b2", "#ff9da7", "#9c755f")
+
+
+def _cluster_index_map(row_levels: Sequence[int]) -> dict[int, int]:
+    """Map bias level -> dense cluster index (0 reserved for no-bias)."""
+    distinct = sorted(set(row_levels))
+    mapping = {}
+    next_index = 1
+    for level in distinct:
+        if level == 0:
+            mapping[level] = 0
+        else:
+            mapping[level] = next_index
+            next_index += 1
+    return mapping
+
+
+def ascii_layout(placed: PlacedDesign, row_levels: Sequence[int],
+                 width_chars: int = 72,
+                 route: RoutePlan | None = None) -> str:
+    """Terminal rendering: one line per row, glyph per cluster.
+
+    ``.`` marks no-bias rows; digits mark bias clusters; ``|`` marks
+    rail positions when a route plan is given.  Rows are printed top
+    row first (highest y), like a layout viewer.
+    """
+    if len(row_levels) != placed.num_rows:
+        raise LayoutError("assignment length mismatch")
+    mapping = _cluster_index_map(row_levels)
+    core_width = placed.floorplan.core_width_um
+    rail_columns: set[int] = set()
+    if route is not None:
+        for rail in route.rails:
+            column = int(rail.x_um / core_width * (width_chars - 1))
+            rail_columns.add(min(column, width_chars - 1))
+
+    lines = []
+    for row_index in reversed(range(placed.num_rows)):
+        cluster = mapping[row_levels[row_index]]
+        glyph = _CLUSTER_CHARS[min(cluster, len(_CLUSTER_CHARS) - 1)]
+        used = placed.row_utilization(row_index)
+        filled = int(round(used * width_chars))
+        characters = [glyph if i < filled else " "
+                      for i in range(width_chars)]
+        for column in rail_columns:
+            characters[column] = "|"
+        vbs = placed.library.tech.bias_levels()[row_levels[row_index]]
+        lines.append("row %3d |%s| %3.0f mV" % (
+            row_index, "".join(characters), vbs * 1000))
+    legend = "legend: '.'=no bias, digits=bias clusters, '|'=vbs rails"
+    return "\n".join(lines + [legend])
+
+
+def svg_layout(placed: PlacedDesign, row_levels: Sequence[int],
+               path: str | Path, route: RoutePlan | None = None,
+               scale: float = 4.0) -> None:
+    """Write an SVG rendering of the clustered layout (Fig. 6 analogue)."""
+    if len(row_levels) != placed.num_rows:
+        raise LayoutError("assignment length mismatch")
+    mapping = _cluster_index_map(row_levels)
+    floorplan = placed.floorplan
+    width = floorplan.core_width_um * scale
+    height = floorplan.core_height_um * scale
+    row_height = placed.library.tech.row_height_um * scale
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.1f} {height:.1f}">',
+        f'<rect x="0" y="0" width="{width:.1f}" height="{height:.1f}" '
+        'fill="#ffffff" stroke="#000000"/>',
+    ]
+    for row_index in range(placed.num_rows):
+        cluster = mapping[row_levels[row_index]]
+        color = _CLUSTER_COLORS[min(cluster, len(_CLUSTER_COLORS) - 1)]
+        # SVG y grows downward; flip so row 0 is at the bottom.
+        y = height - (row_index + 1) * row_height
+        used_width = placed.row_utilization(row_index) * width
+        parts.append(
+            f'<rect x="0" y="{y:.1f}" width="{used_width:.1f}" '
+            f'height="{row_height * 0.9:.1f}" fill="{color}"/>')
+    if route is not None:
+        for rail in route.rails:
+            x = rail.x_um * scale
+            rail_width = max(rail.width_um * scale, 1.0)
+            parts.append(
+                f'<rect x="{x:.1f}" y="0" width="{rail_width:.1f}" '
+                f'height="{height:.1f}" fill="#222222" opacity="0.8">'
+                f'<title>{rail.net_name}</title></rect>')
+    parts.append("</svg>")
+    Path(path).write_text("\n".join(parts) + "\n", encoding="ascii")

@@ -1,0 +1,98 @@
+"""Body-bias rail routing on the top metal layer (Figs. 3 and 6).
+
+Each distributed vbs value needs a *pair* of vertical rails on the top
+metal — one biasing the p-wells (NMOS bodies at ``vbs``), one the
+n-wells (PMOS bodies at ``Vdd - vbs``).  The paper restricts designs to
+at most two distributed values (plus the no-bias default), i.e. at most
+four rails, and routes them through the core (Fig. 6 shows one rail
+bundle through the centre of c5315).
+
+The router here allocates rail x-positions on the rail pitch, spreads
+bundles evenly across the core, and emits DEF SPECIALNETS geometry.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import LayoutError
+from repro.lefdef.def_io import SpecialNet
+from repro.placement.placed_design import PlacedDesign
+
+
+@dataclass(frozen=True)
+class BiasRail:
+    """One vertical bias rail."""
+
+    net_name: str
+    vbs: float
+    polarity: str       # "nmos" (p-well tap) or "pmos" (n-well tap)
+    x_um: float
+    width_um: float
+    layer: str
+
+
+@dataclass(frozen=True)
+class RoutePlan:
+    """All rails for a clustered design."""
+
+    rails: tuple[BiasRail, ...]
+    core_height_um: float
+
+    @property
+    def num_bias_values(self) -> int:
+        return len({rail.vbs for rail in self.rails})
+
+    def special_nets(self) -> list[SpecialNet]:
+        """DEF SPECIALNETS geometry for the rails."""
+        nets = []
+        for rail in self.rails:
+            nets.append(SpecialNet(
+                name=rail.net_name, layer=rail.layer,
+                rects_um=[(rail.x_um, 0.0, rail.x_um + rail.width_um,
+                           self.core_height_um)]))
+        return nets
+
+
+def route_bias_rails(placed: PlacedDesign,
+                     row_levels: Sequence[int],
+                     vbs_levels: Sequence[float]) -> RoutePlan:
+    """Route rails for every distributed (non-zero) voltage in use.
+
+    Raises :class:`LayoutError` if the assignment needs more distinct
+    distributed voltages than the technology allows (Sec. 3.3: at most
+    two, because more contact cells per station would blow up row
+    utilization).
+    """
+    if len(row_levels) != placed.num_rows:
+        raise LayoutError(
+            f"assignment covers {len(row_levels)} rows, design has "
+            f"{placed.num_rows}")
+    rules = placed.library.tech.bias_rules
+    distributed = sorted({vbs_levels[level] for level in row_levels
+                          if level != 0})
+    if len(distributed) > rules.max_bias_rails:
+        raise LayoutError(
+            f"{len(distributed)} distributed voltages exceed the "
+            f"{rules.max_bias_rails}-rail limit")
+
+    core_width = placed.floorplan.core_width_um
+    rails: list[BiasRail] = []
+    num_bundles = len(distributed)
+    for bundle, vbs in enumerate(distributed):
+        # Spread bundles evenly; each bundle holds an n/p rail pair.
+        centre = core_width * (bundle + 1) / (num_bundles + 1)
+        for pair_index, polarity in enumerate(("nmos", "pmos")):
+            x = centre + (pair_index - 0.5) * rules.rail_pitch_um
+            x = min(max(x, 0.0), core_width - rules.rail_width_um)
+            rails.append(BiasRail(
+                net_name=f"vbs{bundle + 1}_{polarity[0]}",
+                vbs=vbs,
+                polarity=polarity,
+                x_um=x,
+                width_um=rules.rail_width_um,
+                layer=rules.rail_layer,
+            ))
+    return RoutePlan(rails=tuple(rails),
+                     core_height_um=placed.floorplan.core_height_um)

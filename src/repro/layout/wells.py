@@ -1,0 +1,75 @@
+"""Well-separation overhead between adjacent rows in different clusters.
+
+Within a row every gate shares one body voltage, so no intra-row well
+separation is ever needed — the key physical advantage of row-level
+clustering (Sec. 2-3.3).  The only cost appears *between* vertically
+adjacent rows that landed in different clusters: their wells must be
+separated by a spacing strip.  The paper reports this overhead stayed
+below 5 % of the design area on every benchmark.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import LayoutError
+from repro.placement.placed_design import PlacedDesign
+
+
+@dataclass(frozen=True)
+class WellSeparationReport:
+    """Area cost of separating differently-biased adjacent rows."""
+
+    boundaries: tuple[int, ...]
+    """Row indices i where rows i and i+1 are in different clusters."""
+    separation_um: float
+    core_width_um: float
+    core_area_um2: float
+
+    @property
+    def num_boundaries(self) -> int:
+        return len(self.boundaries)
+
+    @property
+    def added_area_um2(self) -> float:
+        return self.num_boundaries * self.separation_um * self.core_width_um
+
+    @property
+    def area_overhead_fraction(self) -> float:
+        return self.added_area_um2 / self.core_area_um2
+
+    @property
+    def area_overhead_percent(self) -> float:
+        return 100.0 * self.area_overhead_fraction
+
+
+def well_separation(placed: PlacedDesign,
+                    row_levels: Sequence[int]) -> WellSeparationReport:
+    """Compute the separation strips a cluster assignment requires."""
+    if len(row_levels) != placed.num_rows:
+        raise LayoutError(
+            f"assignment covers {len(row_levels)} rows, design has "
+            f"{placed.num_rows}")
+    rules = placed.library.tech.bias_rules
+    boundaries = tuple(
+        index for index in range(placed.num_rows - 1)
+        if row_levels[index] != row_levels[index + 1])
+    return WellSeparationReport(
+        boundaries=boundaries,
+        separation_um=rules.well_separation_um,
+        core_width_um=placed.floorplan.core_width_um,
+        core_area_um2=placed.floorplan.core_area_um2,
+    )
+
+
+def boundary_count_upper_bound(num_rows: int, num_clusters: int) -> int:
+    """Worst-case boundaries for C clusters over N rows.
+
+    With contiguous cluster bands the count is ``C - 1``; a fully
+    interleaved assignment can reach ``N - 1``.  Useful for sanity
+    checks in the area benchmark.
+    """
+    if num_clusters <= 1:
+        return 0
+    return num_rows - 1

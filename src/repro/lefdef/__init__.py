@@ -1,0 +1,20 @@
+"""LEF/DEF physical-design interchange."""
+
+from repro.lefdef.def_io import (DBU_PER_MICRON, DefDesign, SpecialNet,
+                                 read_def, rebuild_placed_design, write_def)
+from repro.lefdef.lef import (LefLibrary, LefMacro, read_lef,
+                              validate_against_library, write_lef)
+
+__all__ = [
+    "DBU_PER_MICRON",
+    "DefDesign",
+    "LefLibrary",
+    "LefMacro",
+    "SpecialNet",
+    "read_def",
+    "read_lef",
+    "rebuild_placed_design",
+    "validate_against_library",
+    "write_def",
+    "write_lef",
+]

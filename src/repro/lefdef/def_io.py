@@ -1,0 +1,259 @@
+"""DEF (Design Exchange Format) writer and parser.
+
+Serialises a :class:`repro.placement.placed_design.PlacedDesign`:
+DIEAREA, ROW statements (one per standard-cell row), COMPONENTS with
+placed coordinates, PINS for the primary I/O, and optionally SPECIALNETS
+carrying the body-bias rails (written by :mod:`repro.layout.routing`).
+
+Coordinates use a 1000 DBU/micron grid, the common convention.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ParseError, PlacementError
+from repro.netlist.core import Netlist
+from repro.placement.floorplan import Floorplan, Row
+from repro.placement.placed_design import PlacedDesign, Placement
+from repro.tech.cells import CellLibrary
+
+DBU_PER_MICRON = 1000
+
+
+def _dbu(value_um: float) -> int:
+    return int(round(value_um * DBU_PER_MICRON))
+
+
+@dataclass
+class SpecialNet:
+    """A routed special net (bias rail): name + list of rect segments."""
+
+    name: str
+    layer: str
+    rects_um: list[tuple[float, float, float, float]] = field(
+        default_factory=list)
+
+
+def write_def(design: PlacedDesign, path: str | Path,
+              special_nets: list[SpecialNet] | None = None) -> None:
+    """Write a DEF file for a placed design."""
+    netlist = design.netlist
+    floorplan = design.floorplan
+    tech = design.library.tech
+    lines = [
+        "VERSION 5.7 ;",
+        "DIVIDERCHAR \"/\" ;",
+        "BUSBITCHARS \"[]\" ;",
+        f"DESIGN {netlist.name} ;",
+        f"UNITS DISTANCE MICRONS {DBU_PER_MICRON} ;",
+        f"DIEAREA ( 0 0 ) ( {_dbu(floorplan.core_width_um)}"
+        f" {_dbu(floorplan.core_height_um)} ) ;",
+        "",
+    ]
+    for row in floorplan.rows:
+        orient = "N" if row.index % 2 == 0 else "FS"
+        lines.append(
+            f"ROW row_{row.index} core 0 {_dbu(row.y_um)} {orient} "
+            f"DO {row.num_sites} BY 1 STEP {_dbu(row.site_width_um)} 0 ;")
+    lines.append("")
+
+    lines.append(f"COMPONENTS {netlist.num_gates} ;")
+    for name in sorted(netlist.gates):
+        gate = netlist.gates[name]
+        placement = design.placement(name)
+        x_um, y_um = design.gate_position_um(name)
+        orient = "N" if placement.row % 2 == 0 else "FS"
+        lines.append(
+            f"  - {name} {gate.cell_name} + PLACED"
+            f" ( {_dbu(x_um)} {_dbu(y_um)} ) {orient} ;")
+    lines.append("END COMPONENTS")
+    lines.append("")
+
+    num_pins = len(netlist.primary_inputs) + len(netlist.primary_outputs)
+    lines.append(f"PINS {num_pins} ;")
+    for net in netlist.primary_inputs:
+        lines.append(f"  - {net} + NET {net} + DIRECTION INPUT"
+                     " + USE SIGNAL ;")
+    for net in netlist.primary_outputs:
+        lines.append(f"  - {net} + NET {net} + DIRECTION OUTPUT"
+                     " + USE SIGNAL ;")
+    lines.append("END PINS")
+    lines.append("")
+
+    if special_nets:
+        lines.append(f"SPECIALNETS {len(special_nets)} ;")
+        for snet in special_nets:
+            lines.append(f"  - {snet.name}")
+            for (x1, y1, x2, y2) in snet.rects_um:
+                lines.append(
+                    f"    + ROUTED {snet.layer} 0 + RECT"
+                    f" ( {_dbu(x1)} {_dbu(y1)} ) ( {_dbu(x2)} {_dbu(y2)} )")
+            lines.append("    + USE POWER ;")
+        lines.append("END SPECIALNETS")
+        lines.append("")
+
+    lines.append("END DESIGN")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="ascii")
+
+
+_ROW_RE = re.compile(
+    r"^ROW\s+(\S+)\s+(\S+)\s+(-?\d+)\s+(-?\d+)\s+\S+\s+DO\s+(\d+)\s+BY\s+1"
+    r"\s+STEP\s+(\d+)\s+\d+\s*;$")
+_COMPONENT_RE = re.compile(
+    r"^-\s+(\S+)\s+(\S+)\s+\+\s+PLACED\s+\(\s*(-?\d+)\s+(-?\d+)\s*\)"
+    r"\s+(\S+)\s*;$")
+_RECT_RE = re.compile(
+    r"\+\s+ROUTED\s+(\S+)\s+\d+\s+\+\s+RECT\s+\(\s*(-?\d+)\s+(-?\d+)\s*\)"
+    r"\s+\(\s*(-?\d+)\s+(-?\d+)\s*\)")
+
+
+@dataclass
+class DefDesign:
+    """Parsed DEF content, resolvable back into a PlacedDesign."""
+
+    design_name: str
+    die_width_um: float
+    die_height_um: float
+    rows: list[tuple[str, float, int, float]]
+    """(name, y_um, num_sites, site_width_um), bottom-up order."""
+    components: dict[str, tuple[str, float, float]]
+    """instance -> (cell name, x_um, y_um)."""
+    pins: list[str]
+    special_nets: list[SpecialNet]
+
+
+def read_def(path: str | Path) -> DefDesign:
+    """Parse a DEF file written by :func:`write_def` (subset grammar)."""
+    filename = str(path)
+    text = Path(path).read_text(encoding="ascii")
+    design_name = None
+    die = None
+    rows: list[tuple[str, float, int, float]] = []
+    components: dict[str, tuple[str, float, float]] = {}
+    pins: list[str] = []
+    special_nets: list[SpecialNet] = []
+    section = None
+    current_snet: SpecialNet | None = None
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("DESIGN ") and section is None:
+            design_name = line.split()[1]
+            continue
+        if line.startswith("DIEAREA"):
+            numbers = re.findall(r"-?\d+", line)
+            if len(numbers) != 4:
+                raise ParseError("bad DIEAREA", filename, lineno)
+            die = (int(numbers[2]) / DBU_PER_MICRON,
+                   int(numbers[3]) / DBU_PER_MICRON)
+            continue
+        if line.startswith("ROW "):
+            match = _ROW_RE.match(line)
+            if not match:
+                raise ParseError(f"bad ROW statement: {line!r}",
+                                 filename, lineno)
+            name, _site, _x, y_dbu, num_sites, step = match.groups()
+            rows.append((name, int(y_dbu) / DBU_PER_MICRON,
+                         int(num_sites), int(step) / DBU_PER_MICRON))
+            continue
+        if line.startswith("COMPONENTS"):
+            section = "components"
+            continue
+        if line.startswith("END COMPONENTS"):
+            section = None
+            continue
+        if line.startswith("PINS"):
+            section = "pins"
+            continue
+        if line.startswith("END PINS"):
+            section = None
+            continue
+        if line.startswith("SPECIALNETS"):
+            section = "specialnets"
+            continue
+        if line.startswith("END SPECIALNETS"):
+            if current_snet is not None:
+                special_nets.append(current_snet)
+                current_snet = None
+            section = None
+            continue
+        if line.startswith("END DESIGN"):
+            break
+        if section == "components":
+            match = _COMPONENT_RE.match(line)
+            if not match:
+                raise ParseError(f"bad COMPONENT line: {line!r}",
+                                 filename, lineno)
+            inst, cell, x_dbu, y_dbu, _orient = match.groups()
+            components[inst] = (cell, int(x_dbu) / DBU_PER_MICRON,
+                                int(y_dbu) / DBU_PER_MICRON)
+            continue
+        if section == "pins":
+            if line.startswith("- "):
+                pins.append(line.split()[1])
+            continue
+        if section == "specialnets":
+            if line.startswith("- "):
+                if current_snet is not None:
+                    special_nets.append(current_snet)
+                current_snet = SpecialNet(name=line.split()[1], layer="")
+                continue
+            match = _RECT_RE.search(line)
+            if match and current_snet is not None:
+                layer, x1, y1, x2, y2 = match.groups()
+                current_snet.layer = layer
+                current_snet.rects_um.append(
+                    (int(x1) / DBU_PER_MICRON, int(y1) / DBU_PER_MICRON,
+                     int(x2) / DBU_PER_MICRON, int(y2) / DBU_PER_MICRON))
+            continue
+
+    if design_name is None:
+        raise ParseError("DEF file lacks DESIGN statement", filename)
+    if die is None:
+        raise ParseError("DEF file lacks DIEAREA", filename)
+    if not rows:
+        raise ParseError("DEF file has no ROW statements", filename)
+    return DefDesign(design_name=design_name, die_width_um=die[0],
+                     die_height_um=die[1], rows=rows,
+                     components=components, pins=pins,
+                     special_nets=special_nets)
+
+
+def rebuild_placed_design(parsed: DefDesign, netlist: Netlist,
+                          library: CellLibrary) -> PlacedDesign:
+    """Reconstruct a PlacedDesign from parsed DEF + the original netlist."""
+    tech = library.tech
+    rows = tuple(
+        Row(index=i, y_um=y, num_sites=sites, site_width_um=step)
+        for i, (_name, y, sites, step) in enumerate(
+            sorted(parsed.rows, key=lambda r: r[1])))
+    floorplan = Floorplan(tech=tech, rows=rows, utilization_target=1.0)
+    y_to_row = {row.y_um: row.index for row in rows}
+
+    placements: dict[str, Placement] = {}
+    for inst, (cell_name, x_um, y_um) in parsed.components.items():
+        if inst not in netlist.gates:
+            raise PlacementError(f"DEF component {inst!r} not in netlist")
+        row_index = y_to_row.get(round(y_um, 6))
+        if row_index is None:
+            # tolerate small rounding: match nearest row
+            nearest = min(rows, key=lambda r: abs(r.y_um - y_um))
+            if abs(nearest.y_um - y_um) > 1e-3:
+                raise PlacementError(
+                    f"component {inst!r} y={y_um} not on any row")
+            row_index = nearest.index
+        site = int(round(x_um / rows[row_index].site_width_um))
+        placements[inst] = Placement(
+            row=row_index, site=site,
+            width_sites=library.cell(cell_name).width_sites)
+        netlist.gates[inst].cell_name = cell_name
+
+    design = PlacedDesign(netlist=netlist, library=library,
+                          floorplan=floorplan, placements=placements)
+    design.validate()
+    return design

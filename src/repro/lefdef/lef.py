@@ -1,0 +1,207 @@
+"""LEF (Library Exchange Format) writer and parser.
+
+Covers the subset a physical-design exchange for this flow needs: the
+placement SITE, routing LAYERs (including the top metal that carries the
+body-bias rails), and one MACRO per standard cell with size and pin
+names.  Written files round-trip through :func:`read_lef`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ParseError
+from repro.netlist.verilog import input_pin_names, output_pin_name
+from repro.tech.cells import CellLibrary
+from repro.tech.technology import Technology
+
+
+@dataclass(frozen=True)
+class LefMacro:
+    """One MACRO block: a cell abstract."""
+
+    name: str
+    width_um: float
+    height_um: float
+    pins: tuple[str, ...]
+    site: str = "core"
+
+
+@dataclass
+class LefLibrary:
+    """Parsed LEF content."""
+
+    site_name: str
+    site_width_um: float
+    site_height_um: float
+    layers: tuple[str, ...] = ()
+    macros: dict[str, LefMacro] = field(default_factory=dict)
+
+    def macro(self, name: str) -> LefMacro:
+        try:
+            return self.macros[name]
+        except KeyError:
+            raise ParseError(f"no macro {name!r} in LEF library") from None
+
+
+#: routing stack written into generated LEF files
+DEFAULT_LAYERS = ("metal1", "metal2", "metal3", "metal4", "metal5",
+                  "metal6", "metal7")
+
+
+def write_lef(library: CellLibrary, path: str | Path,
+              site_name: str = "core") -> None:
+    """Write a LEF file describing the site, layers and all cells."""
+    tech = library.tech
+    lines = [
+        "VERSION 5.7 ;",
+        "BUSBITCHARS \"[]\" ;",
+        "DIVIDERCHAR \"/\" ;",
+        "UNITS",
+        "  DATABASE MICRONS 1000 ;",
+        "END UNITS",
+        "",
+        f"SITE {site_name}",
+        "  CLASS CORE ;",
+        f"  SIZE {tech.site_width_um:.4f} BY {tech.row_height_um:.4f} ;",
+        "  SYMMETRY Y ;",
+        f"END {site_name}",
+        "",
+    ]
+    for layer in DEFAULT_LAYERS:
+        direction = "HORIZONTAL" if int(layer[-1]) % 2 else "VERTICAL"
+        lines += [
+            f"LAYER {layer}",
+            "  TYPE ROUTING ;",
+            f"  DIRECTION {direction} ;",
+            f"END {layer}",
+            "",
+        ]
+    for name in library.cell_names:
+        cell = library.cell(name)
+        pins = list(input_pin_names(cell.function))
+        if cell.is_sequential:
+            pins.append("CK")
+        pins.append(output_pin_name(cell.function))
+        lines += [
+            f"MACRO {name}",
+            "  CLASS CORE ;",
+            "  ORIGIN 0 0 ;",
+            f"  SIZE {cell.width_um(tech):.4f} BY"
+            f" {tech.row_height_um:.4f} ;",
+            "  SYMMETRY X Y ;",
+            f"  SITE {site_name} ;",
+        ]
+        for pin in pins:
+            use = "CLOCK" if pin == "CK" else "SIGNAL"
+            direction = ("OUTPUT" if pin in ("ZN", "Q") else "INPUT")
+            lines += [
+                f"  PIN {pin}",
+                f"    DIRECTION {direction} ;",
+                f"    USE {use} ;",
+                f"  END {pin}",
+            ]
+        lines += [f"END {name}", ""]
+    lines.append("END LIBRARY")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="ascii")
+
+
+def read_lef(path: str | Path) -> LefLibrary:
+    """Parse a LEF file written by :func:`write_lef` (subset grammar)."""
+    filename = str(path)
+    tokens_per_line = [
+        (lineno, raw.strip())
+        for lineno, raw in enumerate(
+            Path(path).read_text(encoding="ascii").splitlines(), start=1)
+        if raw.strip()]
+
+    site_name: str | None = None
+    site_width = site_height = None
+    layers: list[str] = []
+    macros: dict[str, LefMacro] = {}
+
+    index = 0
+    current_block: list[str] = []  # stack of (kind, name)
+    macro_name: str | None = None
+    macro_size: tuple[float, float] | None = None
+    macro_pins: list[str] = []
+    macro_site = "core"
+
+    while index < len(tokens_per_line):
+        lineno, line = tokens_per_line[index]
+        index += 1
+        words = line.split()
+        keyword = words[0].upper()
+
+        if keyword == "SITE" and not current_block and len(words) == 2:
+            site_name = words[1]
+            current_block.append("SITE")
+        elif keyword == "LAYER" and not current_block:
+            layers.append(words[1])
+            current_block.append("LAYER")
+        elif keyword == "MACRO":
+            if current_block:
+                raise ParseError("nested MACRO", filename, lineno)
+            macro_name = words[1]
+            macro_size = None
+            macro_pins = []
+            macro_site = "core"
+            current_block.append("MACRO")
+        elif keyword == "PIN" and current_block and current_block[-1] == "MACRO":
+            macro_pins.append(words[1])
+            current_block.append("PIN")
+        elif keyword == "SIZE":
+            try:
+                width = float(words[1])
+                height = float(words[3])
+            except (IndexError, ValueError) as exc:
+                raise ParseError(f"bad SIZE line: {line!r}", filename,
+                                 lineno) from exc
+            if current_block and current_block[-1] == "SITE":
+                site_width, site_height = width, height
+            elif current_block and current_block[-1] == "MACRO":
+                macro_size = (width, height)
+        elif keyword == "SITE" and current_block and current_block[-1] == "MACRO":
+            macro_site = words[1].rstrip(";").strip() or "core"
+        elif keyword == "END":
+            if len(words) == 1:
+                continue
+            target = words[1]
+            if target == "LIBRARY" or target == "UNITS":
+                continue
+            if not current_block:
+                raise ParseError(f"unmatched END {target}", filename, lineno)
+            kind = current_block.pop()
+            if kind == "MACRO":
+                if macro_name is None or macro_size is None:
+                    raise ParseError(
+                        f"macro {target!r} missing SIZE", filename, lineno)
+                macros[macro_name] = LefMacro(
+                    name=macro_name, width_um=macro_size[0],
+                    height_um=macro_size[1], pins=tuple(macro_pins),
+                    site=macro_site)
+                macro_name = None
+        # all other lines (CLASS, ORIGIN, SYMMETRY, DIRECTION...) are
+        # accepted and ignored by this subset reader
+
+    if site_name is None or site_width is None or site_height is None:
+        raise ParseError("LEF file lacks a SITE definition", filename)
+    return LefLibrary(site_name=site_name, site_width_um=site_width,
+                      site_height_um=site_height, layers=tuple(layers),
+                      macros=macros)
+
+
+def validate_against_library(lef: LefLibrary, library: CellLibrary) -> None:
+    """Cross-check parsed LEF geometry against a cell library."""
+    tech: Technology = library.tech
+    if abs(lef.site_width_um - tech.site_width_um) > 1e-6:
+        raise ParseError(
+            f"LEF site width {lef.site_width_um} != technology "
+            f"{tech.site_width_um}")
+    for name in library.cell_names:
+        macro = lef.macro(name)
+        expected = library.cell(name).width_um(tech)
+        if abs(macro.width_um - expected) > 1e-3:
+            raise ParseError(
+                f"macro {name!r}: width {macro.width_um} != {expected}")

@@ -1,0 +1,167 @@
+"""ISCAS ``.bench`` format reader and writer.
+
+The ISCAS-85/89 benchmark circuits the paper evaluates (c1355, c3540,
+c5315, c7552, c6288) are traditionally distributed in the ``.bench``
+format::
+
+    # comment
+    INPUT(G1)
+    OUTPUT(G22)
+    G10 = NAND(G1, G3)
+    G22 = DFF(G10)
+
+Variable-arity functions (``AND(a,b,c)``) are converted to the generic
+fixed-arity functions of :mod:`repro.netlist.core` (``AND3``); wide gates
+beyond arity 4 are decomposed into balanced trees on read.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.errors import NetlistError, ParseError
+from repro.netlist.core import FUNCTION_ARITY, Netlist
+
+_BENCH_TO_GENERIC = {
+    "NOT": "INV", "INV": "INV", "BUF": "BUF", "BUFF": "BUF",
+    "AND": "AND", "OR": "OR", "NAND": "NAND", "NOR": "NOR",
+    "XOR": "XOR", "XNOR": "XNOR", "DFF": "DFF",
+}
+
+_GENERIC_TO_BENCH = {
+    "INV": "NOT", "BUF": "BUFF",
+    "AND2": "AND", "AND3": "AND", "AND4": "AND",
+    "OR2": "OR", "OR3": "OR", "OR4": "OR",
+    "NAND2": "NAND", "NAND3": "NAND", "NAND4": "NAND",
+    "NOR2": "NOR", "NOR3": "NOR",
+    "XOR2": "XOR", "XNOR2": "XNOR", "DFF": "DFF",
+}
+
+_IO_RE = re.compile(r"^(INPUT|OUTPUT)\s*\(\s*([^)]+?)\s*\)$")
+_GATE_RE = re.compile(r"^([^=\s]+)\s*=\s*([A-Za-z]+)\s*\(\s*([^)]*?)\s*\)$")
+
+#: maximum native arity before tree decomposition kicks in
+_MAX_ARITY = {"AND": 4, "OR": 4, "NAND": 4, "NOR": 3, "XOR": 2, "XNOR": 2}
+
+
+def _sized_function(base: str, arity: int) -> str:
+    """Map a bench family + arity to a generic function name."""
+    if base in ("INV", "BUF", "DFF"):
+        if arity != 1:
+            raise NetlistError(f"{base} expects 1 input, got {arity}")
+        return base
+    name = f"{base}{arity}"
+    if name not in FUNCTION_ARITY:
+        raise NetlistError(f"no generic function for {base} arity {arity}")
+    return name
+
+
+def _decompose_wide(netlist: Netlist, gate_name: str, base: str,
+                    inputs: list[str], output: str) -> None:
+    """Reduce a wide AND/OR/NAND/NOR/XOR into a balanced generic tree."""
+    limit = _MAX_ARITY[base]
+    # Inner tree nodes use the non-inverting family; only the final stage
+    # applies the inversion for NAND/NOR (De Morgan-free decomposition).
+    inner = {"NAND": "AND", "NOR": "OR"}.get(base, base)
+    terms = list(inputs)
+    stage = 0
+    inner_limit = _MAX_ARITY[inner]
+    while len(terms) > limit:
+        grouped: list[str] = []
+        for start in range(0, len(terms), inner_limit):
+            chunk = terms[start:start + inner_limit]
+            if len(chunk) == 1:
+                grouped.append(chunk[0])
+                continue
+            net = netlist.fresh_net(f"{gate_name}_t")
+            netlist.add_gate(netlist.fresh_gate_name(f"{gate_name}_d{stage}_"),
+                             _sized_function(inner, len(chunk)), chunk, net)
+            grouped.append(net)
+        terms = grouped
+        stage += 1
+    netlist.add_gate(gate_name, _sized_function(base, len(terms)),
+                     terms, output)
+
+
+def read_bench(path: str | Path) -> Netlist:
+    """Parse a ``.bench`` file into a generic :class:`Netlist`."""
+    filename = str(path)
+    text = Path(path).read_text(encoding="ascii")
+    netlist = Netlist(Path(path).stem)
+    pending_outputs: list[str] = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        io_match = _IO_RE.match(line)
+        if io_match:
+            kind, net = io_match.group(1), io_match.group(2)
+            try:
+                if kind == "INPUT":
+                    netlist.add_input(net)
+                else:
+                    pending_outputs.append(net)
+                    netlist.add_output(net)
+            except NetlistError as exc:
+                raise ParseError(str(exc), filename, lineno) from exc
+            continue
+        gate_match = _GATE_RE.match(line)
+        if gate_match:
+            output, family, args = gate_match.groups()
+            family = family.upper()
+            if family not in _BENCH_TO_GENERIC:
+                raise ParseError(
+                    f"unknown gate type {family!r}", filename, lineno)
+            base = _BENCH_TO_GENERIC[family]
+            inputs = [token.strip() for token in args.split(",")
+                      if token.strip()]
+            if not inputs:
+                raise ParseError(
+                    f"gate {output!r} has no inputs", filename, lineno)
+            try:
+                if base in ("INV", "BUF", "DFF"):
+                    netlist.add_gate(f"{output}_g", _sized_function(
+                        base, len(inputs)), inputs, output)
+                elif len(inputs) == 1:
+                    # single-input AND/OR etc. degenerate to a buffer
+                    netlist.add_gate(f"{output}_g", "BUF", inputs, output)
+                elif len(inputs) <= _MAX_ARITY[base]:
+                    netlist.add_gate(f"{output}_g", _sized_function(
+                        base, len(inputs)), inputs, output)
+                else:
+                    _decompose_wide(netlist, f"{output}_g", base,
+                                    inputs, output)
+            except NetlistError as exc:
+                raise ParseError(str(exc), filename, lineno) from exc
+            continue
+        raise ParseError(f"unparseable line: {line!r}", filename, lineno)
+
+    try:
+        netlist.validate()
+    except NetlistError as exc:
+        raise ParseError(str(exc), filename) from exc
+    return netlist
+
+
+def write_bench(netlist: Netlist, path: str | Path) -> None:
+    """Serialise a generic netlist to ``.bench``.
+
+    Mapped netlists can be written too: the cell binding is dropped and
+    only the logic function is kept (bench has no cell concept).
+    """
+    lines = [f"# {netlist.name} - written by repro.netlist.bench"]
+    for net in netlist.primary_inputs:
+        lines.append(f"INPUT({net})")
+    for net in netlist.primary_outputs:
+        lines.append(f"OUTPUT({net})")
+    for gate in netlist.topological_order():
+        family = _GENERIC_TO_BENCH.get(gate.function)
+        if family is None:
+            raise NetlistError(
+                f"gate {gate.name!r}: function {gate.function!r} has no "
+                "bench equivalent")
+        args = ", ".join(gate.inputs)
+        lines.append(f"{gate.output} = {family}({args})")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="ascii")

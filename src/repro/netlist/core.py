@@ -1,0 +1,286 @@
+"""Gate-level netlist data structures.
+
+A :class:`Netlist` is the structural view every other subsystem consumes:
+the synthesizer maps its generic gates onto library cells, the placer
+assigns its instances to rows, the STA engine walks its combinational
+DAG, and the FBB allocator reasons about the rows that hold its gates.
+
+Modelling choices (matching the paper's standard-cell setting):
+
+* every gate has exactly **one output net**;
+* flip-flops (``DFF``) have a single data input and an implicit clock —
+  clock-tree modelling is out of scope for the paper and for us;
+* nets are identified by name; each is driven by exactly one gate output
+  or one primary input;
+* generic functions (pre-mapping) include XOR/XNOR, which the reduced
+  cell library cannot implement directly — the technology mapper
+  decomposes them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import NetlistError
+
+#: generic function name -> number of inputs
+FUNCTION_ARITY: dict[str, int] = {
+    "INV": 1, "BUF": 1,
+    "AND2": 2, "AND3": 3, "AND4": 4,
+    "OR2": 2, "OR3": 3, "OR4": 4,
+    "NAND2": 2, "NAND3": 3, "NAND4": 4,
+    "NOR2": 2, "NOR3": 3,
+    "XOR2": 2, "XNOR2": 2,
+    "DFF": 1,
+}
+
+SEQUENTIAL_FUNCTIONS = frozenset({"DFF"})
+
+
+@dataclass
+class Gate:
+    """One gate instance: a named occurrence of a function (or cell)."""
+
+    name: str
+    function: str
+    inputs: tuple[str, ...]
+    output: str
+    cell_name: str | None = None
+    """Set by technology mapping; None while the netlist is generic."""
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.function in SEQUENTIAL_FUNCTIONS
+
+    def __post_init__(self) -> None:
+        arity = FUNCTION_ARITY.get(self.function)
+        if arity is None:
+            raise NetlistError(
+                f"gate {self.name!r}: unknown function {self.function!r}")
+        if len(self.inputs) != arity:
+            raise NetlistError(
+                f"gate {self.name!r}: {self.function} expects {arity} "
+                f"inputs, got {len(self.inputs)}")
+
+
+@dataclass
+class Net:
+    """A named signal with one driver and any number of sinks."""
+
+    name: str
+    driver: str | None = None
+    """Driving gate name, or None if driven by a primary input."""
+    is_primary_input: bool = False
+    sinks: list[tuple[str, int]] = field(default_factory=list)
+    """(gate name, input pin index) pairs loading this net."""
+    is_primary_output: bool = False
+
+
+class Netlist:
+    """A mutable gate-level netlist with validation and DAG utilities."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise NetlistError("netlist name must be non-empty")
+        self.name = name
+        self.gates: dict[str, Gate] = {}
+        self.nets: dict[str, Net] = {}
+        self.primary_inputs: list[str] = []
+        self.primary_outputs: list[str] = []
+        self._fresh_counter = 0
+
+    # -- construction --------------------------------------------------------
+
+    def add_input(self, net_name: str) -> str:
+        """Declare a primary input; creates the net."""
+        net = self._net(net_name)
+        if net.driver is not None or net.is_primary_input:
+            raise NetlistError(f"net {net_name!r} already driven")
+        net.is_primary_input = True
+        self.primary_inputs.append(net_name)
+        return net_name
+
+    def add_output(self, net_name: str) -> str:
+        """Declare a primary output; the net may be driven later."""
+        net = self._net(net_name)
+        if net.is_primary_output:
+            raise NetlistError(f"net {net_name!r} already an output")
+        net.is_primary_output = True
+        self.primary_outputs.append(net_name)
+        return net_name
+
+    def add_gate(self, name: str, function: str,
+                 inputs: tuple[str, ...] | list[str], output: str,
+                 cell_name: str | None = None) -> Gate:
+        """Add a gate instance, wiring its input and output nets."""
+        if name in self.gates:
+            raise NetlistError(f"duplicate gate name {name!r}")
+        gate = Gate(name, function, tuple(inputs), output, cell_name)
+        out_net = self._net(output)
+        if out_net.driver is not None or out_net.is_primary_input:
+            raise NetlistError(
+                f"gate {name!r}: net {output!r} already driven")
+        out_net.driver = name
+        for pin, net_name in enumerate(gate.inputs):
+            self._net(net_name).sinks.append((name, pin))
+        self.gates[name] = gate
+        return gate
+
+    def fresh_net(self, prefix: str = "n") -> str:
+        """Return a net name not yet used in this netlist."""
+        while True:
+            self._fresh_counter += 1
+            candidate = f"{prefix}{self._fresh_counter}"
+            if candidate not in self.nets:
+                return candidate
+
+    def fresh_gate_name(self, prefix: str = "g") -> str:
+        """Return a gate name not yet used in this netlist."""
+        while True:
+            self._fresh_counter += 1
+            candidate = f"{prefix}{self._fresh_counter}"
+            if candidate not in self.gates:
+                return candidate
+
+    def _net(self, name: str) -> Net:
+        if not name:
+            raise NetlistError("net name must be non-empty")
+        if name not in self.nets:
+            self.nets[name] = Net(name)
+        return self.nets[name]
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    def gate(self, name: str) -> Gate:
+        try:
+            return self.gates[name]
+        except KeyError:
+            raise NetlistError(f"no gate named {name!r}") from None
+
+    def net(self, name: str) -> Net:
+        try:
+            return self.nets[name]
+        except KeyError:
+            raise NetlistError(f"no net named {name!r}") from None
+
+    def fanout_gates(self, net_name: str) -> list[Gate]:
+        """Gates whose inputs load the given net."""
+        return [self.gates[g] for g, _pin in self.net(net_name).sinks]
+
+    def driver_gate(self, net_name: str) -> Gate | None:
+        """The gate driving a net, or None for primary inputs."""
+        driver = self.net(net_name).driver
+        return self.gates[driver] if driver is not None else None
+
+    def function_histogram(self) -> dict[str, int]:
+        histogram: dict[str, int] = {}
+        for gate in self.gates.values():
+            histogram[gate.function] = histogram.get(gate.function, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def sequential_gates(self) -> list[Gate]:
+        return [g for g in self.gates.values() if g.is_sequential]
+
+    def combinational_gates(self) -> list[Gate]:
+        return [g for g in self.gates.values() if not g.is_sequential]
+
+    # -- validation ------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural sanity; raise :class:`NetlistError` on problems.
+
+        Rules: every net is driven (by a gate or a primary input); primary
+        outputs exist and are driven; no combinational cycles; every
+        floating (sink-less, non-output) net is reported.
+        """
+        for net in self.nets.values():
+            if net.driver is None and not net.is_primary_input:
+                raise NetlistError(
+                    f"{self.name}: net {net.name!r} has no driver")
+        for name in self.primary_outputs:
+            net = self.nets[name]
+            if net.driver is None and not net.is_primary_input:
+                raise NetlistError(
+                    f"{self.name}: output {name!r} undriven")
+        self.topological_order()  # raises on combinational cycles
+
+    def dangling_nets(self) -> list[str]:
+        """Nets with no sinks that are not primary outputs (warning-level)."""
+        return sorted(net.name for net in self.nets.values()
+                      if not net.sinks and not net.is_primary_output)
+
+    # -- DAG utilities -----------------------------------------------------------
+
+    def topological_order(self) -> list[Gate]:
+        """Gates in combinational topological order.
+
+        DFF outputs are treated as sources and DFF inputs as sinks, so
+        sequential loops are legal; a *combinational* cycle raises
+        :class:`NetlistError`.  DFFs appear in the order with in-degree 0.
+        """
+        indegree: dict[str, int] = {}
+        dependents: dict[str, list[str]] = {name: [] for name in self.gates}
+        for gate in self.gates.values():
+            count = 0
+            if not gate.is_sequential:
+                for net_name in gate.inputs:
+                    driver = self.nets[net_name].driver
+                    if driver is not None:
+                        dependents[driver].append(gate.name)
+                        count += 1
+            indegree[gate.name] = count
+
+        queue = deque(sorted(name for name, deg in indegree.items()
+                             if deg == 0))
+        order: list[Gate] = []
+        while queue:
+            name = queue.popleft()
+            order.append(self.gates[name])
+            for dependent in dependents[name]:
+                indegree[dependent] -= 1
+                if indegree[dependent] == 0:
+                    queue.append(dependent)
+        if len(order) != len(self.gates):
+            remaining = sorted(set(self.gates) - {g.name for g in order})
+            raise NetlistError(
+                f"{self.name}: combinational cycle involving "
+                f"{remaining[:5]}{'...' if len(remaining) > 5 else ''}")
+        return order
+
+    def logic_depth(self) -> int:
+        """Maximum number of combinational gates on any path."""
+        depth: dict[str, int] = {}
+        for gate in self.topological_order():
+            if gate.is_sequential:
+                depth[gate.name] = 0
+                continue
+            best = 0
+            for net_name in gate.inputs:
+                driver = self.nets[net_name].driver
+                if driver is not None:
+                    best = max(best, depth[driver])
+            depth[gate.name] = best + 1
+        return max(depth.values(), default=0)
+
+    def copy(self, name: str | None = None) -> "Netlist":
+        """Deep-copy the netlist (gates are re-created, nets rebuilt)."""
+        duplicate = Netlist(name or self.name)
+        for net_name in self.primary_inputs:
+            duplicate.add_input(net_name)
+        for net_name in self.primary_outputs:
+            duplicate.add_output(net_name)
+        for gate in self.gates.values():
+            duplicate.add_gate(gate.name, gate.function, gate.inputs,
+                               gate.output, gate.cell_name)
+        duplicate._fresh_counter = self._fresh_counter
+        return duplicate
+
+    def __repr__(self) -> str:
+        return (f"Netlist({self.name!r}, gates={self.num_gates}, "
+                f"inputs={len(self.primary_inputs)}, "
+                f"outputs={len(self.primary_outputs)})")

@@ -1,0 +1,214 @@
+"""Structural Verilog subset writer and reader.
+
+Two dialects are supported, mirroring what a commercial flow exchanges:
+
+* **generic** netlists use Verilog gate primitives
+  (``nand g1 (y, a, b);`` — output first), with XOR/XNOR as ``xor``/
+  ``xnor`` and flip-flops as ``DFF`` module instances;
+* **mapped** netlists instantiate library cells with named port
+  connections (``NAND2_X1 g1 (.A1(a), .A2(b), .ZN(y));``).
+
+The reader accepts both forms (they can even be mixed) and rebuilds a
+:class:`repro.netlist.core.Netlist`.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.errors import NetlistError, ParseError
+from repro.netlist.core import FUNCTION_ARITY, Netlist
+
+_PRIMITIVE_OF = {
+    "INV": "not", "BUF": "buf",
+    "AND2": "and", "AND3": "and", "AND4": "and",
+    "OR2": "or", "OR3": "or", "OR4": "or",
+    "NAND2": "nand", "NAND3": "nand", "NAND4": "nand",
+    "NOR2": "nor", "NOR3": "nor",
+    "XOR2": "xor", "XNOR2": "xnor",
+}
+
+_FAMILY_OF_PRIMITIVE = {
+    "not": "INV", "buf": "BUF", "and": "AND", "or": "OR",
+    "nand": "NAND", "nor": "NOR", "xor": "XOR", "xnor": "XNOR",
+}
+
+
+def input_pin_names(function: str) -> tuple[str, ...]:
+    """Library pin names for a cell function (A1..An, or D for flops)."""
+    if function == "DFF":
+        return ("D",)
+    arity = FUNCTION_ARITY[function]
+    if arity == 1:
+        return ("A",)
+    return tuple(f"A{i}" for i in range(1, arity + 1))
+
+
+def output_pin_name(function: str) -> str:
+    """Library output pin name (Q for flops, ZN otherwise)."""
+    return "Q" if function == "DFF" else "ZN"
+
+
+def write_verilog(netlist: Netlist, path: str | Path) -> None:
+    """Serialise a netlist; mapped gates become cell instances."""
+    lines = [f"// {netlist.name} - written by repro.netlist.verilog"]
+    ports = ", ".join(netlist.primary_inputs + netlist.primary_outputs)
+    lines.append(f"module {netlist.name} ({ports});")
+    for net in netlist.primary_inputs:
+        lines.append(f"  input {net};")
+    for net in netlist.primary_outputs:
+        lines.append(f"  output {net};")
+    io_nets = set(netlist.primary_inputs) | set(netlist.primary_outputs)
+    wires = sorted(name for name in netlist.nets if name not in io_nets)
+    for wire in wires:
+        lines.append(f"  wire {wire};")
+    for gate in netlist.topological_order():
+        if gate.cell_name is not None or gate.function == "DFF":
+            cell = gate.cell_name or "DFF"
+            pins = [f".{pin}({net})" for pin, net in
+                    zip(input_pin_names(gate.function), gate.inputs)]
+            pins.append(f".{output_pin_name(gate.function)}({gate.output})")
+            lines.append(f"  {cell} {gate.name} ({', '.join(pins)});")
+        else:
+            primitive = _PRIMITIVE_OF.get(gate.function)
+            if primitive is None:
+                raise NetlistError(
+                    f"gate {gate.name!r}: no Verilog primitive for "
+                    f"{gate.function!r}")
+            args = ", ".join((gate.output,) + gate.inputs)
+            lines.append(f"  {primitive} {gate.name} ({args});")
+    lines.append("endmodule")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="ascii")
+
+
+_MODULE_RE = re.compile(r"^\s*module\s+(\w+)\s*\(([^)]*)\)\s*;\s*$")
+_DECL_RE = re.compile(r"^\s*(input|output|wire)\s+(.+?)\s*;\s*$")
+_NAMED_INST_RE = re.compile(r"^\s*(\w+)\s+(\w+)\s*\((\s*\..+)\)\s*;\s*$")
+_PRIM_INST_RE = re.compile(r"^\s*([a-z]+)\s+(\w+)\s*\(([^.)][^)]*)\)\s*;\s*$")
+_PIN_RE = re.compile(r"\.(\w+)\s*\(\s*([^)]+?)\s*\)")
+
+
+def _function_from_cell(cell_name: str, num_inputs: int) -> str:
+    """Infer the generic function from a library cell name like NAND2_X1."""
+    family = cell_name.split("_")[0]
+    if family == "DFF":
+        return "DFF"
+    if family in FUNCTION_ARITY:
+        return family
+    raise NetlistError(f"cannot infer function from cell {cell_name!r} "
+                       f"({num_inputs} inputs)")
+
+
+def read_verilog(path: str | Path) -> Netlist:
+    """Parse the structural subset back into a :class:`Netlist`."""
+    filename = str(path)
+    text = Path(path).read_text(encoding="ascii")
+    # Strip comments, join continued statements on ';'
+    stripped_lines = []
+    for raw in text.splitlines():
+        line = raw.split("//", 1)[0]
+        stripped_lines.append(line)
+    statements: list[tuple[int, str]] = []
+    buffer = ""
+    buffer_line = 1
+    for lineno, line in enumerate(stripped_lines, start=1):
+        if not buffer:
+            buffer_line = lineno
+        buffer += " " + line
+        while ";" in buffer:
+            statement, buffer = buffer.split(";", 1)
+            statement = statement.strip()
+            if statement:
+                statements.append((buffer_line, statement + ";"))
+            buffer_line = lineno
+    tail = buffer.strip()
+    if tail and tail not in ("endmodule",):
+        raise ParseError(f"trailing junk: {tail!r}", filename)
+
+    netlist: Netlist | None = None
+    outputs: list[str] = []
+    for lineno, statement in statements:
+        if statement.startswith("endmodule"):
+            continue
+        match = _MODULE_RE.match(statement)
+        if match:
+            if netlist is not None:
+                raise ParseError("multiple modules not supported",
+                                 filename, lineno)
+            netlist = Netlist(match.group(1))
+            continue
+        if netlist is None:
+            raise ParseError("statement before module header",
+                             filename, lineno)
+        match = _DECL_RE.match(statement)
+        if match:
+            kind, names = match.groups()
+            for name in (n.strip() for n in names.split(",")):
+                if not name:
+                    continue
+                if kind == "input":
+                    netlist.add_input(name)
+                elif kind == "output":
+                    netlist.add_output(name)
+                # wires are implicit in our net model
+            continue
+        match = _NAMED_INST_RE.match(statement)
+        if match:
+            cell_name, inst_name, pin_blob = match.groups()
+            pins = dict(_PIN_RE.findall(pin_blob))
+            if not pins:
+                raise ParseError(f"no pins on instance {inst_name!r}",
+                                 filename, lineno)
+            out_pin = "Q" if "Q" in pins else "ZN"
+            if out_pin not in pins:
+                raise ParseError(
+                    f"instance {inst_name!r} lacks output pin", filename,
+                    lineno)
+            output = pins.pop(out_pin)
+            ordered = [pins[key] for key in sorted(pins)]
+            function = _function_from_cell(cell_name, len(ordered))
+            try:
+                netlist.add_gate(inst_name, function, ordered, output,
+                                 cell_name=None if cell_name == "DFF"
+                                 else cell_name)
+            except NetlistError as exc:
+                raise ParseError(str(exc), filename, lineno) from exc
+            continue
+        match = _PRIM_INST_RE.match(statement)
+        if match:
+            primitive, inst_name, args = match.groups()
+            family = _FAMILY_OF_PRIMITIVE.get(primitive)
+            if family is None:
+                raise ParseError(f"unknown primitive {primitive!r}",
+                                 filename, lineno)
+            nets = [token.strip() for token in args.split(",")]
+            if len(nets) < 2:
+                raise ParseError(
+                    f"primitive {inst_name!r} needs output + inputs",
+                    filename, lineno)
+            output, inputs = nets[0], nets[1:]
+            if family in ("INV", "BUF"):
+                function = family
+            else:
+                function = f"{family}{len(inputs)}"
+            if function not in FUNCTION_ARITY:
+                raise ParseError(
+                    f"unsupported arity {len(inputs)} for {primitive}",
+                    filename, lineno)
+            try:
+                netlist.add_gate(inst_name, function, inputs, output)
+            except NetlistError as exc:
+                raise ParseError(str(exc), filename, lineno) from exc
+            continue
+        raise ParseError(f"unparseable statement: {statement!r}",
+                         filename, lineno)
+
+    if netlist is None:
+        raise ParseError("no module found", filename)
+    del outputs
+    try:
+        netlist.validate()
+    except NetlistError as exc:
+        raise ParseError(str(exc), filename) from exc
+    return netlist

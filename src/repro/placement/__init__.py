@@ -1,0 +1,17 @@
+"""Row-based placement: floorplan, placer, placed-design container."""
+
+from repro.placement.floorplan import (DEFAULT_UTILIZATION, Floorplan, Row,
+                                       make_floorplan)
+from repro.placement.placed_design import PlacedDesign, Placement
+from repro.placement.placer import connectivity_order, place_design
+
+__all__ = [
+    "DEFAULT_UTILIZATION",
+    "Floorplan",
+    "PlacedDesign",
+    "Placement",
+    "Row",
+    "connectivity_order",
+    "make_floorplan",
+    "place_design",
+]

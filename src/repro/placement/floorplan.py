@@ -1,0 +1,118 @@
+"""Core floorplan: the row/site structure body biasing operates on.
+
+The paper's method is defined entirely in terms of standard-cell rows:
+each row is the atomic unit of body-bias assignment (Sec. 3.3, Sec. 4).
+A :class:`Floorplan` describes the core area as ``num_rows`` horizontal
+rows of placement sites.  Row counts follow from a square-ish aspect
+ratio and a utilization target, as in the paper's Physical Compiler runs
+(their Table 1 row counts scale with the square root of the gate count;
+so do ours).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import PlacementError
+from repro.tech.technology import Technology
+
+#: default placement utilization target (fraction of row sites occupied)
+DEFAULT_UTILIZATION = 0.75
+
+
+@dataclass(frozen=True)
+class Row:
+    """One standard-cell row: a horizontal strip of placement sites."""
+
+    index: int
+    y_um: float
+    num_sites: int
+    site_width_um: float
+
+    @property
+    def width_um(self) -> float:
+        return self.num_sites * self.site_width_um
+
+    def site_x_um(self, site: int) -> float:
+        """X coordinate of a site's left edge."""
+        if not 0 <= site < self.num_sites:
+            raise PlacementError(
+                f"site {site} outside row {self.index} "
+                f"(0..{self.num_sites - 1})")
+        return site * self.site_width_um
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """A core area made of equal-width standard-cell rows."""
+
+    tech: Technology
+    rows: tuple[Row, ...]
+    utilization_target: float
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def core_width_um(self) -> float:
+        return self.rows[0].width_um
+
+    @property
+    def core_height_um(self) -> float:
+        return self.num_rows * self.tech.row_height_um
+
+    @property
+    def core_area_um2(self) -> float:
+        return self.core_width_um * self.core_height_um
+
+    @property
+    def sites_per_row(self) -> int:
+        return self.rows[0].num_sites
+
+    def row(self, index: int) -> Row:
+        if not 0 <= index < self.num_rows:
+            raise PlacementError(
+                f"row {index} outside floorplan (0..{self.num_rows - 1})")
+        return self.rows[index]
+
+    def total_sites(self) -> int:
+        return sum(row.num_sites for row in self.rows)
+
+
+def make_floorplan(tech: Technology, total_cell_sites: int,
+                   utilization: float = DEFAULT_UTILIZATION,
+                   aspect_ratio: float = 1.0,
+                   num_rows: int | None = None) -> Floorplan:
+    """Size a floorplan for a design of ``total_cell_sites`` site-widths.
+
+    ``aspect_ratio`` is height/width.  If ``num_rows`` is given it wins
+    and the row width is derived from the utilization target; otherwise
+    the row count follows from a square-ish core:
+    ``height = aspect * width`` with ``rows * width * util >= total``.
+    """
+    if total_cell_sites <= 0:
+        raise PlacementError("design has no placeable area")
+    if not 0 < utilization <= 1:
+        raise PlacementError(
+            f"utilization must be in (0, 1], got {utilization}")
+    if aspect_ratio <= 0:
+        raise PlacementError("aspect ratio must be positive")
+
+    total_width_um = total_cell_sites * tech.site_width_um
+    if num_rows is None:
+        # width such that aspect*width of rows at `utilization` fits all cells
+        core_width = math.sqrt(
+            total_width_um * tech.row_height_um / (utilization * aspect_ratio))
+        num_rows = max(1, round(aspect_ratio * core_width /
+                                tech.row_height_um))
+    if num_rows <= 0:
+        raise PlacementError("num_rows must be positive")
+
+    sites_per_row = math.ceil(total_cell_sites / (utilization * num_rows))
+    rows = tuple(
+        Row(index=i, y_um=i * tech.row_height_um,
+            num_sites=sites_per_row, site_width_um=tech.site_width_um)
+        for i in range(num_rows))
+    return Floorplan(tech=tech, rows=rows, utilization_target=utilization)

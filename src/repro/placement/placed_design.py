@@ -1,0 +1,148 @@
+"""PlacedDesign: a mapped netlist bound to floorplan rows.
+
+This is the object the FBB allocation algorithms consume: it knows which
+gates live on which row (the paper's clustering granularity), the
+physical coordinates of every cell, per-row utilization (needed for the
+contact-cell insertion rule of Sec. 3.3), and wirelength estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PlacementError
+from repro.netlist.core import Netlist
+from repro.placement.floorplan import Floorplan
+from repro.tech.cells import CellLibrary
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Physical location of one gate: row index plus site offset."""
+
+    row: int
+    site: int
+    width_sites: int
+
+    @property
+    def end_site(self) -> int:
+        """First site *after* this cell."""
+        return self.site + self.width_sites
+
+
+@dataclass
+class PlacedDesign:
+    """A mapped netlist with a legal row placement."""
+
+    netlist: Netlist
+    library: CellLibrary
+    floorplan: Floorplan
+    placements: dict[str, Placement] = field(default_factory=dict)
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return self.floorplan.num_rows
+
+    def placement(self, gate_name: str) -> Placement:
+        try:
+            return self.placements[gate_name]
+        except KeyError:
+            raise PlacementError(
+                f"gate {gate_name!r} is not placed") from None
+
+    def gates_in_row(self, row: int) -> list[str]:
+        """Gate names on a row, ordered left to right."""
+        self.floorplan.row(row)
+        members = [(p.site, name) for name, p in self.placements.items()
+                   if p.row == row]
+        return [name for _site, name in sorted(members)]
+
+    def row_of(self, gate_name: str) -> int:
+        return self.placement(gate_name).row
+
+    def rows_to_gates(self) -> list[list[str]]:
+        """All rows as ordered gate-name lists (the allocator's view)."""
+        table: list[list[str]] = [[] for _ in range(self.num_rows)]
+        for name, placement in self.placements.items():
+            table[placement.row].append(name)
+        for row, members in enumerate(table):
+            members.sort(key=lambda n: self.placements[n].site)
+        return table
+
+    def row_used_sites(self, row: int) -> int:
+        return sum(p.width_sites for p in self.placements.values()
+                   if p.row == row)
+
+    def row_utilization(self, row: int) -> float:
+        """Fraction of a row's sites occupied by placed cells."""
+        return self.row_used_sites(row) / self.floorplan.row(row).num_sites
+
+    def gate_position_um(self, gate_name: str) -> tuple[float, float]:
+        """(x, y) of a gate's lower-left corner in micrometres."""
+        placement = self.placement(gate_name)
+        row = self.floorplan.row(placement.row)
+        return row.site_x_um(placement.site), row.y_um
+
+    # -- metrics -----------------------------------------------------------------
+
+    def half_perimeter_wirelength_um(self) -> float:
+        """Total HPWL over all nets (cell-origin approximation)."""
+        total = 0.0
+        for net in self.netlist.nets.values():
+            points: list[tuple[float, float]] = []
+            if net.driver is not None:
+                points.append(self.gate_position_um(net.driver))
+            for gate_name, _pin in net.sinks:
+                points.append(self.gate_position_um(gate_name))
+            if len(points) < 2:
+                continue
+            xs = [p[0] for p in points]
+            ys = [p[1] for p in points]
+            total += (max(xs) - min(xs)) + (max(ys) - min(ys))
+        return total
+
+    # -- validation -----------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the placement is complete and legal.
+
+        Rules: every gate placed exactly once, inside the floorplan, no
+        two cells overlapping on a row.
+        """
+        missing = [name for name in self.netlist.gates
+                   if name not in self.placements]
+        if missing:
+            raise PlacementError(
+                f"{len(missing)} gates unplaced, e.g. {missing[:3]}")
+        extra = [name for name in self.placements
+                 if name not in self.netlist.gates]
+        if extra:
+            raise PlacementError(
+                f"placements for unknown gates: {extra[:3]}")
+
+        occupancy: dict[int, list[tuple[int, int, str]]] = {}
+        for name, placement in self.placements.items():
+            gate = self.netlist.gates[name]
+            if gate.cell_name is None:
+                raise PlacementError(f"gate {name!r} has no cell binding")
+            expected = self.library.cell(gate.cell_name).width_sites
+            if placement.width_sites != expected:
+                raise PlacementError(
+                    f"gate {name!r}: placed width {placement.width_sites} "
+                    f"!= cell width {expected}")
+            row = self.floorplan.row(placement.row)
+            if placement.site < 0 or placement.end_site > row.num_sites:
+                raise PlacementError(
+                    f"gate {name!r} overflows row {placement.row}")
+            occupancy.setdefault(placement.row, []).append(
+                (placement.site, placement.end_site, name))
+
+        for row, spans in occupancy.items():
+            spans.sort()
+            for (_, end_a, name_a), (start_b, _, name_b) in zip(
+                    spans, spans[1:]):
+                if start_b < end_a:
+                    raise PlacementError(
+                        f"row {row}: {name_a!r} overlaps {name_b!r}")

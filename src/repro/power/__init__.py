@@ -1,0 +1,13 @@
+"""Leakage power accounting."""
+
+from repro.power.leakage import (design_leakage_nw, gate_leakage_nw,
+                                 leakage_matrix, row_leakage_nw,
+                                 uniform_leakage_nw)
+
+__all__ = [
+    "design_leakage_nw",
+    "gate_leakage_nw",
+    "leakage_matrix",
+    "row_leakage_nw",
+    "uniform_leakage_nw",
+]

@@ -1,0 +1,80 @@
+"""Leakage power accounting under body-bias assignments.
+
+Provides the ``L[i,j]`` inputs of the allocation problem (leakage of row
+``i`` at bias level ``j``, Sec. 4.1) and design-level rollups used in the
+experiment tables.  All powers are in nanowatts; Table 1 reports
+microwatts, converted at the report layer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import AllocationError
+from repro.netlist.core import Netlist
+from repro.placement.placed_design import PlacedDesign
+from repro.tech.characterize import CharacterizedLibrary
+
+
+def gate_leakage_nw(netlist: Netlist, clib: CharacterizedLibrary,
+                    gate_name: str, level: int) -> float:
+    """Leakage of one gate at a bias level."""
+    gate = netlist.gate(gate_name)
+    if gate.cell_name is None:
+        raise AllocationError(f"gate {gate_name!r} unmapped")
+    return clib.leakage_nw(gate.cell_name, level)
+
+
+def row_leakage_nw(placed: PlacedDesign, clib: CharacterizedLibrary,
+                   row: int, level: int) -> float:
+    """Leakage of every cell on a row at one bias level (one L[i,j])."""
+    return sum(gate_leakage_nw(placed.netlist, clib, name, level)
+               for name in placed.gates_in_row(row))
+
+
+def leakage_matrix(placed: PlacedDesign,
+                   clib: CharacterizedLibrary) -> np.ndarray:
+    """The full L[i, j] matrix, shape (num_rows, num_levels).
+
+    Row ``i`` assigned voltage ``j`` costs ``L[i, j]`` nanowatts.  This
+    is the objective data of the ILP (Eq. 1) and of the heuristic's
+    leakage bookkeeping.
+    """
+    rows = placed.rows_to_gates()
+    matrix = np.zeros((len(rows), clib.num_levels))
+    netlist = placed.netlist
+    for i, members in enumerate(rows):
+        for name in members:
+            gate = netlist.gates[name]
+            if gate.cell_name is None:
+                raise AllocationError(f"gate {name!r} unmapped")
+            char = clib.characterization(gate.cell_name)
+            matrix[i, :] += np.asarray(char.leakage_nw)
+    return matrix
+
+
+def design_leakage_nw(placed: PlacedDesign, clib: CharacterizedLibrary,
+                      row_levels: Sequence[int] | Mapping[int, int]) -> float:
+    """Total design leakage for a per-row bias-level assignment."""
+    rows = placed.rows_to_gates()
+    if isinstance(row_levels, Mapping):
+        levels = [row_levels.get(i, 0) for i in range(len(rows))]
+    else:
+        levels = list(row_levels)
+    if len(levels) != len(rows):
+        raise AllocationError(
+            f"assignment covers {len(levels)} rows, design has {len(rows)}")
+    total = 0.0
+    for i, members in enumerate(rows):
+        for name in members:
+            total += gate_leakage_nw(placed.netlist, clib, name, levels[i])
+    return total
+
+
+def uniform_leakage_nw(placed: PlacedDesign, clib: CharacterizedLibrary,
+                       level: int) -> float:
+    """Design leakage with every row at one level (block-level FBB)."""
+    return design_leakage_nw(
+        placed, clib, [level] * placed.num_rows)

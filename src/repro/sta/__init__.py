@@ -1,0 +1,16 @@
+"""Static timing analysis: delays, arrival propagation, path extraction."""
+
+from repro.sta.delay import WIRE_CAP_PER_UM_FF, DelayCalculator
+from repro.sta.engine import Endpoint, TimingAnalyzer, TimingReport
+from repro.sta.paths import TimingPath, extract_paths, violating_paths
+
+__all__ = [
+    "DelayCalculator",
+    "Endpoint",
+    "TimingAnalyzer",
+    "TimingPath",
+    "TimingReport",
+    "WIRE_CAP_PER_UM_FF",
+    "extract_paths",
+    "violating_paths",
+]

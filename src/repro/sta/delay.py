@@ -1,0 +1,90 @@
+"""Bias- and load-aware cell delay calculation.
+
+Each mapped gate's nominal delay is ``intrinsic + slope * C_load`` with
+the load made of sink input pins, a per-fanout wire estimate and, when a
+placement is available, a distance-dependent wire term from the net's
+half-perimeter bounding box.  Body bias enters as a single multiplicative
+scale factor per gate (see :mod:`repro.tech.mosfet`), which is how the
+allocation algorithms change timing without re-running extraction.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TimingError
+from repro.netlist.core import Netlist
+from repro.placement.placed_design import PlacedDesign
+from repro.synth.sizing import WIRE_CAP_PER_FANOUT_FF
+from repro.tech.cells import CellLibrary
+
+#: wire capacitance per micron of estimated net span, femtofarads
+WIRE_CAP_PER_UM_FF = 0.08
+
+
+class DelayCalculator:
+    """Computes per-gate nominal delays for a mapped (optionally placed)
+    netlist.  Delays are cached; bias scaling is applied by callers."""
+
+    def __init__(self, netlist: Netlist, library: CellLibrary,
+                 placed: PlacedDesign | None = None) -> None:
+        self.netlist = netlist
+        self.library = library
+        self.placed = placed
+        self._load_cache: dict[str, float] = {}
+        self._delay_cache: dict[str, float] = {}
+
+    def net_load_ff(self, net_name: str) -> float:
+        """Capacitive load on a net: pins + fanout wire + span wire."""
+        cached = self._load_cache.get(net_name)
+        if cached is not None:
+            return cached
+        net = self.netlist.net(net_name)
+        load = WIRE_CAP_PER_FANOUT_FF * max(len(net.sinks), 1)
+        for gate_name, _pin in net.sinks:
+            gate = self.netlist.gates[gate_name]
+            if gate.cell_name is None:
+                raise TimingError(
+                    f"gate {gate_name!r} unmapped; run map_netlist first")
+            load += self.library.cell(gate.cell_name).input_cap_ff
+        if self.placed is not None:
+            load += WIRE_CAP_PER_UM_FF * self._net_span_um(net_name)
+        self._load_cache[net_name] = load
+        return load
+
+    def _net_span_um(self, net_name: str) -> float:
+        net = self.netlist.net(net_name)
+        points = []
+        if net.driver is not None:
+            points.append(self.placed.gate_position_um(net.driver))
+        for sink, _pin in net.sinks:
+            points.append(self.placed.gate_position_um(sink))
+        if len(points) < 2:
+            return 0.0
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+    def gate_delay_ps(self, gate_name: str) -> float:
+        """Nominal (no-bias, no-derate) delay of a gate, picoseconds."""
+        cached = self._delay_cache.get(gate_name)
+        if cached is not None:
+            return cached
+        gate = self.netlist.gate(gate_name)
+        if gate.cell_name is None:
+            raise TimingError(
+                f"gate {gate_name!r} unmapped; run map_netlist first")
+        cell = self.library.cell(gate.cell_name)
+        delay = cell.delay_ps(self.net_load_ff(gate.output))
+        self._delay_cache[gate_name] = delay
+        return delay
+
+    def setup_ps(self, gate_name: str) -> float:
+        """Setup time if the gate is a flop, else 0."""
+        gate = self.netlist.gate(gate_name)
+        if gate.cell_name is None:
+            raise TimingError(f"gate {gate_name!r} unmapped")
+        return self.library.cell(gate.cell_name).setup_ps
+
+    def invalidate(self) -> None:
+        """Drop caches (after resizing or re-placement)."""
+        self._load_cache.clear()
+        self._delay_cache.clear()

@@ -1,0 +1,163 @@
+"""Static timing analysis engine.
+
+A block-level STA in the PrimeTime mould, restricted to what the FBB
+methodology needs:
+
+* **Arrival propagation** over the combinational DAG.  Primary inputs
+  arrive at t=0; a flip-flop launches its Q at its clk-to-Q delay.
+* **Endpoints** are primary outputs (required time = the critical delay)
+  and flip-flop D pins (which add the capture flop's setup time).
+* **Path delay** of an endpoint = arrival + setup; the design's critical
+  delay ``Dcrit`` is the maximum path delay (the paper's reference value
+  for timing violations, Sec. 3.1).
+* **Bias awareness**: every query accepts a per-gate delay-scale mapping
+  (from the row bias assignment) and a global derate factor ``1 + beta``
+  modelling the slowed-down die.
+
+The engine is deliberately graph-based and allocation-free so the
+heuristic's CheckTiming inner loop can instead use the incremental
+coefficient form (Sec. 4.2) — this module provides the ground truth the
+fast path is validated against.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.errors import TimingError
+from repro.netlist.core import Netlist
+from repro.placement.placed_design import PlacedDesign
+from repro.sta.delay import DelayCalculator
+from repro.tech.cells import CellLibrary
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """A timing endpoint: a primary output or a flop's D pin."""
+
+    kind: str           # "po" | "dff"
+    name: str           # net name for po, gate name for dff
+    setup_ps: float
+
+
+@dataclass
+class TimingReport:
+    """Result of one STA run."""
+
+    arrival_ps: dict[str, float]
+    """Latest arrival at each gate's output."""
+    gate_delay_ps: dict[str, float]
+    """Effective per-gate delay used in this run (derated + scaled)."""
+    endpoint_delay_ps: dict[Endpoint, float]
+    """Path delay (arrival + setup) at each endpoint."""
+    critical_delay_ps: float
+    """Dcrit: the maximum endpoint path delay."""
+
+    def worst_endpoint(self) -> Endpoint:
+        return max(self.endpoint_delay_ps,
+                   key=lambda e: self.endpoint_delay_ps[e])
+
+    def slack_ps(self, required_ps: float) -> dict[Endpoint, float]:
+        """Endpoint slacks against a required time."""
+        return {endpoint: required_ps - delay
+                for endpoint, delay in self.endpoint_delay_ps.items()}
+
+
+class TimingAnalyzer:
+    """STA over a mapped netlist (placement optional, improves wire caps)."""
+
+    def __init__(self, netlist: Netlist, library: CellLibrary,
+                 placed: PlacedDesign | None = None) -> None:
+        if netlist.num_gates == 0:
+            raise TimingError(f"netlist {netlist.name!r} has no gates")
+        self.netlist = netlist
+        self.library = library
+        self.calculator = DelayCalculator(netlist, library, placed)
+        self._topo = netlist.topological_order()
+        self._endpoints = self._find_endpoints()
+        if not self._endpoints:
+            raise TimingError(
+                f"netlist {netlist.name!r} has no timing endpoints")
+
+    @classmethod
+    def for_placed(cls, placed: PlacedDesign) -> "TimingAnalyzer":
+        return cls(placed.netlist, placed.library, placed)
+
+    @property
+    def endpoints(self) -> list[Endpoint]:
+        return list(self._endpoints)
+
+    def _find_endpoints(self) -> list[Endpoint]:
+        endpoints = []
+        for net_name in self.netlist.primary_outputs:
+            endpoints.append(Endpoint("po", net_name, 0.0))
+        for gate in self.netlist.sequential_gates():
+            endpoints.append(Endpoint(
+                "dff", gate.name, self.calculator.setup_ps(gate.name)))
+        return endpoints
+
+    # -- core analysis -----------------------------------------------------------
+
+    def effective_delays(self, scales: Mapping[str, float] | None = None,
+                         derate: float = 1.0) -> dict[str, float]:
+        """Per-gate delay after global derate and per-gate bias scaling."""
+        if derate <= 0:
+            raise TimingError(f"derate must be positive, got {derate}")
+        delays = {}
+        for gate in self._topo:
+            scale = 1.0 if scales is None else scales.get(gate.name, 1.0)
+            delays[gate.name] = (
+                self.calculator.gate_delay_ps(gate.name) * derate * scale)
+        return delays
+
+    def analyze(self, scales: Mapping[str, float] | None = None,
+                derate: float = 1.0) -> TimingReport:
+        """Run STA and return the full report.
+
+        ``scales`` maps gate name to a delay multiplier (bias assignment);
+        ``derate`` models die slowdown (the paper's ``1 + beta``).
+        """
+        delays = self.effective_delays(scales, derate)
+        arrival: dict[str, float] = {}
+        for gate in self._topo:
+            if gate.is_sequential:
+                arrival[gate.name] = delays[gate.name]  # clk->Q launch
+                continue
+            latest_input = 0.0
+            for net_name in gate.inputs:
+                driver = self.netlist.nets[net_name].driver
+                if driver is not None:
+                    latest_input = max(latest_input, arrival[driver])
+            arrival[gate.name] = latest_input + delays[gate.name]
+
+        endpoint_delay: dict[Endpoint, float] = {}
+        for endpoint in self._endpoints:
+            if endpoint.kind == "po":
+                driver = self.netlist.nets[endpoint.name].driver
+                base = arrival[driver] if driver is not None else 0.0
+            else:
+                dff = self.netlist.gates[endpoint.name]
+                data_net = dff.inputs[0]
+                driver = self.netlist.nets[data_net].driver
+                base = arrival[driver] if driver is not None else 0.0
+            endpoint_delay[endpoint] = base + endpoint.setup_ps
+
+        critical = max(endpoint_delay.values())
+        return TimingReport(
+            arrival_ps=arrival,
+            gate_delay_ps=delays,
+            endpoint_delay_ps=endpoint_delay,
+            critical_delay_ps=critical,
+        )
+
+    def critical_delay_ps(self, scales: Mapping[str, float] | None = None,
+                          derate: float = 1.0) -> float:
+        """Dcrit under the given bias assignment and derate."""
+        return self.analyze(scales, derate).critical_delay_ps
+
+    def meets(self, required_ps: float,
+              scales: Mapping[str, float] | None = None,
+              derate: float = 1.0) -> bool:
+        """True iff every endpoint meets the required time."""
+        return self.critical_delay_ps(scales, derate) <= required_ps + 1e-9

@@ -1,0 +1,163 @@
+"""Critical-path extraction: the longest path through each cell.
+
+Path-based optimisation over *all* paths explodes combinatorially; the
+paper (Sec. 4.1) adopts the heuristic of Ramalingam et al. [11]: extract,
+for every cell, the single longest path passing through that cell, then
+prune duplicates to obtain the constraint set ``Pi``.  A cell's longest
+through-path is recovered in linear time from two DAG passes:
+
+* forward — latest arrival into each gate (with arg-max predecessor);
+* backward — longest suffix from each gate's output to any endpoint
+  (with arg-max successor and the endpoint's setup contribution).
+
+The path through gate g is then ``prefix(g) + delay(g) + suffix(g)``,
+reconstructed by following the recorded arg-max links both ways.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TimingError
+from repro.sta.engine import TimingAnalyzer
+
+
+@dataclass(frozen=True)
+class TimingPath:
+    """One extracted path: an ordered gate chain plus endpoint setup."""
+
+    gates: tuple[str, ...]
+    gate_delays_ps: tuple[float, ...]
+    """Nominal delay contribution of each gate, same order as ``gates``."""
+    setup_ps: float
+    """Capture-flop setup if the path ends at a D pin, else 0."""
+    endpoint_kind: str  # "po" | "dff"
+
+    @property
+    def delay_ps(self) -> float:
+        """Nominal path delay: gate contributions plus capture setup."""
+        return sum(self.gate_delays_ps) + self.setup_ps
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    def __post_init__(self) -> None:
+        if not self.gates:
+            raise TimingError("a timing path needs at least one gate")
+        if len(self.gates) != len(self.gate_delays_ps):
+            raise TimingError("path gates/delays length mismatch")
+
+
+def extract_paths(analyzer: TimingAnalyzer) -> list[TimingPath]:
+    """Longest path through each cell, pruned to a unique set.
+
+    Paths are returned sorted by decreasing nominal delay.  The first
+    entry's delay equals the analyzer's ``Dcrit``.
+    """
+    netlist = analyzer.netlist
+    delays = analyzer.effective_delays()
+    topo = netlist.topological_order()
+
+    # Forward pass: arrival into each gate + arg-max predecessor.
+    arrival_in: dict[str, float] = {}
+    best_pred: dict[str, str | None] = {}
+    arrival_out: dict[str, float] = {}
+    for gate in topo:
+        if gate.is_sequential:
+            arrival_in[gate.name] = 0.0
+            best_pred[gate.name] = None
+            arrival_out[gate.name] = delays[gate.name]
+            continue
+        best_value = 0.0
+        best_driver: str | None = None
+        for net_name in gate.inputs:
+            driver = netlist.nets[net_name].driver
+            if driver is not None and arrival_out[driver] > best_value + 1e-15:
+                best_value = arrival_out[driver]
+                best_driver = driver
+        arrival_in[gate.name] = best_value
+        best_pred[gate.name] = best_driver
+        arrival_out[gate.name] = best_value + delays[gate.name]
+
+    # Backward pass: longest suffix from each gate's output to an endpoint.
+    suffix: dict[str, float] = {}
+    best_succ: dict[str, str | None] = {}
+    suffix_setup: dict[str, float] = {}
+    suffix_kind: dict[str, str] = {}
+    reaches_endpoint: dict[str, bool] = {}
+    for gate in reversed(topo):
+        best_value = None
+        best_gate: str | None = None
+        best_setup = 0.0
+        best_kind = "po"
+        net = netlist.nets[gate.output]
+        if net.is_primary_output:
+            best_value = 0.0
+        for sink_name, _pin in net.sinks:
+            sink = netlist.gates[sink_name]
+            if sink.is_sequential:
+                setup = analyzer.calculator.setup_ps(sink_name)
+                if best_value is None or setup > best_value + 1e-15:
+                    best_value = setup
+                    best_gate = None
+                    best_setup = setup
+                    best_kind = "dff"
+            elif reaches_endpoint[sink_name]:
+                candidate = delays[sink_name] + suffix[sink_name]
+                if best_value is None or candidate > best_value + 1e-15:
+                    best_value = candidate
+                    best_gate = sink_name
+                    best_setup = suffix_setup[sink_name]
+                    best_kind = suffix_kind[sink_name]
+        reaches_endpoint[gate.name] = best_value is not None
+        suffix[gate.name] = best_value if best_value is not None else 0.0
+        best_succ[gate.name] = best_gate
+        suffix_setup[gate.name] = best_setup
+        suffix_kind[gate.name] = best_kind
+
+    # Assemble one path per cell, then prune duplicates.  Gates whose
+    # output cone never reaches an endpoint (dangling logic) constrain
+    # nothing and are skipped.
+    seen: set[tuple[str, ...]] = set()
+    paths: list[TimingPath] = []
+    for gate in topo:
+        if not reaches_endpoint[gate.name]:
+            continue
+        chain_back: list[str] = []
+        cursor: str | None = gate.name
+        while cursor is not None:
+            chain_back.append(cursor)
+            cursor = best_pred[cursor]
+        chain = list(reversed(chain_back))
+        cursor = best_succ[gate.name]
+        while cursor is not None:
+            chain.append(cursor)
+            cursor = best_succ[cursor]
+        key = tuple(chain)
+        if key in seen:
+            continue
+        seen.add(key)
+        paths.append(TimingPath(
+            gates=key,
+            gate_delays_ps=tuple(delays[name] for name in key),
+            setup_ps=suffix_setup[gate.name],
+            endpoint_kind=suffix_kind[gate.name],
+        ))
+    paths.sort(key=lambda p: p.delay_ps, reverse=True)
+    return paths
+
+
+def violating_paths(paths: list[TimingPath], dcrit_ps: float,
+                    beta: float) -> list[TimingPath]:
+    """Paths whose degraded delay ``pd * (1 + beta)`` exceeds ``Dcrit``.
+
+    This is the paper's constraint-set filter (Sec. 3.1): with slowdown
+    coefficient beta, exactly these paths can violate timing and appear
+    as ILP constraints — which is why Table 1's constraint counts grow
+    with beta.
+    """
+    if beta < 0:
+        raise TimingError(f"beta must be non-negative, got {beta}")
+    return [path for path in paths
+            if path.delay_ps * (1.0 + beta) > dcrit_ps + 1e-9]

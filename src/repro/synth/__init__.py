@@ -1,0 +1,15 @@
+"""Synthesis: technology mapping and drive sizing."""
+
+from repro.synth.mapping import is_fully_mapped, map_netlist
+from repro.synth.sizing import (LOAD_DELAY_BUDGET_PS, WIRE_CAP_PER_FANOUT_FF,
+                                drive_histogram, net_load_ff, size_for_load)
+
+__all__ = [
+    "LOAD_DELAY_BUDGET_PS",
+    "WIRE_CAP_PER_FANOUT_FF",
+    "drive_histogram",
+    "is_fully_mapped",
+    "map_netlist",
+    "net_load_ff",
+    "size_for_load",
+]

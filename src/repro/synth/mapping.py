@@ -1,0 +1,96 @@
+"""Technology mapping: generic gates onto the reduced cell library.
+
+The paper synthesizes with Synopsys Physical Compiler onto a reduced
+library (inverters, and, or, nor, nand, D-flip-flops).  Our mapper covers
+the part of that job the reproduction needs:
+
+* direct binding of functions the library implements (NAND2 -> NAND2_X1);
+* decomposition of functions it lacks:
+  - ``XOR2`` -> the classic 4-NAND2 network,
+  - ``XNOR2`` -> 4-NAND2 XOR plus an inverter,
+  - ``BUF`` -> two inverters (the reduced library has no buffer cell).
+
+Mapping preserves all primary I/O and externally visible net names; only
+internal decomposition nets are added.  Every mapped gate carries a
+``cell_name`` binding, initially at drive X1 — drive selection is a
+separate pass (:mod:`repro.synth.sizing`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetlistError
+from repro.netlist.core import Netlist
+from repro.tech.cells import CellLibrary
+
+#: functions the reduced library implements directly
+_DIRECT = {"INV", "NAND2", "NAND3", "NAND4", "NOR2", "NOR3",
+           "AND2", "AND3", "AND4", "OR2", "OR3", "OR4", "DFF"}
+
+
+def _bind(library: CellLibrary, function: str) -> str:
+    """Cell name for the X1 drive of a function."""
+    return library.smallest(function).name
+
+
+def _emit_xor(mapped: Netlist, library: CellLibrary, name: str,
+              a: str, b: str, output: str, invert: bool) -> None:
+    """Emit the 4-NAND2 XOR (plus INV for XNOR) network."""
+    nand = _bind(library, "NAND2")
+    shared = mapped.fresh_net(f"{name}_x")
+    left = mapped.fresh_net(f"{name}_x")
+    right = mapped.fresh_net(f"{name}_x")
+    mapped.add_gate(f"{name}_m1", "NAND2", (a, b), shared, nand)
+    mapped.add_gate(f"{name}_m2", "NAND2", (a, shared), left, nand)
+    mapped.add_gate(f"{name}_m3", "NAND2", (b, shared), right, nand)
+    if invert:
+        xor_net = mapped.fresh_net(f"{name}_x")
+        mapped.add_gate(f"{name}_m4", "NAND2", (left, right), xor_net, nand)
+        mapped.add_gate(f"{name}_m5", "INV", (xor_net,), output,
+                        _bind(library, "INV"))
+    else:
+        mapped.add_gate(f"{name}_m4", "NAND2", (left, right), output, nand)
+
+
+def map_netlist(netlist: Netlist, library: CellLibrary) -> Netlist:
+    """Return a new netlist with every gate bound to a library cell.
+
+    Raises :class:`NetlistError` if a generic function can neither be
+    bound directly nor decomposed.
+    """
+    mapped = Netlist(netlist.name)
+    for net in netlist.primary_inputs:
+        mapped.add_input(net)
+    for net in netlist.primary_outputs:
+        mapped.add_output(net)
+
+    for gate in netlist.topological_order():
+        function = gate.function
+        if function in _DIRECT:
+            if function not in {c.function for c in library}:
+                raise NetlistError(
+                    f"library lacks function {function!r} for gate "
+                    f"{gate.name!r}")
+            mapped.add_gate(gate.name, function, gate.inputs, gate.output,
+                            _bind(library, function))
+        elif function == "XOR2":
+            _emit_xor(mapped, library, gate.name, gate.inputs[0],
+                      gate.inputs[1], gate.output, invert=False)
+        elif function == "XNOR2":
+            _emit_xor(mapped, library, gate.name, gate.inputs[0],
+                      gate.inputs[1], gate.output, invert=True)
+        elif function == "BUF":
+            middle = mapped.fresh_net(f"{gate.name}_b")
+            inv = _bind(library, "INV")
+            mapped.add_gate(f"{gate.name}_m1", "INV", gate.inputs, middle, inv)
+            mapped.add_gate(f"{gate.name}_m2", "INV", (middle,), gate.output,
+                            inv)
+        else:
+            raise NetlistError(
+                f"gate {gate.name!r}: cannot map function {function!r}")
+    mapped.validate()
+    return mapped
+
+
+def is_fully_mapped(netlist: Netlist) -> bool:
+    """True iff every gate carries a cell binding."""
+    return all(gate.cell_name is not None for gate in netlist.gates.values())

@@ -1,0 +1,80 @@
+"""Fanout-driven drive-strength selection ("repowering").
+
+After mapping, every gate sits at drive X1.  This pass estimates each
+net's capacitive load (sink input pins plus a per-fanout wire estimate)
+and bumps drivers to the smallest drive strength that keeps the
+load-dependent delay component within a budget.  It iterates to a fixed
+point because upsizing a gate raises its own input capacitance for
+single-stage cells, increasing the load on its predecessors.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetlistError
+from repro.netlist.core import Netlist
+from repro.tech.cells import CellLibrary
+
+#: estimated wire capacitance added per fanout connection, femtofarads
+WIRE_CAP_PER_FANOUT_FF = 0.25
+
+#: load-dependent delay budget per stage, picoseconds
+LOAD_DELAY_BUDGET_PS = 45.0
+
+
+def net_load_ff(netlist: Netlist, library: CellLibrary, net_name: str) -> float:
+    """Capacitive load on a net: sink pin caps + wire estimate, fF."""
+    net = netlist.net(net_name)
+    load = WIRE_CAP_PER_FANOUT_FF * max(len(net.sinks), 1)
+    for gate_name, _pin in net.sinks:
+        gate = netlist.gates[gate_name]
+        if gate.cell_name is None:
+            raise NetlistError(
+                f"gate {gate_name!r} is unmapped; size after mapping")
+        load += library.cell(gate.cell_name).input_cap_ff
+    return load
+
+
+def size_for_load(netlist: Netlist, library: CellLibrary,
+                  budget_ps: float = LOAD_DELAY_BUDGET_PS,
+                  max_passes: int = 4) -> int:
+    """Upsize drivers until every stage meets the load-delay budget.
+
+    Mutates ``cell_name`` bindings in place.  Returns the number of gates
+    whose drive changed.  Never downsizes, so the pass is monotone and
+    the fixed-point iteration terminates.
+    """
+    if budget_ps <= 0:
+        raise NetlistError("sizing budget must be positive")
+    changed_total = 0
+    for _ in range(max_passes):
+        changed = 0
+        for gate in netlist.gates.values():
+            if gate.cell_name is None:
+                raise NetlistError(
+                    f"gate {gate.name!r} is unmapped; size after mapping")
+            current = library.cell(gate.cell_name)
+            load = net_load_ff(netlist, library, gate.output)
+            if current.load_slope_ps_per_ff * load <= budget_ps:
+                continue
+            for candidate in library.drives_for(current.function):
+                if candidate.drive <= current.drive:
+                    continue
+                gate.cell_name = candidate.name
+                changed += 1
+                if candidate.load_slope_ps_per_ff * load <= budget_ps:
+                    break
+        changed_total += changed
+        if changed == 0:
+            break
+    return changed_total
+
+
+def drive_histogram(netlist: Netlist, library: CellLibrary) -> dict[int, int]:
+    """How many gates sit at each drive strength (for reports)."""
+    histogram: dict[int, int] = {}
+    for gate in netlist.gates.values():
+        if gate.cell_name is None:
+            continue
+        drive = library.cell(gate.cell_name).drive
+        histogram[drive] = histogram.get(drive, 0) + 1
+    return dict(sorted(histogram.items()))

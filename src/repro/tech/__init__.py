@@ -1,0 +1,36 @@
+"""Technology substrate: device model, cell library, characterization."""
+
+from repro.tech.cells import CellLibrary, StandardCell, reduced_library
+from repro.tech.characterize import (CellCharacterization,
+                                     CharacterizedLibrary,
+                                     characterize_library)
+from repro.tech.liberty import read_liberty, write_liberty
+from repro.tech.mosfet import (Mosfet, delay_scale, required_vbs, speedup,
+                               subthreshold_leakage_scale)
+from repro.tech.spice import (BiasMeasurement, InverterBench, sweep_inverter,
+                              usable_bias_limit)
+from repro.tech.technology import (DEFAULT_TECHNOLOGY, BodyBiasRules,
+                                   Technology)
+
+__all__ = [
+    "BiasMeasurement",
+    "BodyBiasRules",
+    "CellCharacterization",
+    "CellLibrary",
+    "CharacterizedLibrary",
+    "DEFAULT_TECHNOLOGY",
+    "InverterBench",
+    "Mosfet",
+    "StandardCell",
+    "Technology",
+    "characterize_library",
+    "delay_scale",
+    "read_liberty",
+    "reduced_library",
+    "required_vbs",
+    "speedup",
+    "subthreshold_leakage_scale",
+    "sweep_inverter",
+    "usable_bias_limit",
+    "write_liberty",
+]

@@ -1,0 +1,197 @@
+"""Reduced standard-cell library in the style of the paper's 45 nm kit.
+
+Sec. 5 of the paper: *"Each design was synthesized and placed using a
+reduced library of gates consisting of inverters, and, or, nor, nand and
+D-flip-flops of different drive strength"*.  This module builds exactly
+that library on top of the analytical device model:
+
+* geometry on the placement site grid (0.19 um sites, 1.26 um rows),
+* a linear delay model ``delay = intrinsic + slope * C_load`` whose bias
+  dependence is a single multiplicative :func:`repro.tech.mosfet.delay_scale`,
+* zero-bias leakage derived from the inverter's device-level leakage and a
+  per-topology weight (transistor stacks leak less per um than single
+  devices; buffered two-stage cells leak more in total).
+
+The library intentionally has **no XOR cell** — like the paper's reduced
+kit, XOR/XNOR netlist primitives are decomposed into NAND trees by
+:mod:`repro.synth.mapping`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import TechnologyError
+from repro.tech.spice import InverterBench
+from repro.tech.technology import Technology
+
+#: function name -> (inputs, base sites, input cap fF, intrinsic ps,
+#:                    load slope ps/fF, leakage weight, device width um)
+_BASE_PARAMETERS: dict[str, tuple[int, int, float, float, float, float, float]] = {
+    "INV":   (1, 3, 0.90,  8.0, 10.0, 1.00, 1.0),
+    "NAND2": (2, 4, 1.00, 12.0, 11.0, 1.35, 1.6),
+    "NAND3": (3, 5, 1.10, 16.0, 12.5, 1.60, 2.2),
+    "NAND4": (4, 6, 1.20, 20.0, 14.0, 1.80, 2.8),
+    "NOR2":  (2, 4, 1.05, 14.0, 12.0, 1.35, 1.8),
+    "NOR3":  (3, 5, 1.15, 20.0, 14.0, 1.60, 2.5),
+    "AND2":  (2, 5, 0.95, 18.0, 10.0, 1.80, 2.4),
+    "AND3":  (3, 6, 1.00, 22.0, 10.5, 2.05, 3.0),
+    "AND4":  (4, 7, 1.05, 26.0, 11.0, 2.30, 3.6),
+    "OR2":   (2, 5, 1.00, 20.0, 10.0, 1.80, 2.6),
+    "OR3":   (3, 6, 1.05, 24.0, 10.5, 2.05, 3.2),
+    "OR4":   (4, 7, 1.10, 28.0, 11.0, 2.30, 3.8),
+    "DFF":   (1, 18, 1.10, 45.0, 9.0, 3.20, 5.0),
+}
+
+#: single-stage cells whose input capacitance grows with drive strength
+_SINGLE_STAGE = {"INV", "NAND2", "NAND3", "NAND4", "NOR2", "NOR3"}
+
+#: drive strengths offered per function
+_DRIVES: dict[str, tuple[int, ...]] = {
+    "INV": (1, 2, 4),
+    "NAND2": (1, 2), "NAND3": (1,), "NAND4": (1,),
+    "NOR2": (1, 2), "NOR3": (1,),
+    "AND2": (1, 2), "AND3": (1,), "AND4": (1,),
+    "OR2": (1, 2), "OR3": (1,), "OR4": (1,),
+    "DFF": (1, 2),
+}
+
+#: setup time for the flip-flop's D input, picoseconds
+DFF_SETUP_PS = 30.0
+
+
+@dataclass(frozen=True)
+class StandardCell:
+    """One library cell: logic function at a specific drive strength."""
+
+    name: str
+    function: str
+    drive: int
+    num_inputs: int
+    width_sites: int
+    input_cap_ff: float
+    intrinsic_delay_ps: float
+    load_slope_ps_per_ff: float
+    leakage_nw: float
+    """Static power at zero body bias, nanowatts."""
+    device_width_um: float
+    """Total body-junction width, used for forward-junction current."""
+    is_sequential: bool = False
+    setup_ps: float = 0.0
+
+    def width_um(self, tech: Technology) -> float:
+        """Physical cell width on the row, micrometres."""
+        return self.width_sites * tech.site_width_um
+
+    def area_um2(self, tech: Technology) -> float:
+        """Footprint area, square micrometres."""
+        return self.width_um(tech) * tech.row_height_um
+
+    def delay_ps(self, load_ff: float, delay_scale: float = 1.0) -> float:
+        """Pin-to-pin delay driving ``load_ff``, under a bias scale factor."""
+        if load_ff < 0:
+            raise TechnologyError(f"negative load {load_ff} fF")
+        nominal = self.intrinsic_delay_ps + self.load_slope_ps_per_ff * load_ff
+        return nominal * delay_scale
+
+
+class CellLibrary:
+    """An immutable collection of :class:`StandardCell` objects."""
+
+    def __init__(self, tech: Technology, cells: list[StandardCell]) -> None:
+        if not cells:
+            raise TechnologyError("a cell library cannot be empty")
+        names = [cell.name for cell in cells]
+        if len(set(names)) != len(names):
+            raise TechnologyError("duplicate cell names in library")
+        self.tech = tech
+        self._cells = {cell.name: cell for cell in cells}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __iter__(self):
+        return iter(self._cells.values())
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def cell(self, name: str) -> StandardCell:
+        """Look up a cell by name, raising a clear error if absent."""
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise TechnologyError(f"no cell named {name!r} in library") from None
+
+    @property
+    def cell_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._cells))
+
+    def functions(self) -> tuple[str, ...]:
+        """All logic functions present, sorted."""
+        return tuple(sorted({cell.function for cell in self}))
+
+    def drives_for(self, function: str) -> list[StandardCell]:
+        """Cells implementing ``function``, sorted by increasing drive."""
+        matches = [cell for cell in self if cell.function == function]
+        if not matches:
+            raise TechnologyError(f"library has no cell for {function!r}")
+        return sorted(matches, key=lambda cell: cell.drive)
+
+    def smallest(self, function: str) -> StandardCell:
+        """The lowest-drive cell implementing ``function``."""
+        return self.drives_for(function)[0]
+
+
+def _drive_variant(base: StandardCell, drive: int) -> StandardCell:
+    """Derive an X2/X4 variant from an X1 cell."""
+    if drive == 1:
+        return base
+    single_stage = base.function in _SINGLE_STAGE
+    sites = base.width_sites + (1 if drive == 2 else 3)
+    input_cap = base.input_cap_ff * (drive if single_stage else 1.0)
+    leak_factor = drive if single_stage else 1.0 + 0.6 * (drive - 1)
+    return replace(
+        base,
+        name=f"{base.function}_X{drive}",
+        drive=drive,
+        width_sites=sites,
+        input_cap_ff=round(input_cap, 4),
+        load_slope_ps_per_ff=round(base.load_slope_ps_per_ff / drive, 4),
+        leakage_nw=round(base.leakage_nw * leak_factor, 6),
+        device_width_um=round(base.device_width_um * leak_factor, 4),
+    )
+
+
+def reduced_library(tech: Technology | None = None) -> CellLibrary:
+    """Build the paper's reduced 45 nm-like library.
+
+    Zero-bias leakage is anchored to the device model: the unit weight is
+    the inverter bench's state-averaged subthreshold power, so the library
+    and the Fig. 1 sweep are mutually consistent.
+    """
+    if tech is None:
+        tech = Technology()
+    unit_leakage_nw = InverterBench(tech=tech).leakage_power_nw(0.0)
+
+    cells: list[StandardCell] = []
+    for function, drives in _DRIVES.items():
+        (num_inputs, sites, cap, intrinsic,
+         slope, leak_weight, device_width) = _BASE_PARAMETERS[function]
+        base = StandardCell(
+            name=f"{function}_X1",
+            function=function,
+            drive=1,
+            num_inputs=num_inputs,
+            width_sites=sites,
+            input_cap_ff=cap,
+            intrinsic_delay_ps=intrinsic,
+            load_slope_ps_per_ff=slope,
+            leakage_nw=round(leak_weight * unit_leakage_nw, 6),
+            device_width_um=device_width,
+            is_sequential=(function == "DFF"),
+            setup_ps=DFF_SETUP_PS if function == "DFF" else 0.0,
+        )
+        for drive in drives:
+            cells.append(_drive_variant(base, drive))
+    return CellLibrary(tech, cells)

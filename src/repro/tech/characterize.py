@@ -1,0 +1,156 @@
+"""Per-cell body-bias characterization.
+
+The paper (Sec. 5): *"For each of the gates in the library, we
+characterized its delay increase and average leakage power for different
+body bias voltages."*  This module produces exactly those tables: for every
+cell and every generator voltage ``vbs_j`` on the P-point grid, a delay
+scale factor and an absolute leakage power.  These are the raw inputs from
+which the allocation problem's ``L[i,j]`` and ``a[i,j,k]`` coefficients
+are assembled (Sec. 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TechnologyError
+from repro.tech import mosfet
+from repro.tech.cells import CellLibrary, StandardCell
+from repro.tech.technology import Technology
+from repro.units import thermal_voltage
+
+import math
+
+
+@dataclass(frozen=True)
+class CellCharacterization:
+    """Delay/leakage of one cell across the body-bias voltage grid."""
+
+    cell_name: str
+    vbs_levels: tuple[float, ...]
+    delay_scales: tuple[float, ...]
+    """Multiplier on every delay arc of the cell, one per vbs level."""
+    leakage_nw: tuple[float, ...]
+    """Absolute static power at each vbs level, nanowatts."""
+
+    def __post_init__(self) -> None:
+        lengths = {len(self.vbs_levels), len(self.delay_scales),
+                   len(self.leakage_nw)}
+        if len(lengths) != 1:
+            raise TechnologyError(
+                f"inconsistent characterization lengths for {self.cell_name}")
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.vbs_levels)
+
+
+class CharacterizedLibrary:
+    """A cell library plus its body-bias characterization tables.
+
+    This is the single object the whole downstream flow consumes: timing
+    (delay scale per bias level), power (leakage per cell per level) and
+    geometry (via the embedded :class:`CellLibrary`).
+    """
+
+    def __init__(self, library: CellLibrary,
+                 characterizations: dict[str, CellCharacterization]) -> None:
+        missing = [c.name for c in library if c.name not in characterizations]
+        if missing:
+            raise TechnologyError(
+                f"characterization missing for cells: {missing}")
+        self.library = library
+        self.tech = library.tech
+        self._char = dict(characterizations)
+        first = next(iter(self._char.values()))
+        self.vbs_levels: tuple[float, ...] = first.vbs_levels
+        for char in self._char.values():
+            if char.vbs_levels != self.vbs_levels:
+                raise TechnologyError(
+                    "all cells must share one vbs grid")
+        self.delay_scales: tuple[float, ...] = first.delay_scales
+
+    @property
+    def num_levels(self) -> int:
+        """The paper's P: number of available body-bias voltages."""
+        return len(self.vbs_levels)
+
+    def characterization(self, cell_name: str) -> CellCharacterization:
+        try:
+            return self._char[cell_name]
+        except KeyError:
+            raise TechnologyError(
+                f"no characterization for cell {cell_name!r}") from None
+
+    def cell(self, cell_name: str) -> StandardCell:
+        return self.library.cell(cell_name)
+
+    def delay_scale(self, level: int) -> float:
+        """Delay multiplier at bias level ``level`` (0 = no body bias)."""
+        self._check_level(level)
+        return self.delay_scales[level]
+
+    def speedup(self, level: int) -> float:
+        """Fractional delay reduction at bias level ``level``."""
+        return 1.0 - self.delay_scale(level)
+
+    def leakage_nw(self, cell_name: str, level: int) -> float:
+        """Static power of ``cell_name`` at bias level ``level``, nW."""
+        self._check_level(level)
+        return self.characterization(cell_name).leakage_nw[level]
+
+    def level_for_vbs(self, vbs: float) -> int:
+        """Index of the grid level for a quantized vbs value."""
+        for index, value in enumerate(self.vbs_levels):
+            if abs(value - vbs) < 1e-9:
+                return index
+        raise TechnologyError(f"vbs {vbs} is not on the generator grid")
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level < self.num_levels:
+            raise TechnologyError(
+                f"bias level {level} outside [0, {self.num_levels})")
+
+
+def _cell_leakage_nw(cell: StandardCell, tech: Technology,
+                     vbs: float) -> float:
+    """Cell leakage at forward bias ``vbs``: subthreshold + junction."""
+    subthreshold = cell.leakage_nw * mosfet.subthreshold_leakage_scale(
+        tech, vbs)
+    if vbs <= 0:
+        return subthreshold
+    nj_vt = tech.junction_ideality * thermal_voltage(tech.temperature_k)
+    junction_na = (tech.junction_saturation_na_per_um * cell.device_width_um *
+                   (math.exp(vbs / nj_vt) - 1.0))
+    return subthreshold + tech.vdd * junction_na
+
+
+def characterize_library(library: CellLibrary | None = None,
+                         tech: Technology | None = None
+                         ) -> CharacterizedLibrary:
+    """Characterize every cell across the generator's vbs grid.
+
+    The grid is the technology's P levels (paper: 11 levels, 0..0.5 V in
+    50 mV steps).  Delay scaling is cell-independent under the linearised
+    device model, so one scale vector is shared; leakage is per-cell.
+    """
+    if tech is None:
+        tech = library.tech if library is not None else Technology()
+    if library is None:
+        from repro.tech.cells import reduced_library
+        library = reduced_library(tech)
+
+    levels = library.tech.bias_levels()
+    delay_scales = tuple(mosfet.delay_scale(tech, vbs) for vbs in levels)
+
+    characterizations = {}
+    for cell in library:
+        leakage = tuple(round(_cell_leakage_nw(cell, tech, vbs), 9)
+                        for vbs in levels)
+        characterizations[cell.name] = CellCharacterization(
+            cell_name=cell.name,
+            vbs_levels=levels,
+            delay_scales=delay_scales,
+            leakage_nw=leakage,
+        )
+    return CharacterizedLibrary(library, characterizations)

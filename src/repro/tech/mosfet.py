@@ -1,0 +1,185 @@
+"""Analytical MOSFET model — the reproduction's SPICE substitute.
+
+The paper characterises forward body bias with SPICE on a 45 nm SOI
+process (Fig. 1).  We replace SPICE with a compact analytical model that
+captures exactly the behaviours the FBB methodology depends on:
+
+* **Body effect (linearised).**  Forward bias lowers the threshold:
+  ``Vth(vbs) = Vth0 - gamma * vbs``.  Over the 0..1 V range of interest a
+  linear fit to the square-root body-effect law is accurate to a few mV.
+* **Alpha-power-law drive current.**  ``Ion ~ W * (Vdd - Vth)^alpha`` which
+  yields the near-*linear* speed-up vs vbs the paper reports.
+* **Subthreshold leakage.**  ``Ioff ~ W * exp(-Vth / (n * vT))`` which
+  yields the *exponential* leakage growth vs vbs.
+* **Forward body-source junction current.**  A diode term that is
+  negligible below ~0.5 V and explodes beyond it — the paper's reason for
+  clamping usable FBB to 0..0.5 V.
+
+Calibration targets (checked by tests/tech/test_mosfet.py): an inverter
+sees ~21 % delay reduction and ~12.74x leakage at vbs = 0.95 V, matching
+the two quantitative anchors of Fig. 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import TechnologyError
+from repro.tech.technology import Technology
+from repro.units import thermal_voltage
+
+#: Drive-current prefactor, uA per um of gate width (45 nm-like).
+SATURATION_CURRENT_UA_PER_UM = 252.0
+
+#: Subthreshold current prefactor, uA per um of gate width.
+SUBTHRESHOLD_I0_UA_PER_UM = 37.5
+
+#: Minimum threshold voltage the linearised model will report, volts.
+VTH_FLOOR = 0.05
+
+
+@dataclass(frozen=True)
+class Mosfet:
+    """A single MOS device of a given polarity, width and length.
+
+    Width and length are in micrometres.  The model is symmetric in
+    polarity: the ``vbs`` argument of every method is the *forward* bias
+    magnitude (0 = no body bias), matching the paper's scalar convention
+    ``vbsn = vbs``, ``vbsp = Vdd - vbs``.
+    """
+
+    polarity: str
+    width_um: float
+    length_um: float = 0.045
+    tech: Technology = Technology()
+
+    def __post_init__(self) -> None:
+        if self.polarity not in ("nmos", "pmos"):
+            raise TechnologyError(
+                f"polarity must be 'nmos' or 'pmos', got {self.polarity!r}")
+        if self.width_um <= 0 or self.length_um <= 0:
+            raise TechnologyError("device dimensions must be positive")
+
+    # -- threshold ----------------------------------------------------------
+
+    @property
+    def vth0(self) -> float:
+        """Zero-bias threshold magnitude, volts."""
+        if self.polarity == "nmos":
+            return self.tech.vth0_n
+        return self.tech.vth0_p
+
+    def vth(self, vbs: float = 0.0) -> float:
+        """Threshold magnitude under forward body bias ``vbs``, volts."""
+        if vbs < 0:
+            raise TechnologyError(
+                f"reverse bias not modelled here, got vbs={vbs}")
+        value = self.vth0 - self.tech.body_effect_gamma * vbs
+        return max(value, VTH_FLOOR)
+
+    # -- currents ------------------------------------------------------------
+
+    def on_current_ua(self, vbs: float = 0.0) -> float:
+        """Saturation drive current at Vgs = Vdd, microamps."""
+        overdrive = self.tech.vdd - self.vth(vbs)
+        if overdrive <= 0:
+            return 0.0
+        mobility_ratio = 1.0 if self.polarity == "nmos" else 0.45
+        return (SATURATION_CURRENT_UA_PER_UM * mobility_ratio *
+                self.width_um * overdrive ** self.tech.alpha_power)
+
+    def subthreshold_current_na(self, vbs: float = 0.0,
+                                vds: float | None = None,
+                                stack_factor: float = 1.0) -> float:
+        """Off-state (Vgs = 0) subthreshold current, nanoamps.
+
+        ``stack_factor`` < 1 models series-stacked off devices (NAND/NOR
+        pull networks leak much less than a single device).
+        """
+        if vds is None:
+            vds = self.tech.vdd
+        n_vt = self.tech.subthreshold_swing_n * thermal_voltage(
+            self.tech.temperature_k)
+        exponent = -self.vth(vbs) / n_vt
+        drain_term = 1.0 - math.exp(-vds / thermal_voltage(
+            self.tech.temperature_k))
+        current_ua = (SUBTHRESHOLD_I0_UA_PER_UM * self.width_um *
+                      stack_factor * math.exp(exponent) * drain_term)
+        return current_ua * 1e3
+
+    def junction_current_na(self, vbs: float = 0.0) -> float:
+        """Forward body-source junction diode current, nanoamps."""
+        if vbs <= 0:
+            return 0.0
+        nj_vt = self.tech.junction_ideality * thermal_voltage(
+            self.tech.temperature_k)
+        saturation = self.tech.junction_saturation_na_per_um * self.width_um
+        return saturation * (math.exp(vbs / nj_vt) - 1.0)
+
+    def off_current_na(self, vbs: float = 0.0,
+                       stack_factor: float = 1.0) -> float:
+        """Total off-state current: subthreshold + forward junction, nA."""
+        return (self.subthreshold_current_na(vbs, stack_factor=stack_factor) +
+                self.junction_current_na(vbs))
+
+    # -- derived scale factors ------------------------------------------------
+
+    def delay_scale(self, vbs: float) -> float:
+        """Gate-delay multiplier at bias ``vbs`` relative to zero bias.
+
+        Below 1.0 for forward bias; approximately ``1 - k * vbs`` (the
+        paper's observed linear speed-up).
+        """
+        base = self.tech.vdd - self.vth(0.0)
+        biased = self.tech.vdd - self.vth(vbs)
+        return (base / biased) ** self.tech.alpha_power
+
+    def leakage_scale(self, vbs: float) -> float:
+        """Subthreshold-leakage multiplier at bias ``vbs`` vs zero bias."""
+        n_vt = self.tech.subthreshold_swing_n * thermal_voltage(
+            self.tech.temperature_k)
+        return math.exp((self.vth(0.0) - self.vth(vbs)) / n_vt)
+
+
+def delay_scale(tech: Technology, vbs: float) -> float:
+    """Technology-level delay multiplier at forward bias ``vbs``.
+
+    Identical for NMOS and PMOS under the linearised model, so cells can
+    share a single scale factor (this is what the allocation algorithms
+    consume when computing the ``a[i,j,k]`` coefficients).
+    """
+    return Mosfet("nmos", 1.0, tech=tech).delay_scale(vbs)
+
+
+def speedup(tech: Technology, vbs: float) -> float:
+    """Fractional delay reduction at bias ``vbs`` (0.21 means 21 % faster)."""
+    return 1.0 - delay_scale(tech, vbs)
+
+
+def subthreshold_leakage_scale(tech: Technology, vbs: float) -> float:
+    """Technology-level subthreshold leakage multiplier at bias ``vbs``."""
+    return Mosfet("nmos", 1.0, tech=tech).leakage_scale(vbs)
+
+
+def required_vbs(tech: Technology, target_speedup: float) -> float:
+    """Smallest continuous vbs achieving ``target_speedup``, volts.
+
+    Inverts the alpha-power delay model analytically.  Raises
+    :class:`TechnologyError` if the target exceeds what ``vbs_max`` can
+    deliver (callers decide whether to clamp or fail).
+    """
+    if target_speedup <= 0:
+        return 0.0
+    if target_speedup >= 1:
+        raise TechnologyError(
+            f"speed-up target {target_speedup} is not achievable")
+    base = tech.vdd - tech.vth0_n
+    # (base / (base + gamma*vbs))^alpha = 1 - s  =>  solve for vbs.
+    ratio = (1.0 - target_speedup) ** (-1.0 / tech.alpha_power)
+    vbs = base * (ratio - 1.0) / tech.body_effect_gamma
+    if vbs > tech.vbs_max + 1e-9:
+        raise TechnologyError(
+            f"speed-up {target_speedup:.3%} needs vbs={vbs:.3f} V, beyond "
+            f"the usable limit {tech.vbs_max} V")
+    return vbs

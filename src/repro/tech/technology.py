@@ -1,0 +1,190 @@
+"""Technology node description for the 45 nm-like reproduction process.
+
+The paper implements its flow on an STMicroelectronics 45 nm CMOS library
+with a triple-well process (required so NMOS and PMOS bodies can be biased
+independently, Sec. 3.2).  :class:`Technology` gathers every node-level
+parameter the rest of the stack needs:
+
+* the supply voltage and body-bias conventions (``vbs`` denotes
+  ``vbsn = vbs`` on NMOS and ``vbsp = Vdd - vbs`` on PMOS),
+* the body-bias generator grid — the paper assumes a 50 mV resolution and
+  clamps usable forward bias to 0..0.5 V, giving ``P = 11`` voltages,
+* standard-cell row geometry (site width, row height),
+* the physical body-bias implementation rules of Sec. 3.3: contact cells
+  every ~50 um, at most two distributed vbs rails, well-separation spacing
+  between adjacent rows in different bias clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TechnologyError
+
+
+@dataclass(frozen=True)
+class BodyBiasRules:
+    """Physical rules for the row-level FBB implementation (Sec. 3.3)."""
+
+    contact_pitch_um: float = 50.0
+    """Body-bias contact cells must appear at least every this many um."""
+
+    contact_cell_width_um: float = 0.40
+    """Width of one body-bias contact (well-tap) cell: 2 sites.
+
+    Well taps are among the smallest cells in a 45 nm library; two of
+    them per 50 um station keeps the per-row utilization increase within
+    the paper's ~6 % bound even on the narrow rows of small blocks.
+    """
+
+    contacts_per_station: int = 2
+    """Contact cells placed at each pitch station (one NMOS + one PMOS tap)."""
+
+    max_bias_rails: int = 2
+    """At most this many distinct non-zero vbs values may be distributed."""
+
+    well_separation_um: float = 0.15
+    """Extra spacing between adjacent rows in different bias clusters.
+
+    Adjacent wells here differ by at most vbs_max (0.5 V), so the
+    required spacing is a fraction of a full isolation break; the value
+    keeps the worst-case interleaved assignment near the paper's <5 %
+    area bound and typical assignments well inside it.
+    """
+
+    rail_layer: str = "metal7"
+    """Top metal layer carrying the vertical body-bias rails."""
+
+    rail_width_um: float = 0.40
+    rail_pitch_um: float = 0.80
+
+    def max_clusters(self) -> int:
+        """Maximum cluster count: the no-bias cluster plus the bias rails."""
+        return self.max_bias_rails + 1
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A 45 nm-like CMOS node with forward-body-bias support.
+
+    All defaults are calibrated so that the device model in
+    :mod:`repro.tech.mosfet` reproduces the paper's Figure 1 anchors
+    (about 21 % inverter speed-up and 12.74x leakage at vbs = 0.95 V).
+    """
+
+    name: str = "repro45"
+    vdd: float = 1.0
+    """Supply voltage, volts."""
+
+    vth0_n: float = 0.45
+    """Nominal NMOS threshold voltage at zero body bias, volts."""
+
+    vth0_p: float = 0.45
+    """Nominal PMOS threshold magnitude at zero body bias, volts."""
+
+    body_effect_gamma: float = 0.0998
+    """Linearised body-effect coefficient dVth/dvbs (V/V) for forward bias."""
+
+    subthreshold_swing_n: float = 1.5
+    """Subthreshold slope ideality factor n (S = n * vT * ln 10)."""
+
+    alpha_power: float = 1.4814
+    """Velocity-saturation exponent of the alpha-power-law delay model."""
+
+    junction_saturation_na_per_um: float = 2.18e-9
+    """Body-source junction diode saturation current, nA per um of width.
+
+    This is what makes FBB beyond ~0.5 V useless: the forward-biased
+    source-body junction starts conducting and off-state current explodes
+    (the paper's stated reason for clamping vbs to 0.5 V).
+    """
+
+    junction_ideality: float = 2.0
+
+    vbs_max: float = 0.5
+    """Maximum usable forward body bias, volts (paper Sec. 3.2)."""
+
+    vbs_resolution: float = 0.05
+    """Body-bias generator resolution, volts (paper assumes 50 mV)."""
+
+    site_width_um: float = 0.20
+    row_height_um: float = 2.40
+    """Standard-cell placement site geometry (12-track 45 nm row).
+
+    The tall-cell variant is chosen so that placed row counts land at the
+    scale of the paper's Table 1 (rows grow with the square root of the
+    gate count in both).
+    """
+
+    temperature_k: float = 300.0
+
+    bias_rules: BodyBiasRules = field(default_factory=BodyBiasRules)
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0:
+            raise TechnologyError(f"vdd must be positive, got {self.vdd}")
+        if not 0 < self.vth0_n < self.vdd:
+            raise TechnologyError(
+                f"vth0_n must lie in (0, vdd), got {self.vth0_n}")
+        if self.vbs_resolution <= 0:
+            raise TechnologyError("vbs_resolution must be positive")
+        if self.vbs_max < 0 or self.vbs_max > self.vdd:
+            raise TechnologyError(
+                f"vbs_max must lie in [0, vdd], got {self.vbs_max}")
+        steps = self.vbs_max / self.vbs_resolution
+        if abs(steps - round(steps)) > 1e-9:
+            raise TechnologyError(
+                "vbs_max must be an integer multiple of vbs_resolution")
+
+    # -- body-bias voltage grid -------------------------------------------
+
+    @property
+    def num_bias_levels(self) -> int:
+        """Number of generator voltages P (paper: 11 for 0..0.5 V @ 50 mV)."""
+        return int(round(self.vbs_max / self.vbs_resolution)) + 1
+
+    def bias_levels(self) -> tuple[float, ...]:
+        """The P available vbs values in increasing order, starting at 0."""
+        step = self.vbs_resolution
+        return tuple(round(i * step, 9) for i in range(self.num_bias_levels))
+
+    def quantize_vbs(self, vbs: float) -> float:
+        """Snap an arbitrary vbs request onto the generator grid.
+
+        Values are rounded *up* to the next grid step (a tuning controller
+        must guarantee at least the requested speed-up) and clamped to
+        ``[0, vbs_max]``.
+        """
+        if vbs <= 0:
+            return 0.0
+        steps = vbs / self.vbs_resolution
+        snapped = round(steps)
+        if snapped < steps - 1e-9:
+            snapped += 1
+        elif abs(snapped - steps) > 1e-9 and snapped < steps:
+            snapped += 1
+        value = min(snapped * self.vbs_resolution, self.vbs_max)
+        return round(value, 9)
+
+    def pmos_body_voltage(self, vbs: float) -> float:
+        """Absolute PMOS body voltage for a given forward bias ``vbs``.
+
+        The paper's convention (Sec. 3.2): ``vbsp = Vdd - vbs`` so a single
+        scalar describes the bias applied to both devices.
+        """
+        self._check_vbs(vbs)
+        return self.vdd - vbs
+
+    def nmos_body_voltage(self, vbs: float) -> float:
+        """Absolute NMOS body voltage (equals ``vbs`` by convention)."""
+        self._check_vbs(vbs)
+        return vbs
+
+    def _check_vbs(self, vbs: float) -> None:
+        if vbs < -1e-12 or vbs > self.vdd + 1e-12:
+            raise TechnologyError(
+                f"vbs {vbs} outside physical range [0, {self.vdd}]")
+
+
+DEFAULT_TECHNOLOGY = Technology()
+"""Module-level default 45 nm-like node used throughout the examples."""

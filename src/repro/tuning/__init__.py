@@ -1,0 +1,13 @@
+"""Post-silicon tuning: sensors, bias generator, closed-loop controller."""
+
+from repro.tuning.controller import TuningController, TuningOutcome
+from repro.tuning.generator import BodyBiasGenerator
+from repro.tuning.sensors import InSituMonitor, PathReplicaSensor
+
+__all__ = [
+    "BodyBiasGenerator",
+    "InSituMonitor",
+    "PathReplicaSensor",
+    "TuningController",
+    "TuningOutcome",
+]

@@ -1,0 +1,142 @@
+"""Closed-loop post-silicon tuning controller (paper Sec. 3.1, Fig. 2).
+
+The calibration loop for one circuit block:
+
+1. **Sense** — the block's timing sensor measures the die and produces a
+   slowdown estimate (static process shift, or periodic re-measurement
+   for temperature/aging drift).
+2. **Allocate** — the design-time clustering machinery (PassOne/PassTwo
+   or the ILP) computes the minimum-leakage row assignment for that
+   slowdown, quantised to the generator grid.
+3. **Apply** — the central body-bias generator programs the (at most
+   two) rails; rows fall into their clusters.
+4. **Verify** — the in-situ monitors re-check; if an alarm persists
+   (estimate was low), the estimate is bumped one resolution step and
+   the loop repeats.
+
+The controller is deliberately conservative: it only ever raises the
+estimate, and it fails loudly when even maximum bias cannot recover the
+die (a yield loss, not a tuning bug).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.heuristic import solve_heuristic
+from repro.core.ilp_alloc import solve_ilp
+from repro.core.problem import build_problem
+from repro.core.solution import BiasSolution
+from repro.errors import InfeasibleError, TuningError
+from repro.placement.placed_design import PlacedDesign
+from repro.sta.engine import TimingAnalyzer
+from repro.tech.characterize import CharacterizedLibrary
+from repro.tuning.generator import BodyBiasGenerator
+from repro.tuning.sensors import InSituMonitor
+
+
+@dataclass
+class TuningOutcome:
+    """Result of one closed-loop calibration."""
+
+    converged: bool
+    iterations: int
+    estimated_beta: float
+    solution: BiasSolution | None
+    leakage_nw: float
+    settle_latency_us: float
+    history: list[str] = field(default_factory=list)
+
+
+@dataclass
+class TuningController:
+    """Binds a placed design, its sensors and a bias generator."""
+
+    placed: PlacedDesign
+    clib: CharacterizedLibrary
+    max_clusters: int = 3
+    use_ilp: bool = False
+    max_iterations: int = 6
+    beta_step: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 1:
+            raise TuningError("need at least one tuning iteration")
+        self.analyzer = TimingAnalyzer.for_placed(self.placed)
+        self.dcrit_ps = self.analyzer.critical_delay_ps()
+        self.generator = BodyBiasGenerator(self.clib.tech)
+        self.monitor = InSituMonitor(self.analyzer, self.dcrit_ps * 1.0001)
+
+    def _gate_scales(self, solution: BiasSolution) -> dict[str, float]:
+        scales = {}
+        for row, members in enumerate(self.placed.rows_to_gates()):
+            scale = self.clib.delay_scales[solution.levels[row]]
+            for name in members:
+                scales[name] = scale
+        return scales
+
+    def calibrate(self, true_beta: float,
+                  initial_estimate: float | None = None) -> TuningOutcome:
+        """Run the sense/allocate/apply/verify loop against a real die.
+
+        ``true_beta`` is the die's actual slowdown (hidden from the
+        controller except through the sensors); ``initial_estimate``
+        models sensor quantisation error (defaults to the truth rounded
+        *down* one step, forcing at least one verify-driven bump in the
+        common case).
+        """
+        if true_beta < 0:
+            raise TuningError("die slowdown cannot be negative")
+        history: list[str] = []
+
+        if true_beta == 0 or not self.monitor.check(true_beta):
+            history.append("no timing alarm: die meets spec unbiased")
+            return TuningOutcome(
+                converged=True, iterations=0, estimated_beta=0.0,
+                solution=None,
+                leakage_nw=float(
+                    self.clib_leakage_unbiased()), settle_latency_us=0.0,
+                history=history)
+
+        estimate = (initial_estimate if initial_estimate is not None
+                    else max(true_beta - self.beta_step, self.beta_step))
+        solution: BiasSolution | None = None
+        for iteration in range(1, self.max_iterations + 1):
+            try:
+                problem = build_problem(self.placed, self.clib, estimate)
+                if self.use_ilp:
+                    solution = solve_ilp(problem, self.max_clusters)
+                else:
+                    solution = solve_heuristic(problem, self.max_clusters)
+            except InfeasibleError as exc:
+                raise TuningError(
+                    f"die beyond FBB recovery range: {exc}") from exc
+            self.generator.program_solution(
+                [solution.vbs_of_row(r)
+                 for r in range(self.placed.num_rows)])
+            scales = self._gate_scales(solution)
+            alarm = self.monitor.check(true_beta, scales)
+            history.append(
+                f"iter {iteration}: estimate beta={estimate:.3f}, "
+                f"leakage {solution.leakage_nw / 1e3:.3f} uW, "
+                f"{'ALARM' if alarm else 'clean'}")
+            if not alarm:
+                return TuningOutcome(
+                    converged=True, iterations=iteration,
+                    estimated_beta=estimate, solution=solution,
+                    leakage_nw=solution.leakage_nw,
+                    settle_latency_us=self.generator.settle_latency_us(),
+                    history=history)
+            estimate = round(estimate + self.beta_step, 9)
+        return TuningOutcome(
+            converged=False, iterations=self.max_iterations,
+            estimated_beta=estimate,
+            solution=solution,
+            leakage_nw=solution.leakage_nw if solution else 0.0,
+            settle_latency_us=self.generator.settle_latency_us(),
+            history=history)
+
+    def clib_leakage_unbiased(self) -> float:
+        """Design leakage with no body bias applied, nanowatts."""
+        from repro.power.leakage import uniform_leakage_nw
+        return uniform_leakage_nw(self.placed, self.clib, 0)

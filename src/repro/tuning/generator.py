@@ -1,0 +1,84 @@
+"""Central body-bias generator model (paper Sec. 3.2, Fig. 2).
+
+The paper assumes one central generator with 50 mV resolution feeding at
+most two distributed vbs rails per block ([8] reports 2-3 % die-area
+cost for generation, buffering and routing).  The model enforces the
+grid, the 0..0.5 V usable range and the rail budget, and accounts for a
+settling latency per voltage update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TuningError
+from repro.tech.technology import Technology
+
+
+@dataclass
+class BodyBiasGenerator:
+    """A rail-limited, grid-quantised bias voltage source."""
+
+    tech: Technology
+    settle_time_us: float = 5.0
+    rail_voltages: dict[str, float] = field(default_factory=dict)
+    updates_issued: int = field(default=0, init=False)
+
+    @property
+    def max_rails(self) -> int:
+        return self.tech.bias_rules.max_bias_rails
+
+    def quantize(self, vbs: float) -> float:
+        """Snap a requested voltage up onto the generator grid."""
+        return self.tech.quantize_vbs(vbs)
+
+    def program(self, rail: str, vbs: float) -> float:
+        """Program one rail; returns the actually applied voltage.
+
+        Raises :class:`TuningError` when a new rail would exceed the
+        distribution budget (Sec. 3.3 limits it to two).
+        """
+        if vbs < 0 or vbs > self.tech.vbs_max + 1e-9:
+            raise TuningError(
+                f"requested vbs {vbs} outside usable range "
+                f"[0, {self.tech.vbs_max}]")
+        if rail not in self.rail_voltages and \
+                len(self.rail_voltages) >= self.max_rails:
+            raise TuningError(
+                f"cannot allocate rail {rail!r}: all {self.max_rails} "
+                "rails in use")
+        applied = self.quantize(vbs)
+        self.rail_voltages[rail] = applied
+        self.updates_issued += 1
+        return applied
+
+    def release(self, rail: str) -> None:
+        """Free a rail (its rows fall back to no body bias)."""
+        if rail not in self.rail_voltages:
+            raise TuningError(f"rail {rail!r} is not programmed")
+        del self.rail_voltages[rail]
+
+    def settle_latency_us(self, num_updates: int | None = None) -> float:
+        """Total settling latency for a batch of updates, microseconds."""
+        count = self.updates_issued if num_updates is None else num_updates
+        return count * self.settle_time_us
+
+    def program_solution(self, vbs_values: list[float]) -> dict[float, str]:
+        """Program rails for a clustered solution's distributed voltages.
+
+        ``vbs_values`` are the distinct non-zero voltages; returns the
+        voltage -> rail-name mapping.
+        """
+        distributed = sorted({v for v in vbs_values if v > 0})
+        if len(distributed) > self.max_rails:
+            raise TuningError(
+                f"solution needs {len(distributed)} rails, generator has "
+                f"{self.max_rails}")
+        for rail in list(self.rail_voltages):
+            self.release(rail)
+        mapping = {}
+        for index, vbs in enumerate(distributed, start=1):
+            rail = f"vbs{index}"
+            self.program(rail, vbs)
+            mapping[vbs] = rail
+        return mapping

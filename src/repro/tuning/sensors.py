@@ -1,0 +1,104 @@
+"""On-die timing sensors (paper Sec. 3.1).
+
+Two sensing styles from the literature the paper builds on:
+
+* :class:`PathReplicaSensor` — a replica of the critical path placed in
+  the block (Teodorescu et al. [5]); it reports the replica's measured
+  delay under the die's actual slowdown and the currently applied bias,
+  and raises a timing alarm when the delay exceeds ``Tcrit``.
+* :class:`InSituMonitor` — flip-flop-embedded transition detectors
+  (Mitra [3]); modelled as a full-STA check that flags any endpoint
+  whose degraded arrival lands inside the detection window before
+  ``Tcrit``.
+
+Both are simulation models: they answer the question the silicon sensor
+would answer, given a die state (slowdown + bias assignment).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.errors import TuningError
+from repro.sta.engine import TimingAnalyzer
+from repro.sta.paths import TimingPath
+
+
+@dataclass
+class PathReplicaSensor:
+    """Critical-path replica with a delay comparator."""
+
+    replica: TimingPath
+    tcrit_ps: float
+    guard_band: float = 0.0
+    """Comparator margin: alarm when delay > Tcrit * (1 - guard_band).
+
+    Zero by default: the replica *is* the critical path, so its nominal
+    delay sits exactly at Tcrit and any positive guard band would alarm
+    on a perfectly good die.  Set a small positive value when the
+    replica is a shorter calibration path.
+    """
+
+    def __post_init__(self) -> None:
+        if self.tcrit_ps <= 0:
+            raise TuningError("Tcrit must be positive")
+        if not 0 <= self.guard_band < 1:
+            raise TuningError("guard band must be in [0, 1)")
+
+    def measured_delay_ps(self, die_slowdown: float,
+                          bias_scale: float = 1.0) -> float:
+        """Replica delay under a die slowdown and an applied bias scale."""
+        if die_slowdown < 0:
+            raise TuningError("die slowdown cannot be negative")
+        gates = sum(self.replica.gate_delays_ps)
+        return (gates * (1.0 + die_slowdown) * bias_scale
+                + self.replica.setup_ps)
+
+    def alarm(self, die_slowdown: float, bias_scale: float = 1.0) -> bool:
+        """True when the replica fails the guard-banded comparator."""
+        threshold = self.tcrit_ps * (1.0 - self.guard_band)
+        return self.measured_delay_ps(die_slowdown, bias_scale) > threshold
+
+    def estimate_slowdown(self, measured_ps: float) -> float:
+        """Invert a measurement into a slowdown estimate (no bias)."""
+        gates = sum(self.replica.gate_delays_ps)
+        if gates <= 0:
+            raise TuningError("replica has no gate delay")
+        return max((measured_ps - self.replica.setup_ps) / gates - 1.0, 0.0)
+
+
+@dataclass
+class InSituMonitor:
+    """Flip-flop transition detectors across a block (STA-backed model)."""
+
+    analyzer: TimingAnalyzer
+    tcrit_ps: float
+    detection_window_ps: float = 0.0
+    alarms_raised: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.tcrit_ps <= 0:
+            raise TuningError("Tcrit must be positive")
+        if self.detection_window_ps < 0:
+            raise TuningError("detection window cannot be negative")
+
+    def check(self, die_slowdown: float,
+              scales: Mapping[str, float] | None = None) -> bool:
+        """Run the monitors; returns True (and counts) on a timing alarm."""
+        critical = self.analyzer.critical_delay_ps(
+            scales, derate=1.0 + die_slowdown)
+        alarm = critical > self.tcrit_ps - self.detection_window_ps
+        if alarm:
+            self.alarms_raised += 1
+        return alarm
+
+    def failing_endpoints(self, die_slowdown: float,
+                          scales: Mapping[str, float] | None = None
+                          ) -> list[str]:
+        """Names of endpoints inside the alarm window (for diagnostics)."""
+        report = self.analyzer.analyze(scales, derate=1.0 + die_slowdown)
+        threshold = self.tcrit_ps - self.detection_window_ps
+        return [endpoint.name
+                for endpoint, delay in report.endpoint_delay_ps.items()
+                if delay > threshold]

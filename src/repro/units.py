@@ -1,0 +1,96 @@
+"""Unit conventions and conversion helpers.
+
+The library stores quantities in the following base units, chosen so that
+typical 45 nm standard-cell numbers are O(1..1000) and comfortably exact in
+double precision:
+
+================  ==========  =========================================
+Quantity          Base unit   Typical magnitude
+================  ==========  =========================================
+Time / delay      picosecond  gate delay ~10..80 ps, clock ~1000 ps
+Power (leakage)   nanowatt    cell leakage ~0.05..2 nW
+Distance          micrometre  site width 0.19 um, row height 1.26 um
+Voltage           volt        Vdd ~1.0..1.1 V, vbs 0..0.5 V
+Capacitance       femtofarad  input cap ~0.5..5 fF
+Energy            femtojoule
+Temperature       kelvin
+================  ==========  =========================================
+
+Functions here only convert to/from display units; all internal math uses
+the base units directly.
+"""
+
+from __future__ import annotations
+
+# -- time ------------------------------------------------------------------
+PS = 1.0
+NS = 1e3 * PS
+FS = 1e-3 * PS
+
+# -- power -----------------------------------------------------------------
+NW = 1.0
+UW = 1e3 * NW
+MW = 1e6 * NW
+PW = 1e-3 * NW
+
+# -- distance --------------------------------------------------------------
+UM = 1.0
+NM = 1e-3 * UM
+MM = 1e3 * UM
+
+# -- voltage ---------------------------------------------------------------
+V = 1.0
+MV = 1e-3 * V
+
+# -- capacitance -----------------------------------------------------------
+FF = 1.0
+PF = 1e3 * FF
+
+# -- physical constants ----------------------------------------------------
+BOLTZMANN_EV = 8.617333262e-5
+"""Boltzmann constant in eV/K."""
+
+ROOM_TEMPERATURE_K = 300.0
+"""Default junction temperature for characterization, kelvin."""
+
+
+def thermal_voltage(temperature_k: float = ROOM_TEMPERATURE_K) -> float:
+    """Return kT/q in volts at the given temperature."""
+    if temperature_k <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature_k}")
+    return BOLTZMANN_EV * temperature_k
+
+
+def ps_to_ns(value_ps: float) -> float:
+    """Convert picoseconds to nanoseconds."""
+    return value_ps / NS
+
+
+def nw_to_uw(value_nw: float) -> float:
+    """Convert nanowatts to microwatts."""
+    return value_nw / UW
+
+
+def uw_to_nw(value_uw: float) -> float:
+    """Convert microwatts to nanowatts."""
+    return value_uw * UW
+
+
+def mv_to_v(value_mv: float) -> float:
+    """Convert millivolts to volts."""
+    return value_mv * MV
+
+
+def v_to_mv(value_v: float) -> float:
+    """Convert volts to millivolts."""
+    return value_v / MV
+
+
+def percent(fraction: float) -> float:
+    """Express a fraction as a percentage (0.05 -> 5.0)."""
+    return 100.0 * fraction
+
+
+def fraction(percent_value: float) -> float:
+    """Express a percentage as a fraction (5.0 -> 0.05)."""
+    return percent_value / 100.0

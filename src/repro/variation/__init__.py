@@ -1,0 +1,26 @@
+"""Variability models: process, temperature, aging, Monte Carlo."""
+
+from repro.variation.aging import SECONDS_PER_YEAR, NbtiModel
+from repro.variation.montecarlo import (DieSample, MonteCarloResult,
+                                        sample_dies)
+from repro.variation.process import (ProcessModel, delay_multiplier_for_dvth,
+                                     gate_delay_scales,
+                                     sample_inter_die_dvth,
+                                     sample_intra_die_dvth)
+from repro.variation.temperature import (REFERENCE_TEMPERATURE_K,
+                                         TemperatureModel)
+
+__all__ = [
+    "DieSample",
+    "MonteCarloResult",
+    "NbtiModel",
+    "ProcessModel",
+    "REFERENCE_TEMPERATURE_K",
+    "SECONDS_PER_YEAR",
+    "TemperatureModel",
+    "delay_multiplier_for_dvth",
+    "gate_delay_scales",
+    "sample_dies",
+    "sample_inter_die_dvth",
+    "sample_intra_die_dvth",
+]

@@ -1,0 +1,70 @@
+"""NBTI transistor aging model.
+
+Negative-bias temperature instability shifts PMOS thresholds over the
+operating lifetime, slowing the circuit — the paper cites Mitra's
+failure-prediction work [3] and positions FBB as the recovery knob.
+The standard long-term NBTI model is a fractional power law:
+
+    dVth(t) = A * (t / t0) ** n        with n ~ 0.16
+
+mapped to a delay multiplier via the same alpha-power sensitivity used
+for process shifts.  The aging-compensation example re-tunes a design
+year by year against this drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.tech.technology import Technology
+from repro.variation.process import delay_multiplier_for_dvth
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class NbtiModel:
+    """Power-law NBTI threshold drift."""
+
+    prefactor_v: float = 0.032
+    """dVth after one reference period (t0), volts."""
+
+    exponent: float = 0.16
+    reference_s: float = SECONDS_PER_YEAR
+
+    def __post_init__(self) -> None:
+        if self.prefactor_v < 0:
+            raise ReproError("NBTI prefactor must be non-negative")
+        if not 0 < self.exponent < 1:
+            raise ReproError("NBTI exponent must be in (0, 1)")
+        if self.reference_s <= 0:
+            raise ReproError("reference period must be positive")
+
+    def dvth_v(self, stress_s: float) -> float:
+        """Threshold shift after a stress time, volts."""
+        if stress_s < 0:
+            raise ReproError(f"negative stress time {stress_s}")
+        if stress_s == 0:
+            return 0.0
+        return self.prefactor_v * (stress_s / self.reference_s) ** self.exponent
+
+    def delay_multiplier(self, tech: Technology, stress_s: float) -> float:
+        """Circuit delay multiplier after a stress time."""
+        return delay_multiplier_for_dvth(tech, self.dvth_v(stress_s))
+
+    def slowdown_beta(self, tech: Technology, stress_s: float) -> float:
+        """Equivalent slowdown coefficient beta after a stress time."""
+        return self.delay_multiplier(tech, stress_s) - 1.0
+
+    def years_to_beta(self, tech: Technology, beta: float,
+                      resolution_years: float = 0.05) -> float:
+        """Years of stress until the slowdown reaches ``beta``."""
+        if beta <= 0:
+            return 0.0
+        years = resolution_years
+        while years < 100.0:
+            if self.slowdown_beta(tech, years * SECONDS_PER_YEAR) >= beta:
+                return years
+            years += resolution_years
+        raise ReproError(f"beta {beta} not reached within 100 years")

@@ -1,0 +1,78 @@
+"""Monte Carlo die sampling for the post-silicon-tuning experiments.
+
+Draws a population of dies from the process model, measures each die's
+effective slowdown with full STA, and reports the betas a tuning loop
+must compensate.  This is the synthetic stand-in for the paper's
+fabricated-die population (see DESIGN.md substitution table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.placement.placed_design import PlacedDesign
+from repro.sta.engine import TimingAnalyzer
+from repro.variation.process import ProcessModel, gate_delay_scales
+
+
+@dataclass(frozen=True)
+class DieSample:
+    """One sampled die."""
+
+    index: int
+    beta: float
+    """Effective slowdown: critical delay ratio to nominal, minus 1."""
+    gate_scales: dict[str, float]
+
+    @property
+    def is_slow(self) -> bool:
+        return self.beta > 0
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """A sampled die population."""
+
+    samples: tuple[DieSample, ...]
+    nominal_delay_ps: float
+
+    @property
+    def betas(self) -> np.ndarray:
+        return np.array([sample.beta for sample in self.samples])
+
+    def slow_dies(self, beta_threshold: float = 0.0) -> list[DieSample]:
+        """Dies slower than the threshold — the tuning candidates."""
+        return [sample for sample in self.samples
+                if sample.beta > beta_threshold]
+
+    def timing_yield(self, beta_budget: float = 0.0) -> float:
+        """Fraction of dies meeting timing within the given margin."""
+        return float(np.mean(self.betas <= beta_budget))
+
+
+def sample_dies(placed: PlacedDesign, num_dies: int,
+                model: ProcessModel | None = None,
+                seed: int = 0) -> MonteCarloResult:
+    """Draw a die population and measure each die's slowdown via STA."""
+    if num_dies <= 0:
+        raise ReproError(f"num_dies must be positive, got {num_dies}")
+    if model is None:
+        model = ProcessModel()
+    rng = np.random.default_rng(seed)
+    analyzer = TimingAnalyzer.for_placed(placed)
+    nominal = analyzer.critical_delay_ps()
+
+    samples = []
+    for index in range(num_dies):
+        scales = gate_delay_scales(placed, model, rng)
+        critical = analyzer.critical_delay_ps(scales)
+        samples.append(DieSample(
+            index=index,
+            beta=critical / nominal - 1.0,
+            gate_scales=scales,
+        ))
+    return MonteCarloResult(samples=tuple(samples),
+                            nominal_delay_ps=nominal)

@@ -1,0 +1,119 @@
+"""Process variation models: inter-die and spatially correlated intra-die.
+
+The paper applies a uniform slowdown coefficient beta per die (Sec. 3.1);
+these models produce such betas from first principles so the tuning
+examples can generate realistic die populations:
+
+* **inter-die** — one threshold-voltage shift shared by every device on
+  the die, Gaussian across dies;
+* **intra-die** — a spatially correlated Vth field over the die using a
+  multi-level grid model (each level contributes a coarser, shared
+  offset — the standard quad-tree-style approximation of correlated
+  process variation) plus an independent per-gate term.
+
+Threshold shifts convert to per-gate delay multipliers through the
+alpha-power-law sensitivity; the die's effective slowdown is taken
+through full STA by the callers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.placement.placed_design import PlacedDesign
+from repro.tech.technology import Technology
+
+
+@dataclass(frozen=True)
+class ProcessModel:
+    """Gaussian Vth variation, volts (one sigma)."""
+
+    sigma_inter_v: float = 0.020
+    sigma_intra_v: float = 0.012
+    intra_grid_levels: int = 3
+    intra_independent_fraction: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.sigma_inter_v < 0 or self.sigma_intra_v < 0:
+            raise ReproError("variation sigmas must be non-negative")
+        if not 0 <= self.intra_independent_fraction <= 1:
+            raise ReproError("independent fraction must be in [0, 1]")
+        if self.intra_grid_levels < 1:
+            raise ReproError("need at least one grid level")
+
+
+def delay_multiplier_for_dvth(tech: Technology, dvth_v: float) -> float:
+    """Delay multiplier caused by a threshold shift (alpha-power law).
+
+    Positive shifts (slower devices) give multipliers above 1.
+    """
+    base = tech.vdd - tech.vth0_n
+    shifted = base - dvth_v
+    if shifted <= 0.05:
+        shifted = 0.05
+    return (base / shifted) ** tech.alpha_power
+
+
+def sample_inter_die_dvth(model: ProcessModel,
+                          rng: np.random.Generator) -> float:
+    """One die-wide threshold shift, volts."""
+    return float(rng.normal(0.0, model.sigma_inter_v))
+
+
+def sample_intra_die_dvth(placed: PlacedDesign, model: ProcessModel,
+                          rng: np.random.Generator) -> dict[str, float]:
+    """Spatially correlated per-gate threshold shifts, volts.
+
+    The correlated part is a sum of ``intra_grid_levels`` grids of
+    Gaussian offsets with geometrically finer spacing; gates in the same
+    grid cell share the offset, producing spatial correlation that decays
+    with distance — neighbouring rows see similar shifts, which is the
+    physical basis for *clustered* compensation.
+    """
+    sigma_total = model.sigma_intra_v
+    independent_var = (sigma_total ** 2) * model.intra_independent_fraction
+    correlated_var = (sigma_total ** 2) - independent_var
+
+    # Coarser levels carry more variance (weights 2^-level), matching
+    # the long correlation lengths of lithography/doping gradients.
+    raw_weights = np.array([2.0 ** -level
+                            for level in range(model.intra_grid_levels)])
+    level_vars = correlated_var * raw_weights / raw_weights.sum()
+
+    width = placed.floorplan.core_width_um
+    height = placed.floorplan.core_height_um
+    shifts: dict[str, float] = {}
+    positions = {name: placed.gate_position_um(name)
+                 for name in placed.netlist.gates}
+
+    level_offsets: list[tuple[int, np.ndarray]] = []
+    for level in range(model.intra_grid_levels):
+        cells = 2 ** (level + 1)
+        offsets = rng.normal(0.0, float(np.sqrt(level_vars[level])),
+                             size=(cells, cells))
+        level_offsets.append((cells, offsets))
+
+    sigma_independent = float(np.sqrt(independent_var))
+    for name, (x, y) in positions.items():
+        total = 0.0
+        for cells, offsets in level_offsets:
+            col = min(int(x / max(width, 1e-9) * cells), cells - 1)
+            row = min(int(y / max(height, 1e-9) * cells), cells - 1)
+            total += offsets[row, col]
+        if sigma_independent > 0:
+            total += rng.normal(0.0, sigma_independent)
+        shifts[name] = total
+    return shifts
+
+
+def gate_delay_scales(placed: PlacedDesign, model: ProcessModel,
+                      rng: np.random.Generator) -> dict[str, float]:
+    """Per-gate delay multipliers for one sampled die."""
+    tech = placed.library.tech
+    inter = sample_inter_die_dvth(model, rng)
+    intra = sample_intra_die_dvth(placed, model, rng)
+    return {name: delay_multiplier_for_dvth(tech, inter + shift)
+            for name, shift in intra.items()}

@@ -1,0 +1,53 @@
+"""Temperature-induced timing and leakage variation.
+
+At nanometre nodes higher temperature slows gates (mobility loss beats
+the Vth drop at nominal supply) and grows subthreshold leakage steeply.
+The paper cites temperature compensation via ABB [4] as one of the
+dynamic effects its tuning loop addresses; the examples use this model
+to generate thermally-induced slowdowns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+#: characterization reference temperature, kelvin
+REFERENCE_TEMPERATURE_K = 300.0
+
+
+@dataclass(frozen=True)
+class TemperatureModel:
+    """First-order temperature coefficients for a 45 nm-like node."""
+
+    delay_tc_per_k: float = 8.0e-4
+    """Fractional delay increase per kelvin above reference."""
+
+    leakage_doubling_k: float = 25.0
+    """Temperature rise that doubles subthreshold leakage."""
+
+    def __post_init__(self) -> None:
+        if self.delay_tc_per_k < 0:
+            raise ReproError("delay temperature coefficient must be >= 0")
+        if self.leakage_doubling_k <= 0:
+            raise ReproError("leakage doubling interval must be positive")
+
+    def delay_multiplier(self, temperature_k: float) -> float:
+        """Gate-delay multiplier at an operating temperature."""
+        if temperature_k <= 0:
+            raise ReproError(f"bad temperature {temperature_k}")
+        delta = temperature_k - REFERENCE_TEMPERATURE_K
+        return max(1.0 + self.delay_tc_per_k * delta, 0.5)
+
+    def slowdown_beta(self, temperature_k: float) -> float:
+        """The equivalent slowdown coefficient beta at a temperature."""
+        return max(self.delay_multiplier(temperature_k) - 1.0, 0.0)
+
+    def leakage_multiplier(self, temperature_k: float) -> float:
+        """Subthreshold-leakage multiplier at an operating temperature."""
+        if temperature_k <= 0:
+            raise ReproError(f"bad temperature {temperature_k}")
+        delta = temperature_k - REFERENCE_TEMPERATURE_K
+        return math.pow(2.0, delta / self.leakage_doubling_k)

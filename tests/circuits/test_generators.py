@@ -1,0 +1,143 @@
+"""Tests for the benchmark circuit generators."""
+
+import pytest
+
+from repro.circuits import (BENCHMARK_NAMES, PAPER_GATE_COUNTS, CircuitKit,
+                            adder_128bits, build_benchmark, c1355_like,
+                            c3540_like, c5315_like, c6288_like, c7552_like,
+                            industrial_module)
+from repro.errors import NetlistError
+from repro.netlist import Netlist, netlist_stats
+from repro.synth import map_netlist
+from repro.tech import reduced_library
+
+LIBRARY = reduced_library()
+
+
+class TestKit:
+    def make_kit(self):
+        netlist = Netlist("kit")
+        netlist.add_input("a")
+        netlist.add_input("b")
+        netlist.add_input("c")
+        return netlist, CircuitKit(netlist, "k")
+
+    def test_full_adder_structure(self):
+        netlist, kit = self.make_kit()
+        total, carry = kit.full_adder("a", "b", "c")
+        netlist.add_output("s")
+        netlist.add_output("co")
+        kit.buf(total, output="s")
+        kit.buf(carry, output="co")
+        netlist.validate()
+        histogram = netlist.function_histogram()
+        assert histogram["XOR2"] == 2
+        assert histogram["AND2"] == 2
+        assert histogram["OR2"] == 1
+
+    def test_ripple_adder_width(self):
+        netlist, kit = self.make_kit()
+        sums, carry = kit.ripple_adder(["a", "b"], ["c", "a"])
+        assert len(sums) == 2
+        netlist.add_output("y")
+        kit.buf(carry, output="y")
+
+    def test_mismatched_adder_widths(self):
+        _netlist, kit = self.make_kit()
+        with pytest.raises(NetlistError):
+            kit.ripple_adder(["a"], ["b", "c"])
+
+    def test_empty_tree_rejected(self):
+        _netlist, kit = self.make_kit()
+        with pytest.raises(NetlistError):
+            kit.and_tree([])
+
+    def test_tree_single_input_with_output(self):
+        netlist, kit = self.make_kit()
+        netlist.add_output("y")
+        kit.parity_tree(["a"], output="y")
+        netlist.validate()
+
+    def test_mux4_validation(self):
+        _netlist, kit = self.make_kit()
+        with pytest.raises(NetlistError):
+            kit.mux4(["a", "b"], ["c"])
+
+    def test_register_bank(self):
+        netlist, kit = self.make_kit()
+        outs = kit.register(["a", "b", "c"])
+        assert len(outs) == 3
+        assert len(netlist.sequential_gates()) == 3
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_benchmark_validates(self, name):
+        netlist = build_benchmark(name)
+        netlist.validate()
+        assert netlist.num_gates > 100
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(NetlistError):
+            build_benchmark("c17")
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_mapped_size_tracks_paper(self, name):
+        """Mapped gate counts should land within 2x of Table 1's scale."""
+        mapped = map_netlist(build_benchmark(name), LIBRARY)
+        paper = PAPER_GATE_COUNTS[name]
+        assert 0.5 * paper <= mapped.num_gates <= 2.0 * paper
+
+    def test_c6288_is_multiplier_shaped(self):
+        netlist = c6288_like(width=8)
+        stats = netlist_stats(netlist)
+        assert stats.num_primary_inputs == 16
+        assert stats.num_primary_outputs == 16
+        assert stats.logic_depth > 20  # deep carry-save array
+
+    def test_c1355_is_xor_dominated(self):
+        histogram = c1355_like().function_histogram()
+        xor_count = histogram.get("XOR2", 0)
+        assert xor_count > 0.3 * sum(histogram.values())
+
+    def test_adder_128_has_flop_to_flop_paths(self):
+        netlist = adder_128bits()
+        assert len(netlist.sequential_gates()) == 2 * 128 + 1 + 129
+
+    def test_adder_unregistered_variant(self):
+        netlist = adder_128bits(width=16, registered=False)
+        assert not netlist.sequential_gates()
+
+    def test_combinational_benchmarks_have_no_flops(self):
+        for generator in (c1355_like, c3540_like, c5315_like, c7552_like,
+                          c6288_like):
+            netlist = generator()
+            assert not netlist.sequential_gates(), generator.__name__
+
+
+class TestIndustrial:
+    def test_deterministic_for_seed(self):
+        first = industrial_module("ind", 1000, seed=7)
+        second = industrial_module("ind", 1000, seed=7)
+        assert first.num_gates == second.num_gates
+        assert first.function_histogram() == second.function_histogram()
+
+    def test_different_seeds_differ(self):
+        first = industrial_module("ind", 1000, seed=1)
+        second = industrial_module("ind", 1000, seed=2)
+        assert (first.function_histogram() != second.function_histogram()
+                or first.num_gates != second.num_gates)
+
+    def test_size_scales_with_target(self):
+        small = map_netlist(industrial_module("s", 1000, seed=3), LIBRARY)
+        large = map_netlist(industrial_module("l", 4000, seed=3), LIBRARY)
+        assert 2.5 * small.num_gates < large.num_gates
+
+    def test_too_small_target_rejected(self):
+        with pytest.raises(NetlistError):
+            industrial_module("tiny", 50)
+
+    def test_contains_sequential_and_combinational(self):
+        netlist = industrial_module("mix", 2000, seed=5)
+        assert netlist.sequential_gates()
+        assert netlist.combinational_gates()

@@ -1,0 +1,43 @@
+"""Shared fixtures: a small placed benchmark and its FBB problems."""
+
+import pytest
+
+from repro.circuits import c1355_like, c3540_like
+from repro.core import build_problem
+from repro.placement import place_design
+from repro.synth import map_netlist, size_for_load
+from repro.tech import characterize_library, reduced_library
+
+LIBRARY = reduced_library()
+CLIB = characterize_library(LIBRARY)
+
+
+def make_placed(generator=c1355_like, **kwargs):
+    mapped = map_netlist(generator(**kwargs), LIBRARY)
+    size_for_load(mapped, LIBRARY)
+    return place_design(mapped, LIBRARY)
+
+
+@pytest.fixture(scope="session")
+def placed_small():
+    return make_placed(c1355_like, data_width=10, check_bits=5)
+
+
+@pytest.fixture(scope="session")
+def placed_alu():
+    return make_placed(c3540_like, width=8)
+
+
+@pytest.fixture(scope="session")
+def problem_small(placed_small):
+    return build_problem(placed_small, CLIB, beta=0.05)
+
+
+@pytest.fixture(scope="session")
+def problem_small_10(placed_small):
+    return build_problem(placed_small, CLIB, beta=0.10)
+
+
+@pytest.fixture(scope="session")
+def problem_alu(placed_alu):
+    return build_problem(placed_alu, CLIB, beta=0.05)

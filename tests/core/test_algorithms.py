@@ -1,0 +1,170 @@
+"""Tests for PassOne, the two-pass heuristic, and the exact ILP."""
+
+import numpy as np
+import pytest
+
+from repro.core import (build_problem, pass_one, pass_two, solve_heuristic,
+                        solve_ilp, solve_single_bb, uniform_solution)
+from repro.errors import AllocationError, InfeasibleError
+from tests.core.conftest import CLIB, make_placed
+
+
+class TestPassOne:
+    def test_jopt_is_feasible(self, problem_small):
+        jopt = pass_one(problem_small)
+        levels = np.full(problem_small.num_rows, jopt)
+        assert problem_small.check_timing(levels)
+
+    def test_jopt_is_minimal(self, problem_small):
+        jopt = pass_one(problem_small)
+        assert jopt > 0
+        below = np.full(problem_small.num_rows, jopt - 1)
+        assert not problem_small.check_timing(below)
+
+    def test_higher_beta_needs_higher_jopt(self, problem_small,
+                                           problem_small_10):
+        assert pass_one(problem_small_10) > pass_one(problem_small)
+
+    def test_infeasible_slowdown_raises(self, placed_small):
+        problem = build_problem(placed_small, CLIB, beta=0.50)
+        with pytest.raises(InfeasibleError):
+            pass_one(problem)
+
+    def test_single_bb_solution(self, problem_small):
+        solution = solve_single_bb(problem_small)
+        assert solution.num_clusters == 1
+        assert solution.is_timing_feasible
+        assert solution.method == "single-bb"
+
+
+class TestHeuristic:
+    @pytest.mark.parametrize("strategy", ["row-descent", "level-sweep"])
+    def test_feasible_and_within_budget(self, problem_small, strategy):
+        for budget in (1, 2, 3):
+            solution = solve_heuristic(problem_small, budget,
+                                       strategy=strategy)
+            assert solution.is_timing_feasible
+            assert solution.num_clusters <= budget
+
+    def test_improves_on_single_bb(self, problem_small):
+        baseline = solve_single_bb(problem_small)
+        clustered = solve_heuristic(problem_small, 3)
+        assert clustered.leakage_nw < baseline.leakage_nw
+
+    def test_savings_monotone_in_clusters(self, problem_alu):
+        baseline = solve_single_bb(problem_alu).leakage_nw
+        previous = 0.0
+        for budget in (2, 3, 4):
+            solution = solve_heuristic(problem_alu, budget)
+            savings = solution.savings_vs(baseline)
+            assert savings >= previous - 1e-9
+            previous = savings
+
+    def test_row_descent_beats_level_sweep(self, problem_alu):
+        descent = solve_heuristic(problem_alu, 3, strategy="row-descent")
+        sweep = solve_heuristic(problem_alu, 3, strategy="level-sweep")
+        assert descent.leakage_nw <= sweep.leakage_nw + 1e-9
+
+    def test_linear_check_budget(self, problem_small):
+        """The paper's O(P * N) bound on CheckTiming calls."""
+        solution = solve_heuristic(problem_small, 3)
+        bound = (problem_small.num_levels * problem_small.num_rows
+                 * 2)  # budgets 2 and 3 are both swept
+        assert solution.extras["check_timing_calls"] <= bound
+
+    def test_deterministic(self, problem_small):
+        first = solve_heuristic(problem_small, 3)
+        second = solve_heuristic(problem_small, 3)
+        assert first.levels == second.levels
+
+    def test_unknown_strategy_rejected(self, problem_small):
+        with pytest.raises(AllocationError):
+            solve_heuristic(problem_small, 3, strategy="magic")
+
+    def test_bad_budget_rejected(self, problem_small):
+        with pytest.raises(AllocationError):
+            solve_heuristic(problem_small, 0)
+
+    def test_pass_two_noop_when_jopt_zero(self, placed_small):
+        problem = build_problem(placed_small, CLIB, beta=0.0)
+        levels, checks = pass_two(problem, 0, 3)
+        assert (levels == 0).all()
+        assert checks == 0
+
+
+class TestIlp:
+    @pytest.mark.parametrize("backend", ["highs", "bnb"])
+    def test_feasible_and_within_budget(self, problem_small, backend):
+        solution = solve_ilp(problem_small, 2, backend=backend)
+        assert solution.is_timing_feasible
+        assert solution.num_clusters <= 2
+        assert solution.optimal
+
+    def test_backends_agree(self, problem_small):
+        highs = solve_ilp(problem_small, 2, backend="highs")
+        bnb = solve_ilp(problem_small, 2, backend="bnb",
+                        time_limit_s=300)
+        assert highs.leakage_nw == pytest.approx(bnb.leakage_nw, rel=1e-6)
+
+    def test_ilp_beats_or_matches_heuristic(self, problem_small):
+        """The exact solution is a lower bound for the greedy one."""
+        for budget in (2, 3):
+            ilp = solve_ilp(problem_small, budget)
+            heuristic = solve_heuristic(problem_small, budget)
+            assert ilp.leakage_nw <= heuristic.leakage_nw + 1e-6
+
+    def test_more_clusters_never_hurt(self, problem_small):
+        two = solve_ilp(problem_small, 2)
+        three = solve_ilp(problem_small, 3)
+        assert three.leakage_nw <= two.leakage_nw + 1e-6
+
+    def test_improves_on_single_bb(self, problem_small):
+        baseline = solve_single_bb(problem_small)
+        ilp = solve_ilp(problem_small, 2)
+        assert ilp.leakage_nw < baseline.leakage_nw
+
+    def test_unknown_backend_rejected(self, problem_small):
+        with pytest.raises(AllocationError):
+            solve_ilp(problem_small, 2, backend="cplex")
+
+    def test_single_cluster_equals_best_uniform(self, problem_small):
+        """With C=1 the ILP must land on the cheapest uniform level."""
+        ilp = solve_ilp(problem_small, 1)
+        jopt = pass_one(problem_small)
+        uniform = uniform_solution(problem_small, jopt)
+        assert ilp.leakage_nw == pytest.approx(uniform.leakage_nw, rel=1e-9)
+
+
+class TestSolutionContainer:
+    def test_savings_computation(self, problem_small):
+        baseline = solve_single_bb(problem_small)
+        clustered = solve_heuristic(problem_small, 3)
+        savings = clustered.savings_vs(baseline.leakage_nw)
+        assert 0 < savings < 100
+
+    def test_bad_baseline_rejected(self, problem_small):
+        solution = solve_single_bb(problem_small)
+        with pytest.raises(AllocationError):
+            solution.savings_vs(0.0)
+
+    def test_clusters_map(self, problem_small):
+        solution = solve_heuristic(problem_small, 3)
+        clusters = solution.clusters()
+        total_rows = sum(len(rows) for rows in clusters.values())
+        assert total_rows == problem_small.num_rows
+        assert list(clusters) == sorted(clusters)
+
+    def test_wrong_length_rejected(self, problem_small):
+        from repro.core import BiasSolution
+        with pytest.raises(AllocationError):
+            BiasSolution(problem=problem_small, levels=(0,), method="x")
+
+    def test_describe_mentions_design(self, problem_small):
+        solution = solve_heuristic(problem_small, 3)
+        assert problem_small.design_name in solution.describe()
+
+    def test_vbs_of_row(self, problem_small):
+        solution = solve_single_bb(problem_small)
+        jopt = solution.extras["jopt"]
+        assert solution.vbs_of_row(0) == pytest.approx(
+            problem_small.vbs_levels[jopt])

@@ -1,0 +1,130 @@
+"""Tests for FBB problem construction (Sec. 4.1 pre-processing)."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_problem
+from repro.errors import AllocationError
+from tests.core.conftest import CLIB
+
+
+class TestConstruction:
+    def test_dimensions(self, problem_small, placed_small):
+        assert problem_small.num_rows == placed_small.num_rows
+        assert problem_small.num_levels == 11
+        assert problem_small.leakage_nw.shape == (
+            problem_small.num_rows, 11)
+        assert problem_small.recovery.shape == (
+            problem_small.num_constraints, problem_small.num_rows)
+
+    def test_constraints_grow_with_beta(self, problem_small,
+                                        problem_small_10):
+        """Table 1: the No.Constr column grows with beta."""
+        assert (problem_small_10.num_constraints
+                > problem_small.num_constraints)
+
+    def test_requirements_positive(self, problem_small):
+        assert (problem_small.required_ps > 0).all()
+
+    def test_leakage_monotone_in_level(self, problem_small):
+        diffs = np.diff(problem_small.leakage_nw, axis=1)
+        assert (diffs > 0).all()
+
+    def test_speedups_monotone(self, problem_small):
+        assert problem_small.speedups[0] == 0.0
+        assert (np.diff(problem_small.speedups) > 0).all()
+
+    def test_recovery_consistent_with_paths(self, problem_small):
+        """Row sums of D must equal degraded path gate delays."""
+        derate = 1.0 + problem_small.beta
+        for k, path in enumerate(problem_small.paths):
+            row_sum = problem_small.recovery[k].sum()
+            assert row_sum == pytest.approx(
+                sum(path.gate_delays_ps) * derate, rel=1e-9)
+
+    def test_gate_counts_match_paths(self, problem_small):
+        for k, path in enumerate(problem_small.paths):
+            assert problem_small.gate_counts[k].sum() == path.num_gates
+
+    def test_negative_beta_rejected(self, placed_small):
+        with pytest.raises(AllocationError):
+            build_problem(placed_small, CLIB, beta=-0.1)
+
+    def test_beta_zero_has_no_constraints(self, placed_small):
+        problem = build_problem(placed_small, CLIB, beta=0.0)
+        assert problem.num_constraints == 0
+        assert problem.check_timing(np.zeros(problem.num_rows, dtype=int))
+
+
+class TestCheckTiming:
+    def test_no_bias_fails_under_slowdown(self, problem_small):
+        levels = np.zeros(problem_small.num_rows, dtype=int)
+        assert not problem_small.check_timing(levels)
+
+    def test_max_bias_passes(self, problem_small):
+        levels = np.full(problem_small.num_rows,
+                         problem_small.num_levels - 1)
+        assert problem_small.check_timing(levels)
+
+    def test_monotone_in_levels(self, problem_small):
+        """Raising any row's voltage never breaks a passing solution."""
+        from repro.core import pass_one
+        jopt = pass_one(problem_small)
+        levels = np.full(problem_small.num_rows, jopt)
+        assert problem_small.check_timing(levels)
+        for row in range(0, problem_small.num_rows,
+                         max(1, problem_small.num_rows // 5)):
+            raised = levels.copy()
+            raised[row] = min(problem_small.num_levels - 1, jopt + 2)
+            assert problem_small.check_timing(raised)
+
+    def test_slacks_match_check(self, problem_small):
+        from repro.core import pass_one
+        jopt = pass_one(problem_small)
+        levels = np.full(problem_small.num_rows, jopt)
+        slacks = problem_small.path_slacks_ps(levels)
+        assert slacks.min() >= -1e-6
+        below = np.full(problem_small.num_rows, jopt - 1)
+        assert problem_small.path_slacks_ps(below).min() < 0
+
+    def test_wrong_shape_rejected(self, problem_small):
+        with pytest.raises(AllocationError):
+            problem_small.check_timing(np.zeros(3, dtype=int))
+
+    def test_out_of_grid_level_rejected(self, problem_small):
+        levels = np.zeros(problem_small.num_rows, dtype=int)
+        levels[0] = 99
+        with pytest.raises(AllocationError):
+            problem_small.check_timing(levels)
+
+
+class TestCostAndClusters:
+    def test_total_leakage_matches_matrix(self, problem_small):
+        levels = np.zeros(problem_small.num_rows, dtype=int)
+        assert problem_small.total_leakage_nw(levels) == pytest.approx(
+            problem_small.leakage_nw[:, 0].sum())
+
+    def test_num_clusters_counts_distinct(self, problem_small):
+        levels = np.zeros(problem_small.num_rows, dtype=int)
+        assert problem_small.num_clusters(levels) == 1
+        levels[0] = 3
+        levels[1] = 7
+        assert problem_small.num_clusters(levels) == 3
+
+    def test_row_criticality_nonnegative(self, problem_small):
+        from repro.core import pass_one
+        jopt = pass_one(problem_small)
+        levels = np.full(problem_small.num_rows, jopt)
+        criticality = problem_small.row_criticality(levels)
+        assert (criticality >= 0).all()
+        assert criticality.max() > 0
+
+    def test_rows_off_critical_paths_rank_lowest(self, problem_small):
+        from repro.core import pass_one
+        jopt = pass_one(problem_small)
+        levels = np.full(problem_small.num_rows, jopt)
+        criticality = problem_small.row_criticality(levels)
+        touched = np.asarray(
+            (problem_small.gate_counts.sum(axis=0) > 0)).ravel()
+        if (~touched).any():
+            assert criticality[~touched].max() <= criticality[touched].min()

@@ -1,0 +1,76 @@
+"""Property-based tests on the allocation problem's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import pass_one, solve_heuristic
+from tests.core.conftest import CLIB, make_placed
+from repro.core import build_problem
+from repro.circuits import c1355_like
+
+
+@pytest.fixture(scope="module")
+def problem():
+    placed = make_placed(c1355_like, data_width=10, check_bits=5)
+    return build_problem(placed, CLIB, beta=0.07)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_raising_levels_never_decreases_slack(problem, data):
+    """Feasibility is monotone: more bias == more recovery, everywhere."""
+    levels = np.array(data.draw(st.lists(
+        st.integers(0, problem.num_levels - 1),
+        min_size=problem.num_rows, max_size=problem.num_rows)))
+    row = data.draw(st.integers(0, problem.num_rows - 1))
+    if levels[row] == problem.num_levels - 1:
+        return
+    raised = levels.copy()
+    raised[row] += 1
+    base_slack = problem.path_slacks_ps(levels)
+    new_slack = problem.path_slacks_ps(raised)
+    assert (new_slack >= base_slack - 1e-9).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_leakage_monotone_in_any_row(problem, data):
+    levels = np.array(data.draw(st.lists(
+        st.integers(0, problem.num_levels - 1),
+        min_size=problem.num_rows, max_size=problem.num_rows)))
+    row = data.draw(st.integers(0, problem.num_rows - 1))
+    if levels[row] == problem.num_levels - 1:
+        return
+    raised = levels.copy()
+    raised[row] += 1
+    assert (problem.total_leakage_nw(raised)
+            > problem.total_leakage_nw(levels))
+
+
+@settings(max_examples=20, deadline=None)
+@given(beta=st.floats(min_value=0.01, max_value=0.10))
+def test_heuristic_always_feasible_and_bounded(beta):
+    """Across betas: heuristic output is feasible, budgeted, and never
+    leaks more than the single-BB uniform solution."""
+    placed = make_placed(c1355_like, data_width=8, check_bits=4)
+    problem = build_problem(placed, CLIB, beta=beta)
+    if problem.num_constraints == 0:
+        return
+    jopt = pass_one(problem)
+    solution = solve_heuristic(problem, 3)
+    assert solution.is_timing_feasible
+    assert solution.num_clusters <= 3
+    uniform = problem.total_leakage_nw(
+        np.full(problem.num_rows, jopt))
+    assert solution.leakage_nw <= uniform + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(beta_low=st.floats(min_value=0.01, max_value=0.05),
+       delta=st.floats(min_value=0.005, max_value=0.05))
+def test_single_bb_level_monotone_in_beta(beta_low, delta):
+    placed = make_placed(c1355_like, data_width=8, check_bits=4)
+    low = build_problem(placed, CLIB, beta=beta_low)
+    high = build_problem(placed, CLIB, beta=beta_low + delta)
+    assert pass_one(high) >= pass_one(low)

@@ -1,0 +1,94 @@
+"""Integration: full pipeline round trips and end-to-end properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import build_problem, implement, solve_heuristic, solve_single_bb
+from repro.circuits import CircuitKit, industrial_module
+from repro.lefdef import read_def, rebuild_placed_design, write_def
+from repro.netlist import Netlist, read_bench, read_verilog, write_bench, \
+    write_verilog
+
+
+class TestFlowOnGeneratedDesigns:
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 10 ** 6))
+    def test_random_industrial_module_flows_end_to_end(self, seed):
+        """Any generated module must survive the whole pipeline."""
+        netlist = industrial_module("fuzz", 400, seed=seed)
+        flow = implement(netlist)
+        problem = build_problem(flow.placed, flow.clib, 0.05,
+                                analyzer=flow.analyzer,
+                                paths=list(flow.paths),
+                                dcrit_ps=flow.dcrit_ps)
+        baseline = solve_single_bb(problem)
+        solution = solve_heuristic(problem, 3)
+        assert solution.is_timing_feasible
+        assert solution.leakage_nw <= baseline.leakage_nw + 1e-9
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 10 ** 6))
+    def test_interchange_round_trip_preserves_problem(self, tmp_path_factory,
+                                                      seed):
+        """bench -> netlist -> verilog -> netlist keeps the structure."""
+        tmp_path = tmp_path_factory.mktemp("rt")
+        import random
+        rng = random.Random(seed)
+        netlist = Netlist("rt")
+        kit = CircuitKit(netlist, "k")
+        inputs = [netlist.add_input(f"i{k}") for k in range(6)]
+        nets = list(inputs)
+        for _ in range(30):
+            function = rng.choice(["NAND2", "NOR2", "AND2", "XOR2", "INV"])
+            arity = 1 if function == "INV" else 2
+            nets.append(kit.gate(function,
+                                 *[rng.choice(nets) for _ in range(arity)]))
+        consumed = {net for gate in netlist.gates.values()
+                    for net in gate.inputs}
+        for index, net in enumerate(n for n in nets if n not in consumed):
+            out = netlist.add_output(f"o{index}")
+            kit.buf(net, output=out)
+        netlist.validate()
+
+        bench_path = tmp_path / "a.bench"
+        write_bench(netlist, bench_path)
+        from_bench = read_bench(bench_path)
+        verilog_path = tmp_path / "a.v"
+        write_verilog(from_bench, verilog_path)
+        from_verilog = read_verilog(verilog_path)
+        assert (from_verilog.function_histogram()
+                == netlist.function_histogram())
+        assert from_verilog.num_gates == netlist.num_gates
+
+
+class TestDefRoundTripThroughFlow:
+    def test_placed_design_def_round_trip_preserves_problem(self, tmp_path):
+        flow = implement("c1355")
+        def_path = tmp_path / "d.def"
+        write_def(flow.placed, def_path)
+        rebuilt = rebuild_placed_design(read_def(def_path),
+                                        flow.netlist.copy(),
+                                        flow.clib.library)
+        original_rows = flow.placed.rows_to_gates()
+        rebuilt_rows = rebuilt.rows_to_gates()
+        assert original_rows == rebuilt_rows
+
+    def test_problem_identical_after_def_round_trip(self, tmp_path):
+        """The FBB problem built from a DEF re-import matches the original."""
+        flow = implement("c1355")
+        problem = build_problem(flow.placed, flow.clib, 0.05,
+                                analyzer=flow.analyzer,
+                                paths=list(flow.paths),
+                                dcrit_ps=flow.dcrit_ps)
+        def_path = tmp_path / "d.def"
+        write_def(flow.placed, def_path)
+        rebuilt = rebuild_placed_design(read_def(def_path),
+                                        flow.netlist.copy(),
+                                        flow.clib.library)
+        problem2 = build_problem(rebuilt, flow.clib, 0.05)
+        assert problem2.num_rows == problem.num_rows
+        assert problem2.num_constraints == problem.num_constraints
+        assert problem.leakage_nw == pytest.approx(problem2.leakage_nw)
+        baseline = solve_single_bb(problem)
+        baseline2 = solve_single_bb(problem2)
+        assert baseline.leakage_nw == pytest.approx(baseline2.leakage_nw)

@@ -1,0 +1,66 @@
+"""Integration: allocation solutions must hold up under full STA.
+
+The allocation algorithms work on the linearised per-path constraint
+model (Sec. 4.2).  These tests re-run the real timing engine with the
+chosen per-gate scale factors and the beta derate, verifying the design
+actually recovers its nominal critical delay — i.e. the linearisation
+and the path-pruning heuristic do not let violations slip through.
+"""
+
+import pytest
+
+from repro.circuits import c1355_like, c3540_like
+from repro.core import build_problem, solve_heuristic, solve_ilp
+from repro.placement import place_design
+from repro.sta import TimingAnalyzer
+from repro.synth import map_netlist, size_for_load
+from repro.tech import characterize_library, reduced_library
+
+LIBRARY = reduced_library()
+CLIB = characterize_library(LIBRARY)
+
+#: tolerated timing excess from path pruning, fraction of Dcrit
+PRUNING_TOLERANCE = 0.002
+
+
+def full_sta_critical(placed, solution, beta):
+    analyzer = TimingAnalyzer.for_placed(placed)
+    scales = {}
+    for row, members in enumerate(placed.rows_to_gates()):
+        scale = CLIB.delay_scales[solution.levels[row]]
+        for name in members:
+            scales[name] = scale
+    return analyzer.critical_delay_ps(scales, derate=1.0 + beta)
+
+
+@pytest.fixture(scope="module", params=["sec", "alu"])
+def placed(request):
+    if request.param == "sec":
+        netlist = c1355_like(data_width=12, check_bits=5)
+    else:
+        netlist = c3540_like(width=8)
+    mapped = map_netlist(netlist, LIBRARY)
+    size_for_load(mapped, LIBRARY)
+    return place_design(mapped, LIBRARY)
+
+
+@pytest.mark.parametrize("beta", [0.05, 0.10])
+class TestCrossCheck:
+    def test_heuristic_meets_timing_under_sta(self, placed, beta):
+        problem = build_problem(placed, CLIB, beta)
+        solution = solve_heuristic(problem, 3)
+        critical = full_sta_critical(placed, solution, beta)
+        assert critical <= problem.dcrit_ps * (1 + PRUNING_TOLERANCE)
+
+    def test_ilp_meets_timing_under_sta(self, placed, beta):
+        problem = build_problem(placed, CLIB, beta)
+        solution = solve_ilp(problem, 3)
+        critical = full_sta_critical(placed, solution, beta)
+        assert critical <= problem.dcrit_ps * (1 + PRUNING_TOLERANCE)
+
+    def test_unbiased_die_violates_under_sta(self, placed, beta):
+        """Sanity: the slowed-down die really is broken without FBB."""
+        problem = build_problem(placed, CLIB, beta)
+        analyzer = TimingAnalyzer.for_placed(placed)
+        degraded = analyzer.critical_delay_ps(derate=1.0 + beta)
+        assert degraded > problem.dcrit_ps * (1 + beta / 2)

@@ -1,0 +1,166 @@
+"""Tests for the physical bias-implementation layer."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import c1355_like
+from repro.errors import LayoutError
+from repro.layout import (area_report, ascii_layout,
+                          boundary_count_upper_bound, insert_contacts,
+                          route_bias_rails, svg_layout, well_separation)
+from repro.placement import place_design
+from repro.synth import map_netlist
+from repro.tech import Technology, characterize_library, reduced_library
+
+LIBRARY = reduced_library()
+CLIB = characterize_library(LIBRARY)
+
+
+@pytest.fixture(scope="module")
+def placed():
+    mapped = map_netlist(c1355_like(data_width=12, check_bits=5), LIBRARY)
+    return place_design(mapped, LIBRARY)
+
+
+@pytest.fixture(scope="module")
+def levels(placed):
+    rng = np.random.default_rng(3)
+    values = rng.choice([0, 4, 8], size=placed.num_rows)
+    values[0] = 0
+    values[1] = 4
+    return [int(v) for v in values]
+
+
+class TestContacts:
+    def test_stations_every_50um(self, placed):
+        plan = insert_contacts(placed)
+        pitch = LIBRARY.tech.bias_rules.contact_pitch_um
+        for row_plan in plan.rows:
+            row = placed.floorplan.row(row_plan.row)
+            expected = max(1, int(np.ceil(row.width_um / pitch)))
+            assert len(row_plan.station_x_um) == expected
+
+    def test_utilization_increase_within_paper_bound(self, placed):
+        """Paper: max ~6% per-row utilization increase."""
+        plan = insert_contacts(placed)
+        assert plan.max_utilization_increase <= 0.06 + 1e-9
+
+    def test_fits_in_spatial_slack(self, placed):
+        plan = insert_contacts(placed)
+        assert plan.fits_without_area_growth
+
+    def test_more_cells_more_sites(self, placed):
+        two = insert_contacts(placed, cells_per_station=2)
+        four = insert_contacts(placed, cells_per_station=4)
+        assert four.total_added_sites == 2 * two.total_added_sites
+
+    def test_bad_station_count_rejected(self, placed):
+        with pytest.raises(LayoutError):
+            insert_contacts(placed, cells_per_station=0)
+
+    def test_stations_inside_row(self, placed):
+        plan = insert_contacts(placed)
+        for row_plan in plan.rows:
+            row = placed.floorplan.row(row_plan.row)
+            for x in row_plan.station_x_um:
+                assert 0 <= x <= row.width_um
+
+
+class TestWells:
+    def test_uniform_assignment_no_boundaries(self, placed):
+        report = well_separation(placed, [0] * placed.num_rows)
+        assert report.num_boundaries == 0
+        assert report.added_area_um2 == 0.0
+
+    def test_alternating_assignment_max_boundaries(self, placed):
+        alternating = [i % 2 for i in range(placed.num_rows)]
+        report = well_separation(placed, alternating)
+        assert report.num_boundaries == placed.num_rows - 1
+        assert report.num_boundaries == boundary_count_upper_bound(
+            placed.num_rows, 2)
+
+    def test_contiguous_clusters_minimal_boundaries(self, placed):
+        half = placed.num_rows // 2
+        banded = [0] * half + [5] * (placed.num_rows - half)
+        report = well_separation(placed, banded)
+        assert report.num_boundaries == 1
+
+    def test_overhead_below_paper_bound(self, placed, levels):
+        """Paper: well-separation area always below 5%."""
+        report = well_separation(placed, levels)
+        assert report.area_overhead_fraction < 0.05
+
+    def test_wrong_length_rejected(self, placed):
+        with pytest.raises(LayoutError):
+            well_separation(placed, [0, 1])
+
+
+class TestRouting:
+    def test_two_voltages_four_rails(self, placed, levels):
+        route = route_bias_rails(placed, levels, CLIB.vbs_levels)
+        assert route.num_bias_values == 2
+        assert len(route.rails) == 4
+
+    def test_nbb_only_routes_nothing(self, placed):
+        route = route_bias_rails(placed, [0] * placed.num_rows,
+                                 CLIB.vbs_levels)
+        assert route.rails == ()
+
+    def test_too_many_voltages_rejected(self, placed):
+        levels = [(i % 3) + 1 for i in range(placed.num_rows)]
+        with pytest.raises(LayoutError):
+            route_bias_rails(placed, levels, CLIB.vbs_levels)
+
+    def test_rails_inside_core(self, placed, levels):
+        route = route_bias_rails(placed, levels, CLIB.vbs_levels)
+        for rail in route.rails:
+            assert 0 <= rail.x_um
+            assert (rail.x_um + rail.width_um
+                    <= placed.floorplan.core_width_um + 1e-9)
+
+    def test_special_nets_geometry(self, placed, levels):
+        route = route_bias_rails(placed, levels, CLIB.vbs_levels)
+        nets = route.special_nets()
+        assert len(nets) == len(route.rails)
+        for net in nets:
+            (x1, y1, x2, y2) = net.rects_um[0]
+            assert y1 == 0.0
+            assert y2 == pytest.approx(placed.floorplan.core_height_um)
+            assert x2 > x1
+
+    def test_rail_layer_is_top_metal(self, placed, levels):
+        route = route_bias_rails(placed, levels, CLIB.vbs_levels)
+        for rail in route.rails:
+            assert rail.layer == Technology().bias_rules.rail_layer
+
+
+class TestRender:
+    def test_ascii_contains_all_rows(self, placed, levels):
+        art = ascii_layout(placed, levels)
+        assert art.count("row ") == placed.num_rows
+
+    def test_ascii_marks_rails(self, placed, levels):
+        route = route_bias_rails(placed, levels, CLIB.vbs_levels)
+        art = ascii_layout(placed, levels, route=route)
+        assert "|" in art
+
+    def test_svg_written(self, placed, levels, tmp_path):
+        path = tmp_path / "layout.svg"
+        route = route_bias_rails(placed, levels, CLIB.vbs_levels)
+        svg_layout(placed, levels, path, route=route)
+        content = path.read_text()
+        assert content.startswith("<svg")
+        assert content.count("<rect") >= placed.num_rows + len(route.rails)
+
+    def test_length_mismatch_rejected(self, placed):
+        with pytest.raises(LayoutError):
+            ascii_layout(placed, [0])
+
+
+class TestAreaReport:
+    def test_report_within_bounds(self, placed, levels):
+        report = area_report(placed, levels, CLIB.vbs_levels)
+        assert report.within_paper_bounds
+        text = report.format()
+        assert "within paper bounds: yes" in text
+        assert placed.netlist.name in text

@@ -1,0 +1,133 @@
+"""Round-trip tests for LEF and DEF I/O."""
+
+import pytest
+
+from repro.circuits import c1355_like
+from repro.errors import ParseError
+from repro.lefdef import (SpecialNet, read_def, read_lef,
+                          rebuild_placed_design, validate_against_library,
+                          write_def, write_lef)
+from repro.placement import place_design
+from repro.synth import map_netlist
+from repro.tech import reduced_library
+
+LIBRARY = reduced_library()
+
+
+@pytest.fixture(scope="module")
+def placed():
+    mapped = map_netlist(c1355_like(data_width=8, check_bits=4), LIBRARY)
+    return place_design(mapped, LIBRARY)
+
+
+class TestLef:
+    def test_round_trip_macros(self, tmp_path):
+        path = tmp_path / "lib.lef"
+        write_lef(LIBRARY, path)
+        lef = read_lef(path)
+        assert set(lef.macros) == set(LIBRARY.cell_names)
+
+    def test_site_geometry(self, tmp_path):
+        path = tmp_path / "lib.lef"
+        write_lef(LIBRARY, path)
+        lef = read_lef(path)
+        assert lef.site_width_um == pytest.approx(
+            LIBRARY.tech.site_width_um)
+        assert lef.site_height_um == pytest.approx(
+            LIBRARY.tech.row_height_um)
+
+    def test_macro_sizes_match_library(self, tmp_path):
+        path = tmp_path / "lib.lef"
+        write_lef(LIBRARY, path)
+        lef = read_lef(path)
+        validate_against_library(lef, LIBRARY)
+
+    def test_pins_present(self, tmp_path):
+        path = tmp_path / "lib.lef"
+        write_lef(LIBRARY, path)
+        lef = read_lef(path)
+        nand2 = lef.macro("NAND2_X1")
+        assert set(nand2.pins) == {"A1", "A2", "ZN"}
+        dff = lef.macro("DFF_X1")
+        assert set(dff.pins) == {"D", "CK", "Q"}
+
+    def test_layers_include_top_metal(self, tmp_path):
+        path = tmp_path / "lib.lef"
+        write_lef(LIBRARY, path)
+        lef = read_lef(path)
+        assert LIBRARY.tech.bias_rules.rail_layer in lef.layers
+
+    def test_missing_site_rejected(self, tmp_path):
+        path = tmp_path / "bad.lef"
+        path.write_text("VERSION 5.7 ;\nEND LIBRARY\n")
+        with pytest.raises(ParseError):
+            read_lef(path)
+
+    def test_unknown_macro_lookup(self, tmp_path):
+        path = tmp_path / "lib.lef"
+        write_lef(LIBRARY, path)
+        lef = read_lef(path)
+        with pytest.raises(ParseError):
+            lef.macro("NOT_A_CELL")
+
+
+class TestDef:
+    def test_round_trip_components(self, placed, tmp_path):
+        path = tmp_path / "design.def"
+        write_def(placed, path)
+        parsed = read_def(path)
+        assert parsed.design_name == placed.netlist.name
+        assert set(parsed.components) == set(placed.netlist.gates)
+
+    def test_row_statements(self, placed, tmp_path):
+        path = tmp_path / "design.def"
+        write_def(placed, path)
+        parsed = read_def(path)
+        assert len(parsed.rows) == placed.num_rows
+
+    def test_rebuild_equals_original(self, placed, tmp_path):
+        path = tmp_path / "design.def"
+        write_def(placed, path)
+        parsed = read_def(path)
+        rebuilt = rebuild_placed_design(
+            parsed, placed.netlist.copy(), LIBRARY)
+        for name, placement in placed.placements.items():
+            other = rebuilt.placements[name]
+            assert (placement.row, placement.site) == (other.row, other.site)
+
+    def test_pins_cover_io(self, placed, tmp_path):
+        path = tmp_path / "design.def"
+        write_def(placed, path)
+        parsed = read_def(path)
+        expected = (placed.netlist.primary_inputs
+                    + placed.netlist.primary_outputs)
+        assert parsed.pins == expected
+
+    def test_special_nets_round_trip(self, placed, tmp_path):
+        rails = [SpecialNet("vbs1_n", "metal7",
+                            [(1.0, 0.0, 1.4, 50.0)]),
+                 SpecialNet("vbs1_p", "metal7",
+                            [(2.0, 0.0, 2.4, 50.0)])]
+        path = tmp_path / "design.def"
+        write_def(placed, path, special_nets=rails)
+        parsed = read_def(path)
+        assert [s.name for s in parsed.special_nets] == ["vbs1_n", "vbs1_p"]
+        assert parsed.special_nets[0].layer == "metal7"
+        assert parsed.special_nets[0].rects_um[0] == pytest.approx(
+            (1.0, 0.0, 1.4, 50.0))
+
+    def test_missing_diearea_rejected(self, tmp_path):
+        path = tmp_path / "bad.def"
+        path.write_text("DESIGN x ;\nEND DESIGN\n")
+        with pytest.raises(ParseError):
+            read_def(path)
+
+    def test_bad_component_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.def"
+        path.write_text(
+            "DESIGN x ;\nDIEAREA ( 0 0 ) ( 100 100 ) ;\n"
+            "ROW row_0 core 0 0 N DO 10 BY 1 STEP 200 0 ;\n"
+            "COMPONENTS 1 ;\n  - broken line here ;\nEND COMPONENTS\n"
+            "END DESIGN\n")
+        with pytest.raises(ParseError):
+            read_def(path)

@@ -1,0 +1,108 @@
+"""Tests for the ISCAS .bench reader/writer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.netlist import Netlist, read_bench, write_bench
+
+SAMPLE = """\
+# tiny sequential sample
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+OUTPUT(q)
+n1 = NAND(a, b)
+y = NOT(n1)
+q = DFF(n1)
+"""
+
+
+def write_sample(tmp_path, text=SAMPLE, name="t.bench"):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestRead:
+    def test_parses_sample(self, tmp_path):
+        netlist = read_bench(write_sample(tmp_path))
+        assert netlist.num_gates == 3
+        assert netlist.primary_inputs == ["a", "b"]
+        assert netlist.primary_outputs == ["y", "q"]
+
+    def test_function_translation(self, tmp_path):
+        netlist = read_bench(write_sample(tmp_path))
+        functions = sorted(g.function for g in netlist.gates.values())
+        assert functions == ["DFF", "INV", "NAND2"]
+
+    def test_variable_arity(self, tmp_path):
+        text = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = AND(a, b, c)\n"
+        netlist = read_bench(write_sample(tmp_path, text))
+        assert netlist.gate("y_g").function == "AND3"
+
+    def test_wide_gate_decomposed(self, tmp_path):
+        inputs = [f"i{k}" for k in range(9)]
+        text = "".join(f"INPUT({net})\n" for net in inputs)
+        text += "OUTPUT(y)\ny = NAND(%s)\n" % ", ".join(inputs)
+        netlist = read_bench(write_sample(tmp_path, text))
+        assert netlist.num_gates > 1
+        functions = {g.function for g in netlist.gates.values()}
+        assert functions <= {"AND2", "AND3", "AND4", "NAND2", "NAND3", "NAND4"}
+        netlist.validate()
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        text = "# header\n\nINPUT(a)\nOUTPUT(y)\n\ny = NOT(a)  # trailing\n"
+        netlist = read_bench(write_sample(tmp_path, text))
+        assert netlist.num_gates == 1
+
+    def test_unknown_gate_type(self, tmp_path):
+        text = "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n"
+        with pytest.raises(ParseError):
+            read_bench(write_sample(tmp_path, text))
+
+    def test_unparseable_line(self, tmp_path):
+        text = "INPUT(a)\nOUTPUT(y)\nthis is nonsense\ny = NOT(a)\n"
+        with pytest.raises(ParseError) as excinfo:
+            read_bench(write_sample(tmp_path, text))
+        assert "3" in str(excinfo.value)
+
+    def test_undriven_output_rejected(self, tmp_path):
+        text = "INPUT(a)\nOUTPUT(y)\n"
+        with pytest.raises(ParseError):
+            read_bench(write_sample(tmp_path, text))
+
+    def test_empty_gate_args(self, tmp_path):
+        text = "INPUT(a)\nOUTPUT(y)\ny = AND()\n"
+        with pytest.raises(ParseError):
+            read_bench(write_sample(tmp_path, text))
+
+
+class TestRoundTrip:
+    def test_sample_round_trip(self, tmp_path):
+        original = read_bench(write_sample(tmp_path))
+        out = tmp_path / "out.bench"
+        write_bench(original, out)
+        reparsed = read_bench(out)
+        assert reparsed.num_gates == original.num_gates
+        assert reparsed.primary_inputs == original.primary_inputs
+        assert reparsed.primary_outputs == original.primary_outputs
+        assert reparsed.function_histogram() == original.function_histogram()
+
+    def test_generated_benchmark_round_trip(self, tmp_path):
+        from repro.circuits import c3540_like
+        original = c3540_like(width=6)
+        out = tmp_path / "c3540.bench"
+        write_bench(original, out)
+        reparsed = read_bench(out)
+        assert reparsed.num_gates == original.num_gates
+        assert reparsed.function_histogram() == original.function_histogram()
+
+    def test_xor_preserved(self, tmp_path):
+        netlist = Netlist("x")
+        netlist.add_input("a")
+        netlist.add_input("b")
+        netlist.add_output("y")
+        netlist.add_gate("g1", "XOR2", ("a", "b"), "y")
+        out = tmp_path / "x.bench"
+        write_bench(netlist, out)
+        assert read_bench(out).gate("y_g").function == "XOR2"

@@ -1,0 +1,192 @@
+"""Tests for the netlist core data structures."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist import Gate, Netlist
+
+
+def tiny_netlist() -> Netlist:
+    """a, b -> NAND -> INV -> y with a DFF on a side path."""
+    netlist = Netlist("tiny")
+    netlist.add_input("a")
+    netlist.add_input("b")
+    netlist.add_output("y")
+    netlist.add_output("q")
+    netlist.add_gate("g1", "NAND2", ("a", "b"), "n1")
+    netlist.add_gate("g2", "INV", ("n1",), "y")
+    netlist.add_gate("f1", "DFF", ("n1",), "q")
+    return netlist
+
+
+class TestConstruction:
+    def test_counts(self):
+        netlist = tiny_netlist()
+        assert netlist.num_gates == 3
+        assert len(netlist.primary_inputs) == 2
+        assert len(netlist.primary_outputs) == 2
+
+    def test_duplicate_gate_rejected(self):
+        netlist = tiny_netlist()
+        with pytest.raises(NetlistError):
+            netlist.add_gate("g1", "INV", ("a",), "n9")
+
+    def test_double_driver_rejected(self):
+        netlist = tiny_netlist()
+        with pytest.raises(NetlistError):
+            netlist.add_gate("g3", "INV", ("a",), "n1")
+
+    def test_driving_primary_input_rejected(self):
+        netlist = tiny_netlist()
+        with pytest.raises(NetlistError):
+            netlist.add_gate("g3", "INV", ("n1",), "a")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(NetlistError):
+            Gate("g", "NAND2", ("a",), "y")
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(NetlistError):
+            Gate("g", "MAJ3", ("a", "b", "c"), "y")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(NetlistError):
+            Netlist("")
+
+    def test_fresh_names_unique(self):
+        netlist = tiny_netlist()
+        names = {netlist.fresh_net() for _ in range(50)}
+        assert len(names) == 50
+
+
+class TestQueries:
+    def test_fanout_gates(self):
+        netlist = tiny_netlist()
+        fanout = {g.name for g in netlist.fanout_gates("n1")}
+        assert fanout == {"g2", "f1"}
+
+    def test_driver_gate(self):
+        netlist = tiny_netlist()
+        assert netlist.driver_gate("n1").name == "g1"
+        assert netlist.driver_gate("a") is None
+
+    def test_histogram(self):
+        histogram = tiny_netlist().function_histogram()
+        assert histogram == {"DFF": 1, "INV": 1, "NAND2": 1}
+
+    def test_sequential_split(self):
+        netlist = tiny_netlist()
+        assert [g.name for g in netlist.sequential_gates()] == ["f1"]
+        assert len(netlist.combinational_gates()) == 2
+
+    def test_missing_gate_and_net(self):
+        netlist = tiny_netlist()
+        with pytest.raises(NetlistError):
+            netlist.gate("nope")
+        with pytest.raises(NetlistError):
+            netlist.net("nope")
+
+
+class TestValidation:
+    def test_valid_netlist_passes(self):
+        tiny_netlist().validate()
+
+    def test_undriven_net_detected(self):
+        netlist = Netlist("bad")
+        netlist.add_input("a")
+        netlist.add_output("y")
+        netlist.add_gate("g1", "NAND2", ("a", "ghost"), "y")
+        with pytest.raises(NetlistError):
+            netlist.validate()
+
+    def test_undriven_output_detected(self):
+        netlist = Netlist("bad")
+        netlist.add_input("a")
+        netlist.add_output("y")
+        with pytest.raises(NetlistError):
+            netlist.validate()
+
+    def test_combinational_cycle_detected(self):
+        netlist = Netlist("loop")
+        netlist.add_input("a")
+        netlist.add_output("y")
+        netlist.add_gate("g1", "NAND2", ("a", "n2"), "n1")
+        netlist.add_gate("g2", "INV", ("n1",), "n2")
+        netlist.add_gate("g3", "INV", ("n1",), "y")
+        with pytest.raises(NetlistError):
+            netlist.validate()
+
+    def test_sequential_loop_allowed(self):
+        netlist = Netlist("counter")
+        netlist.add_output("q")
+        netlist.add_gate("g1", "INV", ("q",), "d")
+        netlist.add_gate("f1", "DFF", ("d",), "q")
+        netlist.validate()
+
+    def test_dangling_nets_reported(self):
+        netlist = tiny_netlist()
+        netlist.add_gate("g9", "INV", ("a",), "unused")
+        assert netlist.dangling_nets() == ["unused"]
+
+
+class TestTopologicalOrder:
+    def test_respects_dependencies(self):
+        netlist = tiny_netlist()
+        order = [g.name for g in netlist.topological_order()]
+        assert order.index("g1") < order.index("g2")
+
+    def test_dff_breaks_cycles(self):
+        netlist = Netlist("counter")
+        netlist.add_output("q")
+        netlist.add_gate("g1", "INV", ("q",), "d")
+        netlist.add_gate("f1", "DFF", ("d",), "q")
+        assert len(netlist.topological_order()) == 2
+
+    def test_logic_depth_chain(self):
+        netlist = Netlist("chain")
+        netlist.add_input("a")
+        netlist.add_output("y")
+        previous = "a"
+        for index in range(10):
+            out = "y" if index == 9 else f"n{index}"
+            netlist.add_gate(f"g{index}", "INV", (previous,), out)
+            previous = out
+        assert netlist.logic_depth() == 10
+
+    @given(st.integers(min_value=1, max_value=40), st.integers(0, 2 ** 30))
+    def test_random_dag_topo_order_sound(self, num_gates, seed):
+        import random
+        rng = random.Random(seed)
+        netlist = Netlist("rand")
+        netlist.add_input("a")
+        nets = ["a"]
+        for index in range(num_gates):
+            fanins = [rng.choice(nets), rng.choice(nets)]
+            out = f"n{index}"
+            netlist.add_gate(f"g{index}", "NAND2", fanins, out)
+            nets.append(out)
+        netlist.add_output("y")
+        netlist.add_gate("gout", "INV", (nets[-1],), "y")
+        position = {g.name: i for i, g in
+                    enumerate(netlist.topological_order())}
+        for gate in netlist.gates.values():
+            for net_name in gate.inputs:
+                driver = netlist.nets[net_name].driver
+                if driver is not None:
+                    assert position[driver] < position[gate.name]
+
+
+class TestCopy:
+    def test_copy_is_deep(self):
+        netlist = tiny_netlist()
+        clone = netlist.copy()
+        clone.add_gate("extra", "INV", ("a",), "n99")
+        assert "extra" not in netlist.gates
+
+    def test_copy_preserves_structure(self):
+        netlist = tiny_netlist()
+        clone = netlist.copy("renamed")
+        assert clone.name == "renamed"
+        assert set(clone.gates) == set(netlist.gates)
+        assert clone.primary_inputs == netlist.primary_inputs

@@ -1,0 +1,48 @@
+"""Tests for netlist statistics."""
+
+import pytest
+
+from repro.circuits import adder_128bits, c6288_like
+from repro.netlist import Netlist, netlist_stats
+
+
+class TestStats:
+    def test_counts_consistent(self):
+        netlist = adder_128bits(width=8)
+        stats = netlist_stats(netlist)
+        assert stats.num_gates == netlist.num_gates
+        assert (stats.num_combinational + stats.num_sequential
+                == stats.num_gates)
+        assert stats.num_primary_inputs == 17   # 2*8 + cin
+        assert stats.num_primary_outputs == 9   # 8 + cout
+
+    def test_depth_matches_netlist(self):
+        netlist = c6288_like(width=4)
+        stats = netlist_stats(netlist)
+        assert stats.logic_depth == netlist.logic_depth()
+        assert stats.logic_depth > 5
+
+    def test_fanout_statistics(self):
+        netlist = Netlist("fan")
+        netlist.add_input("a")
+        for index in range(5):
+            netlist.add_output(f"y{index}")
+            netlist.add_gate(f"g{index}", "INV", ("a",), f"y{index}")
+        stats = netlist_stats(netlist)
+        assert stats.max_fanout == 5
+        assert stats.avg_fanout < stats.max_fanout
+
+    def test_format_readable(self):
+        stats = netlist_stats(adder_128bits(width=4))
+        text = stats.format()
+        assert "adder_128bits" in text
+        assert "logic depth" in text
+        assert "DFF" in text
+
+    def test_empty_histogram(self):
+        netlist = Netlist("io_only")
+        netlist.add_input("a")
+        netlist.add_output("y")
+        netlist.add_gate("g", "BUF", ("a",), "y")
+        stats = netlist_stats(netlist)
+        assert stats.function_histogram == {"BUF": 1}

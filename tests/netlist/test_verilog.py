@@ -1,0 +1,88 @@
+"""Tests for the structural Verilog subset."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.netlist import Netlist, read_verilog, write_verilog
+from repro.synth import map_netlist
+from repro.tech import reduced_library
+
+
+def sample_netlist() -> Netlist:
+    netlist = Netlist("sample")
+    netlist.add_input("a")
+    netlist.add_input("b")
+    netlist.add_output("y")
+    netlist.add_output("q")
+    netlist.add_gate("g1", "NAND2", ("a", "b"), "n1")
+    netlist.add_gate("g2", "XOR2", ("n1", "a"), "y")
+    netlist.add_gate("f1", "DFF", ("n1",), "q")
+    return netlist
+
+
+class TestGenericRoundTrip:
+    def test_round_trip_structure(self, tmp_path):
+        original = sample_netlist()
+        path = tmp_path / "sample.v"
+        write_verilog(original, path)
+        parsed = read_verilog(path)
+        assert parsed.name == original.name
+        assert parsed.num_gates == original.num_gates
+        assert parsed.function_histogram() == original.function_histogram()
+        assert parsed.primary_inputs == original.primary_inputs
+
+    def test_benchmark_round_trip(self, tmp_path):
+        from repro.circuits import c1355_like
+        original = c1355_like(data_width=8, check_bits=4)
+        path = tmp_path / "c.v"
+        write_verilog(original, path)
+        parsed = read_verilog(path)
+        assert parsed.num_gates == original.num_gates
+
+
+class TestMappedRoundTrip:
+    def test_mapped_cells_preserved(self, tmp_path):
+        library = reduced_library()
+        mapped = map_netlist(sample_netlist(), library)
+        path = tmp_path / "mapped.v"
+        write_verilog(mapped, path)
+        parsed = read_verilog(path)
+        assert parsed.num_gates == mapped.num_gates
+        for name, gate in mapped.gates.items():
+            parsed_gate = parsed.gate(name)
+            if gate.function == "DFF":
+                assert parsed_gate.function == "DFF"
+            else:
+                assert parsed_gate.cell_name == gate.cell_name
+
+
+class TestErrors:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "bad.v"
+        path.write_text(text)
+        return path
+
+    def test_no_module(self, tmp_path):
+        with pytest.raises(ParseError):
+            read_verilog(self._write(tmp_path, "wire w;\n"))
+
+    def test_unknown_primitive(self, tmp_path):
+        text = ("module m (a, y);\n  input a;\n  output y;\n"
+                "  frobnicate g1 (y, a);\nendmodule\n")
+        with pytest.raises(ParseError):
+            read_verilog(self._write(tmp_path, text))
+
+    def test_statement_before_module(self, tmp_path):
+        with pytest.raises(ParseError):
+            read_verilog(self._write(tmp_path, "input a;\nmodule m(a);\n"))
+
+    def test_instance_without_output_pin(self, tmp_path):
+        text = ("module m (a, y);\n  input a;\n  output y;\n"
+                "  INV_X1 g1 (.A(a));\nendmodule\n")
+        with pytest.raises(ParseError):
+            read_verilog(self._write(tmp_path, text))
+
+    def test_undriven_output_rejected(self, tmp_path):
+        text = "module m (y);\n  output y;\nendmodule\n"
+        with pytest.raises(ParseError):
+            read_verilog(self._write(tmp_path, text))

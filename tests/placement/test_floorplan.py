@@ -1,0 +1,85 @@
+"""Tests for floorplan sizing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import PlacementError
+from repro.placement import make_floorplan
+from repro.tech import Technology
+
+TECH = Technology()
+
+
+class TestSizing:
+    def test_basic_floorplan(self):
+        floorplan = make_floorplan(TECH, total_cell_sites=4000)
+        assert floorplan.num_rows >= 1
+        assert floorplan.sites_per_row >= 1
+        assert floorplan.total_sites() * floorplan.utilization_target \
+            >= 4000 * 0.99
+
+    def test_square_aspect(self):
+        floorplan = make_floorplan(TECH, total_cell_sites=40000,
+                                   aspect_ratio=1.0)
+        ratio = floorplan.core_height_um / floorplan.core_width_um
+        assert 0.6 < ratio < 1.6
+
+    def test_wide_aspect_fewer_rows(self):
+        square = make_floorplan(TECH, 40000, aspect_ratio=1.0)
+        wide = make_floorplan(TECH, 40000, aspect_ratio=0.5)
+        assert wide.num_rows < square.num_rows
+
+    def test_fixed_num_rows(self):
+        floorplan = make_floorplan(TECH, 4000, num_rows=10)
+        assert floorplan.num_rows == 10
+
+    def test_rows_scale_with_sqrt_of_size(self):
+        small = make_floorplan(TECH, 10000)
+        large = make_floorplan(TECH, 40000)
+        ratio = large.num_rows / small.num_rows
+        assert 1.7 < ratio < 2.4
+
+    def test_higher_utilization_smaller_core(self):
+        loose = make_floorplan(TECH, 10000, utilization=0.6)
+        tight = make_floorplan(TECH, 10000, utilization=0.9)
+        assert tight.core_area_um2 < loose.core_area_um2
+
+    @given(st.integers(min_value=10, max_value=200000))
+    def test_capacity_always_sufficient(self, sites):
+        floorplan = make_floorplan(TECH, sites)
+        assert floorplan.total_sites() >= sites
+
+    def test_row_geometry(self):
+        floorplan = make_floorplan(TECH, 4000)
+        row = floorplan.row(1)
+        assert row.y_um == pytest.approx(TECH.row_height_um)
+        assert row.site_x_um(3) == pytest.approx(3 * TECH.site_width_um)
+
+    def test_row_index_bounds(self):
+        floorplan = make_floorplan(TECH, 4000)
+        with pytest.raises(PlacementError):
+            floorplan.row(floorplan.num_rows)
+        with pytest.raises(PlacementError):
+            floorplan.row(-1)
+
+    def test_site_index_bounds(self):
+        floorplan = make_floorplan(TECH, 4000)
+        row = floorplan.row(0)
+        with pytest.raises(PlacementError):
+            row.site_x_um(row.num_sites)
+
+
+class TestValidation:
+    def test_empty_design_rejected(self):
+        with pytest.raises(PlacementError):
+            make_floorplan(TECH, 0)
+
+    def test_bad_utilization_rejected(self):
+        with pytest.raises(PlacementError):
+            make_floorplan(TECH, 100, utilization=0.0)
+        with pytest.raises(PlacementError):
+            make_floorplan(TECH, 100, utilization=1.5)
+
+    def test_bad_aspect_rejected(self):
+        with pytest.raises(PlacementError):
+            make_floorplan(TECH, 100, aspect_ratio=-1)

@@ -1,0 +1,192 @@
+"""Tests for the row placer and PlacedDesign container."""
+
+import pytest
+
+from repro.circuits import c1355_like, c3540_like
+from repro.errors import PlacementError
+from repro.netlist import Netlist
+from repro.placement import (Placement, connectivity_order, place_design)
+from repro.synth import map_netlist, size_for_load
+from repro.tech import reduced_library
+
+LIBRARY = reduced_library()
+
+
+def mapped_benchmark(generator=c1355_like, **kwargs):
+    netlist = generator(**kwargs)
+    mapped = map_netlist(netlist, LIBRARY)
+    size_for_load(mapped, LIBRARY)
+    return mapped
+
+
+@pytest.fixture(scope="module")
+def placed():
+    return place_design(mapped_benchmark(), LIBRARY)
+
+
+class TestPlacer:
+    def test_placement_is_legal(self, placed):
+        placed.validate()
+
+    def test_every_gate_placed(self, placed):
+        assert set(placed.placements) == set(placed.netlist.gates)
+
+    def test_utilization_near_target(self, placed):
+        utils = [placed.row_utilization(r) for r in range(placed.num_rows)]
+        average = sum(utils) / len(utils)
+        assert average == pytest.approx(
+            placed.floorplan.utilization_target, abs=0.08)
+        assert max(utils) <= 1.0
+
+    def test_deterministic(self):
+        first = place_design(mapped_benchmark(), LIBRARY)
+        second = place_design(mapped_benchmark(), LIBRARY)
+        assert first.placements == second.placements
+
+    def test_fixed_rows_respected(self):
+        design = place_design(mapped_benchmark(), LIBRARY, num_rows=10)
+        assert design.num_rows == 10
+
+    def test_refinement_never_hurts(self):
+        base = place_design(mapped_benchmark(), LIBRARY, refine_passes=0)
+        refined = place_design(mapped_benchmark(), LIBRARY, refine_passes=2)
+        assert (refined.half_perimeter_wirelength_um()
+                <= base.half_perimeter_wirelength_um() + 1e-6)
+
+    def test_locality_beats_random_order(self):
+        """BFS-ordered placement should have much lower HPWL than random."""
+        import random
+        mapped = mapped_benchmark(c3540_like, width=10)
+        design = place_design(mapped, LIBRARY, refine_passes=0)
+
+        shuffled = place_design(mapped, LIBRARY, refine_passes=0)
+        names = list(shuffled.placements)
+        rng = random.Random(0)
+        rng.shuffle(names)
+        slots = sorted(
+            ((p.row, p.site) for p in shuffled.placements.values()))
+        widths = {name: shuffled.placements[name].width_sites
+                  for name in names}
+        # random permutation of same-width cells only (keeps legality)
+        by_width: dict[int, list[str]] = {}
+        for name in names:
+            by_width.setdefault(widths[name], []).append(name)
+        for group in by_width.values():
+            original = [shuffled.placements[name] for name in group]
+            rng.shuffle(original)
+            for name, placement in zip(group, original):
+                shuffled.placements[name] = placement
+        shuffled.validate()
+        del slots
+        assert (design.half_perimeter_wirelength_um()
+                < 0.7 * shuffled.half_perimeter_wirelength_um())
+
+    def test_unmapped_netlist_rejected(self):
+        netlist = Netlist("raw")
+        netlist.add_input("a")
+        netlist.add_output("y")
+        netlist.add_gate("g1", "INV", ("a",), "y")
+        with pytest.raises(PlacementError):
+            place_design(netlist, LIBRARY)
+
+    def test_empty_netlist_rejected(self):
+        netlist = Netlist("void")
+        with pytest.raises(PlacementError):
+            place_design(netlist, LIBRARY)
+
+    def test_overfull_floorplan_rejected(self):
+        """A floorplan too small for the design raises, never silently drops."""
+        from repro.placement.floorplan import Floorplan, Row
+        from repro.placement.placer import _fold_into_rows, connectivity_order
+        mapped = mapped_benchmark()
+        tech = LIBRARY.tech
+        rows = tuple(Row(i, i * tech.row_height_um, 40, tech.site_width_um)
+                     for i in range(3))
+        tiny = Floorplan(tech=tech, rows=rows, utilization_target=1.0)
+        total = sum(LIBRARY.cell(g.cell_name).width_sites
+                    for g in mapped.gates.values())
+        with pytest.raises(PlacementError):
+            _fold_into_rows(connectivity_order(mapped), mapped, LIBRARY,
+                            tiny, total)
+
+
+class TestConnectivityOrder:
+    def test_covers_all_gates(self, placed):
+        order = connectivity_order(placed.netlist)
+        assert sorted(order) == sorted(placed.netlist.gates)
+
+    def test_neighbours_are_connected(self, placed):
+        """Most adjacent pairs in the order share a net."""
+        netlist = placed.netlist
+        order = connectivity_order(netlist)
+        adjacent_connected = 0
+        for left, right in zip(order, order[1:]):
+            nets_left = set(netlist.gates[left].inputs)
+            nets_left.add(netlist.gates[left].output)
+            nets_right = set(netlist.gates[right].inputs)
+            nets_right.add(netlist.gates[right].output)
+            if nets_left & nets_right:
+                adjacent_connected += 1
+        assert adjacent_connected > 0.25 * (len(order) - 1)
+
+
+class TestPlacedDesignQueries:
+    def test_rows_to_gates_partition(self, placed):
+        rows = placed.rows_to_gates()
+        flattened = [name for row in rows for name in row]
+        assert sorted(flattened) == sorted(placed.netlist.gates)
+
+    def test_gates_in_row_ordered(self, placed):
+        members = placed.gates_in_row(0)
+        sites = [placed.placements[m].site for m in members]
+        assert sites == sorted(sites)
+
+    def test_gate_position(self, placed):
+        name = next(iter(placed.placements))
+        x_um, y_um = placed.gate_position_um(name)
+        assert x_um >= 0
+        assert y_um >= 0
+
+    def test_unplaced_gate_query_fails(self, placed):
+        with pytest.raises(PlacementError):
+            placed.placement("does_not_exist")
+
+
+class TestValidationFailures:
+    def _tiny_design(self):
+        netlist = Netlist("tiny")
+        netlist.add_input("a")
+        netlist.add_output("y")
+        netlist.add_gate("g1", "INV", ("a",), "n1", "INV_X1")
+        netlist.add_gate("g2", "INV", ("n1",), "y", "INV_X1")
+        return place_design(netlist, LIBRARY, num_rows=2)
+
+    def test_overlap_detected(self):
+        design = self._tiny_design()
+        other = [n for n in design.placements if n != "g1"][0]
+        design.placements["g1"] = design.placements[other]
+        with pytest.raises(PlacementError):
+            design.validate()
+
+    def test_row_overflow_detected(self):
+        design = self._tiny_design()
+        width = design.placements["g1"].width_sites
+        design.placements["g1"] = Placement(
+            row=0, site=design.floorplan.sites_per_row - 1,
+            width_sites=width)
+        with pytest.raises(PlacementError):
+            design.validate()
+
+    def test_missing_gate_detected(self):
+        design = self._tiny_design()
+        del design.placements["g1"]
+        with pytest.raises(PlacementError):
+            design.validate()
+
+    def test_wrong_width_detected(self):
+        design = self._tiny_design()
+        placement = design.placements["g1"]
+        design.placements["g1"] = Placement(
+            placement.row, placement.site, placement.width_sites + 5)
+        with pytest.raises(PlacementError):
+            design.validate()

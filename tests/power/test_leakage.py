@@ -1,0 +1,67 @@
+"""Tests for leakage accounting."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import c1355_like
+from repro.errors import AllocationError
+from repro.placement import place_design
+from repro.power import (design_leakage_nw, gate_leakage_nw, leakage_matrix,
+                         row_leakage_nw, uniform_leakage_nw)
+from repro.synth import map_netlist
+from repro.tech import characterize_library, reduced_library
+
+LIBRARY = reduced_library()
+CLIB = characterize_library(LIBRARY)
+
+
+@pytest.fixture(scope="module")
+def placed():
+    mapped = map_netlist(c1355_like(data_width=8, check_bits=4), LIBRARY)
+    return place_design(mapped, LIBRARY)
+
+
+class TestMatrix:
+    def test_shape(self, placed):
+        matrix = leakage_matrix(placed, CLIB)
+        assert matrix.shape == (placed.num_rows, CLIB.num_levels)
+
+    def test_matches_row_sums(self, placed):
+        matrix = leakage_matrix(placed, CLIB)
+        for row in range(placed.num_rows):
+            for level in (0, 5, 10):
+                assert matrix[row, level] == pytest.approx(
+                    row_leakage_nw(placed, CLIB, row, level), rel=1e-9)
+
+    def test_monotone_in_level(self, placed):
+        matrix = leakage_matrix(placed, CLIB)
+        assert (np.diff(matrix, axis=1) > 0).all()
+
+    def test_all_rows_leak(self, placed):
+        matrix = leakage_matrix(placed, CLIB)
+        assert (matrix[:, 0] > 0).all()
+
+
+class TestDesignRollups:
+    def test_uniform_equals_sum(self, placed):
+        matrix = leakage_matrix(placed, CLIB)
+        assert uniform_leakage_nw(placed, CLIB, 3) == pytest.approx(
+            matrix[:, 3].sum(), rel=1e-9)
+
+    def test_assignment_by_mapping(self, placed):
+        levels = {row: row % CLIB.num_levels
+                  for row in range(placed.num_rows)}
+        by_map = design_leakage_nw(placed, CLIB, levels)
+        by_list = design_leakage_nw(
+            placed, CLIB, [levels[r] for r in range(placed.num_rows)])
+        assert by_map == pytest.approx(by_list)
+
+    def test_wrong_length_rejected(self, placed):
+        with pytest.raises(AllocationError):
+            design_leakage_nw(placed, CLIB, [0, 1])
+
+    def test_gate_leakage_positive(self, placed):
+        name = next(iter(placed.netlist.gates))
+        assert gate_leakage_nw(placed.netlist, CLIB, name, 0) > 0
+        assert (gate_leakage_nw(placed.netlist, CLIB, name, 10)
+                > gate_leakage_nw(placed.netlist, CLIB, name, 0))

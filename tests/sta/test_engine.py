@@ -1,0 +1,127 @@
+"""Tests for the STA engine."""
+
+import pytest
+
+from repro.errors import TimingError
+from repro.netlist import Netlist
+from repro.sta import TimingAnalyzer
+from repro.tech import reduced_library
+
+LIBRARY = reduced_library()
+
+
+def chain_netlist(length=5) -> Netlist:
+    netlist = Netlist("chain")
+    netlist.add_input("a")
+    netlist.add_output("y")
+    previous = "a"
+    for index in range(length):
+        out = "y" if index == length - 1 else f"n{index}"
+        netlist.add_gate(f"g{index}", "INV", (previous,), out, "INV_X1")
+        previous = out
+    return netlist
+
+
+def flop_pair_netlist() -> Netlist:
+    """DFF -> INV chain -> DFF plus a PO."""
+    netlist = Netlist("pair")
+    netlist.add_input("d")
+    netlist.add_output("y")
+    netlist.add_gate("f1", "DFF", ("d",), "q1", "DFF_X1")
+    netlist.add_gate("g1", "INV", ("q1",), "n1", "INV_X1")
+    netlist.add_gate("g2", "INV", ("n1",), "n2", "INV_X1")
+    netlist.add_gate("f2", "DFF", ("n2",), "y", "DFF_X1")
+    return netlist
+
+
+class TestArrivalPropagation:
+    def test_chain_delay_accumulates(self):
+        analyzer = TimingAnalyzer(chain_netlist(5), LIBRARY)
+        report = analyzer.analyze()
+        arrivals = [report.arrival_ps[f"g{i}"] for i in range(5)]
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+        assert report.critical_delay_ps == pytest.approx(arrivals[-1])
+
+    def test_chain_scales_with_length(self):
+        short = TimingAnalyzer(chain_netlist(3), LIBRARY)
+        long = TimingAnalyzer(chain_netlist(9), LIBRARY)
+        assert (long.critical_delay_ps()
+                > 2 * short.critical_delay_ps())
+
+    def test_derate_scales_critical_delay(self):
+        analyzer = TimingAnalyzer(chain_netlist(5), LIBRARY)
+        base = analyzer.critical_delay_ps()
+        slowed = analyzer.critical_delay_ps(derate=1.10)
+        assert slowed == pytest.approx(1.10 * base, rel=1e-9)
+
+    def test_per_gate_scaling(self):
+        analyzer = TimingAnalyzer(chain_netlist(5), LIBRARY)
+        base = analyzer.analyze()
+        scaled = analyzer.analyze(scales={"g2": 0.5})
+        expected = base.critical_delay_ps - 0.5 * base.gate_delay_ps["g2"]
+        assert scaled.critical_delay_ps == pytest.approx(expected, rel=1e-9)
+
+    def test_bad_derate_rejected(self):
+        analyzer = TimingAnalyzer(chain_netlist(3), LIBRARY)
+        with pytest.raises(TimingError):
+            analyzer.analyze(derate=0.0)
+
+
+class TestSequentialPaths:
+    def test_flop_endpoints_found(self):
+        analyzer = TimingAnalyzer(flop_pair_netlist(), LIBRARY)
+        kinds = {(e.kind, e.name) for e in analyzer.endpoints}
+        assert ("po", "y") in kinds
+        assert ("dff", "f1") in kinds
+        assert ("dff", "f2") in kinds
+
+    def test_flop_to_flop_path_includes_setup(self):
+        analyzer = TimingAnalyzer(flop_pair_netlist(), LIBRARY)
+        report = analyzer.analyze()
+        f2_endpoint = next(e for e in analyzer.endpoints
+                           if e.kind == "dff" and e.name == "f2")
+        setup = LIBRARY.cell("DFF_X1").setup_ps
+        expected = (report.arrival_ps["g2"] + setup)
+        assert report.endpoint_delay_ps[f2_endpoint] == pytest.approx(
+            expected)
+
+    def test_launch_clk_to_q_counts(self):
+        analyzer = TimingAnalyzer(flop_pair_netlist(), LIBRARY)
+        report = analyzer.analyze()
+        assert report.arrival_ps["f1"] > 0  # clk->Q launch delay
+
+    def test_meets_required(self):
+        analyzer = TimingAnalyzer(flop_pair_netlist(), LIBRARY)
+        dcrit = analyzer.critical_delay_ps()
+        assert analyzer.meets(dcrit)
+        assert not analyzer.meets(dcrit - 1.0)
+
+
+class TestWorstEndpoint:
+    def test_worst_endpoint_has_critical_delay(self):
+        analyzer = TimingAnalyzer(flop_pair_netlist(), LIBRARY)
+        report = analyzer.analyze()
+        worst = report.worst_endpoint()
+        assert report.endpoint_delay_ps[worst] == pytest.approx(
+            report.critical_delay_ps)
+
+    def test_slack_signs(self):
+        analyzer = TimingAnalyzer(flop_pair_netlist(), LIBRARY)
+        report = analyzer.analyze()
+        slacks = report.slack_ps(report.critical_delay_ps)
+        assert min(slacks.values()) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestValidation:
+    def test_empty_netlist_rejected(self):
+        with pytest.raises(TimingError):
+            TimingAnalyzer(Netlist("empty"), LIBRARY)
+
+    def test_unmapped_gate_rejected(self):
+        netlist = Netlist("raw")
+        netlist.add_input("a")
+        netlist.add_output("y")
+        netlist.add_gate("g1", "INV", ("a",), "y")
+        analyzer = TimingAnalyzer(netlist, LIBRARY)
+        with pytest.raises(TimingError):
+            analyzer.analyze()

@@ -1,0 +1,143 @@
+"""Tests for longest-path-through-each-cell extraction."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.circuits import c3540_like
+from repro.errors import TimingError
+from repro.netlist import Netlist
+from repro.placement import place_design
+from repro.sta import (TimingAnalyzer, TimingPath, extract_paths,
+                       violating_paths)
+from repro.synth import map_netlist
+from repro.tech import reduced_library
+
+LIBRARY = reduced_library()
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    mapped = map_netlist(c3540_like(width=6), LIBRARY)
+    placed = place_design(mapped, LIBRARY)
+    return TimingAnalyzer.for_placed(placed)
+
+
+class TestExtraction:
+    def test_first_path_is_critical(self, analyzer):
+        paths = extract_paths(analyzer)
+        assert paths[0].delay_ps == pytest.approx(
+            analyzer.critical_delay_ps())
+
+    def test_paths_sorted_descending(self, analyzer):
+        paths = extract_paths(analyzer)
+        delays = [p.delay_ps for p in paths]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_paths_unique(self, analyzer):
+        paths = extract_paths(analyzer)
+        keys = {p.gates for p in paths}
+        assert len(keys) == len(paths)
+
+    def test_every_gate_covered(self, analyzer):
+        """Every cell appears on at least one extracted path."""
+        paths = extract_paths(analyzer)
+        covered = set()
+        for path in paths:
+            covered.update(path.gates)
+        assert covered == set(analyzer.netlist.gates)
+
+    def test_paths_follow_connectivity(self, analyzer):
+        netlist = analyzer.netlist
+        for path in extract_paths(analyzer)[:20]:
+            for left, right in zip(path.gates, path.gates[1:]):
+                sink_names = {g.name for g in netlist.fanout_gates(
+                    netlist.gates[left].output)}
+                assert right in sink_names
+
+    def test_path_delay_consistent(self, analyzer):
+        report = analyzer.analyze()
+        for path in extract_paths(analyzer)[:10]:
+            total = sum(report.gate_delay_ps[g] for g in path.gates)
+            assert path.delay_ps == pytest.approx(
+                total + path.setup_ps, rel=1e-9)
+
+
+class TestViolatingFilter:
+    def test_zero_beta_no_violations(self, analyzer):
+        paths = extract_paths(analyzer)
+        dcrit = paths[0].delay_ps
+        assert violating_paths(paths, dcrit, 0.0) == []
+
+    def test_count_grows_with_beta(self, analyzer):
+        paths = extract_paths(analyzer)
+        dcrit = paths[0].delay_ps
+        m5 = len(violating_paths(paths, dcrit, 0.05))
+        m10 = len(violating_paths(paths, dcrit, 0.10))
+        assert 0 < m5 <= m10
+
+    def test_critical_path_always_violates(self, analyzer):
+        paths = extract_paths(analyzer)
+        dcrit = paths[0].delay_ps
+        violating = violating_paths(paths, dcrit, 0.05)
+        assert violating[0].delay_ps == pytest.approx(dcrit)
+
+    def test_negative_beta_rejected(self, analyzer):
+        paths = extract_paths(analyzer)
+        with pytest.raises(TimingError):
+            violating_paths(paths, paths[0].delay_ps, -0.1)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=0.3))
+    def test_all_violating_paths_exceed_dcrit(self, beta):
+        mapped = map_netlist(c3540_like(width=4), LIBRARY)
+        analyzer = TimingAnalyzer(mapped, LIBRARY)
+        paths = extract_paths(analyzer)
+        dcrit = paths[0].delay_ps
+        for path in violating_paths(paths, dcrit, beta):
+            assert path.delay_ps * (1 + beta) > dcrit
+
+
+class TestTimingPath:
+    def test_empty_path_rejected(self):
+        with pytest.raises(TimingError):
+            TimingPath((), (), 0.0, "po")
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(TimingError):
+            TimingPath(("g1",), (1.0, 2.0), 0.0, "po")
+
+    def test_delay_includes_setup(self):
+        path = TimingPath(("g1", "g2"), (10.0, 20.0), 30.0, "dff")
+        assert path.delay_ps == pytest.approx(60.0)
+        assert path.num_gates == 2
+
+
+class TestRandomDags:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(5, 60), st.integers(0, 10 ** 6))
+    def test_extraction_sound_on_random_dags(self, num_gates, seed):
+        """Longest-through-cell >= any path STA reports for that cell."""
+        import random
+        rng = random.Random(seed)
+        netlist = Netlist("rand")
+        netlist.add_input("a")
+        netlist.add_input("b")
+        nets = ["a", "b"]
+        for index in range(num_gates):
+            out = f"n{index}"
+            netlist.add_gate(f"g{index}", "NAND2",
+                             (rng.choice(nets), rng.choice(nets)), out,
+                             "NAND2_X1")
+            nets.append(out)
+        netlist.add_output("y")
+        netlist.add_gate("gy", "INV", (nets[-1],), "y", "INV_X1")
+        analyzer = TimingAnalyzer(netlist, LIBRARY)
+        paths = extract_paths(analyzer)
+        assert paths[0].delay_ps == pytest.approx(
+            analyzer.critical_delay_ps())
+        covered = set()
+        for path in paths:
+            covered.update(path.gates)
+        # gates feeding dangling nets may not reach an endpoint, but the
+        # output cone must be covered
+        assert "gy" in covered

@@ -1,0 +1,96 @@
+"""Tests for technology mapping."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import Netlist
+from repro.synth import is_fully_mapped, map_netlist
+from repro.tech import CellLibrary, Technology, reduced_library
+
+LIBRARY = reduced_library()
+
+
+def xor_netlist() -> Netlist:
+    netlist = Netlist("x")
+    netlist.add_input("a")
+    netlist.add_input("b")
+    netlist.add_output("y")
+    netlist.add_gate("g1", "XOR2", ("a", "b"), "y")
+    return netlist
+
+
+class TestDirectMapping:
+    def test_direct_functions_bound(self):
+        netlist = Netlist("d")
+        netlist.add_input("a")
+        netlist.add_input("b")
+        netlist.add_output("y")
+        netlist.add_gate("g1", "NAND2", ("a", "b"), "y")
+        mapped = map_netlist(netlist, LIBRARY)
+        assert mapped.gate("g1").cell_name == "NAND2_X1"
+        assert is_fully_mapped(mapped)
+
+    def test_io_preserved(self):
+        mapped = map_netlist(xor_netlist(), LIBRARY)
+        assert mapped.primary_inputs == ["a", "b"]
+        assert mapped.primary_outputs == ["y"]
+
+    def test_dff_bound(self):
+        netlist = Netlist("f")
+        netlist.add_input("d")
+        netlist.add_output("q")
+        netlist.add_gate("f1", "DFF", ("d",), "q")
+        mapped = map_netlist(netlist, LIBRARY)
+        assert mapped.gate("f1").cell_name == "DFF_X1"
+
+
+class TestDecomposition:
+    def test_xor_becomes_4_nands(self):
+        mapped = map_netlist(xor_netlist(), LIBRARY)
+        assert mapped.num_gates == 4
+        assert all(g.function == "NAND2" for g in mapped.gates.values())
+        mapped.validate()
+
+    def test_xnor_becomes_5_gates(self):
+        netlist = Netlist("xn")
+        netlist.add_input("a")
+        netlist.add_input("b")
+        netlist.add_output("y")
+        netlist.add_gate("g1", "XNOR2", ("a", "b"), "y")
+        mapped = map_netlist(netlist, LIBRARY)
+        assert mapped.num_gates == 5
+        histogram = mapped.function_histogram()
+        assert histogram == {"INV": 1, "NAND2": 4}
+
+    def test_buf_becomes_2_inverters(self):
+        netlist = Netlist("b")
+        netlist.add_input("a")
+        netlist.add_output("y")
+        netlist.add_gate("g1", "BUF", ("a",), "y")
+        mapped = map_netlist(netlist, LIBRARY)
+        assert mapped.num_gates == 2
+        assert all(g.function == "INV" for g in mapped.gates.values())
+
+    def test_output_net_names_preserved(self):
+        mapped = map_netlist(xor_netlist(), LIBRARY)
+        assert "y" in mapped.nets
+        assert mapped.net("y").driver is not None
+
+    def test_mapped_netlist_validates(self):
+        from repro.circuits import c3540_like
+        mapped = map_netlist(c3540_like(width=6), LIBRARY)
+        mapped.validate()
+        assert is_fully_mapped(mapped)
+
+
+class TestErrors:
+    def test_missing_function_in_library(self):
+        tech = Technology()
+        tiny = CellLibrary(tech, [LIBRARY.cell("INV_X1")])
+        netlist = Netlist("n")
+        netlist.add_input("a")
+        netlist.add_input("b")
+        netlist.add_output("y")
+        netlist.add_gate("g1", "NAND2", ("a", "b"), "y")
+        with pytest.raises(NetlistError):
+            map_netlist(netlist, tiny)

@@ -1,0 +1,72 @@
+"""Tests for fanout-driven drive selection."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import Netlist
+from repro.synth import (drive_histogram, map_netlist, net_load_ff,
+                         size_for_load)
+from repro.tech import reduced_library
+
+LIBRARY = reduced_library()
+
+
+def high_fanout_netlist(fanout: int) -> Netlist:
+    netlist = Netlist("fan")
+    netlist.add_input("a")
+    netlist.add_input("b")
+    netlist.add_gate("drv", "NAND2", ("a", "b"), "n0")
+    for index in range(fanout):
+        out = f"y{index}"
+        netlist.add_output(out)
+        netlist.add_gate(f"g{index}", "INV", ("n0",), out)
+    return netlist
+
+
+class TestLoadEstimate:
+    def test_load_counts_pins_and_wire(self):
+        mapped = map_netlist(high_fanout_netlist(4), LIBRARY)
+        load = net_load_ff(mapped, LIBRARY, "n0")
+        inv_cap = LIBRARY.cell("INV_X1").input_cap_ff
+        assert load == pytest.approx(4 * inv_cap + 4 * 0.25)
+
+    def test_unmapped_gate_rejected(self):
+        netlist = high_fanout_netlist(2)
+        with pytest.raises(NetlistError):
+            net_load_ff(netlist, LIBRARY, "n0")
+
+
+class TestSizing:
+    def test_low_fanout_untouched(self):
+        mapped = map_netlist(high_fanout_netlist(2), LIBRARY)
+        changed = size_for_load(mapped, LIBRARY)
+        assert changed == 0
+        assert mapped.gate("drv").cell_name == "NAND2_X1"
+
+    def test_high_fanout_upsized(self):
+        mapped = map_netlist(high_fanout_netlist(40), LIBRARY)
+        changed = size_for_load(mapped, LIBRARY)
+        assert changed >= 1
+        assert LIBRARY.cell(mapped.gate("drv").cell_name).drive > 1
+
+    def test_never_downsizes(self):
+        mapped = map_netlist(high_fanout_netlist(40), LIBRARY)
+        size_for_load(mapped, LIBRARY)
+        drives_after_first = {name: g.cell_name
+                              for name, g in mapped.gates.items()}
+        size_for_load(mapped, LIBRARY)
+        for name, gate in mapped.gates.items():
+            before = LIBRARY.cell(drives_after_first[name]).drive
+            assert LIBRARY.cell(gate.cell_name).drive >= before
+
+    def test_bad_budget_rejected(self):
+        mapped = map_netlist(high_fanout_netlist(2), LIBRARY)
+        with pytest.raises(NetlistError):
+            size_for_load(mapped, LIBRARY, budget_ps=0)
+
+    def test_histogram(self):
+        mapped = map_netlist(high_fanout_netlist(40), LIBRARY)
+        size_for_load(mapped, LIBRARY)
+        histogram = drive_histogram(mapped, LIBRARY)
+        assert sum(histogram.values()) == mapped.num_gates
+        assert set(histogram) <= {1, 2, 4}

@@ -1,0 +1,127 @@
+"""Tests for the reduced standard-cell library."""
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.tech import CellLibrary, StandardCell, Technology, reduced_library
+
+TECH = Technology()
+
+
+@pytest.fixture(scope="module")
+def library():
+    return reduced_library(TECH)
+
+
+class TestComposition:
+    def test_paper_reduced_cell_set(self, library):
+        """Paper: inverters, and, or, nor, nand and D-flip-flops."""
+        families = {cell.function.rstrip("234") for cell in library}
+        assert families == {"INV", "AND", "OR", "NOR", "NAND", "DFF"}
+
+    def test_no_xor_cell(self, library):
+        assert all("XOR" not in cell.function for cell in library)
+
+    def test_multiple_drive_strengths(self, library):
+        inverters = library.drives_for("INV")
+        assert [cell.drive for cell in inverters] == [1, 2, 4]
+
+    def test_dff_is_sequential_with_setup(self, library):
+        dff = library.cell("DFF_X1")
+        assert dff.is_sequential
+        assert dff.setup_ps > 0
+
+    def test_combinational_cells_have_no_setup(self, library):
+        for cell in library:
+            if not cell.is_sequential:
+                assert cell.setup_ps == 0.0
+
+
+class TestGeometry:
+    def test_widths_positive(self, library):
+        for cell in library:
+            assert cell.width_sites > 0
+            assert cell.width_um(TECH) == pytest.approx(
+                cell.width_sites * TECH.site_width_um)
+
+    def test_higher_drive_wider(self, library):
+        inv1 = library.cell("INV_X1")
+        inv4 = library.cell("INV_X4")
+        assert inv4.width_sites > inv1.width_sites
+
+    def test_dff_is_widest(self, library):
+        dff = library.cell("DFF_X1")
+        for cell in library:
+            if not cell.is_sequential and cell.drive == 1:
+                assert dff.width_sites > cell.width_sites
+
+    def test_area_consistent(self, library):
+        inv = library.cell("INV_X1")
+        assert inv.area_um2(TECH) == pytest.approx(
+            inv.width_um(TECH) * TECH.row_height_um)
+
+
+class TestDelayModel:
+    def test_delay_increases_with_load(self, library):
+        inv = library.cell("INV_X1")
+        assert inv.delay_ps(4.0) > inv.delay_ps(1.0)
+
+    def test_higher_drive_less_load_sensitive(self, library):
+        inv1 = library.cell("INV_X1")
+        inv4 = library.cell("INV_X4")
+        assert inv4.load_slope_ps_per_ff < inv1.load_slope_ps_per_ff
+
+    def test_bias_scale_reduces_delay(self, library):
+        inv = library.cell("INV_X1")
+        assert inv.delay_ps(2.0, delay_scale=0.9) == pytest.approx(
+            0.9 * inv.delay_ps(2.0))
+
+    def test_negative_load_rejected(self, library):
+        with pytest.raises(TechnologyError):
+            library.cell("INV_X1").delay_ps(-1.0)
+
+
+class TestLeakage:
+    def test_all_cells_leak(self, library):
+        for cell in library:
+            assert cell.leakage_nw > 0
+
+    def test_stacked_gates_leak_less_per_input(self, library):
+        nand2 = library.cell("NAND2_X1")
+        inv = library.cell("INV_X1")
+        assert nand2.leakage_nw < 2 * inv.leakage_nw
+
+    def test_buffered_cells_leak_more_than_single_stage(self, library):
+        assert (library.cell("AND2_X1").leakage_nw
+                > library.cell("NAND2_X1").leakage_nw)
+
+    def test_drive_scales_leakage(self, library):
+        inv1 = library.cell("INV_X1")
+        inv2 = library.cell("INV_X2")
+        assert inv2.leakage_nw == pytest.approx(2 * inv1.leakage_nw, rel=1e-6)
+
+
+class TestLibraryContainer:
+    def test_lookup_unknown_cell(self, library):
+        with pytest.raises(TechnologyError):
+            library.cell("XYZZY")
+
+    def test_unknown_function(self, library):
+        with pytest.raises(TechnologyError):
+            library.drives_for("XOR9")
+
+    def test_smallest_returns_x1(self, library):
+        assert library.smallest("INV").drive == 1
+
+    def test_contains(self, library):
+        assert "INV_X1" in library
+        assert "MUX21_X1" not in library
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(TechnologyError):
+            CellLibrary(TECH, [])
+
+    def test_duplicate_names_rejected(self, library):
+        inv = library.cell("INV_X1")
+        with pytest.raises(TechnologyError):
+            CellLibrary(TECH, [inv, inv])

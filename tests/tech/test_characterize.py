@@ -1,0 +1,90 @@
+"""Tests for body-bias characterization tables."""
+
+import pytest
+
+from repro.errors import TechnologyError
+from repro.tech import Technology, characterize_library, reduced_library
+from repro.tech.characterize import CellCharacterization
+
+TECH = Technology()
+
+
+@pytest.fixture(scope="module")
+def clib():
+    return characterize_library(reduced_library(TECH))
+
+
+class TestGrid:
+    def test_eleven_levels(self, clib):
+        """Paper: P = 11 voltages, 0..0.5 V at 50 mV resolution."""
+        assert clib.num_levels == 11
+        assert clib.vbs_levels[0] == 0.0
+        assert clib.vbs_levels[-1] == pytest.approx(0.5)
+
+    def test_level_lookup(self, clib):
+        assert clib.level_for_vbs(0.0) == 0
+        assert clib.level_for_vbs(0.25) == 5
+        assert clib.level_for_vbs(0.5) == 10
+
+    def test_off_grid_lookup_rejected(self, clib):
+        with pytest.raises(TechnologyError):
+            clib.level_for_vbs(0.123)
+
+    def test_bad_level_rejected(self, clib):
+        with pytest.raises(TechnologyError):
+            clib.delay_scale(11)
+        with pytest.raises(TechnologyError):
+            clib.leakage_nw("INV_X1", -1)
+
+
+class TestDelayScales:
+    def test_no_bias_is_unity(self, clib):
+        assert clib.delay_scale(0) == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self, clib):
+        scales = clib.delay_scales
+        assert all(b < a for a, b in zip(scales, scales[1:]))
+
+    def test_speedup_complements_scale(self, clib):
+        for level in range(clib.num_levels):
+            assert clib.speedup(level) == pytest.approx(
+                1.0 - clib.delay_scale(level))
+
+    def test_max_speedup_supports_beta_10pct(self, clib):
+        assert clib.speedup(clib.num_levels - 1) > 1 - 1 / 1.10
+
+
+class TestLeakageTables:
+    def test_leakage_monotone_in_bias(self, clib):
+        for name in clib.library.cell_names:
+            series = clib.characterization(name).leakage_nw
+            assert all(b > a for a, b in zip(series, series[1:]))
+
+    def test_zero_bias_matches_library(self, clib):
+        for name in clib.library.cell_names:
+            cell = clib.cell(name)
+            assert clib.leakage_nw(name, 0) == pytest.approx(
+                cell.leakage_nw, rel=1e-6)
+
+    def test_leakage_growth_is_exponential_like(self, clib):
+        """Ratio between consecutive levels should be roughly constant."""
+        series = clib.characterization("INV_X1").leakage_nw
+        ratios = [b / a for a, b in zip(series, series[1:])]
+        assert max(ratios) / min(ratios) < 1.05
+
+    def test_unknown_cell_rejected(self, clib):
+        with pytest.raises(TechnologyError):
+            clib.leakage_nw("FOO_X1", 0)
+
+
+class TestValidation:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(TechnologyError):
+            CellCharacterization("X", (0.0, 0.1), (1.0,), (0.5, 0.6))
+
+    def test_missing_cell_characterization_rejected(self, clib):
+        from repro.tech.characterize import CharacterizedLibrary
+        chars = {name: clib.characterization(name)
+                 for name in clib.library.cell_names[:-1]}
+        with pytest.raises(TechnologyError):
+            CharacterizedLibrary(clib.library, chars)

@@ -1,0 +1,117 @@
+"""Round-trip and error tests for the Liberty-subset reader/writer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.tech import (Technology, characterize_library, read_liberty,
+                        reduced_library, write_liberty)
+
+TECH = Technology()
+
+
+@pytest.fixture(scope="module")
+def clib():
+    return characterize_library(reduced_library(TECH))
+
+
+class TestRoundTrip:
+    def test_cells_preserved(self, clib, tmp_path):
+        path = tmp_path / "repro45.lib"
+        write_liberty(clib, path)
+        loaded = read_liberty(path, TECH)
+        assert loaded.library.cell_names == clib.library.cell_names
+
+    def test_grid_preserved(self, clib, tmp_path):
+        path = tmp_path / "repro45.lib"
+        write_liberty(clib, path)
+        loaded = read_liberty(path, TECH)
+        assert loaded.vbs_levels == pytest.approx(clib.vbs_levels)
+        assert loaded.delay_scales == pytest.approx(clib.delay_scales)
+
+    def test_cell_attributes_preserved(self, clib, tmp_path):
+        path = tmp_path / "repro45.lib"
+        write_liberty(clib, path)
+        loaded = read_liberty(path, TECH)
+        for name in clib.library.cell_names:
+            original = clib.cell(name)
+            parsed = loaded.cell(name)
+            assert parsed.function == original.function
+            assert parsed.drive == original.drive
+            assert parsed.width_sites == original.width_sites
+            assert parsed.input_cap_ff == pytest.approx(original.input_cap_ff)
+            assert parsed.is_sequential == original.is_sequential
+
+    def test_leakage_tables_preserved(self, clib, tmp_path):
+        path = tmp_path / "repro45.lib"
+        write_liberty(clib, path)
+        loaded = read_liberty(path, TECH)
+        for name in clib.library.cell_names:
+            assert loaded.characterization(name).leakage_nw == pytest.approx(
+                clib.characterization(name).leakage_nw)
+
+
+class TestErrors:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "bad.lib"
+        path.write_text(text)
+        return path
+
+    def test_missing_header(self, tmp_path):
+        path = self._write(tmp_path, "cell (INV_X1) {\n}\n")
+        with pytest.raises(ParseError):
+            read_liberty(path, TECH)
+
+    def test_unrecognised_line(self, tmp_path):
+        path = self._write(
+            tmp_path, "library (x) {\n  what is this\n}\n")
+        with pytest.raises(ParseError):
+            read_liberty(path, TECH)
+
+    def test_missing_required_header_key(self, tmp_path):
+        path = self._write(tmp_path, "library (x) {\n  voltage: 1.0;\n}\n")
+        with pytest.raises(ParseError):
+            read_liberty(path, TECH)
+
+    def test_voltage_mismatch(self, clib, tmp_path):
+        path = tmp_path / "lib.lib"
+        write_liberty(clib, path)
+        with pytest.raises(ParseError):
+            read_liberty(path, Technology(vdd=1.2, vth0_n=0.45, vth0_p=0.45))
+
+    def test_cell_missing_attribute(self, tmp_path):
+        text = (
+            "library (x) {\n"
+            "  voltage: 1.0;\n"
+            "  vbs_levels: 0.0 0.05;\n"
+            "  delay_scales: 1.0 0.99;\n"
+            "  cell (INV_X1) {\n"
+            "    function: INV;\n"
+            "  }\n"
+            "}\n")
+        with pytest.raises(ParseError) as excinfo:
+            read_liberty(self._write(tmp_path, text), TECH)
+        assert "INV_X1" in str(excinfo.value)
+
+    def test_leakage_vector_length_mismatch(self, tmp_path):
+        text = (
+            "library (x) {\n"
+            "  voltage: 1.0;\n"
+            "  vbs_levels: 0.0 0.05;\n"
+            "  delay_scales: 1.0 0.99;\n"
+            "  cell (INV_X1) {\n"
+            "    function: INV;\n    drive: 1;\n    inputs: 1;\n"
+            "    width_sites: 3;\n    input_cap_ff: 0.9;\n"
+            "    intrinsic_delay_ps: 8.0;\n    load_slope_ps_per_ff: 10.0;\n"
+            "    device_width_um: 1.0;\n    sequential: 0;\n"
+            "    setup_ps: 0.0;\n"
+            "    leakage_nw: 0.17;\n"
+            "  }\n"
+            "}\n")
+        with pytest.raises(ParseError):
+            read_liberty(self._write(tmp_path, text), TECH)
+
+    def test_parse_error_reports_location(self, tmp_path):
+        path = self._write(tmp_path, "library (x) {\n  ???\n}\n")
+        with pytest.raises(ParseError) as excinfo:
+            read_liberty(path, TECH)
+        assert "2" in str(excinfo.value)

@@ -1,0 +1,139 @@
+"""Device-model tests, including the Figure 1 calibration anchors."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TechnologyError
+from repro.tech import Mosfet, Technology, delay_scale, required_vbs, speedup
+from repro.tech.mosfet import subthreshold_leakage_scale
+
+TECH = Technology()
+
+
+class TestThreshold:
+    def test_vth_decreases_with_forward_bias(self):
+        nmos = Mosfet("nmos", 0.4)
+        assert nmos.vth(0.3) < nmos.vth(0.0)
+
+    def test_vth_linear_in_vbs(self):
+        nmos = Mosfet("nmos", 0.4)
+        drop1 = nmos.vth(0.0) - nmos.vth(0.1)
+        drop2 = nmos.vth(0.1) - nmos.vth(0.2)
+        assert drop1 == pytest.approx(drop2)
+
+    def test_vth_floor(self):
+        tech = Technology(body_effect_gamma=0.45)
+        device = Mosfet("nmos", 0.4, tech=tech)
+        assert device.vth(0.95) >= 0.05
+
+    def test_reverse_bias_rejected(self):
+        with pytest.raises(TechnologyError):
+            Mosfet("nmos", 0.4).vth(-0.1)
+
+    def test_bad_polarity_rejected(self):
+        with pytest.raises(TechnologyError):
+            Mosfet("cmos", 0.4)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(TechnologyError):
+            Mosfet("nmos", -0.4)
+
+
+class TestCurrents:
+    def test_on_current_increases_with_bias(self):
+        nmos = Mosfet("nmos", 0.4)
+        assert nmos.on_current_ua(0.3) > nmos.on_current_ua(0.0)
+
+    def test_off_current_increases_with_bias(self):
+        nmos = Mosfet("nmos", 0.4)
+        assert nmos.off_current_na(0.3) > nmos.off_current_na(0.0)
+
+    def test_pmos_weaker_than_nmos(self):
+        nmos = Mosfet("nmos", 0.4)
+        pmos = Mosfet("pmos", 0.4)
+        assert pmos.on_current_ua(0.0) < nmos.on_current_ua(0.0)
+
+    def test_currents_scale_with_width(self):
+        narrow = Mosfet("nmos", 0.4)
+        wide = Mosfet("nmos", 0.8)
+        ratio = wide.on_current_ua(0.0) / narrow.on_current_ua(0.0)
+        assert ratio == pytest.approx(2.0)
+
+    def test_stack_factor_reduces_leakage(self):
+        nmos = Mosfet("nmos", 0.4)
+        stacked = nmos.subthreshold_current_na(0.0, stack_factor=0.4)
+        single = nmos.subthreshold_current_na(0.0)
+        assert stacked == pytest.approx(0.4 * single)
+
+    def test_junction_current_zero_without_bias(self):
+        assert Mosfet("nmos", 0.4).junction_current_na(0.0) == 0.0
+
+    def test_junction_current_negligible_at_half_volt(self):
+        nmos = Mosfet("nmos", 0.4)
+        junction = nmos.junction_current_na(0.5)
+        subthreshold = nmos.subthreshold_current_na(0.5)
+        assert junction < 0.01 * subthreshold
+
+    def test_junction_current_significant_near_vdd(self):
+        nmos = Mosfet("nmos", 0.4)
+        junction = nmos.junction_current_na(0.95)
+        subthreshold = nmos.subthreshold_current_na(0.95)
+        assert junction > 0.05 * subthreshold
+
+
+class TestScaleFactors:
+    def test_delay_scale_unity_at_zero(self):
+        assert delay_scale(TECH, 0.0) == pytest.approx(1.0)
+
+    def test_leakage_scale_unity_at_zero(self):
+        assert subthreshold_leakage_scale(TECH, 0.0) == pytest.approx(1.0)
+
+    @given(st.floats(min_value=0.0, max_value=0.9, allow_nan=False))
+    def test_delay_scale_monotone_decreasing(self, vbs):
+        assert delay_scale(TECH, vbs + 0.05) < delay_scale(TECH, vbs) + 1e-12
+
+    @given(st.floats(min_value=0.0, max_value=0.9, allow_nan=False))
+    def test_leakage_scale_monotone_increasing(self, vbs):
+        low = subthreshold_leakage_scale(TECH, vbs)
+        high = subthreshold_leakage_scale(TECH, vbs + 0.05)
+        assert high > low
+
+    def test_speedup_nearly_linear(self):
+        """Fig. 1 shows a linear speed-up; check second differences small."""
+        points = [speedup(TECH, 0.1 * i) for i in range(10)]
+        diffs = [b - a for a, b in zip(points, points[1:])]
+        for first, second in zip(diffs, diffs[1:]):
+            assert abs(second - first) < 0.2 * abs(first)
+
+
+class TestFigure1Anchors:
+    """The two quantitative anchors the paper reports for Fig. 1."""
+
+    def test_speedup_21_percent_at_095(self):
+        assert speedup(TECH, 0.95) == pytest.approx(0.21, abs=0.005)
+
+    def test_max_usable_speedup_exceeds_10pct_compensation(self):
+        # beta = 10% requires 1 - 1/1.1 = 9.09% delay reduction.
+        assert speedup(TECH, TECH.vbs_max) > 0.0909
+
+
+class TestRequiredVbs:
+    def test_zero_target_needs_zero(self):
+        assert required_vbs(TECH, 0.0) == 0.0
+
+    def test_round_trip_with_speedup(self):
+        for target in (0.01, 0.05, 0.09, 0.12):
+            vbs = required_vbs(TECH, target)
+            assert speedup(TECH, vbs) == pytest.approx(target, rel=1e-6)
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(TechnologyError):
+            required_vbs(TECH, 0.20)
+
+    def test_impossible_target_raises(self):
+        with pytest.raises(TechnologyError):
+            required_vbs(TECH, 1.0)
+
+    @given(st.floats(min_value=0.0, max_value=0.11, allow_nan=False))
+    def test_required_vbs_monotone(self, target):
+        assert required_vbs(TECH, target + 0.005) > required_vbs(TECH, target) - 1e-12

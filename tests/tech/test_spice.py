@@ -1,0 +1,78 @@
+"""Tests for the inverter measurement bench (Figure 1 reproduction)."""
+
+import pytest
+
+from repro.tech import InverterBench, Technology, sweep_inverter, usable_bias_limit
+
+
+class TestSweep:
+    def test_sweep_covers_paper_range(self):
+        points = sweep_inverter()
+        assert points[0].vbs == 0.0
+        assert points[-1].vbs == pytest.approx(0.95)
+        assert len(points) == 20
+
+    def test_reference_point_normalised(self):
+        points = sweep_inverter()
+        assert points[0].speedup_fraction == pytest.approx(0.0)
+        assert points[0].leakage_ratio == pytest.approx(1.0)
+
+    def test_figure1_leakage_anchor(self):
+        """Paper: 12.74x leakage increase at vbs = 0.95 V."""
+        points = sweep_inverter()
+        assert points[-1].leakage_ratio == pytest.approx(12.74, rel=0.02)
+
+    def test_figure1_speedup_anchor(self):
+        """Paper: up to 21% speed-up at vbs = 0.95 V."""
+        points = sweep_inverter()
+        assert points[-1].speedup_fraction == pytest.approx(0.21, abs=0.005)
+
+    def test_delay_monotone_decreasing(self):
+        points = sweep_inverter()
+        delays = [p.delay_ps for p in points]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_leakage_monotone_increasing(self):
+        points = sweep_inverter()
+        leaks = [p.leakage_nw for p in points]
+        assert leaks == sorted(leaks)
+
+    def test_leakage_superexponential_tail(self):
+        """Junction current makes the last decade grow faster than the first."""
+        points = sweep_inverter()
+        first_ratio = points[4].leakage_nw / points[0].leakage_nw
+        last_ratio = points[-1].leakage_nw / points[-5].leakage_nw
+        assert last_ratio > first_ratio
+
+    def test_junction_share_grows(self):
+        points = sweep_inverter()
+        assert points[-1].junction_fraction > 100 * points[10].junction_fraction
+
+
+class TestUsableLimit:
+    def test_limit_is_half_volt(self):
+        """Paper Sec. 3.2: junction current clamps usable FBB to 0..0.5 V."""
+        assert usable_bias_limit() == pytest.approx(0.5)
+
+    def test_stricter_threshold_lowers_limit(self):
+        strict = usable_bias_limit(junction_share_limit=1e-6)
+        assert strict <= usable_bias_limit()
+
+
+class TestBench:
+    def test_delay_positive(self):
+        bench = InverterBench()
+        assert bench.propagation_delay_ps(0.0) > 0
+
+    def test_larger_load_slower(self):
+        slow = InverterBench(load_ff=5.0)
+        fast = InverterBench(load_ff=1.0)
+        assert slow.propagation_delay_ps(0.0) > fast.propagation_delay_ps(0.0)
+
+    def test_junction_power_zero_unbiased(self):
+        assert InverterBench().junction_power_nw(0.0) == 0.0
+
+    def test_custom_technology(self):
+        tech = Technology(vdd=1.1, vth0_n=0.4, vth0_p=0.4)
+        bench = InverterBench(tech=tech)
+        assert bench.propagation_delay_ps(0.0) > 0

@@ -1,0 +1,95 @@
+"""Tests for the technology node description."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TechnologyError
+from repro.tech import Technology
+
+
+class TestBiasGrid:
+    def test_default_grid_matches_paper(self):
+        tech = Technology()
+        assert tech.num_bias_levels == 11
+        levels = tech.bias_levels()
+        assert levels[0] == 0.0
+        assert levels[-1] == pytest.approx(0.5)
+        assert len(levels) == 11
+
+    def test_grid_is_uniform_50mv(self):
+        tech = Technology()
+        levels = tech.bias_levels()
+        steps = [b - a for a, b in zip(levels, levels[1:])]
+        assert all(step == pytest.approx(0.05) for step in steps)
+
+    def test_custom_resolution(self):
+        tech = Technology(vbs_resolution=0.025)
+        assert tech.num_bias_levels == 21
+
+    def test_resolution_must_divide_range(self):
+        with pytest.raises(TechnologyError):
+            Technology(vbs_resolution=0.03)
+
+
+class TestQuantize:
+    def test_zero_stays_zero(self):
+        assert Technology().quantize_vbs(0.0) == 0.0
+
+    def test_negative_clamps_to_zero(self):
+        assert Technology().quantize_vbs(-0.3) == 0.0
+
+    def test_rounds_up_to_guarantee_speedup(self):
+        tech = Technology()
+        assert tech.quantize_vbs(0.11) == pytest.approx(0.15)
+        assert tech.quantize_vbs(0.151) == pytest.approx(0.20)
+
+    def test_exact_grid_value_unchanged(self):
+        tech = Technology()
+        for level in tech.bias_levels():
+            assert tech.quantize_vbs(level) == pytest.approx(level)
+
+    def test_clamps_to_vbs_max(self):
+        tech = Technology()
+        assert tech.quantize_vbs(0.9) == pytest.approx(0.5)
+
+    @given(st.floats(min_value=0.0, max_value=0.5, allow_nan=False))
+    def test_quantized_value_on_grid_and_not_smaller(self, vbs):
+        tech = Technology()
+        snapped = tech.quantize_vbs(vbs)
+        assert snapped in tech.bias_levels()
+        assert snapped >= vbs - 1e-9
+
+    @given(st.floats(min_value=0.0, max_value=0.5, allow_nan=False))
+    def test_quantize_is_idempotent(self, vbs):
+        tech = Technology()
+        once = tech.quantize_vbs(vbs)
+        assert tech.quantize_vbs(once) == pytest.approx(once)
+
+
+class TestBodyVoltageConvention:
+    def test_nmos_body_equals_vbs(self):
+        tech = Technology()
+        assert tech.nmos_body_voltage(0.3) == pytest.approx(0.3)
+
+    def test_pmos_body_is_vdd_minus_vbs(self):
+        tech = Technology()
+        assert tech.pmos_body_voltage(0.3) == pytest.approx(tech.vdd - 0.3)
+
+    def test_out_of_range_rejected(self):
+        tech = Technology()
+        with pytest.raises(TechnologyError):
+            tech.nmos_body_voltage(1.5)
+
+
+class TestValidation:
+    def test_negative_vdd_rejected(self):
+        with pytest.raises(TechnologyError):
+            Technology(vdd=-1.0)
+
+    def test_vth_above_vdd_rejected(self):
+        with pytest.raises(TechnologyError):
+            Technology(vth0_n=1.5)
+
+    def test_bias_rules_max_clusters(self):
+        tech = Technology()
+        assert tech.bias_rules.max_clusters() == 3

@@ -1,0 +1,51 @@
+"""Tests for the repro-fbb command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.designs == []
+        assert args.ilp_time_limit == 120.0
+
+    def test_allocate_args(self):
+        args = build_parser().parse_args(
+            ["allocate", "c1355", "--beta", "0.08", "--clusters", "2"])
+        assert args.design == "c1355"
+        assert args.beta == 0.08
+        assert args.clusters == 2
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["allocate", "c17"])
+
+
+class TestCommands:
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "vbs" in out
+        assert "0.95" in out
+
+    def test_allocate_heuristic(self, capsys):
+        assert main(["allocate", "c1355", "--beta", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "savings vs single BB" in out
+
+    def test_layout(self, capsys):
+        assert main(["layout", "c1355", "--beta", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "legend" in out
+
+    def test_table1_single_design(self, capsys):
+        assert main(["table1", "c1355", "--ilp-time-limit", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "c1355" in out
+        assert "No.Constr" in out

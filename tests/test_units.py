@@ -1,0 +1,60 @@
+"""Tests for unit conversions and constants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestConversions:
+    def test_time_units(self):
+        assert units.ps_to_ns(1500.0) == pytest.approx(1.5)
+        assert units.NS == 1000 * units.PS
+
+    def test_power_units(self):
+        assert units.nw_to_uw(2500.0) == pytest.approx(2.5)
+        assert units.uw_to_nw(2.5) == pytest.approx(2500.0)
+
+    def test_voltage_units(self):
+        assert units.mv_to_v(50.0) == pytest.approx(0.05)
+        assert units.v_to_mv(0.05) == pytest.approx(50.0)
+
+    def test_percent_round_trip(self):
+        assert units.percent(0.05) == pytest.approx(5.0)
+        assert units.fraction(5.0) == pytest.approx(0.05)
+
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    def test_power_round_trip(self, value):
+        assert units.uw_to_nw(units.nw_to_uw(value)) == pytest.approx(value)
+
+
+class TestThermalVoltage:
+    def test_room_temperature(self):
+        assert units.thermal_voltage(300.0) == pytest.approx(0.02585, rel=1e-3)
+
+    def test_scales_with_temperature(self):
+        assert units.thermal_voltage(400.0) > units.thermal_voltage(300.0)
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            units.thermal_voltage(0.0)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_base(self):
+        from repro import errors
+        subclasses = [
+            errors.TechnologyError, errors.NetlistError, errors.ParseError,
+            errors.PlacementError, errors.TimingError, errors.SolverError,
+            errors.InfeasibleError, errors.TimeoutError_,
+            errors.AllocationError, errors.LayoutError, errors.TuningError,
+        ]
+        for cls in subclasses:
+            assert issubclass(cls, errors.ReproError)
+
+    def test_parse_error_location_formatting(self):
+        from repro.errors import ParseError
+        error = ParseError("bad token", "x.lef", 12)
+        assert "x.lef" in str(error)
+        assert "12" in str(error)
+        assert error.line == 12

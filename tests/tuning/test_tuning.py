@@ -1,0 +1,156 @@
+"""Tests for sensors, bias generator and the closed tuning loop."""
+
+import pytest
+
+from repro.circuits import c1355_like
+from repro.errors import TuningError
+from repro.placement import place_design
+from repro.sta import TimingAnalyzer, extract_paths
+from repro.synth import map_netlist
+from repro.tech import Technology, characterize_library, reduced_library
+from repro.tuning import (BodyBiasGenerator, InSituMonitor,
+                          PathReplicaSensor, TuningController)
+
+LIBRARY = reduced_library()
+CLIB = characterize_library(LIBRARY)
+
+
+@pytest.fixture(scope="module")
+def placed():
+    mapped = map_netlist(c1355_like(data_width=10, check_bits=5), LIBRARY)
+    return place_design(mapped, LIBRARY)
+
+
+@pytest.fixture(scope="module")
+def replica(placed):
+    analyzer = TimingAnalyzer.for_placed(placed)
+    paths = extract_paths(analyzer)
+    # tiny margin: the replica sits exactly at Tcrit on a nominal die
+    return PathReplicaSensor(replica=paths[0],
+                             tcrit_ps=paths[0].delay_ps * 1.001)
+
+
+class TestPathReplica:
+    def test_no_alarm_at_nominal(self, replica):
+        assert not replica.alarm(0.0)
+
+    def test_alarm_on_slow_die(self, replica):
+        assert replica.alarm(0.10)
+
+    def test_bias_clears_alarm(self, replica):
+        slow = 0.08
+        bias_scale = CLIB.delay_scales[10]  # max forward bias
+        assert replica.alarm(slow)
+        assert not replica.alarm(slow, bias_scale)
+
+    def test_estimate_inverts_measurement(self, replica):
+        measured = replica.measured_delay_ps(0.07)
+        assert replica.estimate_slowdown(measured) == pytest.approx(0.07)
+
+    def test_guard_band_validation(self, replica):
+        with pytest.raises(TuningError):
+            PathReplicaSensor(replica.replica, tcrit_ps=-1.0)
+        with pytest.raises(TuningError):
+            PathReplicaSensor(replica.replica, tcrit_ps=100.0,
+                              guard_band=1.5)
+
+
+class TestInSituMonitor:
+    def test_counts_alarms(self, placed):
+        analyzer = TimingAnalyzer.for_placed(placed)
+        monitor = InSituMonitor(analyzer, analyzer.critical_delay_ps())
+        assert monitor.check(0.05)
+        assert monitor.alarms_raised == 1
+        assert not monitor.check(0.0)
+        assert monitor.alarms_raised == 1
+
+    def test_failing_endpoints_nonempty_on_alarm(self, placed):
+        analyzer = TimingAnalyzer.for_placed(placed)
+        monitor = InSituMonitor(analyzer, analyzer.critical_delay_ps())
+        assert monitor.failing_endpoints(0.05)
+
+
+class TestGenerator:
+    def test_quantizes_up(self):
+        generator = BodyBiasGenerator(Technology())
+        assert generator.program("vbs1", 0.12) == pytest.approx(0.15)
+
+    def test_rail_budget_enforced(self):
+        generator = BodyBiasGenerator(Technology())
+        generator.program("vbs1", 0.1)
+        generator.program("vbs2", 0.2)
+        with pytest.raises(TuningError):
+            generator.program("vbs3", 0.3)
+
+    def test_reprogramming_existing_rail_allowed(self):
+        generator = BodyBiasGenerator(Technology())
+        generator.program("vbs1", 0.1)
+        generator.program("vbs2", 0.2)
+        assert generator.program("vbs1", 0.3) == pytest.approx(0.3)
+
+    def test_out_of_range_rejected(self):
+        generator = BodyBiasGenerator(Technology())
+        with pytest.raises(TuningError):
+            generator.program("vbs1", 0.7)
+
+    def test_release_frees_rail(self):
+        generator = BodyBiasGenerator(Technology())
+        generator.program("vbs1", 0.1)
+        generator.release("vbs1")
+        generator.program("vbsX", 0.2)
+        with pytest.raises(TuningError):
+            generator.release("vbs1")
+
+    def test_program_solution(self):
+        generator = BodyBiasGenerator(Technology())
+        mapping = generator.program_solution([0.0, 0.1, 0.1, 0.3])
+        assert set(mapping) == {0.1, 0.3}
+        assert generator.rail_voltages == {
+            "vbs1": 0.1, "vbs2": pytest.approx(0.3)}
+
+    def test_settle_latency(self):
+        generator = BodyBiasGenerator(Technology(), settle_time_us=4.0)
+        generator.program("vbs1", 0.1)
+        generator.program("vbs1", 0.2)
+        assert generator.settle_latency_us() == pytest.approx(8.0)
+
+
+class TestController:
+    def test_fast_die_untouched(self, placed):
+        controller = TuningController(placed, CLIB)
+        outcome = controller.calibrate(0.0)
+        assert outcome.converged
+        assert outcome.iterations == 0
+        assert outcome.solution is None
+
+    def test_slow_die_recovered(self, placed):
+        controller = TuningController(placed, CLIB)
+        outcome = controller.calibrate(0.06)
+        assert outcome.converged
+        assert outcome.solution is not None
+        assert outcome.solution.num_clusters <= 3
+        # verify: no alarm at the final setting
+        scales = controller._gate_scales(outcome.solution)
+        assert not controller.monitor.check(0.06, scales)
+
+    def test_underestimate_forces_iteration(self, placed):
+        controller = TuningController(placed, CLIB)
+        outcome = controller.calibrate(0.06, initial_estimate=0.01)
+        assert outcome.converged
+        assert outcome.iterations > 1
+
+    def test_unrecoverable_die_raises(self, placed):
+        controller = TuningController(placed, CLIB)
+        with pytest.raises(TuningError):
+            controller.calibrate(0.40)
+
+    def test_negative_beta_rejected(self, placed):
+        controller = TuningController(placed, CLIB)
+        with pytest.raises(TuningError):
+            controller.calibrate(-0.1)
+
+    def test_history_records_iterations(self, placed):
+        controller = TuningController(placed, CLIB)
+        outcome = controller.calibrate(0.05)
+        assert outcome.history
+        assert any("iter 1" in line for line in outcome.history)

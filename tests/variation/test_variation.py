@@ -1,0 +1,169 @@
+"""Tests for process/temperature/aging variation models."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import c1355_like
+from repro.errors import ReproError
+from repro.placement import place_design
+from repro.synth import map_netlist
+from repro.tech import Technology, reduced_library
+from repro.variation import (NbtiModel, ProcessModel, TemperatureModel,
+                             delay_multiplier_for_dvth, gate_delay_scales,
+                             sample_dies, sample_intra_die_dvth)
+
+LIBRARY = reduced_library()
+TECH = Technology()
+
+
+@pytest.fixture(scope="module")
+def placed():
+    mapped = map_netlist(c1355_like(data_width=8, check_bits=4), LIBRARY)
+    return place_design(mapped, LIBRARY)
+
+
+class TestDelaySensitivity:
+    def test_zero_shift_is_identity(self):
+        assert delay_multiplier_for_dvth(TECH, 0.0) == pytest.approx(1.0)
+
+    def test_slower_for_higher_vth(self):
+        assert delay_multiplier_for_dvth(TECH, 0.03) > 1.0
+        assert delay_multiplier_for_dvth(TECH, -0.03) < 1.0
+
+    def test_monotone(self):
+        shifts = np.linspace(-0.05, 0.08, 12)
+        values = [delay_multiplier_for_dvth(TECH, s) for s in shifts]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+
+class TestProcessModel:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ProcessModel(sigma_inter_v=-0.01)
+        with pytest.raises(ReproError):
+            ProcessModel(intra_independent_fraction=1.5)
+        with pytest.raises(ReproError):
+            ProcessModel(intra_grid_levels=0)
+
+    def test_intra_die_reproducible(self, placed):
+        model = ProcessModel()
+        first = sample_intra_die_dvth(placed, model,
+                                      np.random.default_rng(5))
+        second = sample_intra_die_dvth(placed, model,
+                                       np.random.default_rng(5))
+        assert first == second
+
+    def test_intra_die_spatially_correlated(self, placed):
+        """Neighbouring gates must be more alike than distant ones."""
+        model = ProcessModel(sigma_intra_v=0.015,
+                             intra_independent_fraction=0.1)
+        names = list(placed.netlist.gates)
+        positions = {n: placed.gate_position_um(n) for n in names}
+        diagonal = np.hypot(placed.floorplan.core_width_um,
+                            placed.floorplan.core_height_um)
+        near_pairs, far_pairs = [], []
+        pair_rng = np.random.default_rng(0)
+        # average over several dies: a single die's coarse grid is noisy
+        for seed in range(8):
+            shifts = sample_intra_die_dvth(
+                placed, model, np.random.default_rng(100 + seed))
+            for _ in range(2000):
+                a, b = pair_rng.choice(len(names), 2, replace=False)
+                na, nb = names[a], names[b]
+                dist = np.hypot(positions[na][0] - positions[nb][0],
+                                positions[na][1] - positions[nb][1])
+                diff = abs(shifts[na] - shifts[nb])
+                if dist < 0.15 * diagonal:
+                    near_pairs.append(diff)
+                elif dist > 0.5 * diagonal:
+                    far_pairs.append(diff)
+        assert near_pairs and far_pairs
+        assert np.mean(near_pairs) < np.mean(far_pairs)
+
+    def test_gate_scales_positive(self, placed):
+        scales = gate_delay_scales(placed, ProcessModel(),
+                                   np.random.default_rng(1))
+        assert set(scales) == set(placed.netlist.gates)
+        assert all(value > 0.5 for value in scales.values())
+
+
+class TestMonteCarlo:
+    def test_population_statistics(self, placed):
+        result = sample_dies(placed, 40, seed=2)
+        assert len(result.samples) == 40
+        betas = result.betas
+        assert betas.std() > 0
+        assert -0.3 < betas.mean() < 0.3
+
+    def test_yield_decreases_with_tighter_budget(self, placed):
+        result = sample_dies(placed, 40, seed=2)
+        assert (result.timing_yield(0.10)
+                >= result.timing_yield(0.0))
+
+    def test_slow_dies_filter(self, placed):
+        result = sample_dies(placed, 40, seed=2)
+        for die in result.slow_dies():
+            assert die.beta > 0
+            assert die.is_slow
+
+    def test_bad_count_rejected(self, placed):
+        with pytest.raises(ReproError):
+            sample_dies(placed, 0)
+
+
+class TestTemperature:
+    def test_reference_is_identity(self):
+        model = TemperatureModel()
+        assert model.delay_multiplier(300.0) == pytest.approx(1.0)
+        assert model.leakage_multiplier(300.0) == pytest.approx(1.0)
+
+    def test_hotter_is_slower_and_leakier(self):
+        model = TemperatureModel()
+        assert model.delay_multiplier(380.0) > 1.0
+        assert model.leakage_multiplier(380.0) > 5.0
+
+    def test_leakage_doubles_per_interval(self):
+        model = TemperatureModel(leakage_doubling_k=25.0)
+        assert model.leakage_multiplier(325.0) == pytest.approx(2.0)
+
+    def test_beta_clamped_nonnegative(self):
+        model = TemperatureModel()
+        assert model.slowdown_beta(250.0) == 0.0
+
+    def test_bad_temperature_rejected(self):
+        with pytest.raises(ReproError):
+            TemperatureModel().delay_multiplier(-5)
+
+
+class TestAging:
+    def test_no_stress_no_shift(self):
+        model = NbtiModel()
+        assert model.dvth_v(0.0) == 0.0
+
+    def test_power_law_growth(self):
+        model = NbtiModel()
+        one_year = model.dvth_v(model.reference_s)
+        four_years = model.dvth_v(4 * model.reference_s)
+        assert four_years == pytest.approx(
+            one_year * 4 ** model.exponent, rel=1e-9)
+
+    def test_slowdown_grows_with_stress(self):
+        model = NbtiModel()
+        betas = [model.slowdown_beta(TECH, y * model.reference_s)
+                 for y in (1, 3, 10)]
+        assert betas[0] < betas[1] < betas[2]
+
+    def test_years_to_beta_round_trip(self):
+        model = NbtiModel()
+        years = model.years_to_beta(TECH, 0.05)
+        beta = model.slowdown_beta(
+            TECH, years * model.reference_s)
+        assert beta >= 0.05
+
+    def test_negative_stress_rejected(self):
+        with pytest.raises(ReproError):
+            NbtiModel().dvth_v(-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            NbtiModel(exponent=1.5)
