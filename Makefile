@@ -1,0 +1,17 @@
+# Convenience targets; everything is plain pytest underneath.
+
+PYTEST := PYTHONPATH=src python -m pytest
+
+.PHONY: test docs-check bench bench-batched
+
+test:
+	$(PYTEST) -x -q
+
+docs-check:
+	$(PYTEST) -q tests/test_docs.py
+
+bench:
+	$(PYTEST) -q benchmarks/
+
+bench-batched:
+	$(PYTEST) -q benchmarks/bench_batched_sta.py

@@ -8,6 +8,10 @@ model, showing how the required bias and the leakage premium grow over
 the product lifetime — and how much of that premium row-clustering
 claws back compared to block-level FBB.
 
+Reproduces: the aging-compensation scenario of the paper's
+introduction (Sec. 1, refs [3]), re-tuned with the Sec. 4 allocators
+at each lifetime checkpoint.  Expected runtime: ~1 s.
+
 Run:  python examples/aging_compensation.py
 """
 

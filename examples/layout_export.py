@@ -10,6 +10,9 @@ Writes the artefacts a commercial flow would consume:
 * ``out/c5315_fbb.def``    — placement + bias rails as SPECIALNETS
 * ``out/c5315_fbb.svg``    — rendered clustered layout
 
+Reproduces: Fig. 6 (routed bias rails on the placed demonstrator) and
+the Sec. 3.3 physical-implementation rules.  Expected runtime: ~1 s.
+
 Run:  python examples/layout_export.py
 """
 

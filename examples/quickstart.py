@@ -5,6 +5,9 @@ Implements a c5315-class design (synthesis -> placement -> STA), builds
 the allocation problem for a 5 % die slowdown, and compares block-level
 FBB (the paper's baseline) against the clustered ILP and heuristic.
 
+Reproduces: the methodology behind one Table 1 row (c5315, beta=5%)
+plus a Fig. 3-style clustered layout.  Expected runtime: ~3 s.
+
 Run:  python examples/quickstart.py
 """
 

@@ -9,6 +9,10 @@ block-level alternative.  Leakage numbers include the thermal leakage
 multiplier itself, which is why compensating at high temperature is so
 expensive and worth clustering.
 
+Reproduces: the temperature-drift compensation scenario of the paper's
+introduction (Sec. 1, ref [4]), priced with the Table 1 machinery at
+each operating point.  Expected runtime: ~1 s.
+
 Run:  python examples/thermal_compensation.py
 """
 

@@ -26,9 +26,11 @@ Quickstart::
 from repro.core import (BiasSolution, FBBProblem, build_problem, pass_one,
                         pass_two, solve_heuristic, solve_ilp,
                         solve_single_bb, uniform_solution)
-from repro.flow import (ExperimentConfig, FlowResult, Table1Row,
-                        characterized_library, format_table1, implement,
-                        run_design_beta, run_table1)
+from repro.flow import (ExperimentConfig, FlowResult, PopulationConfig,
+                        PopulationRow, Table1Row, characterized_library,
+                        format_population, format_table1, implement,
+                        run_design_beta, run_population,
+                        run_population_study, run_table1)
 from repro.tech import (CellLibrary, CharacterizedLibrary, Technology,
                         characterize_library, reduced_library,
                         sweep_inverter)
@@ -42,18 +44,23 @@ __all__ = [
     "ExperimentConfig",
     "FBBProblem",
     "FlowResult",
+    "PopulationConfig",
+    "PopulationRow",
     "Table1Row",
     "Technology",
     "__version__",
     "build_problem",
     "characterize_library",
     "characterized_library",
+    "format_population",
     "format_table1",
     "implement",
     "pass_one",
     "pass_two",
     "reduced_library",
     "run_design_beta",
+    "run_population",
+    "run_population_study",
     "run_table1",
     "solve_heuristic",
     "solve_ilp",

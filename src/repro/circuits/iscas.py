@@ -10,7 +10,7 @@ near-critical paths, which is exactly why c6288 is the constraint-count
 outlier of the paper's Table 1.
 
 All circuits here are pure combinational, like the c-series originals.
-DESIGN.md documents this substitution.
+DESIGN.md documents this substitution ("Paper-to-code substitutions").
 """
 
 from __future__ import annotations

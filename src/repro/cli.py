@@ -5,7 +5,10 @@ Subcommands:
 * ``table1 [designs...]`` — regenerate the paper's Table 1;
 * ``fig1`` — the inverter delay/leakage sweep of Fig. 1;
 * ``allocate DESIGN --beta B --clusters C`` — one allocation run;
-* ``layout DESIGN --beta B`` — ASCII layout view with bias clusters.
+* ``layout DESIGN --beta B`` — ASCII layout view with bias clusters;
+* ``montecarlo DESIGN --dies N`` — sample a die population through the
+  batched STA backend and report yield (``--tune`` runs the closed
+  calibration loop on every slow die).
 """
 
 from __future__ import annotations
@@ -75,6 +78,19 @@ def _cmd_layout(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_montecarlo(args: argparse.Namespace) -> int:
+    from repro.flow import (PopulationConfig, format_population, implement,
+                            run_population)
+    flow = implement(args.design)
+    config = PopulationConfig(
+        num_dies=args.dies, seed=args.seed, sta_engine=args.engine,
+        tune=args.tune, max_clusters=args.clusters,
+        beta_budget=args.beta_budget)
+    row = run_population(flow, config)
+    print(format_population([row]))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-fbb",
@@ -103,6 +119,22 @@ def build_parser() -> argparse.ArgumentParser:
     layout.add_argument("--beta", type=float, default=0.05)
     layout.add_argument("--clusters", type=int, default=3)
     layout.set_defaults(func=_cmd_layout)
+
+    montecarlo = sub.add_parser(
+        "montecarlo", help="batched Monte Carlo die-population study")
+    montecarlo.add_argument("design", choices=BENCHMARK_NAMES)
+    montecarlo.add_argument("--dies", type=int, default=1000)
+    montecarlo.add_argument("--seed", type=int, default=0)
+    montecarlo.add_argument("--engine", choices=("batched", "scalar"),
+                            default="batched")
+    montecarlo.add_argument("--tune", action="store_true",
+                            help="closed-loop calibrate every slow die")
+    montecarlo.add_argument("--clusters", type=int, default=3,
+                            help="tuning cluster budget (only with --tune)")
+    montecarlo.add_argument("--beta-budget", type=float, default=0.0,
+                            help="slowdown margin defining timing yield "
+                                 "and, with --tune, the tuning target")
+    montecarlo.set_defaults(func=_cmd_montecarlo)
     return parser
 
 

@@ -2,18 +2,25 @@
 
 from repro.flow.design_flow import (FlowResult, characterized_library,
                                     implement)
-from repro.flow.experiment import (ExperimentConfig, Table1Row,
-                                   run_design_beta, run_table1)
-from repro.flow.reports import format_sweep, format_table1
+from repro.flow.experiment import (ExperimentConfig, PopulationConfig,
+                                   PopulationRow, Table1Row,
+                                   run_design_beta, run_population,
+                                   run_population_study, run_table1)
+from repro.flow.reports import format_population, format_sweep, format_table1
 
 __all__ = [
     "ExperimentConfig",
     "FlowResult",
+    "PopulationConfig",
+    "PopulationRow",
     "Table1Row",
     "characterized_library",
+    "format_population",
     "format_sweep",
     "format_table1",
     "implement",
     "run_design_beta",
+    "run_population",
+    "run_population_study",
     "run_table1",
 ]

@@ -1,13 +1,17 @@
-"""Table 1 experiment harness.
+"""Experiment harnesses: Table 1 and Monte Carlo die populations.
 
-Runs the paper's main experiment: for each design and slowdown beta,
+Runs the paper's main experiment — for each design and slowdown beta,
 the Single BB baseline, the exact ILP and the two-pass heuristic at
 cluster budgets C = 2 and C = 3, reporting leakage savings and the
-timing-constraint counts.
+timing-constraint counts — plus the population study behind the
+post-silicon-tuning sections: sample thousands of dies through the
+batched STA backend, optionally tune every slow one, and report the
+yield/leakage economics.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.core.heuristic import solve_heuristic
@@ -16,6 +20,8 @@ from repro.core.problem import FBBProblem, build_problem
 from repro.core.single_bb import solve_single_bb
 from repro.errors import TimeoutError_
 from repro.flow.design_flow import FlowResult, implement
+from repro.variation.montecarlo import sample_dies
+from repro.variation.process import ProcessModel
 
 
 @dataclass(frozen=True)
@@ -100,6 +106,102 @@ def run_design_beta(flow: FlowResult, beta: float,
         ilp_runtime_s=ilp_runtime,
         heuristic_runtime_s=heuristic_runtime,
     )
+
+
+@dataclass
+class PopulationConfig:
+    """Knobs for a Monte Carlo die-population study."""
+
+    num_dies: int = 1000
+    seed: int = 0
+    model: ProcessModel | None = None
+    sta_engine: str = "batched"
+    """"batched" (vectorized, default) or "scalar" (ground truth)."""
+    tune: bool = False
+    """Run the closed calibration loop on every out-of-budget die."""
+    max_clusters: int = 3
+    beta_budget: float = 0.0
+
+
+@dataclass(frozen=True)
+class PopulationRow:
+    """One design's Monte Carlo population study."""
+
+    design: str
+    gates: int
+    rows: int
+    num_dies: int
+    nominal_delay_ps: float
+    beta_mean: float
+    beta_std: float
+    beta_max: float
+    timing_yield: float
+    sta_engine: str
+    sample_runtime_s: float
+    tuned_yield: float | None = None
+    recovered: int = 0
+    lost: int = 0
+    tune_runtime_s: float = 0.0
+
+
+def run_population(flow: FlowResult,
+                   config: PopulationConfig | None = None) -> PopulationRow:
+    """Sample (and optionally tune) one design's die population."""
+    if config is None:
+        config = PopulationConfig()
+    started = time.perf_counter()
+    population = sample_dies(flow.placed, config.num_dies,
+                             model=config.model, seed=config.seed,
+                             engine=config.sta_engine,
+                             store_scales=False)
+    sample_runtime = time.perf_counter() - started
+
+    tuned_yield = None
+    recovered = 0
+    lost = 0
+    tune_runtime = 0.0
+    if config.tune:
+        from repro.tuning.controller import TuningController
+        started = time.perf_counter()
+        controller = TuningController(flow.placed, flow.clib,
+                                      max_clusters=config.max_clusters)
+        summary = controller.calibrate_population(
+            population, beta_budget=config.beta_budget)
+        tune_runtime = time.perf_counter() - started
+        tuned_yield = summary.yield_after
+        recovered = summary.recovered
+        lost = summary.lost
+
+    betas = population.betas
+    return PopulationRow(
+        design=flow.name,
+        gates=flow.num_gates,
+        rows=flow.num_rows,
+        num_dies=config.num_dies,
+        nominal_delay_ps=population.nominal_delay_ps,
+        beta_mean=float(betas.mean()),
+        beta_std=float(betas.std()),
+        beta_max=float(betas.max()),
+        timing_yield=population.timing_yield(config.beta_budget),
+        sta_engine=config.sta_engine,
+        sample_runtime_s=sample_runtime,
+        tuned_yield=tuned_yield,
+        recovered=recovered,
+        lost=lost,
+        tune_runtime_s=tune_runtime,
+    )
+
+
+def run_population_study(designs: tuple[str, ...],
+                         config: PopulationConfig | None = None,
+                         flows: dict[str, FlowResult] | None = None
+                         ) -> list[PopulationRow]:
+    """The population study over several designs."""
+    rows = []
+    for name in designs:
+        flow = flows[name] if flows is not None else implement(name)
+        rows.append(run_population(flow, config))
+    return rows
 
 
 def run_table1(designs: tuple[str, ...],

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.flow.experiment import Table1Row
+from repro.flow.experiment import PopulationRow, Table1Row
 
 
 def format_table1(rows: Sequence[Table1Row],
@@ -28,6 +28,30 @@ def format_table1(rows: Sequence[Table1Row],
     lines.append("")
     lines.append("Single BB in uW; ILP/Heuristic columns are leakage "
                  "savings % vs Single BB; '-' = ILP not run/converged.")
+    return "\n".join(lines)
+
+
+def format_population(rows: Sequence[PopulationRow]) -> str:
+    """Render die-population study rows (batched Monte Carlo STA)."""
+    header = (f"{'Benchmark':<15}{'Gates':>7}{'Dies':>7}{'Dcrit ps':>10}"
+              f"{'beta mean':>11}{'std':>8}{'max':>8}{'yield':>8}"
+              f"{'tuned':>8}{'rec/lost':>10}{'t_mc s':>8}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        tuned = ("-" if row.tuned_yield is None
+                 else f"{row.tuned_yield * 100:.0f}%")
+        recovery = ("-" if row.tuned_yield is None
+                    else f"{row.recovered}/{row.lost}")
+        lines.append(
+            f"{row.design:<15}{row.gates:>7}{row.num_dies:>7}"
+            f"{row.nominal_delay_ps:>10.0f}{row.beta_mean * 100:>10.2f}%"
+            f"{row.beta_std * 100:>7.2f}%{row.beta_max * 100:>7.2f}%"
+            f"{row.timing_yield * 100:>7.0f}%{tuned:>8}{recovery:>10}"
+            f"{row.sample_runtime_s:>8.3f}")
+    lines.append("")
+    lines.append(f"STA engine: {rows[0].sta_engine if rows else '-'}; "
+                 "yield = dies within the beta budget before tuning, "
+                 "tuned = after closed-loop FBB calibration.")
     return "\n".join(lines)
 
 

@@ -1,10 +1,14 @@
-"""Static timing analysis: delays, arrival propagation, path extraction."""
+"""Static timing analysis: delays, arrival propagation, path extraction,
+and the batched population engine."""
 
+from repro.sta.batched import BatchedTimingAnalyzer, BatchTimingReport
 from repro.sta.delay import WIRE_CAP_PER_UM_FF, DelayCalculator
 from repro.sta.engine import Endpoint, TimingAnalyzer, TimingReport
 from repro.sta.paths import TimingPath, extract_paths, violating_paths
 
 __all__ = [
+    "BatchTimingReport",
+    "BatchedTimingAnalyzer",
     "DelayCalculator",
     "Endpoint",
     "TimingAnalyzer",

@@ -1,0 +1,310 @@
+"""Batched array-based STA over whole die populations.
+
+The scalar :class:`~repro.sta.engine.TimingAnalyzer` walks the netlist
+with Python dicts — perfect as ground truth, far too slow when the
+Monte Carlo and tuning layers need the critical delay of *thousands* of
+process-sampled dies.  This module compiles the netlist once into numpy
+index arrays and then propagates arrivals for an entire
+``(num_dies, num_gates)`` matrix of per-gate delay scales in one
+vectorized sweep per logic level:
+
+* **Compile** — topological order, per-gate fanin driver indices
+  (padded with a sentinel column whose arrival is pinned to 0, matching
+  the scalar engine's ``latest_input = 0.0`` start), logic levels, base
+  delays from the shared :class:`~repro.sta.delay.DelayCalculator`, and
+  the endpoint driver/setup vectors.
+* **Propagate** — for each level, one fancy-index gather + ``max`` over
+  fanins + add of the effective delays, vectorized across all dies.
+* **Report** — per-die endpoint delays, critical delays and slacks.
+
+The arithmetic is ordered exactly like the scalar engine
+(``base * derate * scale``, max-reduce over fanins, ``arrival + setup``)
+so per-die results are bit-for-bit reproducible against
+``TimingAnalyzer.analyze`` — the validation contract spelled out in
+DESIGN.md ("Scalar vs batched STA: the validation contract") and
+enforced by ``tests/sta/test_batched.py``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TimingError
+from repro.placement.placed_design import PlacedDesign
+from repro.sta.engine import Endpoint, TimingAnalyzer
+
+#: default number of dies propagated per sweep; bounds peak memory at
+#: roughly ``chunk * num_gates * 8`` bytes without changing any result
+#: (and keeps the per-level gathers cache-resident — measured ~2x
+#: faster than 4096+ chunks at 10k dies)
+DEFAULT_CHUNK_DIES = 1024
+
+
+@dataclass(frozen=True)
+class BatchTimingReport:
+    """STA results for a whole die population."""
+
+    gate_names: tuple[str, ...]
+    """Gate order of the matrix columns (compiled topological order)."""
+    endpoints: tuple[Endpoint, ...]
+    arrival_ps: np.ndarray
+    """Latest arrival at each gate output, shape (num_dies, num_gates)."""
+    gate_delay_ps: np.ndarray
+    """Effective per-gate delays used, shape (num_dies, num_gates)."""
+    endpoint_delay_ps: np.ndarray
+    """Path delay at each endpoint, shape (num_dies, num_endpoints)."""
+    critical_delay_ps: np.ndarray
+    """Per-die Dcrit, shape (num_dies,)."""
+
+    @property
+    def num_dies(self) -> int:
+        return len(self.critical_delay_ps)
+
+    def slack_ps(self, required_ps: float) -> np.ndarray:
+        """Endpoint slacks against a required time, (num_dies, num_eps)."""
+        return required_ps - self.endpoint_delay_ps
+
+    def worst_endpoints(self) -> list[Endpoint]:
+        """Each die's critical endpoint."""
+        worst = np.argmax(self.endpoint_delay_ps, axis=1)
+        return [self.endpoints[index] for index in worst]
+
+    def meets(self, required_ps: float) -> np.ndarray:
+        """Per-die boolean: every endpoint meets the required time."""
+        return self.critical_delay_ps <= required_ps + 1e-9
+
+
+class BatchedTimingAnalyzer:
+    """Array STA engine compiled from a scalar :class:`TimingAnalyzer`.
+
+    The scalar analyzer stays the single source of netlist/delay truth:
+    this class only reindexes its structures, so both engines always
+    price the same design state.
+    """
+
+    def __init__(self, analyzer: TimingAnalyzer) -> None:
+        self.analyzer = analyzer
+        netlist = analyzer.netlist
+        order = netlist.topological_order()
+        self.gate_names: tuple[str, ...] = tuple(g.name for g in order)
+        self._index = {name: i for i, name in enumerate(self.gate_names)}
+        num_gates = len(order)
+        self._sentinel = num_gates
+
+        calculator = analyzer.calculator
+        self._base_delay_ps = np.array(
+            [calculator.gate_delay_ps(name) for name in self.gate_names])
+
+        # Fanin driver indices and logic levels.  Sequential gates launch
+        # at clk->Q, i.e. they are sources with no combinational fanin.
+        fanins: list[list[int]] = []
+        level_of = np.zeros(num_gates, dtype=np.intp)
+        for i, gate in enumerate(order):
+            drivers: list[int] = []
+            if not gate.is_sequential:
+                for net_name in gate.inputs:
+                    driver = netlist.nets[net_name].driver
+                    if driver is not None:
+                        drivers.append(self._index[driver])
+            fanins.append(drivers)
+            level_of[i] = (1 + max(level_of[d] for d in drivers)
+                           if drivers else 0)
+
+        # One (gate-index vector, padded fanin block) pair per level.
+        self._level_blocks: list[tuple[np.ndarray, np.ndarray]] = []
+        num_levels = int(level_of.max()) + 1 if num_gates else 0
+        for level in range(num_levels):
+            members = np.nonzero(level_of == level)[0]
+            width = max(max((len(fanins[i]) for i in members), default=0), 1)
+            block = np.full((len(members), width), self._sentinel,
+                            dtype=np.intp)
+            for row, i in enumerate(members):
+                block[row, :len(fanins[i])] = fanins[i]
+            self._level_blocks.append((members, block))
+
+        endpoints = analyzer.endpoints
+        self.endpoints: tuple[Endpoint, ...] = tuple(endpoints)
+        driver_indices = []
+        for endpoint in endpoints:
+            if endpoint.kind == "po":
+                driver = netlist.nets[endpoint.name].driver
+            else:
+                data_net = netlist.gates[endpoint.name].inputs[0]
+                driver = netlist.nets[data_net].driver
+            driver_indices.append(self._index[driver]
+                                  if driver is not None else self._sentinel)
+        self._endpoint_driver = np.array(driver_indices, dtype=np.intp)
+        self._endpoint_setup_ps = np.array(
+            [endpoint.setup_ps for endpoint in endpoints])
+
+    @classmethod
+    def for_placed(cls, placed: PlacedDesign) -> "BatchedTimingAnalyzer":
+        return cls(TimingAnalyzer.for_placed(placed))
+
+    @property
+    def num_gates(self) -> int:
+        return len(self.gate_names)
+
+    @property
+    def num_endpoints(self) -> int:
+        return len(self.endpoints)
+
+    # -- scale-matrix helpers ----------------------------------------------------
+
+    def gate_index(self, gate_name: str) -> int:
+        """Column index of a gate in the scale/arrival matrices."""
+        try:
+            return self._index[gate_name]
+        except KeyError:
+            raise TimingError(f"no gate named {gate_name!r}") from None
+
+    def scales_row(self, mapping: Mapping[str, float] | None) -> np.ndarray:
+        """One die's name->scale mapping as a (num_gates,) array."""
+        row = np.ones(self.num_gates)
+        if mapping is not None:
+            for name, scale in mapping.items():
+                row[self.gate_index(name)] = scale
+        return row
+
+    def scales_matrix(
+            self,
+            mappings: Sequence[Mapping[str, float] | None]) -> np.ndarray:
+        """A population of mappings as a (num_dies, num_gates) matrix."""
+        if not mappings:
+            raise TimingError("need at least one die's scales")
+        return np.stack([self.scales_row(m) for m in mappings])
+
+    def mapping_of_row(self, row: np.ndarray) -> dict[str, float]:
+        """Invert one matrix row back into the scalar engine's mapping."""
+        row = np.asarray(row)
+        if row.shape != (self.num_gates,):
+            raise TimingError(
+                f"scale row must have shape ({self.num_gates},), "
+                f"got {row.shape}")
+        return dict(zip(self.gate_names, row.tolist()))
+
+    # -- core analysis -----------------------------------------------------------
+
+    def _check_inputs(self, scales: np.ndarray | None,
+                      derate: float | np.ndarray,
+                      num_dies: int | None
+                      ) -> tuple[np.ndarray | None, np.ndarray, int]:
+        """Validate scales/derate and resolve the die count."""
+        derate_arr = np.asarray(derate, dtype=float)
+        if derate_arr.ndim > 1:
+            raise TimingError("derate must be a scalar or a 1-D array")
+        if np.any(derate_arr <= 0):
+            raise TimingError(f"derate must be positive, got {derate}")
+
+        implied: int | None = None
+        if scales is not None:
+            scales = np.asarray(scales, dtype=float)
+            if scales.ndim == 1:
+                scales = scales[None, :]
+            if scales.ndim != 2 or scales.shape[1] != self.num_gates:
+                raise TimingError(
+                    f"scales must have shape (num_dies, {self.num_gates}), "
+                    f"got {scales.shape}")
+            implied = scales.shape[0]
+        if derate_arr.ndim == 1:
+            if implied is not None and implied != len(derate_arr):
+                raise TimingError(
+                    f"derate has {len(derate_arr)} dies but scales has "
+                    f"{implied}")
+            implied = implied if implied is not None else len(derate_arr)
+        if num_dies is not None and implied is not None \
+                and num_dies != implied:
+            raise TimingError(
+                f"num_dies={num_dies} conflicts with inputs for {implied}")
+        dies = num_dies if num_dies is not None else (
+            implied if implied is not None else 1)
+        if dies < 1:
+            raise TimingError("need at least one die")
+        return scales, derate_arr, dies
+
+    def _effective_delays(self, scales: np.ndarray | None,
+                          derate_arr: np.ndarray, dies: int) -> np.ndarray:
+        # Mirror the scalar engine's (base * derate) * scale ordering so
+        # results stay bit-for-bit identical.
+        if derate_arr.ndim == 0:
+            derated = self._base_delay_ps * float(derate_arr)
+            derated = np.broadcast_to(derated[None, :],
+                                      (dies, self.num_gates))
+        else:
+            derated = self._base_delay_ps[None, :] * derate_arr[:, None]
+        if scales is None:
+            return np.ascontiguousarray(derated)
+        return derated * scales
+
+    def _propagate(self, effective: np.ndarray) -> np.ndarray:
+        """Arrival matrix with the sentinel zero column appended."""
+        dies, num_gates = effective.shape
+        arrival = np.zeros((dies, num_gates + 1))
+        for members, fanin_block in self._level_blocks:
+            latest = arrival[:, fanin_block].max(axis=2)
+            arrival[:, members] = latest + effective[:, members]
+        return arrival
+
+    def analyze(self, scales: np.ndarray | None = None,
+                derate: float | np.ndarray = 1.0,
+                num_dies: int | None = None) -> BatchTimingReport:
+        """Run batched STA and return the full population report.
+
+        ``scales`` is a (num_dies, num_gates) delay-multiplier matrix in
+        :attr:`gate_names` column order (build one with
+        :meth:`scales_matrix`); ``derate`` is the paper's ``1 + beta``,
+        scalar or per-die.
+        """
+        scales, derate_arr, dies = self._check_inputs(scales, derate,
+                                                      num_dies)
+        effective = self._effective_delays(scales, derate_arr, dies)
+        arrival = self._propagate(effective)
+        endpoint = (arrival[:, self._endpoint_driver]
+                    + self._endpoint_setup_ps[None, :])
+        return BatchTimingReport(
+            gate_names=self.gate_names,
+            endpoints=self.endpoints,
+            arrival_ps=arrival[:, :self.num_gates],
+            gate_delay_ps=effective,
+            endpoint_delay_ps=endpoint,
+            critical_delay_ps=endpoint.max(axis=1),
+        )
+
+    def critical_delays(self, scales: np.ndarray | None = None,
+                        derate: float | np.ndarray = 1.0,
+                        num_dies: int | None = None,
+                        chunk_dies: int = DEFAULT_CHUNK_DIES) -> np.ndarray:
+        """Per-die Dcrit only, sweeping in chunks to bound peak memory.
+
+        The effective-delay and arrival matrices are both built one
+        chunk at a time, so peak extra memory is
+        ``O(chunk_dies * num_gates)`` no matter the population size.
+        """
+        if chunk_dies < 1:
+            raise TimingError("chunk_dies must be at least 1")
+        scales, derate_arr, dies = self._check_inputs(scales, derate,
+                                                      num_dies)
+        critical = np.empty(dies)
+        for start in range(0, dies, chunk_dies):
+            stop = min(start + chunk_dies, dies)
+            chunk_scales = None if scales is None else scales[start:stop]
+            chunk_derate = (derate_arr if derate_arr.ndim == 0
+                            else derate_arr[start:stop])
+            effective = self._effective_delays(chunk_scales, chunk_derate,
+                                               stop - start)
+            arrival = self._propagate(effective)
+            endpoint = (arrival[:, self._endpoint_driver]
+                        + self._endpoint_setup_ps[None, :])
+            critical[start:stop] = endpoint.max(axis=1)
+        return critical
+
+    def meets(self, required_ps: float,
+              scales: np.ndarray | None = None,
+              derate: float | np.ndarray = 1.0,
+              num_dies: int | None = None) -> np.ndarray:
+        """Per-die boolean: does each die meet the required time?"""
+        return (self.critical_delays(scales, derate, num_dies)
+                <= required_ps + 1e-9)

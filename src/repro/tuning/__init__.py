@@ -1,13 +1,23 @@
-"""Post-silicon tuning: sensors, bias generator, closed-loop controller."""
+"""Post-silicon tuning: sensors, bias generator, closed-loop controller,
+and wafer-scale population calibration."""
 
 from repro.tuning.controller import TuningController, TuningOutcome
 from repro.tuning.generator import BodyBiasGenerator
-from repro.tuning.sensors import InSituMonitor, PathReplicaSensor
+from repro.tuning.population import (DIE_STATUSES, DieTuningRecord,
+                                     PopulationTuningSummary,
+                                     tune_population)
+from repro.tuning.sensors import (InSituMonitor, PathReplicaSensor,
+                                  PopulationMonitor)
 
 __all__ = [
     "BodyBiasGenerator",
+    "DIE_STATUSES",
+    "DieTuningRecord",
     "InSituMonitor",
     "PathReplicaSensor",
+    "PopulationMonitor",
+    "PopulationTuningSummary",
     "TuningController",
     "TuningOutcome",
+    "tune_population",
 ]

@@ -30,6 +30,7 @@ from repro.core.solution import BiasSolution
 from repro.errors import InfeasibleError, TuningError
 from repro.placement.placed_design import PlacedDesign
 from repro.sta.engine import TimingAnalyzer
+from repro.sta.paths import extract_paths
 from repro.tech.characterize import CharacterizedLibrary
 from repro.tuning.generator import BodyBiasGenerator
 from repro.tuning.sensors import InSituMonitor
@@ -66,6 +67,9 @@ class TuningController:
         self.dcrit_ps = self.analyzer.critical_delay_ps()
         self.generator = BodyBiasGenerator(self.clib.tech)
         self.monitor = InSituMonitor(self.analyzer, self.dcrit_ps * 1.0001)
+        # Paths are beta-independent: extract once so population-scale
+        # calibration does not redo path enumeration per die/iteration.
+        self._paths = list(extract_paths(self.analyzer))
 
     def _gate_scales(self, solution: BiasSolution) -> dict[str, float]:
         scales = {}
@@ -103,7 +107,10 @@ class TuningController:
         solution: BiasSolution | None = None
         for iteration in range(1, self.max_iterations + 1):
             try:
-                problem = build_problem(self.placed, self.clib, estimate)
+                problem = build_problem(self.placed, self.clib, estimate,
+                                        analyzer=self.analyzer,
+                                        paths=self._paths,
+                                        dcrit_ps=self.dcrit_ps)
                 if self.use_ilp:
                     solution = solve_ilp(problem, self.max_clusters)
                 else:
@@ -135,6 +142,16 @@ class TuningController:
             leakage_nw=solution.leakage_nw if solution else 0.0,
             settle_latency_us=self.generator.settle_latency_us(),
             history=history)
+
+    def calibrate_population(self, population, beta_budget: float = 0.0):
+        """Tune every out-of-budget die of a Monte Carlo population.
+
+        Thin wrapper over :func:`repro.tuning.population.tune_population`
+        (imported lazily to keep the module graph acyclic); returns its
+        :class:`PopulationTuningSummary`.
+        """
+        from repro.tuning.population import tune_population
+        return tune_population(self, population, beta_budget)
 
     def clib_leakage_unbiased(self) -> float:
         """Design leakage with no body bias applied, nanowatts."""

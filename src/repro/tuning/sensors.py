@@ -20,7 +20,10 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import TuningError
+from repro.sta.batched import BatchedTimingAnalyzer
 from repro.sta.engine import TimingAnalyzer
 from repro.sta.paths import TimingPath
 
@@ -102,3 +105,57 @@ class InSituMonitor:
         return [endpoint.name
                 for endpoint, delay in report.endpoint_delay_ps.items()
                 if delay > threshold]
+
+
+@dataclass
+class PopulationMonitor:
+    """In-situ monitors over a whole die population (batched-STA model).
+
+    The wafer-scale view of :class:`InSituMonitor`: one vectorized STA
+    sweep answers, for every die at once, "would this die's monitors
+    alarm?".  This is the sense step the tuning loops use on Monte
+    Carlo populations (see DESIGN.md, "Scaling to die populations").
+    """
+
+    batched: BatchedTimingAnalyzer
+    tcrit_ps: float
+    detection_window_ps: float = 0.0
+    alarms_raised: int = field(default=0, init=False)
+    _nominal_ps: float | None = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        if self.tcrit_ps <= 0:
+            raise TuningError("Tcrit must be positive")
+        if self.detection_window_ps < 0:
+            raise TuningError("detection window cannot be negative")
+
+    def check_population(self, die_slowdowns: np.ndarray,
+                         scale_matrix: np.ndarray | None = None
+                         ) -> np.ndarray:
+        """Per-die alarm flags for a population in one batched STA pass.
+
+        ``die_slowdowns`` is the per-die beta vector; ``scale_matrix``
+        the applied bias scales, (num_dies, num_gates) in the batched
+        engine's gate order (None = unbiased dies).
+        """
+        betas = np.asarray(die_slowdowns, dtype=float)
+        if betas.ndim != 1:
+            raise TuningError("die_slowdowns must be a 1-D beta vector")
+        if np.any(betas < 0):
+            raise TuningError("die slowdown cannot be negative")
+        criticals = self.batched.critical_delays(scale_matrix,
+                                                 derate=1.0 + betas)
+        alarms = criticals > self.tcrit_ps - self.detection_window_ps
+        self.alarms_raised += int(alarms.sum())
+        return alarms
+
+    def measured_betas(self, scale_matrix: np.ndarray,
+                       nominal_delay_ps: float | None = None) -> np.ndarray:
+        """Per-die slowdown estimates from one batched measurement."""
+        criticals = self.batched.critical_delays(scale_matrix)
+        if nominal_delay_ps is None:
+            if self._nominal_ps is None:
+                # nominal Dcrit is a design constant: measure it once
+                self._nominal_ps = self.batched.analyzer.critical_delay_ps()
+            nominal_delay_ps = self._nominal_ps
+        return criticals / nominal_delay_ps - 1.0

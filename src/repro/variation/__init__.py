@@ -1,12 +1,15 @@
 """Variability models: process, temperature, aging, Monte Carlo."""
 
 from repro.variation.aging import SECONDS_PER_YEAR, NbtiModel
-from repro.variation.montecarlo import (DieSample, MonteCarloResult,
-                                        sample_dies)
+from repro.variation.montecarlo import (STA_ENGINES, DieSample,
+                                        MonteCarloResult, sample_dies)
 from repro.variation.process import (ProcessModel, delay_multiplier_for_dvth,
+                                     delay_multipliers_for_dvth,
                                      gate_delay_scales,
                                      sample_inter_die_dvth,
-                                     sample_intra_die_dvth)
+                                     sample_intra_die_dvth,
+                                     sample_intra_die_dvth_matrix,
+                                     sample_scale_matrix)
 from repro.variation.temperature import (REFERENCE_TEMPERATURE_K,
                                          TemperatureModel)
 
@@ -17,10 +20,14 @@ __all__ = [
     "ProcessModel",
     "REFERENCE_TEMPERATURE_K",
     "SECONDS_PER_YEAR",
+    "STA_ENGINES",
     "TemperatureModel",
     "delay_multiplier_for_dvth",
+    "delay_multipliers_for_dvth",
     "gate_delay_scales",
     "sample_dies",
     "sample_inter_die_dvth",
     "sample_intra_die_dvth",
+    "sample_intra_die_dvth_matrix",
+    "sample_scale_matrix",
 ]

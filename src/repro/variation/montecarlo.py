@@ -1,21 +1,40 @@
 """Monte Carlo die sampling for the post-silicon-tuning experiments.
 
 Draws a population of dies from the process model, measures each die's
-effective slowdown with full STA, and reports the betas a tuning loop
-must compensate.  This is the synthetic stand-in for the paper's
-fabricated-die population (see DESIGN.md substitution table).
+effective slowdown with STA, and reports the betas a tuning loop must
+compensate.  This is the synthetic stand-in for the paper's
+fabricated-die population (see DESIGN.md, "Paper-to-code
+substitutions").
+
+Two measurement engines share one vectorized sampling path (all dies'
+gate scales are drawn as a single ``(num_dies, num_gates)`` matrix):
+
+* ``"batched"`` (default) — one array sweep through
+  :class:`repro.sta.batched.BatchedTimingAnalyzer`, fast enough for
+  10k+ die populations;
+* ``"scalar"`` — one dict-based :class:`TimingAnalyzer` run per die,
+  the validated ground truth the batched engine is cross-checked
+  against (DESIGN.md, "Scalar vs batched STA: the validation
+  contract").
+
+Both engines see identical scale matrices, so their betas agree
+bit-for-bit.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import ReproError
 from repro.placement.placed_design import PlacedDesign
+from repro.sta.batched import BatchedTimingAnalyzer
 from repro.sta.engine import TimingAnalyzer
-from repro.variation.process import ProcessModel, gate_delay_scales
+from repro.variation.process import ProcessModel, sample_scale_matrix
+
+#: supported slowdown-measurement engines for :func:`sample_dies`
+STA_ENGINES = ("batched", "scalar")
 
 
 @dataclass(frozen=True)
@@ -26,22 +45,46 @@ class DieSample:
     beta: float
     """Effective slowdown: critical delay ratio to nominal, minus 1."""
     gate_scales: dict[str, float]
+    """Per-gate delay multipliers (empty when sampled with
+    ``store_scales=False``; use ``MonteCarloResult.gate_scales_of``)."""
 
     @property
     def is_slow(self) -> bool:
         return self.beta > 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class MonteCarloResult:
     """A sampled die population."""
 
     samples: tuple[DieSample, ...]
     nominal_delay_ps: float
+    gate_names: tuple[str, ...] = ()
+    """Column order of ``scale_matrix`` (compiled topological order)."""
+    scale_matrix: np.ndarray | None = None
+    """All dies' gate delay scales, shape (num_dies, num_gates)."""
+    engine: str = "batched"
+    betas: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    """Per-die slowdowns, shape (num_dies,)."""
+
+    def __post_init__(self) -> None:
+        # Direct construction may omit betas; derive them from the
+        # samples so the old property-based contract keeps holding.
+        if len(self.betas) != len(self.samples):
+            object.__setattr__(
+                self, "betas",
+                np.array([sample.beta for sample in self.samples]))
 
     @property
-    def betas(self) -> np.ndarray:
-        return np.array([sample.beta for sample in self.samples])
+    def num_dies(self) -> int:
+        return len(self.samples)
+
+    def gate_scales_of(self, index: int) -> dict[str, float]:
+        """One die's name->scale mapping, rebuilt from the matrix."""
+        if self.scale_matrix is None:
+            raise ReproError("population was sampled without a scale matrix")
+        return dict(zip(self.gate_names,
+                        self.scale_matrix[index].tolist()))
 
     def slow_dies(self, beta_threshold: float = 0.0) -> list[DieSample]:
         """Dies slower than the threshold — the tuning candidates."""
@@ -55,24 +98,45 @@ class MonteCarloResult:
 
 def sample_dies(placed: PlacedDesign, num_dies: int,
                 model: ProcessModel | None = None,
-                seed: int = 0) -> MonteCarloResult:
-    """Draw a die population and measure each die's slowdown via STA."""
+                seed: int = 0,
+                engine: str = "batched",
+                store_scales: bool = True) -> MonteCarloResult:
+    """Draw a die population and measure each die's slowdown via STA.
+
+    ``engine`` selects the measurement path (see module docstring);
+    ``store_scales=False`` skips materialising the per-die scale dicts,
+    which large populations (10k+ dies) neither need nor can afford.
+    """
     if num_dies <= 0:
         raise ReproError(f"num_dies must be positive, got {num_dies}")
+    if engine not in STA_ENGINES:
+        raise ReproError(
+            f"unknown STA engine {engine!r}; pick one of {STA_ENGINES}")
     if model is None:
         model = ProcessModel()
     rng = np.random.default_rng(seed)
     analyzer = TimingAnalyzer.for_placed(placed)
+    batched = BatchedTimingAnalyzer(analyzer)
     nominal = analyzer.critical_delay_ps()
 
-    samples = []
-    for index in range(num_dies):
-        scales = gate_delay_scales(placed, model, rng)
-        critical = analyzer.critical_delay_ps(scales)
-        samples.append(DieSample(
-            index=index,
-            beta=critical / nominal - 1.0,
-            gate_scales=scales,
-        ))
-    return MonteCarloResult(samples=tuple(samples),
-                            nominal_delay_ps=nominal)
+    scale_matrix = sample_scale_matrix(placed, model, rng, num_dies,
+                                       batched.gate_names)
+    if engine == "batched":
+        criticals = batched.critical_delays(scale_matrix)
+    else:
+        criticals = np.array([
+            analyzer.critical_delay_ps(batched.mapping_of_row(row))
+            for row in scale_matrix])
+    betas = criticals / nominal - 1.0
+
+    samples = tuple(
+        DieSample(index=index, beta=float(betas[index]),
+                  gate_scales=(batched.mapping_of_row(row)
+                               if store_scales else {}))
+        for index, row in enumerate(scale_matrix))
+    return MonteCarloResult(samples=samples,
+                            nominal_delay_ps=nominal,
+                            gate_names=batched.gate_names,
+                            scale_matrix=scale_matrix,
+                            engine=engine,
+                            betas=betas)

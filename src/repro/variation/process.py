@@ -18,6 +18,7 @@ through full STA by the callers.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -49,11 +50,18 @@ def delay_multiplier_for_dvth(tech: Technology, dvth_v: float) -> float:
     """Delay multiplier caused by a threshold shift (alpha-power law).
 
     Positive shifts (slower devices) give multipliers above 1.
+    Delegates to the vectorized form so the scalar and population
+    sampling paths can never drift apart.
     """
+    return float(delay_multipliers_for_dvth(tech, np.float64(dvth_v)))
+
+
+def delay_multipliers_for_dvth(tech: Technology,
+                               dvth_v: np.ndarray) -> np.ndarray:
+    """Delay multipliers for an array of threshold shifts (alpha-power
+    law); the gate-overdrive clamp keeps near-depletion shifts finite."""
     base = tech.vdd - tech.vth0_n
-    shifted = base - dvth_v
-    if shifted <= 0.05:
-        shifted = 0.05
+    shifted = np.maximum(base - np.asarray(dvth_v, dtype=float), 0.05)
     return (base / shifted) ** tech.alpha_power
 
 
@@ -65,55 +73,98 @@ def sample_inter_die_dvth(model: ProcessModel,
 
 def sample_intra_die_dvth(placed: PlacedDesign, model: ProcessModel,
                           rng: np.random.Generator) -> dict[str, float]:
-    """Spatially correlated per-gate threshold shifts, volts.
+    """Spatially correlated per-gate threshold shifts for one die, volts.
+
+    Delegates to the population sampler with ``num_dies=1`` (identical
+    rng draw order, so the two paths can never drift apart).
+    """
+    names = list(placed.netlist.gates)
+    matrix = sample_intra_die_dvth_matrix(placed, model, rng, 1, names)
+    return dict(zip(names, matrix[0].tolist()))
+
+
+def sample_intra_die_dvth_matrix(placed: PlacedDesign, model: ProcessModel,
+                                 rng: np.random.Generator, num_dies: int,
+                                 gate_names: Sequence[str] | None = None
+                                 ) -> np.ndarray:
+    """Correlated per-gate threshold shifts for a whole population.
 
     The correlated part is a sum of ``intra_grid_levels`` grids of
     Gaussian offsets with geometrically finer spacing; gates in the same
-    grid cell share the offset, producing spatial correlation that decays
-    with distance — neighbouring rows see similar shifts, which is the
-    physical basis for *clustered* compensation.
+    grid cell share the offset, producing spatial correlation that
+    decays with distance — neighbouring rows see similar shifts, which
+    is the physical basis for *clustered* compensation.  Coarser levels
+    carry more variance (weights 2^-level), matching the long
+    correlation lengths of lithography/doping gradients.
+
+    All dies are drawn in bulk: ``(num_dies, cells, cells)`` offset
+    blocks gathered per gate with fancy indexing.  Returns a
+    ``(num_dies, num_gates)`` matrix whose columns follow ``gate_names``
+    (defaulting to the netlist's gate order).
     """
+    if num_dies <= 0:
+        raise ReproError(f"num_dies must be positive, got {num_dies}")
+    if gate_names is None:
+        gate_names = list(placed.netlist.gates)
     sigma_total = model.sigma_intra_v
     independent_var = (sigma_total ** 2) * model.intra_independent_fraction
     correlated_var = (sigma_total ** 2) - independent_var
 
-    # Coarser levels carry more variance (weights 2^-level), matching
-    # the long correlation lengths of lithography/doping gradients.
     raw_weights = np.array([2.0 ** -level
                             for level in range(model.intra_grid_levels)])
     level_vars = correlated_var * raw_weights / raw_weights.sum()
 
     width = placed.floorplan.core_width_um
     height = placed.floorplan.core_height_um
-    shifts: dict[str, float] = {}
-    positions = {name: placed.gate_position_um(name)
-                 for name in placed.netlist.gates}
+    positions = np.array([placed.gate_position_um(name)
+                          for name in gate_names])
+    xs, ys = positions[:, 0], positions[:, 1]
 
-    level_offsets: list[tuple[int, np.ndarray]] = []
+    total = np.zeros((num_dies, len(gate_names)))
     for level in range(model.intra_grid_levels):
         cells = 2 ** (level + 1)
         offsets = rng.normal(0.0, float(np.sqrt(level_vars[level])),
-                             size=(cells, cells))
-        level_offsets.append((cells, offsets))
+                             size=(num_dies, cells, cells))
+        cols = np.minimum((xs / max(width, 1e-9) * cells).astype(np.intp),
+                          cells - 1)
+        rows = np.minimum((ys / max(height, 1e-9) * cells).astype(np.intp),
+                          cells - 1)
+        total += offsets[:, rows, cols]
 
     sigma_independent = float(np.sqrt(independent_var))
-    for name, (x, y) in positions.items():
-        total = 0.0
-        for cells, offsets in level_offsets:
-            col = min(int(x / max(width, 1e-9) * cells), cells - 1)
-            row = min(int(y / max(height, 1e-9) * cells), cells - 1)
-            total += offsets[row, col]
-        if sigma_independent > 0:
-            total += rng.normal(0.0, sigma_independent)
-        shifts[name] = total
-    return shifts
+    if sigma_independent > 0:
+        total += rng.normal(0.0, sigma_independent,
+                            size=(num_dies, len(gate_names)))
+    return total
 
 
 def gate_delay_scales(placed: PlacedDesign, model: ProcessModel,
                       rng: np.random.Generator) -> dict[str, float]:
-    """Per-gate delay multipliers for one sampled die."""
+    """Per-gate delay multipliers for one sampled die.
+
+    Delegates to :func:`sample_scale_matrix` with ``num_dies=1`` so the
+    single-die and population paths share one sampling implementation.
+    """
+    names = list(placed.netlist.gates)
+    matrix = sample_scale_matrix(placed, model, rng, 1, names)
+    return dict(zip(names, matrix[0].tolist()))
+
+
+def sample_scale_matrix(placed: PlacedDesign, model: ProcessModel,
+                        rng: np.random.Generator, num_dies: int,
+                        gate_names: Sequence[str] | None = None
+                        ) -> np.ndarray:
+    """Delay-scale matrix for a whole die population.
+
+    Draws every die's inter-die shift and correlated intra-die field in
+    bulk and converts them through the alpha-power law, returning a
+    ``(num_dies, num_gates)`` matrix ready for
+    :class:`repro.sta.batched.BatchedTimingAnalyzer`.
+    """
+    if gate_names is None:
+        gate_names = list(placed.netlist.gates)
     tech = placed.library.tech
-    inter = sample_inter_die_dvth(model, rng)
-    intra = sample_intra_die_dvth(placed, model, rng)
-    return {name: delay_multiplier_for_dvth(tech, inter + shift)
-            for name, shift in intra.items()}
+    inter = rng.normal(0.0, model.sigma_inter_v, size=num_dies)
+    intra = sample_intra_die_dvth_matrix(placed, model, rng, num_dies,
+                                         gate_names)
+    return delay_multipliers_for_dvth(tech, inter[:, None] + intra)

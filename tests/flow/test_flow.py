@@ -1,9 +1,11 @@
-"""Tests for the end-to-end flow and the Table 1 harness."""
+"""Tests for the end-to-end flow and the experiment harnesses."""
 
 import pytest
 
-from repro.flow import (ExperimentConfig, format_sweep, format_table1,
-                        implement, run_design_beta, run_table1)
+from repro.flow import (ExperimentConfig, PopulationConfig, format_population,
+                        format_sweep, format_table1, implement,
+                        run_design_beta, run_population,
+                        run_population_study, run_table1)
 
 
 @pytest.fixture(scope="module")
@@ -74,3 +76,31 @@ class TestTable1Harness:
         text = format_sweep("c5315", 0.05, [2, 3, 4], [10.0, 11.0, 11.5])
         assert "c5315" in text
         assert "+1.00" in text
+
+
+class TestPopulationHarness:
+    def test_sample_only_row(self, flow):
+        config = PopulationConfig(num_dies=30, seed=3)
+        row = run_population(flow, config)
+        assert row.design == "c1355"
+        assert row.num_dies == 30
+        assert row.beta_std > 0
+        assert 0 <= row.timing_yield <= 1
+        assert row.tuned_yield is None
+        assert row.sta_engine == "batched"
+
+    def test_tuned_row_improves_yield(self, flow):
+        config = PopulationConfig(num_dies=12, seed=3, tune=True)
+        row = run_population(flow, config)
+        assert row.tuned_yield is not None
+        assert row.tuned_yield >= row.timing_yield
+        assert row.recovered + row.lost \
+            == round((1 - row.timing_yield) * row.num_dies)
+
+    def test_study_and_formatting(self, flow):
+        config = PopulationConfig(num_dies=20, seed=1)
+        rows = run_population_study(("c1355",), config,
+                                    flows={"c1355": flow})
+        text = format_population(rows)
+        assert "c1355" in text
+        assert "STA engine: batched" in text

@@ -1,0 +1,181 @@
+"""Batched-vs-scalar STA equivalence (the DESIGN.md validation contract).
+
+The batched engine must reproduce the scalar ``TimingAnalyzer`` per die
+within 1e-9 ps (in practice bit-for-bit: the arithmetic is ordered
+identically) across random scale matrices, derates, and circuits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import c1355_like, c3540_like, c6288_like
+from repro.errors import TimingError
+from repro.placement import place_design
+from repro.sta import BatchedTimingAnalyzer, TimingAnalyzer
+from repro.synth import map_netlist
+from repro.tech import reduced_library
+
+LIBRARY = reduced_library()
+TOLERANCE_PS = 1e-9
+
+CIRCUITS = {
+    "sec": lambda: c1355_like(data_width=8, check_bits=4),
+    "alu": lambda: c3540_like(width=6),
+    "mult": lambda: c6288_like(width=5),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(CIRCUITS))
+def engines(request):
+    mapped = map_netlist(CIRCUITS[request.param](), LIBRARY)
+    placed = place_design(mapped, LIBRARY)
+    scalar = TimingAnalyzer.for_placed(placed)
+    return scalar, BatchedTimingAnalyzer(scalar)
+
+
+class TestCompilation:
+    def test_gate_order_covers_netlist(self, engines):
+        scalar, batched = engines
+        assert set(batched.gate_names) == set(scalar.netlist.gates)
+        assert batched.num_gates == scalar.netlist.num_gates
+
+    def test_endpoints_match_scalar(self, engines):
+        scalar, batched = engines
+        assert list(batched.endpoints) == scalar.endpoints
+
+
+class TestEquivalence:
+    def test_nominal_matches_scalar(self, engines):
+        scalar, batched = engines
+        critical = batched.critical_delays(num_dies=1)
+        assert critical.shape == (1,)
+        assert critical[0] == pytest.approx(scalar.critical_delay_ps(),
+                                            abs=TOLERANCE_PS)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_scale_matrices_match_scalar(self, engines, seed):
+        """Property: per-die critical delays equal the scalar engine's
+        for any seeded random scale matrix."""
+        scalar, batched = engines
+        rng = np.random.default_rng(seed)
+        scales = rng.uniform(0.6, 1.5, size=(8, batched.num_gates))
+        criticals = batched.critical_delays(scales)
+        for die, row in enumerate(scales):
+            reference = scalar.critical_delay_ps(batched.mapping_of_row(row))
+            assert abs(criticals[die] - reference) <= TOLERANCE_PS
+
+    def test_endpoint_delays_match_scalar(self, engines):
+        scalar, batched = engines
+        rng = np.random.default_rng(3)
+        scales = rng.uniform(0.8, 1.3, size=(3, batched.num_gates))
+        report = batched.analyze(scales)
+        for die, row in enumerate(scales):
+            reference = scalar.analyze(batched.mapping_of_row(row))
+            for column, endpoint in enumerate(batched.endpoints):
+                assert abs(report.endpoint_delay_ps[die, column]
+                           - reference.endpoint_delay_ps[endpoint]) \
+                    <= TOLERANCE_PS
+
+    def test_scalar_derate_matches(self, engines):
+        scalar, batched = engines
+        criticals = batched.critical_delays(derate=1.08, num_dies=2)
+        reference = scalar.critical_delay_ps(derate=1.08)
+        assert np.all(np.abs(criticals - reference) <= TOLERANCE_PS)
+
+    def test_per_die_derate_matches(self, engines):
+        scalar, batched = engines
+        rng = np.random.default_rng(9)
+        scales = rng.uniform(0.9, 1.2, size=(6, batched.num_gates))
+        derates = rng.uniform(1.0, 1.15, size=6)
+        criticals = batched.critical_delays(scales, derate=derates)
+        for die in range(6):
+            reference = scalar.critical_delay_ps(
+                batched.mapping_of_row(scales[die]),
+                derate=float(derates[die]))
+            assert abs(criticals[die] - reference) <= TOLERANCE_PS
+
+    def test_chunked_sweep_identical(self, engines):
+        _scalar, batched = engines
+        rng = np.random.default_rng(4)
+        scales = rng.uniform(0.7, 1.4, size=(10, batched.num_gates))
+        whole = batched.critical_delays(scales)
+        chunked = batched.critical_delays(scales, chunk_dies=3)
+        assert np.array_equal(whole, chunked)
+
+
+class TestReport:
+    def test_meets_and_slacks(self, engines):
+        scalar, batched = engines
+        report = batched.analyze(num_dies=1)
+        required = scalar.critical_delay_ps()
+        assert report.meets(required).all()
+        assert report.slack_ps(required).min() >= -TOLERANCE_PS
+        assert not batched.meets(required, derate=1.2, num_dies=1).any()
+
+    def test_worst_endpoints(self, engines):
+        scalar, batched = engines
+        report = batched.analyze(num_dies=1)
+        assert report.worst_endpoints() == \
+            [scalar.analyze().worst_endpoint()]
+
+
+class TestScaleHelpers:
+    def test_mapping_round_trip(self, engines):
+        _scalar, batched = engines
+        rng = np.random.default_rng(0)
+        row = rng.uniform(0.8, 1.2, size=batched.num_gates)
+        rebuilt = batched.scales_row(batched.mapping_of_row(row))
+        assert np.array_equal(row, rebuilt)
+
+    def test_partial_mapping_defaults_to_one(self, engines):
+        _scalar, batched = engines
+        name = batched.gate_names[0]
+        row = batched.scales_row({name: 1.3})
+        assert row[batched.gate_index(name)] == 1.3
+        assert np.sum(row != 1.0) == 1
+
+    def test_scales_matrix_stacks_mappings(self, engines):
+        _scalar, batched = engines
+        matrix = batched.scales_matrix([None, {batched.gate_names[0]: 2.0}])
+        assert matrix.shape == (2, batched.num_gates)
+        assert matrix[0].min() == matrix[0].max() == 1.0
+
+
+class TestValidation:
+    def test_bad_scale_shape_rejected(self, engines):
+        _scalar, batched = engines
+        with pytest.raises(TimingError):
+            batched.critical_delays(np.ones((2, batched.num_gates + 1)))
+
+    def test_bad_derate_rejected(self, engines):
+        _scalar, batched = engines
+        with pytest.raises(TimingError):
+            batched.critical_delays(derate=0.0, num_dies=1)
+        with pytest.raises(TimingError):
+            batched.critical_delays(derate=np.ones((2, 2)), num_dies=2)
+
+    def test_mismatched_die_counts_rejected(self, engines):
+        _scalar, batched = engines
+        scales = np.ones((3, batched.num_gates))
+        with pytest.raises(TimingError):
+            batched.critical_delays(scales, derate=np.ones(4))
+        with pytest.raises(TimingError):
+            batched.critical_delays(scales, num_dies=5)
+
+    def test_unknown_gate_rejected(self, engines):
+        _scalar, batched = engines
+        with pytest.raises(TimingError):
+            batched.scales_row({"nope": 1.0})
+
+    def test_bad_chunk_size_rejected(self, engines):
+        _scalar, batched = engines
+        with pytest.raises(TimingError):
+            batched.critical_delays(np.ones(batched.num_gates)[None, :],
+                                    chunk_dies=0)
+
+    def test_empty_population_rejected(self, engines):
+        _scalar, batched = engines
+        with pytest.raises(TimingError):
+            batched.critical_delays(np.ones((0, batched.num_gates)))
+        with pytest.raises(TimingError):
+            batched.critical_delays(derate=np.ones(0))

@@ -26,6 +26,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["allocate", "c17"])
 
+    def test_montecarlo_defaults(self):
+        args = build_parser().parse_args(["montecarlo", "c1355"])
+        assert args.dies == 1000
+        assert args.engine == "batched"
+        assert not args.tune
+
+    def test_montecarlo_bad_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["montecarlo", "c1355", "--engine", "quantum"])
+
 
 class TestCommands:
     def test_fig1(self, capsys):
@@ -49,3 +60,10 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "c1355" in out
         assert "No.Constr" in out
+
+    def test_montecarlo(self, capsys):
+        assert main(["montecarlo", "c1355", "--dies", "50",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "c1355" in out
+        assert "STA engine: batched" in out

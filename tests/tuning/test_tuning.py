@@ -1,15 +1,18 @@
 """Tests for sensors, bias generator and the closed tuning loop."""
 
+import numpy as np
 import pytest
 
 from repro.circuits import c1355_like
 from repro.errors import TuningError
 from repro.placement import place_design
-from repro.sta import TimingAnalyzer, extract_paths
+from repro.sta import BatchedTimingAnalyzer, TimingAnalyzer, extract_paths
 from repro.synth import map_netlist
 from repro.tech import Technology, characterize_library, reduced_library
 from repro.tuning import (BodyBiasGenerator, InSituMonitor,
-                          PathReplicaSensor, TuningController)
+                          PathReplicaSensor, PopulationMonitor,
+                          TuningController, tune_population)
+from repro.variation import sample_dies
 
 LIBRARY = reduced_library()
 CLIB = characterize_library(LIBRARY)
@@ -68,6 +71,93 @@ class TestInSituMonitor:
         analyzer = TimingAnalyzer.for_placed(placed)
         monitor = InSituMonitor(analyzer, analyzer.critical_delay_ps())
         assert monitor.failing_endpoints(0.05)
+
+
+class TestPopulationMonitor:
+    def test_matches_scalar_monitor(self, placed):
+        analyzer = TimingAnalyzer.for_placed(placed)
+        batched = BatchedTimingAnalyzer(analyzer)
+        tcrit = analyzer.critical_delay_ps()
+        scalar_monitor = InSituMonitor(analyzer, tcrit)
+        monitor = PopulationMonitor(batched, tcrit)
+        betas = np.array([0.0, 0.02, 0.08])
+        alarms = monitor.check_population(betas)
+        expected = [scalar_monitor.check(float(b)) for b in betas]
+        assert alarms.tolist() == expected
+        assert monitor.alarms_raised == sum(expected)
+
+    def test_bias_scales_clear_alarms(self, placed):
+        batched = BatchedTimingAnalyzer.for_placed(placed)
+        tcrit = batched.analyzer.critical_delay_ps()
+        monitor = PopulationMonitor(batched, tcrit * 1.0001)
+        betas = np.full(4, 0.05)
+        assert monitor.check_population(betas).all()
+        strong_bias = np.full((4, batched.num_gates),
+                              CLIB.delay_scales[10])
+        assert not monitor.check_population(betas, strong_bias).any()
+
+    def test_measured_betas_round_trip(self, placed):
+        batched = BatchedTimingAnalyzer.for_placed(placed)
+        monitor = PopulationMonitor(
+            batched, batched.analyzer.critical_delay_ps())
+        population = sample_dies(placed, 10, seed=8)
+        measured = monitor.measured_betas(population.scale_matrix,
+                                          population.nominal_delay_ps)
+        assert np.array_equal(measured, population.betas)
+
+    def test_validation(self, placed):
+        batched = BatchedTimingAnalyzer.for_placed(placed)
+        with pytest.raises(TuningError):
+            PopulationMonitor(batched, -1.0)
+        monitor = PopulationMonitor(batched, 100.0)
+        with pytest.raises(TuningError):
+            monitor.check_population(np.array([-0.1]))
+        with pytest.raises(TuningError):
+            monitor.check_population(np.zeros((2, 2)))
+
+
+class TestPopulationTuning:
+    def test_yield_recovers(self, placed):
+        population = sample_dies(placed, 15, seed=2, store_scales=False)
+        controller = TuningController(placed, CLIB)
+        summary = tune_population(controller, population)
+        assert summary.num_dies == 15
+        assert summary.yield_before == population.timing_yield()
+        assert summary.yield_after >= summary.yield_before
+        assert summary.count("ok-unbiased") + summary.recovered \
+            + summary.lost == 15
+        statuses = {record.status for record in summary.records}
+        assert statuses <= {"ok-unbiased", "recovered", "not-converged",
+                            "yield-loss"}
+
+    def test_recovered_dies_pay_leakage(self, placed):
+        population = sample_dies(placed, 15, seed=2, store_scales=False)
+        controller = TuningController(placed, CLIB)
+        summary = controller.calibrate_population(population)
+        if summary.recovered:
+            assert summary.mean_recovered_leakage_nw() \
+                > summary.unbiased_leakage_nw
+
+    def test_unknown_status_rejected(self, placed):
+        population = sample_dies(placed, 3, seed=2, store_scales=False)
+        controller = TuningController(placed, CLIB)
+        summary = tune_population(controller, population)
+        with pytest.raises(TuningError):
+            summary.count("vaporised")
+
+    def test_beta_budget_relaxes_target(self, placed):
+        """With a budget, dies are tuned to the budgeted Dcrit — never
+        more dies lost than when recovering all the way to nominal."""
+        population = sample_dies(placed, 15, seed=2, store_scales=False)
+        controller = TuningController(placed, CLIB)
+        strict = tune_population(controller, population)
+        relaxed = tune_population(controller, population,
+                                  beta_budget=0.04)
+        assert relaxed.lost <= strict.lost
+        assert relaxed.yield_after >= strict.yield_after
+        assert relaxed.yield_before == population.timing_yield(0.04)
+        with pytest.raises(TuningError):
+            tune_population(controller, population, beta_budget=-0.1)
 
 
 class TestGenerator:

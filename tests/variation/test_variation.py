@@ -9,8 +9,11 @@ from repro.placement import place_design
 from repro.synth import map_netlist
 from repro.tech import Technology, reduced_library
 from repro.variation import (NbtiModel, ProcessModel, TemperatureModel,
-                             delay_multiplier_for_dvth, gate_delay_scales,
-                             sample_dies, sample_intra_die_dvth)
+                             delay_multiplier_for_dvth,
+                             delay_multipliers_for_dvth, gate_delay_scales,
+                             sample_dies, sample_intra_die_dvth,
+                             sample_intra_die_dvth_matrix,
+                             sample_scale_matrix)
 
 LIBRARY = reduced_library()
 TECH = Technology()
@@ -87,6 +90,34 @@ class TestProcessModel:
         assert all(value > 0.5 for value in scales.values())
 
 
+class TestScaleMatrix:
+    def test_matrix_shape_and_positive(self, placed):
+        names = list(placed.netlist.gates)
+        matrix = sample_scale_matrix(placed, ProcessModel(),
+                                     np.random.default_rng(1), 12, names)
+        assert matrix.shape == (12, len(names))
+        assert np.all(matrix > 0.5)
+
+    def test_matrix_reproducible(self, placed):
+        first = sample_scale_matrix(placed, ProcessModel(),
+                                    np.random.default_rng(5), 6)
+        second = sample_scale_matrix(placed, ProcessModel(),
+                                     np.random.default_rng(5), 6)
+        assert np.array_equal(first, second)
+
+    def test_vectorized_multiplier_matches_scalar(self):
+        shifts = np.linspace(-0.05, 0.4, 30)
+        vectorized = delay_multipliers_for_dvth(TECH, shifts)
+        for shift, value in zip(shifts, vectorized):
+            assert value == pytest.approx(
+                delay_multiplier_for_dvth(TECH, float(shift)), abs=1e-15)
+
+    def test_bad_count_rejected(self, placed):
+        with pytest.raises(ReproError):
+            sample_intra_die_dvth_matrix(placed, ProcessModel(),
+                                         np.random.default_rng(0), 0)
+
+
 class TestMonteCarlo:
     def test_population_statistics(self, placed):
         result = sample_dies(placed, 40, seed=2)
@@ -94,6 +125,38 @@ class TestMonteCarlo:
         betas = result.betas
         assert betas.std() > 0
         assert -0.3 < betas.mean() < 0.3
+
+    def test_engines_agree_bitwise(self, placed):
+        """Batched and scalar engines see the same scale matrix and must
+        produce identical betas (the DESIGN.md validation contract)."""
+        batched = sample_dies(placed, 25, seed=4, engine="batched")
+        scalar = sample_dies(placed, 25, seed=4, engine="scalar")
+        assert np.array_equal(batched.betas, scalar.betas)
+        assert batched.nominal_delay_ps == scalar.nominal_delay_ps
+
+    def test_unknown_engine_rejected(self, placed):
+        with pytest.raises(ReproError):
+            sample_dies(placed, 4, engine="gpu")
+
+    def test_store_scales_off_keeps_matrix(self, placed):
+        result = sample_dies(placed, 5, seed=1, store_scales=False)
+        assert result.samples[0].gate_scales == {}
+        assert result.scale_matrix is not None
+        rebuilt = result.gate_scales_of(3)
+        assert set(rebuilt) == set(placed.netlist.gates)
+
+    def test_gate_scales_match_matrix(self, placed):
+        result = sample_dies(placed, 3, seed=6)
+        assert result.samples[2].gate_scales == result.gate_scales_of(2)
+
+    def test_direct_construction_derives_betas(self, placed):
+        """The pre-batched constructor surface still works: betas are
+        derived from samples when not supplied."""
+        from repro.variation import DieSample, MonteCarloResult
+        samples = (DieSample(0, 0.02, {}), DieSample(1, -0.01, {}))
+        result = MonteCarloResult(samples=samples, nominal_delay_ps=100.0)
+        assert np.array_equal(result.betas, [0.02, -0.01])
+        assert result.timing_yield() == 0.5
 
     def test_yield_decreases_with_tighter_budget(self, placed):
         result = sample_dies(placed, 40, seed=2)
