@@ -2,10 +2,22 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test docs-check bench bench-batched
+.PHONY: test lint docs-check bench bench-batched bench-cache
 
 test:
 	$(PYTEST) -x -q
+
+# Static checks: ruff (config in ruff.toml) plus the registry policy
+# suite — every solver-registry entry must carry a docstring, and the
+# docs must track the registered method names.  ruff is optional
+# locally but required (and installed) in CI.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipping style pass (CI runs it)"; \
+	fi
+	$(PYTEST) -q tests/core/test_registry.py tests/test_docs.py
 
 docs-check:
 	$(PYTEST) -q tests/test_docs.py
@@ -15,3 +27,6 @@ bench:
 
 bench-batched:
 	$(PYTEST) -q benchmarks/bench_batched_sta.py
+
+bench-cache:
+	$(PYTEST) -q benchmarks/bench_cache.py

@@ -1,0 +1,64 @@
+"""Warm vs cold Table 1 sweep through the content-addressed cache.
+
+The `repro-fbb sweep` batch interface memoizes characterized libraries,
+implemented flows and solved rows in the artifact cache
+(``repro.flow.cache``), so re-running a sweep spec-for-spec should cost
+only cache lookups.  This bench runs the same Table 1 RunSpec batch
+twice through one fresh cache and records the cold/warm wall-clock
+ratio plus the hit counters, writing the artefact to
+``benchmarks/out/cache.txt`` (referenced by EXPERIMENTS.md).
+
+Acceptance: the warm sweep must be >= 50x faster than the cold one,
+produce bit-identical payloads, and hit the run cache on every spec.
+"""
+
+import time
+
+import pytest
+
+from repro.api import RunSpec, run_many
+from repro.flow import ArtifactCache, format_cache_stats
+
+DESIGN = "c1355"
+BETAS = (0.05, 0.10)
+REQUIRED_SPEEDUP = 50.0
+
+
+@pytest.mark.benchmark(group="artifact-cache")
+def test_cache_warm_vs_cold_sweep(benchmark, out_dir):
+    specs = [RunSpec(kind="table1", design=DESIGN, beta=beta,
+                     ilp_time_limit_s=60.0) for beta in BETAS]
+    cache = ArtifactCache()
+
+    started = time.perf_counter()
+    cold = run_many(specs, cache=cache)
+    cold_s = time.perf_counter() - started
+
+    warm = benchmark.pedantic(lambda: run_many(specs, cache=cache),
+                              rounds=3, iterations=1)
+    warm_s = benchmark.stats.stats.mean
+    speedup = cold_s / warm_s
+
+    assert [r.cache_hit for r in cold] == [False] * len(specs)
+    assert all(r.cache_hit for r in warm)
+    assert [r.payload for r in warm] == [r.payload for r in cold]
+
+    stats = cache.stats()
+    text = "\n".join([
+        f"artifact-cache sweep: {DESIGN}, betas {BETAS}, "
+        f"{len(specs)} table1 RunSpecs",
+        f"  cold sweep (miss path): {cold_s:8.3f} s",
+        f"  warm sweep (hit path):  {warm_s:8.3f} s",
+        f"  speedup:                {speedup:8.0f}x "
+        f"(required >= {REQUIRED_SPEEDUP:.0f}x)",
+        "",
+        format_cache_stats(stats),
+        "",
+        "warm payloads are bit-identical to cold payloads "
+        "(asserted, not sampled).",
+    ])
+    (out_dir / "cache.txt").write_text(text + "\n", encoding="utf-8")
+    print("\n" + text)
+
+    assert speedup >= REQUIRED_SPEEDUP
+    assert stats["by_kind"]["run"]["hits"] >= len(specs)

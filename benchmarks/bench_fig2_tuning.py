@@ -8,7 +8,7 @@ four blocks with different die slowdowns, each calibrated closed-loop.
 
 import pytest
 
-from repro.flow import characterized_library, implement
+from repro.flow import characterized_library
 from repro.tuning import TuningController
 
 BLOCKS = ("c1355", "c3540", "c5315", "c7552")

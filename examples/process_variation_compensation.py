@@ -16,7 +16,7 @@ Run:  python examples/process_variation_compensation.py
 
 import numpy as np
 
-from repro import build_problem, implement, solve_heuristic, solve_single_bb
+from repro import build_problem, implement, solve_single_bb
 from repro.errors import TuningError
 from repro.tuning import TuningController
 from repro.variation import ProcessModel, sample_dies

@@ -11,33 +11,43 @@ benchmark generators, a row placer, LEF/DEF I/O, static timing analysis,
 leakage accounting, an MILP solver, the physical bias-implementation
 rules, variability models and a closed-loop tuning controller.
 
-Quickstart::
+Quickstart (the :mod:`repro.api` facade)::
 
-    from repro import implement, build_problem, solve_heuristic
-    from repro import solve_single_bb
+    from repro.api import RunSpec, run
+
+    result = run(RunSpec(kind="allocate", design="c5315", beta=0.05,
+                         method="heuristic:row-descent", clusters=3))
+    print(result.payload["savings_pct"], "% leakage saved")
+
+or, driving the layers directly::
+
+    from repro import implement, build_problem, solve
 
     flow = implement("c5315")                       # synth+place+STA
     problem = build_problem(flow.placed, flow.clib, beta=0.05)
-    baseline = solve_single_bb(problem)             # block-level FBB
-    clustered = solve_heuristic(problem, max_clusters=3)
+    baseline = solve(problem, "single_bb")          # block-level FBB
+    clustered = solve(problem, "heuristic", clusters=3)
     print(clustered.savings_vs(baseline.leakage_nw), "% leakage saved")
 """
 
 from repro.core import (BiasSolution, FBBProblem, build_problem, pass_one,
-                        pass_two, solve_heuristic, solve_ilp,
-                        solve_single_bb, uniform_solution)
-from repro.flow import (ExperimentConfig, FlowResult, PopulationConfig,
-                        PopulationRow, Table1Row, characterized_library,
-                        format_population, format_table1, implement,
-                        run_design_beta, run_population,
-                        run_population_study, run_table1)
+                        pass_two, registry, solve, solve_heuristic,
+                        solve_ilp, solve_single_bb, uniform_solution)
+from repro.flow import (ArtifactCache, ExperimentConfig, FlowResult,
+                        PopulationConfig, PopulationRow, Table1Row,
+                        characterized_library, default_cache,
+                        format_cache_stats, format_population,
+                        format_table1, implement, run_design_beta,
+                        run_population, run_population_study, run_table1)
 from repro.tech import (CellLibrary, CharacterizedLibrary, Technology,
                         characterize_library, reduced_library,
                         sweep_inverter)
+from repro.api import RunResult, RunSpec, run, run_many, solver_names
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactCache",
     "BiasSolution",
     "CellLibrary",
     "CharacterizedLibrary",
@@ -46,25 +56,34 @@ __all__ = [
     "FlowResult",
     "PopulationConfig",
     "PopulationRow",
+    "RunResult",
+    "RunSpec",
     "Table1Row",
     "Technology",
     "__version__",
     "build_problem",
     "characterize_library",
     "characterized_library",
+    "default_cache",
+    "format_cache_stats",
     "format_population",
     "format_table1",
     "implement",
     "pass_one",
     "pass_two",
     "reduced_library",
+    "registry",
+    "run",
     "run_design_beta",
+    "run_many",
     "run_population",
     "run_population_study",
     "run_table1",
+    "solve",
     "solve_heuristic",
     "solve_ilp",
     "solve_single_bb",
+    "solver_names",
     "sweep_inverter",
     "uniform_solution",
 ]

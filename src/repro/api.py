@@ -1,0 +1,393 @@
+"""Unified experiment facade: declarative ``RunSpec`` in, ``RunResult`` out.
+
+Every experiment in the reproduction — a single allocation run, one
+(design, beta) row of the paper's Table 1, a Monte Carlo die-population
+study — is a pure function of a small declarative spec: the design, the
+slowdown, the solver method, the cluster budget, the seed, the STA
+engine and the technology knobs.  This module makes that literal:
+
+    from repro.api import RunSpec, run
+
+    spec = RunSpec(kind="allocate", design="c1355", beta=0.05,
+                   method="heuristic:row-descent", clusters=3)
+    result = run(spec)
+    print(result.payload["savings_pct"])
+    replay = RunSpec.from_json(spec.to_json())     # identical spec
+
+Specs and results are frozen, JSON-(de)serializable and
+schema-versioned; ``RunResult.from_json(result.to_json())`` round-trips
+bit-identically.  ``run()`` memoizes results in the content-addressed
+:class:`~repro.flow.cache.ArtifactCache` keyed on the spec hash, so
+re-running a sweep is free and the hit/miss counters show exactly what
+was reused.  Solver methods are names in the
+:mod:`repro.core.registry` solver registry (``single_bb``,
+``ilp:highs``, ``ilp:branch_bound``, ``ilp:simplex``,
+``heuristic:row-descent``, ``heuristic:level-sweep`` plus aliases), so
+new allocation strategies become available here without code changes.
+
+The ``repro-fbb sweep`` CLI subcommand is the batch interface over this
+module: a JSON list of RunSpecs in, one JSONL RunResult per line out.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.problem import build_problem
+from repro.core.registry import registry
+from repro.core.single_bb import solve_single_bb
+from repro.errors import SpecError
+from repro.flow.cache import (ArtifactCache, canonical_json, content_hash,
+                              default_cache)
+from repro.flow.design_flow import FlowResult, implement
+from repro.flow.experiment import (ExperimentConfig, PopulationConfig,
+                                   PopulationRow, Table1Row, run_design_beta,
+                                   run_population)
+from repro.tech.technology import BodyBiasRules, Technology
+
+SCHEMA_VERSION = 1
+"""Serialization schema of RunSpec/RunResult; bumped on breaking change."""
+
+RUN_KINDS = ("allocate", "table1", "population")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Declarative description of one experiment run.
+
+    One spec fully determines one :class:`RunResult` (up to wall-clock
+    runtime fields); unused knobs for a given ``kind`` keep their
+    defaults and still participate in the content hash.
+    """
+
+    kind: str = "allocate"
+    """"allocate" (one solver run), "table1" (one Table 1 row) or
+    "population" (one Monte Carlo die-population row)."""
+
+    design: str = "c1355"
+    """Benchmark name accepted by :func:`repro.flow.implement`."""
+
+    beta: float = 0.05
+    """Slowdown coefficient (allocate/table1 kinds)."""
+
+    method: str = "heuristic:row-descent"
+    """Solver-registry method: the solver for ``allocate``, the
+    heuristic strategy entry for ``table1``, the tuning solver for
+    ``population`` runs with ``tune=True``."""
+
+    clusters: int = 3
+    """Cluster budget for allocate runs and population tuning."""
+
+    cluster_budgets: tuple[int, ...] = (2, 3)
+    """Table 1 column budgets (table1 kind only)."""
+
+    ilp_backend: str = "highs"
+    """MILP backend for the table1 ILP columns."""
+
+    ilp_time_limit_s: float | None = 120.0
+    skip_ilp_above_rows: int | None = None
+    seed: int = 0
+    """Monte Carlo sampling seed (population kind)."""
+
+    num_dies: int = 1000
+    engine: str = "batched"
+    """Population STA engine: "batched" or "scalar"."""
+
+    tune: bool = False
+    beta_budget: float = 0.0
+    utilization: float = 0.75
+    tech: dict = field(default_factory=dict)
+    """Technology field overrides, e.g. ``{"vth0_n": 0.5}``; the nested
+    ``bias_rules`` value may itself be a dict of BodyBiasRules fields."""
+
+    schema_version: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if self.kind not in RUN_KINDS:
+            raise SpecError(
+                f"unknown run kind {self.kind!r}; choose from {RUN_KINDS}")
+        if self.schema_version > SCHEMA_VERSION:
+            raise SpecError(
+                f"spec schema v{self.schema_version} is newer than this "
+                f"library's v{SCHEMA_VERSION}")
+        if self.beta < 0:
+            raise SpecError(f"beta must be non-negative, got {self.beta}")
+        if self.clusters < 1:
+            raise SpecError(f"clusters must be >= 1, got {self.clusters}")
+        if self.num_dies < 1:
+            raise SpecError(f"num_dies must be >= 1, got {self.num_dies}")
+        object.__setattr__(self, "cluster_budgets",
+                           tuple(int(c) for c in self.cluster_budgets))
+
+    # -- derived objects --------------------------------------------------
+
+    def technology(self) -> Technology:
+        """Materialize the Technology with this spec's overrides."""
+        overrides = dict(self.tech)
+        rules = overrides.pop("bias_rules", None)
+        if isinstance(rules, dict):
+            overrides["bias_rules"] = BodyBiasRules(**rules)
+        try:
+            return Technology(**overrides)
+        except TypeError as exc:
+            raise SpecError(f"bad tech overrides {self.tech}: {exc}") from exc
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain JSON-native dict (tuples become lists)."""
+        data = dataclasses.asdict(self)
+        data["cluster_budgets"] = list(self.cluster_budgets)
+        return data
+
+    def to_json(self) -> str:
+        """Canonical (sorted-key) JSON text of the spec."""
+        return canonical_json(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        """Inverse of :meth:`to_dict`; rejects unknown fields."""
+        if not isinstance(data, dict):
+            raise SpecError(f"RunSpec needs a JSON object, got "
+                            f"{type(data).__name__}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SpecError(f"unknown RunSpec fields: {', '.join(unknown)}")
+        payload = dict(data)
+        if "cluster_budgets" in payload:
+            payload["cluster_budgets"] = tuple(payload["cluster_budgets"])
+        return cls(**payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        return cls.from_dict(json.loads(text))
+
+    def spec_hash(self) -> str:
+        """Stable content address of the spec (the run-cache key)."""
+        return content_hash(self.to_dict())
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """The outcome of executing one :class:`RunSpec`.
+
+    ``payload`` holds only JSON-native values (string keys, lists, plain
+    scalars), so serialization round-trips bit-identically:
+    ``RunResult.from_json(result.to_json()) == result``.
+    """
+
+    spec: RunSpec
+    payload: dict
+    cache_hit: bool = False
+    schema_version: int = SCHEMA_VERSION
+
+    @property
+    def kind(self) -> str:
+        return self.spec.kind
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "spec": self.spec.to_dict(),
+            "payload": self.payload,
+            "cache_hit": self.cache_hit,
+        }
+
+    def to_json(self) -> str:
+        return canonical_json(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunResult":
+        try:
+            spec = RunSpec.from_dict(data["spec"])
+            return cls(spec=spec, payload=data["payload"],
+                       cache_hit=data.get("cache_hit", False),
+                       schema_version=data.get("schema_version",
+                                               SCHEMA_VERSION))
+        except (KeyError, TypeError) as exc:
+            raise SpecError(f"malformed RunResult: {exc}") from exc
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        return cls.from_dict(json.loads(text))
+
+    # -- payload decoding -------------------------------------------------
+
+    def to_table1_row(self) -> Table1Row:
+        """Rebuild the Table1Row a table1 run produced."""
+        if self.kind != "table1":
+            raise SpecError(f"not a table1 result (kind={self.kind!r})")
+        return table1_row_from_payload(self.payload)
+
+    def to_population_row(self) -> PopulationRow:
+        """Rebuild the PopulationRow a population run produced."""
+        if self.kind != "population":
+            raise SpecError(f"not a population result (kind={self.kind!r})")
+        return population_row_from_payload(self.payload)
+
+
+# -- payload codecs (JSON-native dicts <-> harness row dataclasses) --------
+
+def table1_row_payload(row: Table1Row) -> dict:
+    """Encode a Table1Row as a pure-JSON payload (str cluster keys)."""
+    return {
+        "design": row.design,
+        "gates": row.gates,
+        "rows": row.rows,
+        "beta": row.beta,
+        "single_bb_uw": row.single_bb_uw,
+        "ilp_savings": {str(c): v for c, v in row.ilp_savings.items()},
+        "heuristic_savings": {str(c): v
+                              for c, v in row.heuristic_savings.items()},
+        "num_constraints": row.num_constraints,
+        "ilp_runtime_s": row.ilp_runtime_s,
+        "heuristic_runtime_s": row.heuristic_runtime_s,
+    }
+
+
+def table1_row_from_payload(payload: dict) -> Table1Row:
+    """Inverse of :func:`table1_row_payload`."""
+    return Table1Row(
+        design=payload["design"],
+        gates=payload["gates"],
+        rows=payload["rows"],
+        beta=payload["beta"],
+        single_bb_uw=payload["single_bb_uw"],
+        ilp_savings={int(c): v for c, v in payload["ilp_savings"].items()},
+        heuristic_savings={int(c): v
+                           for c, v in payload["heuristic_savings"].items()},
+        num_constraints=payload["num_constraints"],
+        ilp_runtime_s=payload["ilp_runtime_s"],
+        heuristic_runtime_s=payload["heuristic_runtime_s"],
+    )
+
+
+def population_row_payload(row: PopulationRow) -> dict:
+    """Encode a PopulationRow as a pure-JSON payload."""
+    return dataclasses.asdict(row)
+
+
+def population_row_from_payload(payload: dict) -> PopulationRow:
+    """Inverse of :func:`population_row_payload`."""
+    return PopulationRow(**payload)
+
+
+# -- execution -------------------------------------------------------------
+
+def _implement_spec(spec: RunSpec, cache: ArtifactCache) -> FlowResult:
+    return implement(spec.design, tech=spec.technology(),
+                     utilization=spec.utilization, cache=cache)
+
+
+def _heuristic_strategy(method: str) -> str:
+    """Table 1 runs every method; ``method`` picks the heuristic variant."""
+    name = registry.get(method).name
+    if not name.startswith("heuristic:"):
+        raise SpecError(
+            f"table1 runs all method families; `method` must name a "
+            f"heuristic strategy entry, got {method!r}")
+    return name.split(":", 1)[1]
+
+
+def _execute_allocate(spec: RunSpec, cache: ArtifactCache) -> dict:
+    flow = _implement_spec(spec, cache)
+    problem = build_problem(flow.placed, flow.clib, spec.beta,
+                            analyzer=flow.analyzer, paths=list(flow.paths),
+                            dcrit_ps=flow.dcrit_ps)
+    baseline = solve_single_bb(problem)
+    entry = registry.get(spec.method)
+    opts: dict[str, Any] = {}
+    if entry.name.startswith("ilp:"):
+        opts["time_limit_s"] = spec.ilp_time_limit_s
+    solution = entry.func(problem, spec.clusters, **opts)
+    return {
+        "design": flow.name,
+        "gates": flow.num_gates,
+        "rows": flow.num_rows,
+        "beta": spec.beta,
+        "method": solution.method,
+        "baseline_uw": baseline.leakage_uw,
+        "leakage_uw": solution.leakage_uw,
+        "savings_pct": solution.savings_vs(baseline.leakage_nw),
+        "num_clusters": solution.num_clusters,
+        "levels": [int(level) for level in solution.levels],
+        "timing_ok": bool(solution.is_timing_feasible),
+        "optimal": bool(solution.optimal),
+        "runtime_s": solution.runtime_s,
+    }
+
+
+def _execute_table1(spec: RunSpec, cache: ArtifactCache) -> dict:
+    flow = _implement_spec(spec, cache)
+    config = ExperimentConfig(
+        betas=(spec.beta,),
+        cluster_budgets=spec.cluster_budgets,
+        ilp_backend=spec.ilp_backend,
+        ilp_time_limit_s=spec.ilp_time_limit_s,
+        skip_ilp_above_rows=spec.skip_ilp_above_rows,
+        heuristic_strategy=_heuristic_strategy(spec.method))
+    return table1_row_payload(run_design_beta(flow, spec.beta, config))
+
+
+def _execute_population(spec: RunSpec, cache: ArtifactCache) -> dict:
+    flow = _implement_spec(spec, cache)
+    config = PopulationConfig(
+        num_dies=spec.num_dies, seed=spec.seed, sta_engine=spec.engine,
+        tune=spec.tune, max_clusters=spec.clusters,
+        beta_budget=spec.beta_budget, method=spec.method)
+    return population_row_payload(run_population(flow, config))
+
+
+_EXECUTORS: dict[str, Callable[[RunSpec, ArtifactCache], dict]] = {
+    "allocate": _execute_allocate,
+    "table1": _execute_table1,
+    "population": _execute_population,
+}
+
+
+def run(spec: RunSpec, cache: ArtifactCache | None = None,
+        use_cache: bool = True) -> RunResult:
+    """Execute one spec, memoizing the payload in the artifact cache.
+
+    A repeated spec returns the cached payload with ``cache_hit=True``
+    and identical numbers; pass ``use_cache=False`` to force
+    re-execution (the fresh payload still refreshes the cache).  The
+    cache key is :meth:`RunSpec.spec_hash`; payloads cross the cache
+    boundary as deep copies, so mutating a returned result cannot
+    corrupt later hits.
+    """
+    if cache is None:
+        cache = default_cache()
+    material = spec.to_dict()
+    if use_cache:
+        found, payload = cache.lookup("run", material)
+        if found:
+            return RunResult(spec=spec, payload=copy.deepcopy(payload),
+                             cache_hit=True)
+    payload = _EXECUTORS[spec.kind](spec, cache)
+    cache.put("run", material, copy.deepcopy(payload))
+    return RunResult(spec=spec, payload=payload, cache_hit=False)
+
+
+def run_many(specs: list[RunSpec] | tuple[RunSpec, ...],
+             cache: ArtifactCache | None = None,
+             use_cache: bool = True) -> list[RunResult]:
+    """Execute a batch of specs in order (the `sweep` CLI's engine)."""
+    if cache is None:
+        cache = default_cache()
+    return [run(spec, cache=cache, use_cache=use_cache) for spec in specs]
+
+
+def solve(problem, method: str = "heuristic", clusters: int = 3, **opts):
+    """Registry dispatch re-export: one entry point for ad-hoc solves."""
+    return registry.solve(problem, method, clusters, **opts)
+
+
+def solver_names(include_aliases: bool = True) -> tuple[str, ...]:
+    """Registered solver method names (the valid ``RunSpec.method``s)."""
+    return registry.names(include_aliases=include_aliases)

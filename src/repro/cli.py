@@ -1,31 +1,40 @@
 """Command-line interface: ``repro-fbb``.
 
-Subcommands:
+Subcommands (all experiment-shaped ones are thin wrappers over the
+:mod:`repro.api` facade — a declarative RunSpec in, a RunResult out):
 
 * ``table1 [designs...]`` — regenerate the paper's Table 1;
 * ``fig1`` — the inverter delay/leakage sweep of Fig. 1;
-* ``allocate DESIGN --beta B --clusters C`` — one allocation run;
+* ``allocate DESIGN --beta B --clusters C`` — one allocation run via
+  the solver registry (``--method`` names any registered solver);
 * ``layout DESIGN --beta B`` — ASCII layout view with bias clusters;
-* ``montecarlo DESIGN --dies N`` — sample a die population through the
-  batched STA backend and report yield (``--tune`` runs the closed
-  calibration loop on every slow die).
+* ``montecarlo DESIGN --dies N --seed S`` — sample a die population
+  through the batched STA backend and report yield (``--tune`` runs the
+  closed calibration loop on every slow die; runs are reproducible from
+  the seed);
+* ``sweep SPECS.json`` — the batch service interface: run a JSON list
+  of RunSpecs, emit one JSONL RunResult per line, and report artifact
+  cache hit/miss counters.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.circuits.catalog import BENCHMARK_NAMES
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
-    from repro.flow import ExperimentConfig, format_table1, run_table1
+    from repro.api import RunSpec, run_many
+    from repro.flow import format_table1
     designs = tuple(args.designs) if args.designs else BENCHMARK_NAMES[:6]
-    config = ExperimentConfig(
-        ilp_time_limit_s=args.ilp_time_limit,
-        skip_ilp_above_rows=args.skip_ilp_above_rows)
-    rows = run_table1(designs, config)
+    specs = [RunSpec(kind="table1", design=name, beta=beta,
+                     ilp_time_limit_s=args.ilp_time_limit,
+                     skip_ilp_above_rows=args.skip_ilp_above_rows)
+             for name in designs for beta in (0.05, 0.10)]
+    rows = [result.to_table1_row() for result in run_many(specs)]
     print(format_table1(rows))
     return 0
 
@@ -42,23 +51,19 @@ def _cmd_fig1(_args: argparse.Namespace) -> int:
 
 
 def _cmd_allocate(args: argparse.Namespace) -> int:
-    from repro.core import build_problem, solve_heuristic, solve_ilp, \
-        solve_single_bb
-    from repro.flow import implement
-    flow = implement(args.design)
-    problem = build_problem(flow.placed, flow.clib, args.beta,
-                            analyzer=flow.analyzer,
-                            paths=list(flow.paths),
-                            dcrit_ps=flow.dcrit_ps)
-    baseline = solve_single_bb(problem)
-    print(baseline.describe())
-    if args.ilp:
-        solution = solve_ilp(problem, args.clusters)
-    else:
-        solution = solve_heuristic(problem, args.clusters)
-    print(solution.describe())
-    print(f"savings vs single BB: "
-          f"{solution.savings_vs(baseline.leakage_nw):.2f}%")
+    from repro.api import RunSpec, run
+    method = args.method or ("ilp:highs" if args.ilp
+                             else "heuristic:row-descent")
+    result = run(RunSpec(kind="allocate", design=args.design,
+                         beta=args.beta, method=method,
+                         clusters=args.clusters))
+    payload = result.payload
+    print(f"{payload['design']} [{payload['method']}] "
+          f"beta={payload['beta']:.0%}: baseline "
+          f"{payload['baseline_uw']:.3f} uW -> {payload['leakage_uw']:.3f} "
+          f"uW across {payload['num_clusters']} clusters, timing "
+          f"{'OK' if payload['timing_ok'] else 'VIOLATED'}")
+    print(f"savings vs single BB: {payload['savings_pct']:.2f}%")
     return 0
 
 
@@ -79,15 +84,37 @@ def _cmd_layout(args: argparse.Namespace) -> int:
 
 
 def _cmd_montecarlo(args: argparse.Namespace) -> int:
-    from repro.flow import (PopulationConfig, format_population, implement,
-                            run_population)
-    flow = implement(args.design)
-    config = PopulationConfig(
-        num_dies=args.dies, seed=args.seed, sta_engine=args.engine,
-        tune=args.tune, max_clusters=args.clusters,
-        beta_budget=args.beta_budget)
-    row = run_population(flow, config)
-    print(format_population([row]))
+    from repro.api import RunSpec, run
+    from repro.flow import format_population
+    result = run(RunSpec(
+        kind="population", design=args.design, num_dies=args.dies,
+        seed=args.seed, engine=args.engine, tune=args.tune,
+        clusters=args.clusters, beta_budget=args.beta_budget))
+    print(format_population([result.to_population_row()]))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.api import RunSpec, run_many
+    from repro.flow import ArtifactCache, default_cache, format_cache_stats
+    if args.specs == "-":
+        data = json.load(sys.stdin)
+    else:
+        with open(args.specs, encoding="utf-8") as handle:
+            data = json.load(handle)
+    if isinstance(data, dict):
+        data = [data]
+    specs = [RunSpec.from_dict(entry) for entry in data]
+    cache = (ArtifactCache(cache_dir=args.cache_dir)
+             if args.cache_dir else default_cache())
+    results = run_many(specs, cache=cache)
+    lines = "\n".join(result.to_json() for result in results)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(lines + "\n")
+    else:
+        print(lines)
+    print(format_cache_stats(cache.stats()), file=sys.stderr)
     return 0
 
 
@@ -112,6 +139,9 @@ def build_parser() -> argparse.ArgumentParser:
     allocate.add_argument("--beta", type=float, default=0.05)
     allocate.add_argument("--clusters", type=int, default=3)
     allocate.add_argument("--ilp", action="store_true")
+    allocate.add_argument("--method", default=None,
+                          help="solver-registry method (e.g. ilp:simplex, "
+                               "heuristic:level-sweep); overrides --ilp")
     allocate.set_defaults(func=_cmd_allocate)
 
     layout = sub.add_parser("layout", help="ASCII clustered layout")
@@ -124,7 +154,9 @@ def build_parser() -> argparse.ArgumentParser:
         "montecarlo", help="batched Monte Carlo die-population study")
     montecarlo.add_argument("design", choices=BENCHMARK_NAMES)
     montecarlo.add_argument("--dies", type=int, default=1000)
-    montecarlo.add_argument("--seed", type=int, default=0)
+    montecarlo.add_argument("--seed", type=int, default=0,
+                            help="sampling seed; identical seeds "
+                                 "reproduce identical populations")
     montecarlo.add_argument("--engine", choices=("batched", "scalar"),
                             default="batched")
     montecarlo.add_argument("--tune", action="store_true",
@@ -135,6 +167,18 @@ def build_parser() -> argparse.ArgumentParser:
                             help="slowdown margin defining timing yield "
                                  "and, with --tune, the tuning target")
     montecarlo.set_defaults(func=_cmd_montecarlo)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a JSON batch of RunSpecs, emit JSONL results")
+    sweep.add_argument("specs",
+                       help="path to a JSON list of RunSpec objects "
+                            "('-' reads stdin)")
+    sweep.add_argument("--output", "-o", default=None,
+                       help="write JSONL here instead of stdout")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="persist the artifact cache on disk for "
+                            "warm re-runs")
+    sweep.set_defaults(func=_cmd_sweep)
     return parser
 
 

@@ -3,18 +3,24 @@
 from repro.core.heuristic import pass_two, solve_heuristic
 from repro.core.ilp_alloc import build_ilp, decode_solution, solve_ilp
 from repro.core.problem import TIMING_TOL_PS, FBBProblem, build_problem
+from repro.core.registry import (SolverEntry, SolverRegistry, registry,
+                                 solve)
 from repro.core.single_bb import pass_one, solve_single_bb
 from repro.core.solution import BiasSolution, uniform_solution
 
 __all__ = [
     "BiasSolution",
     "FBBProblem",
+    "SolverEntry",
+    "SolverRegistry",
     "TIMING_TOL_PS",
     "build_ilp",
     "build_problem",
     "decode_solution",
     "pass_one",
     "pass_two",
+    "registry",
+    "solve",
     "solve_heuristic",
     "solve_ilp",
     "solve_single_bb",

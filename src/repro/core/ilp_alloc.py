@@ -96,17 +96,22 @@ def solve_ilp(problem: FBBProblem, max_clusters: int = 3,
               time_limit_s: float | None = 120.0) -> BiasSolution:
     """Solve the exact ILP; raises on infeasibility or timeout.
 
-    ``backend`` is ``"highs"`` (production) or ``"bnb"`` (the
-    from-scratch branch & bound).  :class:`TimeoutError_` mirrors the
-    paper's "ILP did not converge in the specified amount of time" for
-    the largest designs.
+    ``backend`` is ``"highs"`` (production), ``"bnb"``/``"branch_bound"``
+    (the from-scratch branch & bound over scipy LP relaxations) or
+    ``"simplex"`` (branch & bound over the from-scratch tableau simplex
+    — the fully dependency-free path, for small designs).
+    :class:`TimeoutError_` mirrors the paper's "ILP did not converge in
+    the specified amount of time" for the largest designs.
     """
     start = time.perf_counter()
     model = build_ilp(problem, max_clusters)
     if backend == "highs":
         result = solve_highs(model, time_limit_s=time_limit_s)
-    elif backend == "bnb":
+    elif backend in ("bnb", "branch_bound"):
         result = solve_branch_bound(model, time_limit_s=time_limit_s)
+    elif backend == "simplex":
+        result = solve_branch_bound(model, time_limit_s=time_limit_s,
+                                    use_scipy_lp=False)
     else:
         raise AllocationError(f"unknown ILP backend {backend!r}")
 

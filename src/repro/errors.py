@@ -67,3 +67,12 @@ class LayoutError(ReproError):
 
 class TuningError(ReproError):
     """Post-silicon tuning loop failures (sensor or generator limits)."""
+
+
+class RegistryError(ReproError):
+    """Solver-registry misuse: unknown method, duplicate or undocumented
+    entry."""
+
+
+class SpecError(ReproError):
+    """Invalid or unserializable RunSpec/RunResult (repro.api layer)."""

@@ -1,20 +1,28 @@
 """End-to-end flow orchestration and experiment harness."""
 
+from repro.flow.cache import (ArtifactCache, canonical_json, content_hash,
+                              default_cache, set_default_cache)
 from repro.flow.design_flow import (FlowResult, characterized_library,
                                     implement)
 from repro.flow.experiment import (ExperimentConfig, PopulationConfig,
                                    PopulationRow, Table1Row,
                                    run_design_beta, run_population,
                                    run_population_study, run_table1)
-from repro.flow.reports import format_population, format_sweep, format_table1
+from repro.flow.reports import (format_cache_stats, format_population,
+                                format_sweep, format_table1)
 
 __all__ = [
+    "ArtifactCache",
     "ExperimentConfig",
     "FlowResult",
     "PopulationConfig",
     "PopulationRow",
     "Table1Row",
+    "canonical_json",
     "characterized_library",
+    "content_hash",
+    "default_cache",
+    "format_cache_stats",
     "format_population",
     "format_sweep",
     "format_table1",
@@ -23,4 +31,5 @@ __all__ = [
     "run_population",
     "run_population_study",
     "run_table1",
+    "set_default_cache",
 ]

@@ -1,0 +1,216 @@
+"""Content-addressed artifact cache for the experiment facade.
+
+Every expensive artifact the stack produces — characterized libraries,
+implemented :class:`~repro.flow.design_flow.FlowResult` objects, solved
+Table 1 / population payloads — is a pure function of some declarative
+key material (a technology description, a benchmark name, a RunSpec).
+This module hashes that material into a stable content address and
+memoizes the artifact under it, replacing the old hidden
+``_CLIB_CACHE`` dict in ``design_flow`` whose invalidation predicate
+keyed only on ``tech.name`` (two different :class:`Technology` objects
+sharing a name collided).
+
+The cache is two-tier: an in-memory dict (always on) and an optional
+on-disk pickle store for artifacts that survive process restarts.  Hit
+and miss counters are kept per artifact kind and surfaced by
+:func:`repro.flow.reports.format_cache_stats` and the ``repro-fbb
+sweep`` subcommand.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pickle
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import SpecError
+
+_MISS = object()
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce key material into canonical JSON-native structures."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value
+    if hasattr(value, "item"):  # numpy scalars
+        return _jsonable(value.item())
+    raise SpecError(
+        f"cannot build a content address from {type(value).__name__!r}")
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON text: sorted keys, no whitespace drift."""
+    return json.dumps(_jsonable(value), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def content_hash(value: Any) -> str:
+    """Stable sha256 content address of arbitrary key material."""
+    return hashlib.sha256(canonical_json(value).encode()).hexdigest()
+
+
+def tech_content(tech: Any) -> dict:
+    """Full-content key material for a Technology (not just its name)."""
+    return {"artifact": "technology", "fields": dataclasses.asdict(tech)}
+
+
+class ArtifactCache:
+    """Two-tier (memory + optional disk) content-addressed cache.
+
+    Keys are ``(kind, content-hash)`` pairs; ``kind`` namespaces the
+    hit/miss counters so reports can show which artifact class a sweep
+    is actually reusing.
+
+    ``max_entries`` bounds the memory tier with least-recently-used
+    eviction — long-lived sweep services over many (design, tech)
+    combinations should set it (evicted artifacts stay retrievable from
+    the disk tier when a ``cache_dir`` is configured).  The default is
+    unbounded, matching interactive/experiment usage.
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None,
+                 max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise SpecError(
+                f"max_entries must be >= 1 or None, got {max_entries}")
+        self._memory: OrderedDict[tuple[str, str], Any] = OrderedDict()
+        self._hits: dict[str, int] = {}
+        self._misses: dict[str, int] = {}
+        self.max_entries = max_entries
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- addressing -------------------------------------------------------
+
+    @staticmethod
+    def address(material: Any) -> str:
+        """Content address of key material (pass-through for hex digests)."""
+        if isinstance(material, str):
+            return material
+        return content_hash(material)
+
+    def _disk_path(self, kind: str, address: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / kind / f"{address}.pkl"
+
+    # -- lookup / store ---------------------------------------------------
+
+    def lookup(self, kind: str, material: Any) -> tuple[bool, Any]:
+        """Return ``(found, value)`` and count the hit or miss."""
+        address = self.address(material)
+        value = self._memory.get((kind, address), _MISS)
+        if value is _MISS:
+            value = self._load_disk(kind, address)
+        if value is _MISS:
+            self._misses[kind] = self._misses.get(kind, 0) + 1
+            return False, None
+        self._remember(kind, address, value)
+        self._hits[kind] = self._hits.get(kind, 0) + 1
+        return True, value
+
+    def put(self, kind: str, material: Any, value: Any) -> str:
+        """Store an artifact; returns its content address."""
+        address = self.address(material)
+        self._remember(kind, address, value)
+        self._store_disk(kind, address, value)
+        return address
+
+    def _remember(self, kind: str, address: str, value: Any) -> None:
+        """Insert into the memory tier as most-recently-used; evict LRU
+        entries past ``max_entries``."""
+        key = (kind, address)
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._memory) > self.max_entries:
+                self._memory.popitem(last=False)
+
+    def get_or_create(self, kind: str, material: Any,
+                      factory: Callable[[], Any]) -> Any:
+        """Memoize ``factory()`` under the material's content address."""
+        found, value = self.lookup(kind, material)
+        if found:
+            return value
+        value = factory()
+        self.put(kind, material, value)
+        return value
+
+    def _load_disk(self, kind: str, address: str) -> Any:
+        path = self._disk_path(kind, address)
+        if path is None or not path.is_file():
+            return _MISS
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except Exception:  # corrupt or unreadable artifact: treat as miss
+            return _MISS
+
+    def _store_disk(self, kind: str, address: str, value: Any) -> None:
+        path = self._disk_path(kind, address)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with path.open("wb") as handle:
+                pickle.dump(value, handle)
+        except Exception:  # unpicklable artifacts stay memory-only
+            pass
+
+    # -- bookkeeping ------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return sum(self._hits.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(self._misses.values())
+
+    def stats(self) -> dict:
+        """JSON-able counter snapshot, per artifact kind and total."""
+        kinds = sorted(set(self._hits) | set(self._misses))
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._memory),
+            "by_kind": {
+                kind: {"hits": self._hits.get(kind, 0),
+                       "misses": self._misses.get(kind, 0)}
+                for kind in kinds},
+        }
+
+    def clear(self) -> None:
+        """Drop memory entries and counters (disk artifacts are kept)."""
+        self._memory.clear()
+        self._hits.clear()
+        self._misses.clear()
+
+
+_DEFAULT_CACHE = ArtifactCache()
+
+
+def default_cache() -> ArtifactCache:
+    """The process-wide cache used when no explicit cache is passed."""
+    return _DEFAULT_CACHE
+
+
+def set_default_cache(cache: ArtifactCache) -> ArtifactCache:
+    """Swap the process-wide cache (returns the previous one)."""
+    global _DEFAULT_CACHE
+    previous = _DEFAULT_CACHE
+    _DEFAULT_CACHE = cache
+    return previous

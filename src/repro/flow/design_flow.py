@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.circuits.catalog import build_benchmark
+from repro.flow.cache import ArtifactCache, default_cache, tech_content
 from repro.netlist.core import Netlist
 from repro.placement.placed_design import PlacedDesign
 from repro.placement.placer import place_design
@@ -47,27 +48,63 @@ class FlowResult:
         return self.placed.num_rows
 
 
-_CLIB_CACHE: dict[str, CharacterizedLibrary] = {}
-
-
-def characterized_library(tech: Technology | None = None
+def characterized_library(tech: Technology | None = None,
+                          cache: ArtifactCache | None = None
                           ) -> CharacterizedLibrary:
-    """Build (and cache) the characterized reduced library for a node."""
+    """Build (and cache) the characterized reduced library for a node.
+
+    The memo key is the *full content* of the technology (every field,
+    nested bias rules included), not just ``tech.name`` — two different
+    :class:`Technology` objects sharing a name get distinct libraries,
+    fixing the collision the old ``_CLIB_CACHE`` dict allowed.
+    """
     if tech is None:
         tech = Technology()
-    cached = _CLIB_CACHE.get(tech.name)
-    if cached is None or cached.tech is not tech and cached.tech != tech:
-        cached = characterize_library(reduced_library(tech))
-        _CLIB_CACHE[tech.name] = cached
-    return cached
+    if cache is None:
+        cache = default_cache()
+    return cache.get_or_create(
+        "clib", tech_content(tech),
+        lambda: characterize_library(reduced_library(tech)))
 
 
 def implement(source: str | Netlist,
               tech: Technology | None = None,
               utilization: float = 0.75,
-              sizing_budget_ps: float | None = None) -> FlowResult:
-    """Run the full implementation flow on a benchmark name or netlist."""
-    clib = characterized_library(tech)
+              sizing_budget_ps: float | None = None,
+              cache: ArtifactCache | None = None) -> FlowResult:
+    """Run the full implementation flow on a benchmark name or netlist.
+
+    Named benchmarks are memoized in the artifact cache (keyed on the
+    benchmark name, full technology content and flow knobs), so Table 1
+    sweeps and population studies re-running the same design share one
+    synthesis/placement/STA pass.  Prebuilt netlists bypass the flow
+    memo (their content is not cheaply addressable) but still reuse the
+    cached characterized library.
+    """
+    if cache is None:
+        cache = default_cache()
+    if isinstance(source, str):
+        material = {
+            "artifact": "flow",
+            "source": source,
+            "tech": tech_content(tech if tech is not None else Technology()),
+            "utilization": utilization,
+            "sizing_budget_ps": sizing_budget_ps,
+        }
+        return cache.get_or_create(
+            "flow", material,
+            lambda: _implement_uncached(source, tech, utilization,
+                                        sizing_budget_ps, cache))
+    return _implement_uncached(source, tech, utilization,
+                               sizing_budget_ps, cache)
+
+
+def _implement_uncached(source: str | Netlist,
+                        tech: Technology | None,
+                        utilization: float,
+                        sizing_budget_ps: float | None,
+                        cache: ArtifactCache) -> FlowResult:
+    clib = characterized_library(tech, cache=cache)
     library = clib.library
     netlist = (build_benchmark(source) if isinstance(source, str)
                else source)

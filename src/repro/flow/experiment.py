@@ -12,11 +12,11 @@ yield/leakage economics.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
-from repro.core.heuristic import solve_heuristic
-from repro.core.ilp_alloc import solve_ilp
 from repro.core.problem import FBBProblem, build_problem
+from repro.core.registry import solve
 from repro.core.single_bb import solve_single_bb
 from repro.errors import TimeoutError_
 from repro.flow.design_flow import FlowResult, implement
@@ -77,9 +77,8 @@ def run_design_beta(flow: FlowResult, beta: float,
             ilp_savings[clusters] = None
             continue
         try:
-            solution = solve_ilp(problem, clusters,
-                                 backend=config.ilp_backend,
-                                 time_limit_s=config.ilp_time_limit_s)
+            solution = solve(problem, f"ilp:{config.ilp_backend}", clusters,
+                             time_limit_s=config.ilp_time_limit_s)
             ilp_savings[clusters] = solution.savings_vs(baseline.leakage_nw)
             ilp_runtime += solution.runtime_s
         except TimeoutError_:
@@ -88,8 +87,8 @@ def run_design_beta(flow: FlowResult, beta: float,
     heuristic_savings: dict[int, float] = {}
     heuristic_runtime = 0.0
     for clusters in config.cluster_budgets:
-        solution = solve_heuristic(problem, clusters,
-                                   strategy=config.heuristic_strategy)
+        solution = solve(problem,
+                         f"heuristic:{config.heuristic_strategy}", clusters)
         heuristic_savings[clusters] = solution.savings_vs(
             baseline.leakage_nw)
         heuristic_runtime += solution.runtime_s
@@ -121,6 +120,8 @@ class PopulationConfig:
     """Run the closed calibration loop on every out-of-budget die."""
     max_clusters: int = 3
     beta_budget: float = 0.0
+    method: str = "heuristic:row-descent"
+    """Solver-registry method the tuning controller allocates with."""
 
 
 @dataclass(frozen=True)
@@ -142,6 +143,8 @@ class PopulationRow:
     recovered: int = 0
     lost: int = 0
     tune_runtime_s: float = 0.0
+    seed: int = 0
+    """Sampling seed the population was drawn with (reproducibility)."""
 
 
 def run_population(flow: FlowResult,
@@ -164,7 +167,8 @@ def run_population(flow: FlowResult,
         from repro.tuning.controller import TuningController
         started = time.perf_counter()
         controller = TuningController(flow.placed, flow.clib,
-                                      max_clusters=config.max_clusters)
+                                      max_clusters=config.max_clusters,
+                                      method=config.method)
         summary = controller.calibrate_population(
             population, beta_budget=config.beta_budget)
         tune_runtime = time.perf_counter() - started
@@ -189,31 +193,69 @@ def run_population(flow: FlowResult,
         recovered=recovered,
         lost=lost,
         tune_runtime_s=tune_runtime,
+        seed=config.seed,
     )
+
+
+_DEPRECATION = ("%s is deprecated; build RunSpecs and call "
+                "repro.api.run_many (see DESIGN.md, 'The repro.api "
+                "facade')")
 
 
 def run_population_study(designs: tuple[str, ...],
                          config: PopulationConfig | None = None,
                          flows: dict[str, FlowResult] | None = None
                          ) -> list[PopulationRow]:
-    """The population study over several designs."""
-    rows = []
-    for name in designs:
-        flow = flows[name] if flows is not None else implement(name)
-        rows.append(run_population(flow, config))
-    return rows
+    """The population study over several designs.
+
+    .. deprecated:: routed through :mod:`repro.api`; kept as a thin
+       shim.  Callers supplying prebuilt ``flows`` or a custom
+       ``config.model`` (neither is spec-serializable) take the direct
+       legacy path and are not warned — the facade cannot express
+       their call yet.
+    """
+    if config is None:
+        config = PopulationConfig()
+    if flows is not None or config.model is not None:
+        return [run_population(
+            flows[name] if flows is not None else implement(name), config)
+            for name in designs]
+    warnings.warn(_DEPRECATION % "run_population_study",
+                  DeprecationWarning, stacklevel=2)
+    from repro import api
+    specs = [api.RunSpec(
+        kind="population", design=name, num_dies=config.num_dies,
+        seed=config.seed, engine=config.sta_engine, tune=config.tune,
+        clusters=config.max_clusters, beta_budget=config.beta_budget,
+        method=config.method) for name in designs]
+    return [result.to_population_row() for result in api.run_many(specs)]
 
 
 def run_table1(designs: tuple[str, ...],
                config: ExperimentConfig | None = None,
                flows: dict[str, FlowResult] | None = None
                ) -> list[Table1Row]:
-    """Regenerate Table 1 for the given designs."""
+    """Regenerate Table 1 for the given designs.
+
+    .. deprecated:: routed through :mod:`repro.api`; kept as a thin
+       shim.  Callers supplying prebuilt ``flows`` take the direct
+       legacy path (a prebuilt FlowResult is not spec-serializable)
+       and are not warned.
+    """
     if config is None:
         config = ExperimentConfig()
-    rows = []
-    for name in designs:
-        flow = flows[name] if flows is not None else implement(name)
-        for beta in config.betas:
-            rows.append(run_design_beta(flow, beta, config))
-    return rows
+    if flows is not None:
+        return [run_design_beta(flows[name], beta, config)
+                for name in designs for beta in config.betas]
+    warnings.warn(_DEPRECATION % "run_table1",
+                  DeprecationWarning, stacklevel=2)
+    from repro import api
+    specs = [api.RunSpec(
+        kind="table1", design=name, beta=beta,
+        method=f"heuristic:{config.heuristic_strategy}",
+        cluster_budgets=tuple(config.cluster_budgets),
+        ilp_backend=config.ilp_backend,
+        ilp_time_limit_s=config.ilp_time_limit_s,
+        skip_ilp_above_rows=config.skip_ilp_above_rows)
+        for name in designs for beta in config.betas]
+    return [result.to_table1_row() for result in api.run_many(specs)]

@@ -55,6 +55,25 @@ def format_population(rows: Sequence[PopulationRow]) -> str:
     return "\n".join(lines)
 
 
+def format_cache_stats(stats: dict) -> str:
+    """Render :meth:`ArtifactCache.stats` hit/miss counters.
+
+    ``stats`` is the dict returned by
+    :meth:`repro.flow.cache.ArtifactCache.stats`: total hits/misses plus
+    a per-artifact-kind breakdown.
+    """
+    total = stats.get("hits", 0) + stats.get("misses", 0)
+    lines = [f"artifact cache: {stats.get('hits', 0)} hits / "
+             f"{stats.get('misses', 0)} misses "
+             f"({stats.get('entries', 0)} entries)"]
+    for kind, counts in sorted(stats.get("by_kind", {}).items()):
+        lines.append(f"  {kind:<12} {counts['hits']:>6} hits "
+                     f"{counts['misses']:>6} misses")
+    if total == 0:
+        lines.append("  (no lookups recorded)")
+    return "\n".join(lines)
+
+
 def format_sweep(design: str, beta: float,
                  budgets: Sequence[int],
                  savings: Sequence[float]) -> str:

@@ -23,9 +23,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.heuristic import solve_heuristic
-from repro.core.ilp_alloc import solve_ilp
 from repro.core.problem import build_problem
+from repro.core.registry import registry
 from repro.core.solution import BiasSolution
 from repro.errors import InfeasibleError, TuningError
 from repro.placement.placed_design import PlacedDesign
@@ -59,10 +58,17 @@ class TuningController:
     use_ilp: bool = False
     max_iterations: int = 6
     beta_step: float = 0.01
+    method: str | None = None
+    """Solver-registry method for the allocate step; ``None`` derives it
+    from the legacy ``use_ilp`` flag."""
 
     def __post_init__(self) -> None:
         if self.max_iterations < 1:
             raise TuningError("need at least one tuning iteration")
+        if self.method is None:
+            self.method = "ilp:highs" if self.use_ilp else \
+                "heuristic:row-descent"
+        self._solver = registry.get(self.method)
         self.analyzer = TimingAnalyzer.for_placed(self.placed)
         self.dcrit_ps = self.analyzer.critical_delay_ps()
         self.generator = BodyBiasGenerator(self.clib.tech)
@@ -111,10 +117,7 @@ class TuningController:
                                         analyzer=self.analyzer,
                                         paths=self._paths,
                                         dcrit_ps=self.dcrit_ps)
-                if self.use_ilp:
-                    solution = solve_ilp(problem, self.max_clusters)
-                else:
-                    solution = solve_heuristic(problem, self.max_clusters)
+                solution = self._solver.func(problem, self.max_clusters)
             except InfeasibleError as exc:
                 raise TuningError(
                     f"die beyond FBB recovery range: {exc}") from exc

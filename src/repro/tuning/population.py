@@ -42,6 +42,8 @@ class PopulationTuningSummary:
     yield_before: float
     yield_after: float
     unbiased_leakage_nw: float
+    method: str = "heuristic:row-descent"
+    """Solver-registry method the controller allocated with."""
 
     @property
     def num_dies(self) -> int:
@@ -117,4 +119,5 @@ def tune_population(controller: TuningController,
         yield_before=population.timing_yield(beta_budget),
         yield_after=good_after / len(records),
         unbiased_leakage_nw=unbiased,
+        method=controller.method or "heuristic:row-descent",
     )

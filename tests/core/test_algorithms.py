@@ -6,7 +6,7 @@ import pytest
 from repro.core import (build_problem, pass_one, pass_two, solve_heuristic,
                         solve_ilp, solve_single_bb, uniform_solution)
 from repro.errors import AllocationError, InfeasibleError
-from tests.core.conftest import CLIB, make_placed
+from tests.core.conftest import CLIB
 
 
 class TestPassOne:

@@ -1,0 +1,95 @@
+"""Formatting edge cases for the report tables.
+
+Covers the corners ISSUE 2 called out: ILP-timeout '-' cells, empty and
+single-die populations, plus the cache-stats block the sweep interface
+prints.
+"""
+
+from repro.flow import format_cache_stats, format_population, format_table1
+from repro.flow.experiment import PopulationRow, Table1Row
+
+
+def make_table1_row(**overrides):
+    defaults = dict(
+        design="c1355", gates=444, rows=10, beta=0.05,
+        single_bb_uw=12.345,
+        ilp_savings={2: 15.4, 3: 17.9},
+        heuristic_savings={2: 13.2, 3: 14.7},
+        num_constraints=42, ilp_runtime_s=1.0, heuristic_runtime_s=0.1)
+    defaults.update(overrides)
+    return Table1Row(**defaults)
+
+
+def make_population_row(**overrides):
+    defaults = dict(
+        design="c1355", gates=444, rows=10, num_dies=100,
+        nominal_delay_ps=850.0, beta_mean=0.01, beta_std=0.005,
+        beta_max=0.04, timing_yield=0.9, sta_engine="batched",
+        sample_runtime_s=0.1)
+    defaults.update(overrides)
+    return PopulationRow(**defaults)
+
+
+class TestTable1Formatting:
+    def test_timeout_cells_render_as_dash(self):
+        row = make_table1_row(ilp_savings={2: None, 3: None})
+        table = format_table1([row])
+        line = table.splitlines()[2]
+        assert line.count("-") >= 2
+        assert row.ilp_cell(2) == "-" and row.ilp_cell(3) == "-"
+
+    def test_mixed_timeout_and_value_cells(self):
+        row = make_table1_row(ilp_savings={2: 15.4, 3: None})
+        assert row.ilp_cell(2) == "15.40"
+        assert row.ilp_cell(3) == "-"
+        assert "15.40" in format_table1([row])
+
+    def test_missing_budget_renders_as_dash(self):
+        row = make_table1_row(ilp_savings={2: 15.4})
+        assert row.ilp_cell(3) == "-"
+
+    def test_empty_row_list_still_has_header_and_legend(self):
+        table = format_table1([])
+        assert "Benchmark" in table
+        assert "ILP not run/converged" in table
+
+
+class TestPopulationFormatting:
+    def test_empty_population_renders(self):
+        text = format_population([])
+        assert "Benchmark" in text
+        assert "STA engine: -" in text
+
+    def test_single_die_population(self):
+        row = make_population_row(num_dies=1, beta_std=0.0, beta_mean=0.02,
+                                  beta_max=0.02, timing_yield=0.0)
+        text = format_population([row])
+        assert "      1" in text
+        assert "0.00%" in text  # zero std renders cleanly
+
+    def test_untuned_row_shows_dashes(self):
+        text = format_population([make_population_row()])
+        body = text.splitlines()[2]
+        assert body.rstrip().count("-") >= 2  # tuned and rec/lost columns
+
+    def test_tuned_row_shows_recovery_counts(self):
+        row = make_population_row(tuned_yield=0.95, recovered=5, lost=1)
+        text = format_population([row])
+        assert "95%" in text
+        assert "5/1" in text
+
+
+class TestCacheStatsFormatting:
+    def test_empty_stats(self):
+        text = format_cache_stats({"hits": 0, "misses": 0, "entries": 0,
+                                   "by_kind": {}})
+        assert "0 hits / 0 misses" in text
+        assert "no lookups" in text
+
+    def test_per_kind_breakdown(self):
+        stats = {"hits": 3, "misses": 2, "entries": 2,
+                 "by_kind": {"clib": {"hits": 1, "misses": 1},
+                             "run": {"hits": 2, "misses": 1}}}
+        text = format_cache_stats(stats)
+        assert "3 hits / 2 misses" in text
+        assert "clib" in text and "run" in text

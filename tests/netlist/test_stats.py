@@ -1,6 +1,5 @@
 """Tests for netlist statistics."""
 
-import pytest
 
 from repro.circuits import adder_128bits, c6288_like
 from repro.netlist import Netlist, netlist_stats

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import TechnologyError
-from repro.tech import CellLibrary, StandardCell, Technology, reduced_library
+from repro.tech import CellLibrary, Technology, reduced_library
 
 TECH = Technology()
 

@@ -1,0 +1,243 @@
+"""Tests for the repro.api facade: RunSpec/RunResult serialization,
+cache-backed execution, and numerical parity with the direct call paths.
+"""
+
+import json
+
+import pytest
+
+from repro.api import (RunResult, RunSpec, population_row_from_payload,
+                       population_row_payload, run, run_many, solver_names,
+                       table1_row_from_payload, table1_row_payload)
+from repro.core import build_problem, solve_heuristic, solve_single_bb
+from repro.errors import SpecError
+from repro.flow import (ArtifactCache, ExperimentConfig, PopulationConfig,
+                        implement, run_design_beta, run_population)
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return ArtifactCache()
+
+
+@pytest.fixture(scope="module")
+def flow(cache):
+    return implement("c1355", cache=cache)
+
+
+class TestRunSpec:
+    def test_json_round_trip_bit_identical(self):
+        spec = RunSpec(kind="table1", design="c5315", beta=0.10,
+                       cluster_budgets=(2, 3, 4), seed=7,
+                       tech={"vth0_n": 0.47})
+        text = spec.to_json()
+        recovered = RunSpec.from_json(text)
+        assert recovered == spec
+        assert recovered.to_json() == text
+
+    def test_dict_round_trip_restores_tuples(self):
+        spec = RunSpec(cluster_budgets=(2, 3))
+        data = json.loads(spec.to_json())
+        assert data["cluster_budgets"] == [2, 3]
+        assert RunSpec.from_dict(data).cluster_budgets == (2, 3)
+
+    def test_spec_hash_is_content_addressed(self):
+        assert RunSpec(seed=1).spec_hash() == RunSpec(seed=1).spec_hash()
+        assert RunSpec(seed=1).spec_hash() != RunSpec(seed=2).spec_hash()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SpecError, match="kind"):
+            RunSpec(kind="fig7")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SpecError, match="unknown RunSpec fields"):
+            RunSpec.from_dict({"kind": "allocate", "solver": "ilp"})
+
+    def test_newer_schema_rejected(self):
+        with pytest.raises(SpecError, match="schema"):
+            RunSpec(schema_version=99)
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            RunSpec(beta=-0.1)
+        with pytest.raises(SpecError):
+            RunSpec(clusters=0)
+        with pytest.raises(SpecError):
+            RunSpec(num_dies=0)
+
+    def test_technology_overrides(self):
+        tech = RunSpec(tech={"vth0_n": 0.48}).technology()
+        assert tech.vth0_n == 0.48
+        nested = RunSpec(
+            tech={"bias_rules": {"max_bias_rails": 1}}).technology()
+        assert nested.bias_rules.max_bias_rails == 1
+        with pytest.raises(SpecError, match="bad tech overrides"):
+            RunSpec(tech={"not_a_knob": 1}).technology()
+
+    def test_solver_names_exposed(self):
+        names = solver_names()
+        assert "ilp:highs" in names
+        assert "heuristic" in names  # aliases included by default
+
+
+class TestRunResultRoundTrip:
+    def test_allocate_result_bit_identical(self, cache):
+        spec = RunSpec(kind="allocate", design="c1355", beta=0.05)
+        result = run(spec, cache=cache)
+        text = result.to_json()
+        recovered = RunResult.from_json(text)
+        assert recovered == result
+        assert recovered.to_json() == text
+
+    def test_malformed_result_rejected(self):
+        with pytest.raises(SpecError, match="malformed"):
+            RunResult.from_dict({"payload": {}})
+
+    def test_kind_mismatch_decoding_rejected(self, cache):
+        result = run(RunSpec(kind="allocate", design="c1355"), cache=cache)
+        with pytest.raises(SpecError, match="not a table1"):
+            result.to_table1_row()
+        with pytest.raises(SpecError, match="not a population"):
+            result.to_population_row()
+
+
+class TestCacheSemantics:
+    def test_rerun_hits_cache_with_identical_payload(self, cache):
+        spec = RunSpec(kind="allocate", design="c1355", beta=0.05,
+                       method="heuristic:level-sweep")
+        cold = run(spec, cache=cache)
+        warm = run(spec, cache=cache)
+        assert not cold.cache_hit
+        assert warm.cache_hit
+        assert warm.payload == cold.payload
+        assert cache.stats()["by_kind"]["run"]["hits"] >= 1
+
+    def test_use_cache_false_reexecutes(self, cache):
+        spec = RunSpec(kind="allocate", design="c1355", beta=0.05)
+        run(spec, cache=cache)
+        fresh = run(spec, cache=cache, use_cache=False)
+        assert not fresh.cache_hit
+
+    def test_different_specs_do_not_collide(self, cache):
+        a = run(RunSpec(kind="allocate", design="c1355", beta=0.05,
+                        clusters=2), cache=cache)
+        b = run(RunSpec(kind="allocate", design="c1355", beta=0.05,
+                        clusters=3), cache=cache)
+        assert a.payload["savings_pct"] <= b.payload["savings_pct"] + 1e-9
+
+    def test_payloads_are_isolated_from_the_cache(self, cache):
+        """Mutating a returned payload must not corrupt later hits."""
+        spec = RunSpec(kind="allocate", design="c1355", beta=0.05,
+                       clusters=2, method="single_bb")
+        first = run(spec, cache=cache)
+        pristine = first.payload["savings_pct"]
+        first.payload["savings_pct"] = -999.0
+        second = run(spec, cache=cache)
+        assert second.cache_hit
+        assert second.payload["savings_pct"] == pristine
+        second.payload["levels"].append(42)
+        third = run(spec, cache=cache)
+        assert third.payload["levels"] == second.payload["levels"][:-1]
+
+    def test_run_cache_is_keyed_on_spec_hash(self, cache):
+        """spec_hash() is the documented run-cache key: the cached
+        artifact must be addressable by it directly."""
+        spec = RunSpec(kind="allocate", design="c1355", beta=0.05,
+                       method="heuristic:level-sweep", clusters=2)
+        result = run(spec, cache=cache)
+        found, payload = cache.lookup("run", spec.spec_hash())
+        assert found
+        assert payload == result.payload
+
+    def test_run_many_shares_cache(self, cache):
+        spec = RunSpec(kind="allocate", design="c1355", beta=0.05,
+                       method="single_bb")
+        results = run_many([spec, spec], cache=cache)
+        assert [r.cache_hit for r in results] == [False, True]
+        assert results[0].payload == results[1].payload
+
+
+class TestParityWithDirectPaths:
+    """The facade must reproduce the pre-refactor numbers exactly."""
+
+    def test_allocate_matches_direct_solve(self, cache, flow):
+        spec = RunSpec(kind="allocate", design="c1355", beta=0.05,
+                       method="heuristic:row-descent", clusters=3)
+        payload = run(spec, cache=cache).payload
+        problem = build_problem(flow.placed, flow.clib, 0.05,
+                                analyzer=flow.analyzer,
+                                paths=list(flow.paths),
+                                dcrit_ps=flow.dcrit_ps)
+        baseline = solve_single_bb(problem)
+        direct = solve_heuristic(problem, 3, strategy="row-descent")
+        assert payload["levels"] == list(direct.levels)
+        assert payload["savings_pct"] \
+            == direct.savings_vs(baseline.leakage_nw)
+        assert payload["baseline_uw"] == baseline.leakage_uw
+
+    def test_table1_matches_run_design_beta(self, cache, flow):
+        spec = RunSpec(kind="table1", design="c1355", beta=0.05,
+                       ilp_time_limit_s=60.0)
+        row = run(spec, cache=cache).to_table1_row()
+        config = ExperimentConfig(betas=(0.05,), ilp_time_limit_s=60.0)
+        direct = run_design_beta(flow, 0.05, config)
+        assert row.design == direct.design
+        assert row.single_bb_uw == direct.single_bb_uw
+        assert row.ilp_savings == direct.ilp_savings
+        assert row.heuristic_savings == direct.heuristic_savings
+        assert row.num_constraints == direct.num_constraints
+
+    def test_population_matches_run_population(self, cache, flow):
+        spec = RunSpec(kind="population", design="c1355", num_dies=25,
+                       seed=11)
+        row = run(spec, cache=cache).to_population_row()
+        direct = run_population(flow, PopulationConfig(num_dies=25,
+                                                       seed=11))
+        assert row.beta_mean == direct.beta_mean
+        assert row.beta_std == direct.beta_std
+        assert row.beta_max == direct.beta_max
+        assert row.timing_yield == direct.timing_yield
+        assert row.seed == direct.seed == 11
+
+    def test_table1_payload_codec_inverts(self, cache):
+        spec = RunSpec(kind="table1", design="c1355", beta=0.05,
+                       ilp_time_limit_s=60.0, skip_ilp_above_rows=1)
+        row = run(spec, cache=cache).to_table1_row()
+        assert row.ilp_savings[2] is None  # skip threshold -> '-' cell
+        assert table1_row_from_payload(table1_row_payload(row)) == row
+
+    def test_population_payload_codec_inverts(self, cache, flow):
+        row = run_population(flow, PopulationConfig(num_dies=10, seed=2))
+        assert population_row_from_payload(
+            population_row_payload(row)) == row
+
+
+class TestDeprecatedShims:
+    """run_table1 / run_population_study route through the facade."""
+
+    def test_run_table1_shim_warns_and_matches_facade(self, flow):
+        from repro.flow import ExperimentConfig, run_table1
+        config = ExperimentConfig(betas=(0.05,), skip_ilp_above_rows=1)
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            rows = run_table1(("c1355",), config)
+        direct = run_design_beta(flow, 0.05, config)
+        assert len(rows) == 1
+        assert rows[0].heuristic_savings == direct.heuristic_savings
+        assert rows[0].ilp_savings == {2: None, 3: None}
+
+    def test_legacy_flows_path_does_not_warn(self, flow, recwarn):
+        from repro.flow import ExperimentConfig, run_table1
+        config = ExperimentConfig(betas=(0.05,), skip_ilp_above_rows=1)
+        run_table1(("c1355",), config, flows={"c1355": flow})
+        assert not [w for w in recwarn.list
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_run_population_study_shim_warns_and_matches_facade(self, flow):
+        from repro.flow import run_population_study
+        config = PopulationConfig(num_dies=15, seed=8)
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            rows = run_population_study(("c1355",), config)
+        direct = run_population(flow, config)
+        assert rows[0].beta_mean == direct.beta_mean
+        assert rows[0].timing_yield == direct.timing_yield
+        assert rows[0].seed == 8

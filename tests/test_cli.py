@@ -1,5 +1,7 @@
 """Tests for the repro-fbb command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -37,6 +39,23 @@ class TestParser:
             build_parser().parse_args(
                 ["montecarlo", "c1355", "--engine", "quantum"])
 
+    def test_montecarlo_seed_threaded(self):
+        args = build_parser().parse_args(
+            ["montecarlo", "c1355", "--seed", "42"])
+        assert args.seed == 42
+
+    def test_sweep_args(self):
+        args = build_parser().parse_args(
+            ["sweep", "specs.json", "-o", "out.jsonl"])
+        assert args.specs == "specs.json"
+        assert args.output == "out.jsonl"
+        assert args.cache_dir is None
+
+    def test_allocate_method_arg(self):
+        args = build_parser().parse_args(
+            ["allocate", "c1355", "--method", "heuristic:level-sweep"])
+        assert args.method == "heuristic:level-sweep"
+
 
 class TestCommands:
     def test_fig1(self, capsys):
@@ -67,3 +86,61 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "c1355" in out
         assert "STA engine: batched" in out
+
+    def test_montecarlo_reproducible_from_seed(self, capsys):
+        """Same seed -> identical report; different seed -> different."""
+        assert main(["montecarlo", "c1355", "--dies", "40",
+                     "--seed", "5"]) == 0
+        first = capsys.readouterr().out
+        assert main(["montecarlo", "c1355", "--dies", "40",
+                     "--seed", "5"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert main(["montecarlo", "c1355", "--dies", "40",
+                     "--seed", "6"]) == 0
+        third = capsys.readouterr().out
+        assert third != first
+
+    def test_allocate_with_registry_method(self, capsys):
+        assert main(["allocate", "c1355", "--beta", "0.05",
+                     "--method", "heuristic:level-sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "level-sweep" in out
+        assert "savings vs single BB" in out
+
+
+class TestSweep:
+    def test_sweep_runs_specs_and_emits_jsonl(self, tmp_path, capsys):
+        specs = [
+            {"kind": "allocate", "design": "c1355", "beta": 0.05,
+             "method": "heuristic:row-descent"},
+            {"kind": "allocate", "design": "c1355", "beta": 0.05,
+             "method": "heuristic:row-descent"},
+        ]
+        spec_file = tmp_path / "specs.json"
+        spec_file.write_text(json.dumps(specs))
+        out_file = tmp_path / "results.jsonl"
+        assert main(["sweep", str(spec_file), "-o", str(out_file)]) == 0
+        lines = out_file.read_text().strip().splitlines()
+        assert len(lines) == 2
+        results = [json.loads(line) for line in lines]
+        assert results[0]["payload"] == results[1]["payload"]
+        assert results[1]["cache_hit"]  # duplicate spec reused the cache
+        err = capsys.readouterr().err
+        assert "artifact cache" in err
+
+    def test_sweep_single_object_accepted(self, tmp_path, capsys):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(
+            {"kind": "allocate", "design": "c1355", "beta": 0.05}))
+        assert main(["sweep", str(spec_file)]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out.strip().splitlines()[0])["payload"]
+        assert payload["design"] == "c1355"
+
+    def test_sweep_bad_spec_raises(self, tmp_path):
+        from repro.errors import SpecError
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps({"kind": "nope"}))
+        with pytest.raises(SpecError):
+            main(["sweep", str(spec_file)])

@@ -45,3 +45,39 @@ def test_core_docs_present():
     """The documentation layer the docstrings rely on must ship."""
     for name in ("README.md", "DESIGN.md", "ROADMAP.md"):
         assert (REPO_ROOT / name).is_file(), f"{name} is missing"
+
+
+#: public names of the repro.api layer that README.md and DESIGN.md
+#: must document (ISSUE 2's API section)
+API_DOC_NAMES = ("repro.api", "RunSpec", "RunResult", "ArtifactCache",
+                 "solver registry", "repro-fbb sweep")
+
+
+def test_api_layer_documented():
+    """The facade's names must appear in both user-facing documents."""
+    missing = []
+    for doc in ("README.md", "DESIGN.md"):
+        text = (REPO_ROOT / doc).read_text(encoding="utf-8")
+        for name in API_DOC_NAMES:
+            if name not in text:
+                missing.append(f"{doc}: does not mention {name!r}")
+    assert not missing, "\n".join(missing)
+
+
+def test_documented_solver_methods_exist():
+    """Every method name DESIGN.md's API section lists must be
+    registered, so the docs cannot drift from the registry."""
+    import re
+    import sys
+    src = REPO_ROOT / "src"
+    if str(src) not in sys.path:
+        sys.path.insert(0, str(src))
+    from repro.core import registry
+    text = (REPO_ROOT / "DESIGN.md").read_text(encoding="utf-8")
+    documented = set(re.findall(
+        r"`((?:ilp|heuristic):[a-z_-]+|single_bb)`", text))
+    assert documented, "DESIGN.md lists no solver-registry methods"
+    registered = set(registry.names(include_aliases=True))
+    assert documented <= registered, (
+        f"DESIGN.md documents unregistered methods: "
+        f"{sorted(documented - registered)}")
