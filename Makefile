@@ -2,7 +2,8 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test lint docs-check bench bench-batched bench-cache
+.PHONY: test lint docs-check bench bench-batched bench-cache \
+	bench-parallel test-parallel
 
 test:
 	$(PYTEST) -x -q
@@ -30,3 +31,12 @@ bench-batched:
 
 bench-cache:
 	$(PYTEST) -q benchmarks/bench_cache.py
+
+bench-parallel:
+	$(PYTEST) -q benchmarks/bench_parallel.py
+
+# The parallel/concurrency suite on its own: cache hammering across
+# processes plus serial-vs-parallel equivalence (CI's smoke job).
+test-parallel:
+	$(PYTEST) -q tests/flow/test_parallel.py \
+		tests/tuning/test_population_parallel.py

@@ -27,6 +27,11 @@ new allocation strategies become available here without code changes.
 
 The ``repro-fbb sweep`` CLI subcommand is the batch interface over this
 module: a JSON list of RunSpecs in, one JSONL RunResult per line out.
+Batches scale across cores: ``run_many(specs, workers=N)`` fans the
+specs out over a process pool (specs are frozen, JSON-serializable and
+content-hashed, so they ship to workers as-is and payloads merge back
+into the shared cache), with results identical to the serial path; see
+``repro/flow/parallel.py`` and DESIGN.md, "Parallel execution".
 """
 
 from __future__ import annotations
@@ -44,6 +49,7 @@ from repro.errors import SpecError
 from repro.flow.cache import (ArtifactCache, canonical_json, content_hash,
                               default_cache)
 from repro.flow.design_flow import FlowResult, implement
+from repro.flow.parallel import SpecFailure, execute_specs
 from repro.flow.experiment import (ExperimentConfig, PopulationConfig,
                                    PopulationRow, Table1Row, run_design_beta,
                                    run_population)
@@ -100,6 +106,11 @@ class RunSpec:
     tune: bool = False
     beta_budget: float = 0.0
     utilization: float = 0.75
+    workers: int = 1
+    """Process-pool width for the run's internal fan-out (population
+    tuning shards its slow dies across this many workers).  An
+    execution knob, not an experiment input: it is excluded from the
+    content address, and results are bit-identical for any value."""
     tech: dict = field(default_factory=dict)
     """Technology field overrides, e.g. ``{"vth0_n": 0.5}``; the nested
     ``bias_rules`` value may itself be a dict of BodyBiasRules fields."""
@@ -120,6 +131,8 @@ class RunSpec:
             raise SpecError(f"clusters must be >= 1, got {self.clusters}")
         if self.num_dies < 1:
             raise SpecError(f"num_dies must be >= 1, got {self.num_dies}")
+        if self.workers < 1:
+            raise SpecError(f"workers must be >= 1, got {self.workers}")
         object.__setattr__(self, "cluster_budgets",
                            tuple(int(c) for c in self.cluster_budgets))
 
@@ -167,9 +180,22 @@ class RunSpec:
     def from_json(cls, text: str) -> "RunSpec":
         return cls.from_dict(json.loads(text))
 
+    def cache_material(self) -> dict:
+        """Key material for the run cache: the spec minus execution-only
+        knobs.
+
+        ``workers`` parallelizes execution without changing the result,
+        so it does not participate in the content address — a sweep run
+        with ``workers=4`` hits the exact artifacts a serial run
+        produced, and vice versa.
+        """
+        material = self.to_dict()
+        del material["workers"]
+        return material
+
     def spec_hash(self) -> str:
         """Stable content address of the spec (the run-cache key)."""
-        return content_hash(self.to_dict())
+        return content_hash(self.cache_material())
 
 
 @dataclass(frozen=True)
@@ -339,7 +365,8 @@ def _execute_population(spec: RunSpec, cache: ArtifactCache) -> dict:
     config = PopulationConfig(
         num_dies=spec.num_dies, seed=spec.seed, sta_engine=spec.engine,
         tune=spec.tune, max_clusters=spec.clusters,
-        beta_budget=spec.beta_budget, method=spec.method)
+        beta_budget=spec.beta_budget, method=spec.method,
+        workers=spec.workers)
     return population_row_payload(run_population(flow, config))
 
 
@@ -348,6 +375,20 @@ _EXECUTORS: dict[str, Callable[[RunSpec, ArtifactCache], dict]] = {
     "table1": _execute_table1,
     "population": _execute_population,
 }
+
+
+def execute_spec(spec: RunSpec,
+                 cache: ArtifactCache | None = None) -> dict:
+    """Compute one spec's payload with no run-cache lookup.
+
+    This is the raw execution step :func:`run` wraps with memoization,
+    and the entry point pool workers call: the worker executes against
+    a process-local cache and ships the pure-JSON payload back to the
+    parent, which merges it into the shared run cache.
+    """
+    if cache is None:
+        cache = default_cache()
+    return _EXECUTORS[spec.kind](spec, cache)
 
 
 def run(spec: RunSpec, cache: ArtifactCache | None = None,
@@ -363,24 +404,42 @@ def run(spec: RunSpec, cache: ArtifactCache | None = None,
     """
     if cache is None:
         cache = default_cache()
-    material = spec.to_dict()
+    material = spec.cache_material()
     if use_cache:
         found, payload = cache.lookup("run", material)
         if found:
             return RunResult(spec=spec, payload=copy.deepcopy(payload),
                              cache_hit=True)
-    payload = _EXECUTORS[spec.kind](spec, cache)
+    payload = execute_spec(spec, cache)
     cache.put("run", material, copy.deepcopy(payload))
     return RunResult(spec=spec, payload=payload, cache_hit=False)
 
 
 def run_many(specs: list[RunSpec] | tuple[RunSpec, ...],
              cache: ArtifactCache | None = None,
-             use_cache: bool = True) -> list[RunResult]:
-    """Execute a batch of specs in order (the `sweep` CLI's engine)."""
+             use_cache: bool = True,
+             workers: int = 1,
+             capture_errors: bool = False
+             ) -> list[RunResult | SpecFailure]:
+    """Execute a batch of specs in order (the `sweep` CLI's engine).
+
+    ``workers > 1`` fans the batch out over a process pool
+    (:func:`repro.flow.parallel.execute_specs`): the parent resolves
+    cache hits and deduplicates, unique misses execute in workers, and
+    payloads merge back into the shared cache — results and their order
+    are identical to the serial ``workers=1`` path (modulo wall-clock
+    runtime fields inside payloads).
+
+    With ``capture_errors=True`` a failing spec produces a
+    :class:`~repro.flow.parallel.SpecFailure` in its result slot and
+    the rest of the batch still runs; otherwise the first failure (in
+    spec order) is raised, as before.
+    """
     if cache is None:
         cache = default_cache()
-    return [run(spec, cache=cache, use_cache=use_cache) for spec in specs]
+    return execute_specs(list(specs), cache, workers=workers,
+                         use_cache=use_cache,
+                         capture_errors=capture_errors)
 
 
 def solve(problem, method: str = "heuristic", clusters: int = 3, **opts):

@@ -10,11 +10,15 @@ Subcommands (all experiment-shaped ones are thin wrappers over the
 * ``layout DESIGN --beta B`` — ASCII layout view with bias clusters;
 * ``montecarlo DESIGN --dies N --seed S`` — sample a die population
   through the batched STA backend and report yield (``--tune`` runs the
-  closed calibration loop on every slow die; runs are reproducible from
-  the seed);
+  closed calibration loop on every slow die, ``--workers N`` shards it
+  over a process pool; runs are reproducible from the seed);
 * ``sweep SPECS.json`` — the batch service interface: run a JSON list
-  of RunSpecs, emit one JSONL RunResult per line, and report artifact
-  cache hit/miss counters.
+  of RunSpecs (``--workers N`` fans them out over a process pool), emit
+  one JSONL RunResult per line, and report artifact cache hit/miss
+  counters.  A malformed or failing spec no longer aborts the batch:
+  it becomes a JSONL error record (``{"error": ..., "message": ...,
+  "spec": ...}``), the remaining specs still run, and the exit status
+  is nonzero when any spec failed.
 """
 
 from __future__ import annotations
@@ -89,14 +93,16 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
     result = run(RunSpec(
         kind="population", design=args.design, num_dies=args.dies,
         seed=args.seed, engine=args.engine, tune=args.tune,
-        clusters=args.clusters, beta_budget=args.beta_budget))
+        clusters=args.clusters, beta_budget=args.beta_budget,
+        workers=args.workers))
     print(format_population([result.to_population_row()]))
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.api import RunSpec, run_many
-    from repro.flow import ArtifactCache, default_cache, format_cache_stats
+    from repro.flow import (ArtifactCache, SpecFailure, default_cache,
+                            format_cache_stats, format_spec_failures)
     if args.specs == "-":
         data = json.load(sys.stdin)
     else:
@@ -104,17 +110,40 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             data = json.load(handle)
     if isinstance(data, dict):
         data = [data]
-    specs = [RunSpec.from_dict(entry) for entry in data]
+
+    # Per-spec error tolerance: a malformed entry becomes an error
+    # record in its output slot instead of aborting the whole batch.
+    records: list = [None] * len(data)
+    specs, slots = [], []
+    for index, entry in enumerate(data):
+        try:
+            specs.append(RunSpec.from_dict(entry))
+            slots.append(index)
+        except Exception as exc:
+            # Catch broadly: a wrong-typed value raises TypeError from
+            # RunSpec validation, not just SpecError, and either must
+            # become an error record rather than abort the batch.
+            records[index] = SpecFailure.from_exception(entry, exc)
     cache = (ArtifactCache(cache_dir=args.cache_dir)
              if args.cache_dir else default_cache())
-    results = run_many(specs, cache=cache)
-    lines = "\n".join(result.to_json() for result in results)
+    results = run_many(specs, cache=cache, workers=args.workers,
+                       capture_errors=True)
+    for slot, result in zip(slots, results):
+        records[slot] = result
+
+    lines = "\n".join(record.to_json() for record in records)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(lines + "\n")
     else:
         print(lines)
     print(format_cache_stats(cache.stats()), file=sys.stderr)
+    failures = [record for record in records
+                if isinstance(record, SpecFailure)]
+    if failures:
+        print(format_spec_failures(failures, len(records)),
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -166,6 +195,10 @@ def build_parser() -> argparse.ArgumentParser:
     montecarlo.add_argument("--beta-budget", type=float, default=0.0,
                             help="slowdown margin defining timing yield "
                                  "and, with --tune, the tuning target")
+    montecarlo.add_argument("--workers", type=int, default=1,
+                            help="process-pool width for --tune: shard "
+                                 "the slow dies across N workers "
+                                 "(results identical to serial)")
     montecarlo.set_defaults(func=_cmd_montecarlo)
 
     sweep = sub.add_parser(
@@ -178,6 +211,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cache-dir", default=None,
                        help="persist the artifact cache on disk for "
                             "warm re-runs")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="fan the batch out over a process pool of "
+                            "N workers (results identical to serial)")
     sweep.set_defaults(func=_cmd_sweep)
     return parser
 

@@ -8,8 +8,12 @@ from repro.flow.experiment import (ExperimentConfig, PopulationConfig,
                                    PopulationRow, Table1Row,
                                    run_design_beta, run_population,
                                    run_population_study, run_table1)
+from repro.flow.parallel import (SpecFailure, execute_specs,
+                                 resolve_workers, stable_payload,
+                                 tune_dies_parallel)
 from repro.flow.reports import (format_cache_stats, format_population,
-                                format_sweep, format_table1)
+                                format_spec_failures, format_sweep,
+                                format_table1)
 
 __all__ = [
     "ArtifactCache",
@@ -17,19 +21,25 @@ __all__ = [
     "FlowResult",
     "PopulationConfig",
     "PopulationRow",
+    "SpecFailure",
     "Table1Row",
     "canonical_json",
     "characterized_library",
     "content_hash",
     "default_cache",
+    "execute_specs",
     "format_cache_stats",
     "format_population",
+    "format_spec_failures",
     "format_sweep",
     "format_table1",
     "implement",
+    "resolve_workers",
     "run_design_beta",
     "run_population",
     "run_population_study",
     "run_table1",
     "set_default_cache",
+    "stable_payload",
+    "tune_dies_parallel",
 ]

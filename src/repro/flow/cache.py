@@ -11,17 +11,25 @@ keyed only on ``tech.name`` (two different :class:`Technology` objects
 sharing a name collided).
 
 The cache is two-tier: an in-memory dict (always on) and an optional
-on-disk pickle store for artifacts that survive process restarts.  Hit
-and miss counters are kept per artifact kind and surfaced by
-:func:`repro.flow.reports.format_cache_stats` and the ``repro-fbb
-sweep`` subcommand.
+on-disk pickle store for artifacts that survive process restarts.  The
+disk tier is multi-process safe: writes go through a temp file plus
+:func:`os.replace` (so a killed or concurrent writer can never leave a
+truncated pickle at a final path) and unreadable or corrupt entries
+degrade to misses — properties the parallel execution engine
+(``flow/parallel.py``) relies on when several workers share one cache
+directory.  Hit and miss counters are kept per artifact kind and
+surfaced by :func:`repro.flow.reports.format_cache_stats` and the
+``repro-fbb sweep`` subcommand.
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
+import itertools
 import json
+import os
 import pickle
 from collections import OrderedDict
 from pathlib import Path
@@ -30,6 +38,9 @@ from typing import Any, Callable
 from repro.errors import SpecError
 
 _MISS = object()
+
+#: process-local suffix counter for atomic temp-file names
+_TMP_COUNTER = itertools.count()
 
 
 def _jsonable(value: Any) -> Any:
@@ -160,15 +171,31 @@ class ArtifactCache:
             return _MISS
 
     def _store_disk(self, kind: str, address: str, value: Any) -> None:
+        """Atomically persist one artifact (multi-process safe).
+
+        The pickle is written to a uniquely named temp file in the
+        target directory and moved into place with :func:`os.replace`,
+        so concurrent writers of the same address race benignly (last
+        complete write wins, both are identical by content addressing)
+        and a killed process can never leave a truncated pickle at the
+        final path — readers either see a whole artifact or a miss.
+        """
         path = self._disk_path(kind, address)
         if path is None:
             return
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            with path.open("wb") as handle:
-                pickle.dump(value, handle)
+            blob = pickle.dumps(value)
         except Exception:  # unpicklable artifacts stay memory-only
-            pass
+            return
+        tmp = path.parent / (f".{address}.{os.getpid()}."
+                             f"{next(_TMP_COUNTER)}.tmp")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
+        except Exception:  # disk-tier failures degrade to memory-only
+            with contextlib.suppress(OSError):
+                tmp.unlink()
 
     # -- bookkeeping ------------------------------------------------------
 
@@ -192,6 +219,20 @@ class ArtifactCache:
                        "misses": self._misses.get(kind, 0)}
                 for kind in kinds},
         }
+
+    def merge_counts(self, by_kind: dict) -> None:
+        """Fold another cache's per-kind hit/miss counters into ours.
+
+        Used by the parallel engine: pool workers execute against
+        process-local caches, so without merging their counter deltas
+        back a parallel sweep's stats report would silently omit all
+        worker-side clib/flow activity that a serial run shows.
+        """
+        for kind, counts in by_kind.items():
+            self._hits[kind] = self._hits.get(kind, 0) \
+                + counts.get("hits", 0)
+            self._misses[kind] = self._misses.get(kind, 0) \
+                + counts.get("misses", 0)
 
     def clear(self) -> None:
         """Drop memory entries and counters (disk artifacts are kept)."""

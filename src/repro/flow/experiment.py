@@ -56,6 +56,9 @@ class ExperimentConfig:
     skip_ilp_above_rows: int | None = None
     """Mimic the paper: no ILP results for the largest designs."""
     heuristic_strategy: str = "row-descent"
+    workers: int = 1
+    """Process-pool width for the (design, beta) fan-out when the run
+    routes through ``api.run_many`` (the ``run_table1`` shim)."""
     extra: dict = field(default_factory=dict)
 
 
@@ -122,6 +125,9 @@ class PopulationConfig:
     beta_budget: float = 0.0
     method: str = "heuristic:row-descent"
     """Solver-registry method the tuning controller allocates with."""
+    workers: int = 1
+    """Process-pool width for sharding the tuning loop across the
+    population's slow dies (1 = the serial reference path)."""
 
 
 @dataclass(frozen=True)
@@ -170,7 +176,8 @@ def run_population(flow: FlowResult,
                                       max_clusters=config.max_clusters,
                                       method=config.method)
         summary = controller.calibrate_population(
-            population, beta_budget=config.beta_budget)
+            population, beta_budget=config.beta_budget,
+            workers=config.workers)
         tune_runtime = time.perf_counter() - started
         tuned_yield = summary.yield_after
         recovered = summary.recovered
@@ -227,7 +234,8 @@ def run_population_study(designs: tuple[str, ...],
         kind="population", design=name, num_dies=config.num_dies,
         seed=config.seed, engine=config.sta_engine, tune=config.tune,
         clusters=config.max_clusters, beta_budget=config.beta_budget,
-        method=config.method) for name in designs]
+        method=config.method, workers=config.workers)
+        for name in designs]
     return [result.to_population_row() for result in api.run_many(specs)]
 
 
@@ -258,4 +266,5 @@ def run_table1(designs: tuple[str, ...],
         ilp_time_limit_s=config.ilp_time_limit_s,
         skip_ilp_above_rows=config.skip_ilp_above_rows)
         for name in designs for beta in config.betas]
-    return [result.to_table1_row() for result in api.run_many(specs)]
+    return [result.to_table1_row()
+            for result in api.run_many(specs, workers=config.workers)]

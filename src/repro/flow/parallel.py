@@ -1,0 +1,339 @@
+"""Process-pool execution engine for sweeps and population tuning.
+
+Everything above the batched STA used to be a serial Python loop: a
+sweep executed its RunSpecs one at a time and ``tune_population``
+calibrated dies one at a time, so a 10k-die study used one core.  Both
+workloads are embarrassingly parallel — every spec is a frozen,
+JSON-serializable, content-hashed value and every die's calibration is
+independent of every other die's — so this module fans them out over a
+:class:`concurrent.futures.ProcessPoolExecutor`:
+
+* :func:`execute_specs` is the engine behind
+  ``repro.api.run_many(specs, workers=N)``.  The parent process resolves
+  cache hits (memory + disk tier) and deduplicates the batch; only
+  unique misses ship to workers, as canonical spec JSON.  Each worker
+  executes with a process-local :class:`ArtifactCache` that shares the
+  parent's disk tier (safe because disk writes are atomic, see
+  ``flow/cache.py``), and returns a pure-JSON payload that the parent
+  merges back into its own cache.
+* :func:`tune_dies_parallel` shards a population's out-of-budget dies
+  into per-worker chunks; each worker rebuilds the tuning controller
+  once and runs the full sense/allocate/apply/verify loop per die.
+  Chunks are contiguous, so concatenating the parts restores die order
+  and the reassembled records are bit-identical to the serial path.
+
+The determinism contract: ``workers=1`` is the reference path, and for
+any ``workers > 1`` the merged results must equal it exactly (modulo
+wall-clock runtime fields).  ``RunSpec.workers`` is an execution knob,
+not an input to the experiment, so it is excluded from the spec's
+content address — a 4-worker sweep hits the artifacts a serial sweep
+produced and vice versa.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.errors import SpecError
+from repro.flow.cache import ArtifactCache, canonical_json
+
+
+def resolve_workers(workers: int | None,
+                    num_tasks: int | None = None) -> int:
+    """Validate a worker count and clamp it to the available tasks."""
+    if workers is None:
+        workers = 1
+    if workers < 1:
+        raise SpecError(f"workers must be >= 1, got {workers}")
+    if num_tasks is not None:
+        workers = min(workers, max(int(num_tasks), 1))
+    return workers
+
+
+#: payload keys ending in this suffix are wall-clock diagnostics
+RUNTIME_KEY_SUFFIX = "runtime_s"
+
+
+def stable_payload(payload: dict) -> dict:
+    """A payload's deterministic view: wall-clock fields dropped.
+
+    RunResult payloads are pure functions of their spec *except* for
+    the ``*runtime_s`` timing diagnostics, which differ between any two
+    executions (serial re-runs included).  The serial/parallel
+    equivalence contract — and the tests and benchmarks that enforce
+    it — is defined on this view.
+    """
+    return {key: value for key, value in payload.items()
+            if not key.endswith(RUNTIME_KEY_SUFFIX)}
+
+
+def chunked(items: Sequence[Any], num_chunks: int) -> list[list[Any]]:
+    """Split ``items`` into at most ``num_chunks`` contiguous, non-empty
+    chunks whose concatenation restores the input order."""
+    if num_chunks < 1:
+        raise SpecError(f"num_chunks must be >= 1, got {num_chunks}")
+    count = min(num_chunks, len(items))
+    if count == 0:
+        return []
+    base, extra = divmod(len(items), count)
+    chunks, start = [], 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        chunks.append(list(items[start:start + size]))
+        start += size
+    return chunks
+
+
+@dataclass(frozen=True)
+class SpecFailure:
+    """One spec's captured failure in an error-tolerant batch.
+
+    Emitted (as a JSONL line alongside the RunResult lines) by
+    ``repro-fbb sweep`` so one malformed spec no longer aborts the whole
+    batch; distinguishable from a result because it carries ``error``
+    instead of ``payload``.
+    """
+
+    spec: Any
+    """The offending spec material (raw JSON entry or RunSpec dict)."""
+    error: str
+    """Exception class name."""
+    message: str
+
+    @classmethod
+    def from_exception(cls, spec: Any, exc: BaseException) -> "SpecFailure":
+        return cls(spec=spec, error=type(exc).__name__, message=str(exc))
+
+    def to_dict(self) -> dict:
+        try:
+            spec = json.loads(canonical_json(self.spec))
+        except Exception:
+            # The spec material itself may be what failed to serialize
+            # (e.g. a set inside tech overrides); the error record must
+            # still be emittable.
+            spec = repr(self.spec)
+        return {"schema_version": 1, "error": self.error,
+                "message": self.message, "spec": spec}
+
+    def to_json(self) -> str:
+        return canonical_json(self.to_dict())
+
+
+# -- spec batches (repro.api.run_many's parallel engine) -------------------
+
+#: per-process caches keyed on cache_dir, so every task a pool worker
+#: executes shares one memory tier (and disk tier, when configured)
+_WORKER_CACHES: dict[str | None, ArtifactCache] = {}
+
+
+def _worker_cache(cache_dir: str | None) -> ArtifactCache:
+    """The executing process's cache for a given disk tier.
+
+    Created once per (process, cache_dir) and reused across tasks:
+    without this, a worker handling several specs of one design would
+    re-run characterization and implementation per spec even though the
+    serial path memoizes them — making parallel slower than serial
+    whenever no disk tier is configured.
+    """
+    if cache_dir not in _WORKER_CACHES:
+        _WORKER_CACHES[cache_dir] = ArtifactCache(cache_dir=cache_dir)
+    return _WORKER_CACHES[cache_dir]
+
+
+def _stats_delta(before: dict, after: dict) -> dict:
+    """Per-kind counter growth between two ``ArtifactCache.stats()``
+    snapshots (worker caches persist across tasks, so only the delta
+    belongs to the current task)."""
+    delta = {}
+    for kind, counts in after.items():
+        prior = before.get(kind, {})
+        hits = counts["hits"] - prior.get("hits", 0)
+        misses = counts["misses"] - prior.get("misses", 0)
+        if hits or misses:
+            delta[kind] = {"hits": hits, "misses": misses}
+    return delta
+
+
+def _worker_run_spec(spec_json: str,
+                     cache_dir: str | None) -> tuple[dict, dict]:
+    """Execute one spec in a pool worker.
+
+    Returns ``(payload, stats_delta)``: the pure-JSON payload plus the
+    worker cache's per-kind hit/miss growth for this task, which the
+    parent folds into its own counters so a parallel sweep's stats
+    report shows the same clib/flow activity a serial run would.  The
+    worker's process-local cache sits on the parent's disk tier (when
+    one is configured) so characterized libraries and implemented flows
+    persist across the batch.  ``spec.workers`` is forced to 1 — a
+    worker never opens a nested pool.
+    """
+    import dataclasses
+
+    from repro import api
+    spec = api.RunSpec.from_json(spec_json)
+    if spec.workers != 1:
+        spec = dataclasses.replace(spec, workers=1)
+    cache = _worker_cache(cache_dir)
+    before = cache.stats()["by_kind"]
+    payload = api.execute_spec(spec, cache=cache)
+    return payload, _stats_delta(before, cache.stats()["by_kind"])
+
+
+def execute_specs(specs: Sequence[Any],
+                  cache: ArtifactCache,
+                  workers: int = 1,
+                  use_cache: bool = True,
+                  capture_errors: bool = False) -> list[Any]:
+    """Execute a batch of RunSpecs, optionally over a process pool.
+
+    Returns results in spec order.  With ``capture_errors=True`` a
+    failing spec yields a :class:`SpecFailure` in its slot and the rest
+    of the batch still runs; otherwise the first failure (in spec
+    order) is raised.  ``workers=1`` is the serial reference path —
+    parallel payloads are identical because every spec is a pure
+    function of its content.
+    """
+    from repro import api
+    workers = resolve_workers(workers, len(specs))
+    results: list[Any] = [None] * len(specs)
+
+    if workers == 1:
+        for index, spec in enumerate(specs):
+            try:
+                results[index] = api.run(spec, cache=cache,
+                                         use_cache=use_cache)
+            except Exception as exc:
+                if not capture_errors:
+                    raise
+                results[index] = SpecFailure.from_exception(
+                    spec.to_dict(), exc)
+        return results
+
+    # Parent-side cache pass: resolve hits inline, dedupe the misses so
+    # each unique spec executes exactly once.  Any per-spec failure —
+    # hashing, serialization or worker execution — lands in `errors`
+    # keyed by spec index, so the raise-vs-capture decision is taken
+    # once at the end, deterministically on the lowest index (the same
+    # exception the serial path would have raised first).
+    pending: dict[str, list[int]] = {}
+    errors: dict[int, Exception] = {}
+    for index, spec in enumerate(specs):
+        try:
+            if not use_cache:
+                pending[f"force-{index}"] = [index]
+                continue
+            key = spec.spec_hash()
+            if key in pending:
+                pending[key].append(index)
+                continue
+            found, payload = cache.lookup("run", key)
+        except Exception as exc:
+            errors[index] = exc
+            continue
+        if found:
+            results[index] = api.RunResult(
+                spec=spec, payload=copy.deepcopy(payload), cache_hit=True)
+        else:
+            pending[key] = [index]
+
+    cache_dir = (str(cache.cache_dir)
+                 if cache.cache_dir is not None else None)
+    futures: dict = {}
+    if pending:
+        with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending))) as pool:
+            for indices in pending.values():
+                try:
+                    spec_json = specs[indices[0]].to_json()
+                except Exception as exc:
+                    for index in indices:
+                        errors[index] = exc
+                    continue
+                futures[pool.submit(_worker_run_spec, spec_json,
+                                    cache_dir)] = indices
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining,
+                                       return_when=FIRST_COMPLETED)
+                for future in done:
+                    indices = futures[future]
+                    first = indices[0]
+                    try:
+                        payload, stats_delta = future.result()
+                    except Exception as exc:
+                        for index in indices:
+                            errors[index] = exc
+                        continue
+                    cache.merge_counts(stats_delta)
+                    cache.put("run", specs[first].cache_material(),
+                              copy.deepcopy(payload))
+                    results[first] = api.RunResult(
+                        spec=specs[first], payload=payload, cache_hit=False)
+                    for index in indices[1:]:
+                        # Mirror the serial contract: a duplicate spec is
+                        # a run-cache hit (counted as one).
+                        found, dup = cache.lookup(
+                            "run", specs[index].spec_hash())
+                        results[index] = api.RunResult(
+                            spec=specs[index],
+                            payload=copy.deepcopy(
+                                dup if found else payload),
+                            cache_hit=True)
+    if errors:
+        if not capture_errors:
+            raise errors[min(errors)]
+        for index, exc in errors.items():
+            results[index] = SpecFailure.from_exception(
+                specs[index].to_dict(), exc)
+    return results
+
+
+# -- population tuning (tune_population's parallel engine) -----------------
+
+def _worker_tune_chunk(args: tuple) -> list:
+    """Calibrate one contiguous chunk of out-of-budget dies.
+
+    Rebuilds the tuning controller once per chunk from the shipped
+    (placed, clib, knobs) material — controller construction is cheap
+    next to per-die calibration, and rebuilding avoids pickling live
+    analyzer/monitor state.
+    """
+    (placed, clib, max_clusters, max_iterations, beta_step, method,
+     beta_budget, dies) = args
+    from repro.tuning.controller import TuningController
+    from repro.tuning.population import calibrate_die
+    controller = TuningController(
+        placed, clib, max_clusters=max_clusters,
+        max_iterations=max_iterations, beta_step=beta_step, method=method)
+    unbiased = controller.clib_leakage_unbiased()
+    return [calibrate_die(controller, index, beta, beta_budget, unbiased)
+            for index, beta in dies]
+
+
+def tune_dies_parallel(controller: Any,
+                       dies: Sequence[tuple[int, float]],
+                       beta_budget: float,
+                       workers: int) -> list:
+    """Shard ``(index, beta)`` dies over a pool; preserves input order.
+
+    Each worker runs the full closed calibration loop per die; since
+    every die's outcome is a pure function of its beta, the
+    concatenated records are bit-identical to the serial loop's.
+    """
+    workers = resolve_workers(workers, len(dies))
+    if not dies:
+        return []
+    chunks = chunked(list(dies), workers)
+    args = [(controller.placed, controller.clib, controller.max_clusters,
+             controller.max_iterations, controller.beta_step,
+             controller.method, beta_budget, chunk) for chunk in chunks]
+    if len(chunks) == 1:
+        parts = [_worker_tune_chunk(args[0])]
+    else:
+        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+            parts = list(pool.map(_worker_tune_chunk, args))
+    return [record for part in parts for record in part]

@@ -74,6 +74,21 @@ def format_cache_stats(stats: dict) -> str:
     return "\n".join(lines)
 
 
+def format_spec_failures(failures: Sequence, total: int) -> str:
+    """Render captured per-spec sweep failures (the CLI's stderr tail).
+
+    ``failures`` are :class:`repro.flow.parallel.SpecFailure` records;
+    ``total`` is the whole batch size, so the operator sees at a glance
+    how much of the sweep survived.
+    """
+    lines = [f"{len(failures)} of {total} sweep spec(s) failed:"]
+    for failure in failures:
+        design = (failure.spec.get("design", "?")
+                  if isinstance(failure.spec, dict) else "?")
+        lines.append(f"  {failure.error} [{design}]: {failure.message}")
+    return "\n".join(lines)
+
+
 def format_sweep(design: str, beta: float,
                  budgets: Sequence[int],
                  savings: Sequence[float]) -> str:

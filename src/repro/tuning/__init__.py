@@ -4,7 +4,7 @@ and wafer-scale population calibration."""
 from repro.tuning.controller import TuningController, TuningOutcome
 from repro.tuning.generator import BodyBiasGenerator
 from repro.tuning.population import (DIE_STATUSES, DieTuningRecord,
-                                     PopulationTuningSummary,
+                                     PopulationTuningSummary, calibrate_die,
                                      tune_population)
 from repro.tuning.sensors import (InSituMonitor, PathReplicaSensor,
                                   PopulationMonitor)
@@ -19,5 +19,6 @@ __all__ = [
     "PopulationTuningSummary",
     "TuningController",
     "TuningOutcome",
+    "calibrate_die",
     "tune_population",
 ]

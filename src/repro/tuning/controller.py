@@ -146,15 +146,18 @@ class TuningController:
             settle_latency_us=self.generator.settle_latency_us(),
             history=history)
 
-    def calibrate_population(self, population, beta_budget: float = 0.0):
+    def calibrate_population(self, population, beta_budget: float = 0.0,
+                             workers: int = 1):
         """Tune every out-of-budget die of a Monte Carlo population.
 
         Thin wrapper over :func:`repro.tuning.population.tune_population`
         (imported lazily to keep the module graph acyclic); returns its
-        :class:`PopulationTuningSummary`.
+        :class:`PopulationTuningSummary`.  ``workers > 1`` shards the
+        slow dies over a process pool with bit-identical results.
         """
         from repro.tuning.population import tune_population
-        return tune_population(self, population, beta_budget)
+        return tune_population(self, population, beta_budget,
+                               workers=workers)
 
     def clib_leakage_unbiased(self) -> float:
         """Design leakage with no body bias applied, nanowatts."""

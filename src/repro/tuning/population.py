@@ -7,6 +7,11 @@ tunes *populations*.  This module takes a Monte Carlo population
 out-of-budget die through :class:`TuningController.calibrate`, and
 aggregates the yield and leakage economics — the numbers behind the
 process/thermal/aging example scripts.
+
+Each die's calibration is independent, so ``tune_population`` can shard
+a population across a process pool (``workers > 1``, engine in
+``repro/flow/parallel.py``) with results bit-identical to the serial
+loop; see DESIGN.md, "Parallel execution".
 """
 
 from __future__ import annotations
@@ -70,9 +75,39 @@ class PopulationTuningSummary:
         return float(np.mean(values)) if values else 0.0
 
 
+def calibrate_die(controller: TuningController, index: int, beta: float,
+                  beta_budget: float,
+                  unbiased_leakage_nw: float) -> DieTuningRecord:
+    """One die's trip through the calibration loop, as a pure function.
+
+    This is the unit of work both the serial reference loop and the
+    per-worker chunks of the parallel path execute: the record depends
+    only on ``(beta, beta_budget)`` and the controller's configuration,
+    never on which dies were calibrated before it, which is what makes
+    sharding a population across processes bit-identical to the serial
+    sweep.
+    """
+    if beta <= beta_budget:
+        return DieTuningRecord(
+            index=index, beta=beta, status="ok-unbiased",
+            iterations=0, leakage_nw=unbiased_leakage_nw)
+    effective_beta = (1.0 + beta) / (1.0 + beta_budget) - 1.0
+    try:
+        outcome = controller.calibrate(effective_beta)
+    except TuningError:
+        return DieTuningRecord(
+            index=index, beta=beta, status="yield-loss",
+            iterations=0, leakage_nw=unbiased_leakage_nw)
+    status = "recovered" if outcome.converged else "not-converged"
+    return DieTuningRecord(
+        index=index, beta=beta, status=status,
+        iterations=outcome.iterations, leakage_nw=outcome.leakage_nw)
+
+
 def tune_population(controller: TuningController,
                     population: MonteCarloResult,
-                    beta_budget: float = 0.0) -> PopulationTuningSummary:
+                    beta_budget: float = 0.0,
+                    workers: int = 1) -> PopulationTuningSummary:
     """Calibrate every die of a population that misses the beta budget.
 
     Dies within budget are recorded as ``"ok-unbiased"``; the rest run
@@ -87,30 +122,44 @@ def tune_population(controller: TuningController,
     ``Dcrit`` at the effective slowdown
     ``(1 + beta) / (1 + budget) - 1``, which is what the controller is
     asked to recover.
+
+    ``workers > 1`` shards the out-of-budget dies into contiguous
+    per-process chunks (via ``repro.flow.parallel``); records are
+    reassembled in die order, so the summary is bit-identical to the
+    serial ``workers=1`` reference path.
+
+    An empty population is a well-defined no-op: zero records and a
+    yield of 1.0 on both sides (regression for the old
+    ``ZeroDivisionError`` at the ``good_after / len(records)`` step).
     """
     if beta_budget < 0:
         raise TuningError("beta budget cannot be negative")
+    if workers < 1:
+        raise TuningError(f"workers must be >= 1, got {workers}")
     unbiased = controller.clib_leakage_unbiased()
-    records = []
-    for die in population.samples:
-        if die.beta <= beta_budget:
-            records.append(DieTuningRecord(
-                index=die.index, beta=die.beta, status="ok-unbiased",
-                iterations=0, leakage_nw=unbiased))
-            continue
-        effective_beta = (1.0 + die.beta) / (1.0 + beta_budget) - 1.0
-        try:
-            outcome = controller.calibrate(effective_beta)
-        except TuningError:
-            records.append(DieTuningRecord(
-                index=die.index, beta=die.beta, status="yield-loss",
-                iterations=0, leakage_nw=unbiased))
-            continue
-        status = "recovered" if outcome.converged else "not-converged"
-        records.append(DieTuningRecord(
-            index=die.index, beta=die.beta, status=status,
-            iterations=outcome.iterations,
-            leakage_nw=outcome.leakage_nw))
+    method = controller.method or "heuristic:row-descent"
+    if not population.samples:
+        return PopulationTuningSummary(
+            records=(), yield_before=1.0, yield_after=1.0,
+            unbiased_leakage_nw=unbiased, method=method)
+
+    slow_dies = [(die.index, die.beta) for die in population.samples
+                 if die.beta > beta_budget]
+    if workers == 1 or len(slow_dies) < 2:
+        records = [calibrate_die(controller, die.index, die.beta,
+                                 beta_budget, unbiased)
+                   for die in population.samples]
+    else:
+        # Lazy import: the flow layer sits above tuning in the module
+        # graph, so the upward reference stays out of import time.
+        from repro.flow.parallel import tune_dies_parallel
+        tuned = tune_dies_parallel(controller, slow_dies, beta_budget,
+                                   workers)
+        by_index = {record.index: record for record in tuned}
+        records = [by_index[die.index] if die.beta > beta_budget
+                   else calibrate_die(controller, die.index, die.beta,
+                                      beta_budget, unbiased)
+                   for die in population.samples]
 
     good_after = sum(1 for record in records
                      if record.status in ("ok-unbiased", "recovered"))
@@ -119,5 +168,5 @@ def tune_population(controller: TuningController,
         yield_before=population.timing_yield(beta_budget),
         yield_after=good_after / len(records),
         unbiased_leakage_nw=unbiased,
-        method=controller.method or "heuristic:row-descent",
+        method=method,
     )

@@ -92,7 +92,14 @@ class MonteCarloResult:
                 if sample.beta > beta_threshold]
 
     def timing_yield(self, beta_budget: float = 0.0) -> float:
-        """Fraction of dies meeting timing within the given margin."""
+        """Fraction of dies meeting timing within the given margin.
+
+        An empty population yields 1.0 by convention (no die failed),
+        rather than the NaN-plus-``RuntimeWarning`` that ``np.mean``
+        emits on an empty array.
+        """
+        if self.betas.size == 0:
+            return 1.0
         return float(np.mean(self.betas <= beta_budget))
 
 

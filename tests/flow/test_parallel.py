@@ -1,0 +1,255 @@
+"""Tests for the process-pool execution engine and cache concurrency.
+
+Covers the determinism contract (``workers=1`` is the reference path;
+any ``workers > 1`` run must merge back bit-identical results modulo
+wall-clock fields), per-spec error capture, and the multi-process
+safety of the disk cache tier (atomic writes, corrupt entries degrade
+to misses) that lets workers share one cache directory.
+"""
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.api import RunSpec, run_many
+from repro.errors import SpecError
+from repro.flow import ArtifactCache, SpecFailure, stable_payload
+from repro.flow.parallel import chunked, resolve_workers
+
+#: a disk-cache payload large enough that a truncated write is obvious
+HAMMER_VALUE = {"data": list(range(4000)), "tag": "hammer"}
+HAMMER_KEY = {"artifact": "hammer", "k": 1}
+
+
+def _hammer_disk_cache(args):
+    """Worker: repeatedly write and read one shared disk-cache key.
+
+    Every lookup must be either a miss or the complete value — a
+    truncated or interleaved read is the corruption this guards
+    against.  Runs in a separate process (module-level so it pickles).
+    """
+    cache_dir, rounds = args
+    bad = 0
+    for _ in range(rounds):
+        cache = ArtifactCache(cache_dir=cache_dir)
+        cache.put("thing", HAMMER_KEY, HAMMER_VALUE)
+        found, value = ArtifactCache(cache_dir=cache_dir).lookup(
+            "thing", HAMMER_KEY)
+        if found and value != HAMMER_VALUE:
+            bad += 1
+    return bad
+
+
+class TestWorkerPlumbing:
+    def test_resolve_workers_validates(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(4) == 4
+        assert resolve_workers(4, num_tasks=2) == 2
+        assert resolve_workers(4, num_tasks=0) == 1
+        with pytest.raises(SpecError, match="workers"):
+            resolve_workers(0)
+
+    def test_chunked_preserves_order_and_covers_everything(self):
+        items = list(range(10))
+        for num_chunks in (1, 2, 3, 4, 10, 99):
+            chunks = chunked(items, num_chunks)
+            assert [x for chunk in chunks for x in chunk] == items
+            assert all(chunk for chunk in chunks)
+            assert len(chunks) == min(num_chunks, len(items))
+        assert chunked([], 3) == []
+        with pytest.raises(SpecError):
+            chunked(items, 0)
+
+    def test_stable_payload_drops_only_runtime_fields(self):
+        payload = {"savings_pct": 12.5, "runtime_s": 0.3,
+                   "ilp_runtime_s": 1.0, "sample_runtime_s": 0.1,
+                   "tune_runtime_s": 0.2, "design": "c1355"}
+        assert stable_payload(payload) == {"savings_pct": 12.5,
+                                           "design": "c1355"}
+
+    def test_spec_failure_serializes(self):
+        failure = SpecFailure.from_exception(
+            {"kind": "nope"}, SpecError("unknown run kind"))
+        data = failure.to_dict()
+        assert data["error"] == "SpecError"
+        assert "unknown run kind" in data["message"]
+        assert data["spec"] == {"kind": "nope"}
+        assert '"error":"SpecError"' in failure.to_json()
+
+
+class TestRunManyParallel:
+    """Serial-vs-parallel equivalence on real RunSpec batches."""
+
+    SPECS = [RunSpec(kind="allocate", design="c1355", beta=beta,
+                     method=method)
+             for beta, method in ((0.03, "heuristic:row-descent"),
+                                  (0.05, "heuristic:row-descent"),
+                                  (0.05, "heuristic:level-sweep"))]
+
+    def test_parallel_matches_serial(self):
+        serial = run_many(self.SPECS, cache=ArtifactCache())
+        parallel = run_many(self.SPECS, cache=ArtifactCache(), workers=2)
+        assert [stable_payload(r.payload) for r in serial] \
+            == [stable_payload(r.payload) for r in parallel]
+        assert [r.spec for r in serial] == [r.spec for r in parallel]
+        assert not any(r.cache_hit for r in parallel)
+
+    def test_duplicate_specs_execute_once_and_hit(self):
+        spec = self.SPECS[0]
+        cache = ArtifactCache()
+        results = run_many([spec, spec, spec], cache=cache, workers=2)
+        assert [r.cache_hit for r in results] == [False, True, True]
+        assert results[0].payload == results[1].payload \
+            == results[2].payload
+        assert cache.stats()["by_kind"]["run"]["misses"] == 1
+
+    def test_prewarmed_cache_served_by_parent(self):
+        cache = ArtifactCache()
+        cold = run_many(self.SPECS, cache=cache)
+        warm = run_many(self.SPECS, cache=cache, workers=3)
+        assert all(r.cache_hit for r in warm)
+        assert [r.payload for r in warm] == [r.payload for r in cold]
+
+    def test_population_payloads_match_at_four_workers(self):
+        """The ISSUE acceptance pairing: identical RunResult payloads
+        for workers=1 vs workers=4 on a seeded, tuned population."""
+        spec = RunSpec(kind="population", design="c1355", num_dies=40,
+                       seed=9, tune=True)
+        serial = run_many([spec], cache=ArtifactCache())
+        parallel = run_many([spec], cache=ArtifactCache(), workers=4)
+        assert stable_payload(parallel[0].payload) \
+            == stable_payload(serial[0].payload)
+        assert parallel[0].payload["tuned_yield"] is not None
+
+    def test_parallel_results_land_in_spec_order(self):
+        cache = ArtifactCache()
+        results = run_many(self.SPECS, cache=cache, workers=3)
+        assert [r.spec for r in results] == list(self.SPECS)
+
+    def test_workers_validated(self):
+        with pytest.raises(SpecError, match="workers"):
+            run_many(self.SPECS, cache=ArtifactCache(), workers=0)
+
+    def test_capture_errors_isolates_failures(self):
+        bad = RunSpec(kind="allocate", design="c1355",
+                      tech={"not_a_knob": 1})
+        batch = [self.SPECS[0], bad, self.SPECS[1]]
+        for workers in (1, 2):
+            results = run_many(batch, cache=ArtifactCache(),
+                               workers=workers, capture_errors=True)
+            assert isinstance(results[1], SpecFailure)
+            assert results[1].error == "SpecError"
+            assert results[0].payload["design"] == "c1355"
+            assert results[2].payload["design"] == "c1355"
+
+    def test_errors_raise_without_capture(self):
+        bad = RunSpec(kind="allocate", design="c1355",
+                      tech={"not_a_knob": 1})
+        for workers in (1, 2):
+            with pytest.raises(SpecError, match="bad tech overrides"):
+                run_many([bad], cache=ArtifactCache(), workers=workers)
+
+    def test_unhashable_spec_captured_in_parallel_too(self):
+        """A spec that fails at hashing time (before any worker runs)
+        must be captured like the serial path captures it — and its
+        error record must still serialize."""
+        unhashable = RunSpec(kind="allocate", design="c1355",
+                             tech={"x": {1, 2}})  # sets don't hash
+        batch = [unhashable, self.SPECS[0]]
+        for workers in (1, 2):
+            results = run_many(batch, cache=ArtifactCache(),
+                               workers=workers, capture_errors=True)
+            assert isinstance(results[0], SpecFailure)
+            assert results[0].error == "SpecError"
+            assert "content address" in results[0].to_json()
+            assert results[1].payload["design"] == "c1355"
+
+    def test_raise_without_capture_picks_first_spec_in_order(self):
+        """With several failing specs, the raised exception must be the
+        lowest-index one — the same exception serial raises first —
+        regardless of pool completion order."""
+        first_bad = RunSpec(kind="allocate", design="c1355",
+                            tech={"x": {1, 2}})
+        later_bad = RunSpec(kind="allocate", design="c1355",
+                            tech={"not_a_knob": 1})
+        with pytest.raises(SpecError, match="content address"):
+            run_many([first_bad, later_bad], cache=ArtifactCache(),
+                     workers=2)
+
+    def test_worker_cache_counters_merge_into_parent_stats(self):
+        """A cold parallel sweep's stats must show the worker-side
+        clib/flow activity a serial sweep shows, not just 'run'."""
+        cache = ArtifactCache()
+        run_many(self.SPECS, cache=cache, workers=2)
+        by_kind = cache.stats()["by_kind"]
+        assert by_kind["run"]["misses"] == len(self.SPECS)
+        assert "clib" in by_kind
+        assert "flow" in by_kind
+        assert by_kind["flow"]["misses"] >= 1
+
+    def test_merge_counts_accumulates(self):
+        cache = ArtifactCache()
+        cache.lookup("flow", {"k": 1})  # one native miss
+        cache.merge_counts({"flow": {"hits": 2, "misses": 3},
+                            "clib": {"hits": 1, "misses": 0}})
+        by_kind = cache.stats()["by_kind"]
+        assert by_kind["flow"] == {"hits": 2, "misses": 4}
+        assert by_kind["clib"] == {"hits": 1, "misses": 0}
+
+    def test_workers_share_parent_disk_tier(self, tmp_path):
+        """Artifacts a worker builds must persist in the shared disk
+        cache so later (serial or parallel) runs reuse them."""
+        cache = ArtifactCache(cache_dir=tmp_path)
+        run_many([self.SPECS[0]], cache=cache, workers=2)
+        fresh = ArtifactCache(cache_dir=tmp_path)
+        found, _ = fresh.lookup("run", self.SPECS[0].spec_hash())
+        assert found
+        # the worker's flow/clib intermediates landed on disk too
+        assert list(tmp_path.glob("clib/*.pkl"))
+        assert list(tmp_path.glob("flow/*.pkl"))
+
+
+class TestDiskCacheConcurrency:
+    def test_two_processes_hammer_one_key_without_corruption(
+            self, tmp_path):
+        args = (str(tmp_path), 25)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            corrupt_reads = list(pool.map(_hammer_disk_cache,
+                                          [args, args]))
+        assert corrupt_reads == [0, 0]
+        found, value = ArtifactCache(cache_dir=tmp_path).lookup(
+            "thing", HAMMER_KEY)
+        assert found and value == HAMMER_VALUE
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_store_leaves_no_temp_files(self, tmp_path):
+        cache = ArtifactCache(cache_dir=tmp_path)
+        for k in range(5):
+            cache.put("thing", {"k": k}, HAMMER_VALUE)
+        assert len(list(tmp_path.glob("thing/*.pkl"))) == 5
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_truncated_pickle_degrades_to_miss_and_heals(self, tmp_path):
+        """A killed writer's partial file must read as a miss, and a
+        later successful write must repair the entry."""
+        cache = ArtifactCache(cache_dir=tmp_path)
+        address = cache.put("thing", HAMMER_KEY, HAMMER_VALUE)
+        path = tmp_path / "thing" / f"{address}.pkl"
+        whole = pickle.dumps(HAMMER_VALUE)
+        path.write_bytes(whole[:len(whole) // 2])  # simulate the crash
+        fresh = ArtifactCache(cache_dir=tmp_path)
+        found, _ = fresh.lookup("thing", HAMMER_KEY)
+        assert not found
+        fresh.put("thing", HAMMER_KEY, HAMMER_VALUE)
+        found, value = ArtifactCache(cache_dir=tmp_path).lookup(
+            "thing", HAMMER_KEY)
+        assert found and value == HAMMER_VALUE
+
+    def test_unpicklable_value_stays_memory_only(self, tmp_path):
+        cache = ArtifactCache(cache_dir=tmp_path)
+        cache.put("thing", {"k": 1}, lambda: None)  # not picklable
+        assert not list(tmp_path.rglob("*.pkl"))
+        assert not list(tmp_path.rglob("*.tmp"))
+        found, _ = cache.lookup("thing", {"k": 1})
+        assert found  # memory tier still serves it

@@ -79,6 +79,21 @@ class TestRunSpec:
         assert "ilp:highs" in names
         assert "heuristic" in names  # aliases included by default
 
+    def test_workers_is_an_execution_knob_not_key_material(self):
+        """workers parallelizes execution without changing the result,
+        so it must not participate in the content address."""
+        assert RunSpec(workers=1).spec_hash() \
+            == RunSpec(workers=4).spec_hash()
+        material = RunSpec(workers=4).cache_material()
+        assert "workers" not in material
+        assert RunSpec(workers=4).to_dict()["workers"] == 4  # serialized
+
+    def test_workers_round_trips_and_validates(self):
+        spec = RunSpec(workers=3)
+        assert RunSpec.from_json(spec.to_json()) == spec
+        with pytest.raises(SpecError, match="workers"):
+            RunSpec(workers=0)
+
 
 class TestRunResultRoundTrip:
     def test_allocate_result_bit_identical(self, cache):
@@ -155,6 +170,16 @@ class TestCacheSemantics:
         results = run_many([spec, spec], cache=cache)
         assert [r.cache_hit for r in results] == [False, True]
         assert results[0].payload == results[1].payload
+
+    def test_workers_variants_share_one_cache_entry(self, cache):
+        """A serial run's artifact must serve a workers=N spec."""
+        base = RunSpec(kind="allocate", design="c1355", beta=0.05,
+                       method="single_bb")
+        cold = run(base, cache=cache)
+        warm = run(RunSpec(kind="allocate", design="c1355", beta=0.05,
+                           method="single_bb", workers=4), cache=cache)
+        assert warm.cache_hit
+        assert warm.payload == cold.payload
 
 
 class TestParityWithDirectPaths:

@@ -50,6 +50,19 @@ class TestParser:
         assert args.specs == "specs.json"
         assert args.output == "out.jsonl"
         assert args.cache_dir is None
+        assert args.workers == 1
+
+    def test_sweep_workers_arg(self):
+        args = build_parser().parse_args(
+            ["sweep", "specs.json", "--workers", "4"])
+        assert args.workers == 4
+
+    def test_montecarlo_workers_arg(self):
+        args = build_parser().parse_args(["montecarlo", "c1355"])
+        assert args.workers == 1
+        args = build_parser().parse_args(
+            ["montecarlo", "c1355", "--workers", "3"])
+        assert args.workers == 3
 
     def test_allocate_method_arg(self):
         args = build_parser().parse_args(
@@ -138,9 +151,92 @@ class TestSweep:
         payload = json.loads(out.strip().splitlines()[0])["payload"]
         assert payload["design"] == "c1355"
 
-    def test_sweep_bad_spec_raises(self, tmp_path):
-        from repro.errors import SpecError
+    def test_sweep_bad_spec_becomes_error_record(self, tmp_path, capsys):
+        """One malformed spec must not abort the batch: it becomes a
+        JSONL error record, the good specs still run, and the exit
+        status is nonzero only at the end."""
+        specs = [
+            {"kind": "nope"},
+            {"kind": "allocate", "design": "c1355", "beta": 0.05},
+            {"kind": "allocate", "design": "c1355",
+             "tech": {"not_a_knob": 1}},  # fails at execution time
+        ]
+        spec_file = tmp_path / "specs.json"
+        spec_file.write_text(json.dumps(specs))
+        assert main(["sweep", str(spec_file)]) == 1
+        captured = capsys.readouterr()
+        lines = [json.loads(line)
+                 for line in captured.out.strip().splitlines()]
+        assert len(lines) == 3  # every spec got an output slot, in order
+        assert lines[0]["error"] == "SpecError"
+        assert lines[0]["spec"] == {"kind": "nope"}
+        assert lines[1]["payload"]["design"] == "c1355"
+        assert lines[2]["error"] == "SpecError"
+        assert "2 of 3 sweep spec(s) failed" in captured.err
+
+    def test_sweep_wrong_typed_value_becomes_error_record(
+            self, tmp_path, capsys):
+        """Validation failures outside the ReproError hierarchy (a
+        string where an int belongs raises TypeError) must also become
+        error records, not abort the batch."""
+        specs = [
+            {"kind": "allocate", "design": "c1355", "clusters": "3"},
+            {"kind": "allocate", "design": "c1355", "beta": 0.05},
+        ]
+        spec_file = tmp_path / "specs.json"
+        spec_file.write_text(json.dumps(specs))
+        assert main(["sweep", str(spec_file)]) == 1
+        lines = [json.loads(line) for line
+                 in capsys.readouterr().out.strip().splitlines()]
+        assert lines[0]["error"] == "TypeError"
+        assert lines[1]["payload"]["design"] == "c1355"
+
+    def test_sweep_all_good_specs_exit_zero(self, tmp_path, capsys):
         spec_file = tmp_path / "spec.json"
-        spec_file.write_text(json.dumps({"kind": "nope"}))
-        with pytest.raises(SpecError):
-            main(["sweep", str(spec_file)])
+        spec_file.write_text(json.dumps(
+            [{"kind": "allocate", "design": "c1355", "beta": 0.05}]))
+        assert main(["sweep", str(spec_file)]) == 0
+        assert "failed" not in capsys.readouterr().err
+
+    def test_sweep_parallel_workers_match_serial(self, tmp_path, capsys):
+        specs = [{"kind": "allocate", "design": "c1355", "beta": beta}
+                 for beta in (0.04, 0.06)]
+        spec_file = tmp_path / "specs.json"
+        spec_file.write_text(json.dumps(specs))
+        serial_out = tmp_path / "serial.jsonl"
+        parallel_out = tmp_path / "parallel.jsonl"
+        assert main(["sweep", str(spec_file), "-o",
+                     str(serial_out)]) == 0
+        assert main(["sweep", str(spec_file), "-o", str(parallel_out),
+                     "--workers", "2", "--cache-dir",
+                     str(tmp_path / "cache")]) == 0
+        from repro.flow import stable_payload
+        read = lambda p: [stable_payload(json.loads(line)["payload"])
+                          for line in p.read_text().splitlines()]
+        assert read(serial_out) == read(parallel_out)
+
+    def test_montecarlo_tune_workers_matches_serial(self, capsys):
+        """--workers shards the tuning loop; the tuned-yield report must
+        be identical to serial.  Each run gets a fresh default cache —
+        workers is excluded from the content address, so a shared cache
+        would serve the serial payload and never exercise the pool.
+        """
+        from repro.flow import ArtifactCache, set_default_cache
+        argv = ["montecarlo", "c1355", "--dies", "30", "--seed", "4",
+                "--tune"]
+        outputs = []
+        for extra in ([], ["--workers", "2"]):
+            previous = set_default_cache(ArtifactCache())
+            try:
+                assert main(argv + extra) == 0
+            finally:
+                set_default_cache(previous)
+            outputs.append(capsys.readouterr().out)
+        serial, parallel = outputs
+
+        def strip_runtime(text):
+            return [" ".join(line.split()[:-1])
+                    for line in text.splitlines()]
+
+        assert strip_runtime(parallel) == strip_runtime(serial)
+        assert "tuned" in serial

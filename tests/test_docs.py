@@ -64,6 +64,28 @@ def test_api_layer_documented():
     assert not missing, "\n".join(missing)
 
 
+#: names of the parallel execution layer that DESIGN.md's "Parallel
+#: execution" section must pin down (ISSUE 3)
+PARALLEL_DOC_NAMES = ("Parallel execution", "workers", "ProcessPool",
+                      "os.replace", "tune_population",
+                      "flow/parallel.py")
+
+
+def test_parallel_execution_documented():
+    """DESIGN.md must describe the worker/cache topology and the
+    determinism contract of the parallel engine."""
+    text = (REPO_ROOT / "DESIGN.md").read_text(encoding="utf-8")
+    missing = [name for name in PARALLEL_DOC_NAMES if name not in text]
+    assert not missing, f"DESIGN.md does not mention: {missing}"
+
+
+def test_parallel_bench_artifact_documented():
+    """EXPERIMENTS.md must track the parallel speedup benchmark."""
+    text = (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+    for name in ("bench_parallel.py", "out/parallel.txt"):
+        assert name in text, f"EXPERIMENTS.md does not mention {name}"
+
+
 def test_documented_solver_methods_exist():
     """Every method name DESIGN.md's API section lists must be
     registered, so the docs cannot drift from the registry."""
