@@ -3,7 +3,7 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
 .PHONY: test lint docs-check bench bench-batched bench-cache \
-	bench-parallel test-parallel
+	bench-parallel bench-spatial test-parallel test-spatial
 
 test:
 	$(PYTEST) -x -q
@@ -35,8 +35,17 @@ bench-cache:
 bench-parallel:
 	$(PYTEST) -q benchmarks/bench_parallel.py
 
+# The paper's central claim, gated: spatial-vs-uniform dominance,
+# monotone yield advantage in correlation length, worker determinism.
+bench-spatial:
+	$(PYTEST) -q benchmarks/bench_spatial.py
+
 # The parallel/concurrency suite on its own: cache hammering across
 # processes plus serial-vs-parallel equivalence (CI's smoke job).
 test-parallel:
 	$(PYTEST) -q tests/flow/test_parallel.py \
 		tests/tuning/test_population_parallel.py
+
+# The spatial compensation engine suite on its own.
+test-spatial:
+	$(PYTEST) -q tests/tuning/test_spatial.py

@@ -34,11 +34,12 @@ from repro.core import (BiasSolution, FBBProblem, build_problem, pass_one,
                         pass_two, registry, solve, solve_heuristic,
                         solve_ilp, solve_single_bb, uniform_solution)
 from repro.flow import (ArtifactCache, ExperimentConfig, FlowResult,
-                        PopulationConfig, PopulationRow, Table1Row,
-                        characterized_library, default_cache,
-                        format_cache_stats, format_population,
-                        format_table1, implement, run_design_beta,
-                        run_population, run_population_study, run_table1)
+                        PopulationConfig, PopulationRow, SpatialConfig,
+                        SpatialRow, Table1Row, characterized_library,
+                        default_cache, format_cache_stats,
+                        format_population, format_spatial, format_table1,
+                        implement, run_design_beta, run_population,
+                        run_population_study, run_spatial, run_table1)
 from repro.tech import (CellLibrary, CharacterizedLibrary, Technology,
                         characterize_library, reduced_library,
                         sweep_inverter)
@@ -58,6 +59,8 @@ __all__ = [
     "PopulationRow",
     "RunResult",
     "RunSpec",
+    "SpatialConfig",
+    "SpatialRow",
     "Table1Row",
     "Technology",
     "__version__",
@@ -67,6 +70,7 @@ __all__ = [
     "default_cache",
     "format_cache_stats",
     "format_population",
+    "format_spatial",
     "format_table1",
     "implement",
     "pass_one",
@@ -78,6 +82,7 @@ __all__ = [
     "run_many",
     "run_population",
     "run_population_study",
+    "run_spatial",
     "run_table1",
     "solve",
     "solve_heuristic",

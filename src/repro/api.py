@@ -51,14 +51,16 @@ from repro.flow.cache import (ArtifactCache, canonical_json, content_hash,
 from repro.flow.design_flow import FlowResult, implement
 from repro.flow.parallel import SpecFailure, execute_specs
 from repro.flow.experiment import (ExperimentConfig, PopulationConfig,
-                                   PopulationRow, Table1Row, run_design_beta,
-                                   run_population)
+                                   PopulationRow, SpatialConfig, SpatialRow,
+                                   Table1Row, run_design_beta,
+                                   run_population, run_spatial)
 from repro.tech.technology import BodyBiasRules, Technology
+from repro.variation.process import ProcessModel
 
 SCHEMA_VERSION = 1
 """Serialization schema of RunSpec/RunResult; bumped on breaking change."""
 
-RUN_KINDS = ("allocate", "table1", "population")
+RUN_KINDS = ("allocate", "table1", "population", "spatial")
 
 
 @dataclass(frozen=True)
@@ -71,8 +73,9 @@ class RunSpec:
     """
 
     kind: str = "allocate"
-    """"allocate" (one solver run), "table1" (one Table 1 row) or
-    "population" (one Monte Carlo die-population row)."""
+    """"allocate" (one solver run), "table1" (one Table 1 row),
+    "population" (one Monte Carlo die-population row) or "spatial"
+    (one spatial-vs-uniform compensation study row)."""
 
     design: str = "c1355"
     """Benchmark name accepted by :func:`repro.flow.implement`."""
@@ -106,6 +109,12 @@ class RunSpec:
     tune: bool = False
     beta_budget: float = 0.0
     utilization: float = 0.75
+    num_regions: int = 4
+    """Sensor-grid resolution of the spatial arm (spatial kind only)."""
+    process: dict = field(default_factory=dict)
+    """ProcessModel field overrides for the sampled population, e.g.
+    ``{"correlation_length_fraction": 0.25, "sigma_intra_v": 0.02}``
+    (population and spatial kinds; empty = model defaults)."""
     workers: int = 1
     """Process-pool width for the run's internal fan-out (population
     tuning shards its slow dies across this many workers).  An
@@ -133,6 +142,9 @@ class RunSpec:
             raise SpecError(f"num_dies must be >= 1, got {self.num_dies}")
         if self.workers < 1:
             raise SpecError(f"workers must be >= 1, got {self.workers}")
+        if self.num_regions < 1:
+            raise SpecError(
+                f"num_regions must be >= 1, got {self.num_regions}")
         object.__setattr__(self, "cluster_budgets",
                            tuple(int(c) for c in self.cluster_budgets))
 
@@ -148,6 +160,17 @@ class RunSpec:
             return Technology(**overrides)
         except TypeError as exc:
             raise SpecError(f"bad tech overrides {self.tech}: {exc}") from exc
+
+    def process_model(self) -> ProcessModel | None:
+        """Materialize the ProcessModel overrides (None when empty, so
+        harnesses fall back to their default model)."""
+        if not self.process:
+            return None
+        try:
+            return ProcessModel(**self.process)
+        except TypeError as exc:
+            raise SpecError(
+                f"bad process overrides {self.process}: {exc}") from exc
 
     # -- serialization ----------------------------------------------------
 
@@ -256,6 +279,12 @@ class RunResult:
             raise SpecError(f"not a population result (kind={self.kind!r})")
         return population_row_from_payload(self.payload)
 
+    def to_spatial_row(self) -> SpatialRow:
+        """Rebuild the SpatialRow a spatial run produced."""
+        if self.kind != "spatial":
+            raise SpecError(f"not a spatial result (kind={self.kind!r})")
+        return spatial_row_from_payload(self.payload)
+
 
 # -- payload codecs (JSON-native dicts <-> harness row dataclasses) --------
 
@@ -301,6 +330,16 @@ def population_row_payload(row: PopulationRow) -> dict:
 def population_row_from_payload(payload: dict) -> PopulationRow:
     """Inverse of :func:`population_row_payload`."""
     return PopulationRow(**payload)
+
+
+def spatial_row_payload(row: SpatialRow) -> dict:
+    """Encode a SpatialRow as a pure-JSON payload."""
+    return dataclasses.asdict(row)
+
+
+def spatial_row_from_payload(payload: dict) -> SpatialRow:
+    """Inverse of :func:`spatial_row_payload`."""
+    return SpatialRow(**payload)
 
 
 # -- execution -------------------------------------------------------------
@@ -363,17 +402,30 @@ def _execute_table1(spec: RunSpec, cache: ArtifactCache) -> dict:
 def _execute_population(spec: RunSpec, cache: ArtifactCache) -> dict:
     flow = _implement_spec(spec, cache)
     config = PopulationConfig(
-        num_dies=spec.num_dies, seed=spec.seed, sta_engine=spec.engine,
+        num_dies=spec.num_dies, seed=spec.seed,
+        model=spec.process_model(), sta_engine=spec.engine,
         tune=spec.tune, max_clusters=spec.clusters,
         beta_budget=spec.beta_budget, method=spec.method,
         workers=spec.workers)
     return population_row_payload(run_population(flow, config))
 
 
+def _execute_spatial(spec: RunSpec, cache: ArtifactCache) -> dict:
+    flow = _implement_spec(spec, cache)
+    config = SpatialConfig(
+        num_dies=spec.num_dies, seed=spec.seed,
+        model=spec.process_model(), sta_engine=spec.engine,
+        max_clusters=spec.clusters, beta_budget=spec.beta_budget,
+        method=spec.method, num_regions=spec.num_regions,
+        workers=spec.workers)
+    return spatial_row_payload(run_spatial(flow, config))
+
+
 _EXECUTORS: dict[str, Callable[[RunSpec, ArtifactCache], dict]] = {
     "allocate": _execute_allocate,
     "table1": _execute_table1,
     "population": _execute_population,
+    "spatial": _execute_spatial,
 }
 
 

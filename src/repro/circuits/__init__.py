@@ -1,17 +1,23 @@
-"""Benchmark circuit generators (the paper's nine evaluation designs)."""
+"""Benchmark circuit generators: the paper's nine Table 1 evaluation
+designs, plus the block-local ``soc_quad`` module the spatial
+compensation study runs on."""
 
-from repro.circuits.catalog import (BENCHMARK_NAMES, PAPER_GATE_COUNTS,
-                                    PAPER_ROW_COUNTS, build_benchmark,
-                                    small_benchmarks)
+from repro.circuits.catalog import (ALL_BENCHMARK_NAMES, BENCHMARK_NAMES,
+                                    EXTRA_BENCHMARK_NAMES,
+                                    PAPER_GATE_COUNTS, PAPER_ROW_COUNTS,
+                                    build_benchmark, small_benchmarks)
 from repro.circuits.datapath import adder_128bits
-from repro.circuits.industrial import control_cloud, industrial_module
+from repro.circuits.industrial import (control_cloud, industrial_module,
+                                       multiblock_soc)
 from repro.circuits.iscas import (c1355_like, c3540_like, c5315_like,
                                   c6288_like, c7552_like)
 from repro.circuits.primitives import CircuitKit
 
 __all__ = [
+    "ALL_BENCHMARK_NAMES",
     "BENCHMARK_NAMES",
     "CircuitKit",
+    "EXTRA_BENCHMARK_NAMES",
     "PAPER_GATE_COUNTS",
     "PAPER_ROW_COUNTS",
     "adder_128bits",
@@ -23,5 +29,6 @@ __all__ = [
     "c7552_like",
     "control_cloud",
     "industrial_module",
+    "multiblock_soc",
     "small_benchmarks",
 ]

@@ -109,3 +109,49 @@ def industrial_module(name: str, target_gates: int,
         kit.buf(net, output=out)
     netlist.validate()
     return netlist
+
+
+def multiblock_soc(name: str = "soc_quad", num_blocks: int = 4,
+                   block_gates: int = 260, seed: int = 7) -> Netlist:
+    """SoC module of ``num_blocks`` *independent* circuit blocks.
+
+    The paper's physical-clustering argument assumes block locality:
+    an SoC module is a set of cores/blocks whose critical paths live
+    inside the block, so a spatially coherent Vth shift hits whole
+    blocks and per-cluster body biasing can compensate each block
+    separately.  This generator makes that structure explicit: each
+    block is a self-contained adder+control-cloud island with its own
+    inputs, registers and outputs, sharing *no* nets with its
+    neighbours.  The placer keeps disconnected components contiguous,
+    so block ``k`` occupies its own band of rows — the workload the
+    spatial-compensation experiments (``repro-fbb spatial``,
+    ``benchmarks/bench_spatial.py``) are defined on.
+    """
+    if num_blocks < 1:
+        raise NetlistError("need at least one block")
+    if block_gates < 120:
+        raise NetlistError("SoC blocks start at 120 gates")
+    rng = random.Random(seed)
+    netlist = Netlist(name)
+
+    for block in range(num_blocks):
+        kit = CircuitKit(netlist, f"b{block}")
+        num_inputs = 12
+        inputs = [netlist.add_input(f"b{block}_in{i}")
+                  for i in range(num_inputs)]
+
+        # A registered 8-bit adder slice anchors the block's datapath
+        # (~8 * 11 mapped gates), the rest is a control cloud.
+        a_bits = [rng.choice(inputs) for _ in range(8)]
+        b_bits = [rng.choice(inputs) for _ in range(8)]
+        sums, carry = kit.ripple_adder(a_bits, b_bits)
+        flop_outs = kit.register(sums)
+
+        cloud_budget = max(block_gates - 8 * 11 - len(sums), 24)
+        outs = control_cloud(kit, flop_outs + inputs, cloud_budget, rng)
+        loose = outs + [carry]
+        for index, net in enumerate(loose):
+            out = netlist.add_output(f"b{block}_out{index}")
+            kit.buf(net, output=out)
+    netlist.validate()
+    return netlist

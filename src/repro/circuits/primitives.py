@@ -1,4 +1,5 @@
-"""Reusable structural building blocks for the benchmark generators.
+"""Reusable structural building blocks for the paper's Table 1
+benchmark generators.
 
 :class:`CircuitKit` wraps a :class:`repro.netlist.core.Netlist` and adds
 named gates with auto-generated instance/net names, returning output net

@@ -12,6 +12,11 @@ Subcommands (all experiment-shaped ones are thin wrappers over the
   through the batched STA backend and report yield (``--tune`` runs the
   closed calibration loop on every slow die, ``--workers N`` shards it
   over a process pool; runs are reproducible from the seed);
+* ``spatial DESIGN --dies N --regions R`` — the spatial-vs-uniform
+  compensation study: calibrate one correlated die population twice,
+  per-region clustered vs single-sensor uniform, and report both yields
+  and the recovered-die leakage comparison (``--correlation-length``
+  sets the intra-die field's feature size as a die-span fraction);
 * ``sweep SPECS.json`` — the batch service interface: run a JSON list
   of RunSpecs (``--workers N`` fans them out over a process pool), emit
   one JSONL RunResult per line, and report artifact cache hit/miss
@@ -27,7 +32,8 @@ import argparse
 import json
 import sys
 
-from repro.circuits.catalog import BENCHMARK_NAMES
+from repro.circuits.catalog import (ALL_BENCHMARK_NAMES,
+                                    BENCHMARK_NAMES)
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -99,6 +105,23 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_spatial(args: argparse.Namespace) -> int:
+    from repro.api import RunSpec, run
+    from repro.flow import format_spatial
+    process = {}
+    if args.correlation_length is not None:
+        process["correlation_length_fraction"] = args.correlation_length
+    if args.sigma_intra is not None:
+        process["sigma_intra_v"] = args.sigma_intra
+    result = run(RunSpec(
+        kind="spatial", design=args.design, num_dies=args.dies,
+        seed=args.seed, clusters=args.clusters,
+        beta_budget=args.beta_budget, num_regions=args.regions,
+        process=process, workers=args.workers))
+    print(format_spatial([result.to_spatial_row()]))
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.api import RunSpec, run_many
     from repro.flow import (ArtifactCache, SpecFailure, default_cache,
@@ -164,7 +187,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig1.set_defaults(func=_cmd_fig1)
 
     allocate = sub.add_parser("allocate", help="run one allocation")
-    allocate.add_argument("design", choices=BENCHMARK_NAMES)
+    allocate.add_argument("design", choices=ALL_BENCHMARK_NAMES)
     allocate.add_argument("--beta", type=float, default=0.05)
     allocate.add_argument("--clusters", type=int, default=3)
     allocate.add_argument("--ilp", action="store_true")
@@ -174,14 +197,14 @@ def build_parser() -> argparse.ArgumentParser:
     allocate.set_defaults(func=_cmd_allocate)
 
     layout = sub.add_parser("layout", help="ASCII clustered layout")
-    layout.add_argument("design", choices=BENCHMARK_NAMES)
+    layout.add_argument("design", choices=ALL_BENCHMARK_NAMES)
     layout.add_argument("--beta", type=float, default=0.05)
     layout.add_argument("--clusters", type=int, default=3)
     layout.set_defaults(func=_cmd_layout)
 
     montecarlo = sub.add_parser(
         "montecarlo", help="batched Monte Carlo die-population study")
-    montecarlo.add_argument("design", choices=BENCHMARK_NAMES)
+    montecarlo.add_argument("design", choices=ALL_BENCHMARK_NAMES)
     montecarlo.add_argument("--dies", type=int, default=1000)
     montecarlo.add_argument("--seed", type=int, default=0,
                             help="sampling seed; identical seeds "
@@ -200,6 +223,32 @@ def build_parser() -> argparse.ArgumentParser:
                                  "the slow dies across N workers "
                                  "(results identical to serial)")
     montecarlo.set_defaults(func=_cmd_montecarlo)
+
+    spatial = sub.add_parser(
+        "spatial", help="spatial-vs-uniform compensation study")
+    spatial.add_argument("design", choices=ALL_BENCHMARK_NAMES)
+    spatial.add_argument("--dies", type=int, default=200)
+    spatial.add_argument("--seed", type=int, default=0,
+                         help="sampling seed; identical seeds reproduce "
+                              "identical populations")
+    spatial.add_argument("--regions", type=int, default=4,
+                         help="sensor-grid regions of the spatial arm "
+                              "(the uniform arm always senses 1)")
+    spatial.add_argument("--clusters", type=int, default=3,
+                         help="cluster budget of the spatial allocator")
+    spatial.add_argument("--beta-budget", type=float, default=0.0,
+                         help="slowdown margin defining timing yield "
+                              "and the tuning target")
+    spatial.add_argument("--correlation-length", type=float, default=None,
+                         help="intra-die correlation length as a "
+                              "fraction of the die span, in (0, 1]")
+    spatial.add_argument("--sigma-intra", type=float, default=None,
+                         help="intra-die Vth sigma override, volts")
+    spatial.add_argument("--workers", type=int, default=1,
+                         help="process-pool width for sharding each "
+                              "arm's slow dies (results identical to "
+                              "serial)")
+    spatial.set_defaults(func=_cmd_spatial)
 
     sweep = sub.add_parser(
         "sweep", help="run a JSON batch of RunSpecs, emit JSONL results")

@@ -23,11 +23,24 @@ the equivalent physically-readable form **recovery >= requirement**:
 ``check_timing`` is the vectorised CheckTiming of Fig. 4: one sparse
 mat-vec per call, which is what makes the two-pass heuristic's inner
 loop linear-time in practice.
+
+**Spatial (per-row) slowdowns.**  The paper senses one beta per die; the
+spatial compensation engine (DESIGN.md, "Spatial compensation") senses
+the *correlated intra-die field* per region and hands ``build_problem``
+a whole slowdown vector — ``beta`` may be a scalar or a length-``N``
+per-row array ``beta_i``.  The pre-processing generalizes naturally:
+row ``i``'s contribution to path ``k`` degrades by its own factor,
+``D[k, i] = d[k, i] * (1 + beta_i)``, the endpoint setup derates by the
+path's delay-weighted mean slowdown, and ``req[k]`` is the degraded
+path delay minus ``Dcrit``.  A constant vector reproduces the scalar
+problem; heterogeneous vectors are what let the allocators bias only
+the rows that are actually slow.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections.abc import Sequence
+from dataclasses import dataclass, field
 
 import numpy as np
 from scipy.sparse import csr_matrix
@@ -64,11 +77,25 @@ class FBBProblem:
     """req[k]: recovery needed by path k, picoseconds. Shape (M,)."""
     paths: tuple[TimingPath, ...]
     """The pruned violating-path set Pi, aligned with matrix rows."""
+    row_betas: np.ndarray = field(default=None)  # type: ignore[assignment]
+    """Per-row slowdowns beta_i, shape (N,).  Uniform problems carry
+    ``full(N, beta)``; spatial problems carry the sensed field."""
+
+    def __post_init__(self) -> None:
+        if self.row_betas is None:
+            object.__setattr__(
+                self, "row_betas", np.full(self.num_rows, self.beta))
 
     @property
     def num_levels(self) -> int:
         """The paper's P (11 for the default 0..0.5 V / 50 mV grid)."""
         return len(self.vbs_levels)
+
+    @property
+    def is_spatial(self) -> bool:
+        """True when rows carry heterogeneous slowdowns (sensed field)."""
+        return bool(self.num_rows > 0
+                    and np.any(self.row_betas != self.row_betas[0]))
 
     @property
     def num_constraints(self) -> int:
@@ -136,18 +163,62 @@ class FBBProblem:
         return np.asarray(self.gate_counts.T @ weights).ravel()
 
 
+def _normalize_row_betas(beta: float | Sequence[float] | np.ndarray,
+                         num_rows: int) -> tuple[float | None, np.ndarray]:
+    """Split ``beta`` into (scalar-or-None, per-row vector).
+
+    Scalars keep the original uniform-derate code path bit-identical;
+    vectors take the heterogeneous pre-processing below.
+    """
+    if np.isscalar(beta):
+        value = float(beta)  # type: ignore[arg-type]
+        if value < 0:
+            raise AllocationError(
+                f"beta must be non-negative, got {value}")
+        return value, np.full(num_rows, value)
+    vector = np.asarray(beta, dtype=float)
+    if vector.shape != (num_rows,):
+        raise AllocationError(
+            f"row beta vector needs shape ({num_rows},), got "
+            f"{vector.shape}")
+    if vector.size and vector.min() < 0:
+        raise AllocationError(
+            f"beta must be non-negative, got {vector.min()}")
+    return None, vector
+
+
+def _degraded_path_delay_ps(path: TimingPath, row_betas: np.ndarray,
+                            row_of: dict[str, int]) -> float:
+    """Path delay under per-row degradation (setup derated by the
+    path's delay-weighted mean slowdown, so a constant vector reduces
+    exactly to ``pd * (1 + beta)``)."""
+    total = 0.0
+    weighted_beta = 0.0
+    gate_total = 0.0
+    for gate_name, delay in zip(path.gates, path.gate_delays_ps):
+        beta_row = row_betas[row_of[gate_name]]
+        total += delay * (1.0 + beta_row)
+        weighted_beta += delay * beta_row
+        gate_total += delay
+    mean_beta = weighted_beta / gate_total if gate_total > 0 else 0.0
+    return total + path.setup_ps * (1.0 + mean_beta)
+
+
 def build_problem(placed: PlacedDesign, clib: CharacterizedLibrary,
-                  beta: float,
+                  beta: float | Sequence[float] | np.ndarray,
                   analyzer: TimingAnalyzer | None = None,
                   paths: list[TimingPath] | None = None,
                   dcrit_ps: float | None = None) -> FBBProblem:
     """Run the Sec. 4.1 pre-processing on a placed design.
 
+    ``beta`` is the sensed slowdown: a scalar applies the paper's
+    uniform die-wide derate; a length-``num_rows`` vector applies
+    heterogeneous per-row degradation (the spatial compensation
+    engine's sensed field — see DESIGN.md, "Spatial compensation").
     ``analyzer``/``paths``/``dcrit_ps`` can be supplied to reuse STA
     results across multiple betas (the experiment harness does).
     """
-    if beta < 0:
-        raise AllocationError(f"beta must be non-negative, got {beta}")
+    scalar_beta, row_betas = _normalize_row_betas(beta, placed.num_rows)
     if placed.num_rows == 0:
         raise AllocationError("placed design has no rows")
 
@@ -158,19 +229,32 @@ def build_problem(placed: PlacedDesign, clib: CharacterizedLibrary,
     if dcrit_ps is None:
         dcrit_ps = max(path.delay_ps for path in paths)
 
-    constraint_paths = violating_paths(paths, dcrit_ps, beta)
     row_of = {name: placed.row_of(name) for name in placed.netlist.gates}
+    if scalar_beta is not None:
+        constraint_paths = violating_paths(paths, dcrit_ps, scalar_beta)
+        required = np.array([path.delay_ps * (1.0 + scalar_beta) - dcrit_ps
+                             for path in constraint_paths])
+    else:
+        constraint_paths = []
+        requirements = []
+        for path in paths:
+            delay = _degraded_path_delay_ps(path, row_betas, row_of)
+            if delay > dcrit_ps + 1e-9:
+                constraint_paths.append(path)
+                requirements.append(delay - dcrit_ps)
+        required = np.array(requirements)
 
     data: list[float] = []
     counts: list[float] = []
     rows_idx: list[int] = []
     cols_idx: list[int] = []
-    derate = 1.0 + beta
     for k, path in enumerate(constraint_paths):
         per_row_delay: dict[int, float] = {}
         per_row_count: dict[int, int] = {}
         for gate_name, delay in zip(path.gates, path.gate_delays_ps):
             row = row_of[gate_name]
+            derate = 1.0 + (scalar_beta if scalar_beta is not None
+                            else row_betas[row])
             per_row_delay[row] = per_row_delay.get(row, 0.0) + delay * derate
             per_row_count[row] = per_row_count.get(row, 0) + 1
         for row, delay in per_row_delay.items():
@@ -182,13 +266,12 @@ def build_problem(placed: PlacedDesign, clib: CharacterizedLibrary,
     shape = (len(constraint_paths), placed.num_rows)
     recovery = csr_matrix((data, (rows_idx, cols_idx)), shape=shape)
     gate_counts = csr_matrix((counts, (rows_idx, cols_idx)), shape=shape)
-    required = np.array(
-        [path.delay_ps * derate - dcrit_ps for path in constraint_paths])
 
     speedups = np.array([1.0 - scale for scale in clib.delay_scales])
     return FBBProblem(
         design_name=placed.netlist.name,
-        beta=beta,
+        beta=(scalar_beta if scalar_beta is not None
+              else float(row_betas.max(initial=0.0))),
         dcrit_ps=dcrit_ps,
         num_rows=placed.num_rows,
         vbs_levels=clib.vbs_levels,
@@ -198,4 +281,5 @@ def build_problem(placed: PlacedDesign, clib: CharacterizedLibrary,
         gate_counts=gate_counts,
         required_ps=required,
         paths=tuple(constraint_paths),
+        row_betas=row_betas,
     )

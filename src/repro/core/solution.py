@@ -1,4 +1,5 @@
-"""BiasSolution: a per-row voltage assignment plus its bookkeeping."""
+"""BiasSolution: a per-row voltage assignment plus its bookkeeping
+(leakage, cluster count and timing status of one paper Sec. 4 run)."""
 
 from __future__ import annotations
 

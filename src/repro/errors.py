@@ -1,4 +1,5 @@
-"""Exception hierarchy for the repro package.
+"""Exception hierarchy for the repro package (one family per layer of
+the paper reproduction).
 
 Every error raised by the library derives from :class:`ReproError`, so
 callers can catch a single base class at flow boundaries while the

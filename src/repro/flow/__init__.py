@@ -1,19 +1,22 @@
-"""End-to-end flow orchestration and experiment harness."""
+"""End-to-end flow orchestration and experiment harness (the paper's
+Sec. 5 evaluation flow: Table 1, populations, spatial study)."""
 
 from repro.flow.cache import (ArtifactCache, canonical_json, content_hash,
                               default_cache, set_default_cache)
 from repro.flow.design_flow import (FlowResult, characterized_library,
                                     implement)
 from repro.flow.experiment import (ExperimentConfig, PopulationConfig,
-                                   PopulationRow, Table1Row,
-                                   run_design_beta, run_population,
-                                   run_population_study, run_table1)
+                                   PopulationRow, SpatialConfig, SpatialRow,
+                                   Table1Row, run_design_beta,
+                                   run_population, run_population_study,
+                                   run_spatial, run_table1)
 from repro.flow.parallel import (SpecFailure, execute_specs,
                                  resolve_workers, stable_payload,
-                                 tune_dies_parallel)
+                                 tune_dies_parallel,
+                                 tune_dies_spatial_parallel)
 from repro.flow.reports import (format_cache_stats, format_population,
-                                format_spec_failures, format_sweep,
-                                format_table1)
+                                format_spatial, format_spec_failures,
+                                format_sweep, format_table1)
 
 __all__ = [
     "ArtifactCache",
@@ -21,6 +24,8 @@ __all__ = [
     "FlowResult",
     "PopulationConfig",
     "PopulationRow",
+    "SpatialConfig",
+    "SpatialRow",
     "SpecFailure",
     "Table1Row",
     "canonical_json",
@@ -30,6 +35,7 @@ __all__ = [
     "execute_specs",
     "format_cache_stats",
     "format_population",
+    "format_spatial",
     "format_spec_failures",
     "format_sweep",
     "format_table1",
@@ -38,8 +44,10 @@ __all__ = [
     "run_design_beta",
     "run_population",
     "run_population_study",
+    "run_spatial",
     "run_table1",
     "set_default_cache",
     "stable_payload",
     "tune_dies_parallel",
+    "tune_dies_spatial_parallel",
 ]

@@ -1,12 +1,16 @@
-"""Experiment harnesses: Table 1 and Monte Carlo die populations.
+"""Experiment harnesses: Table 1, Monte Carlo populations, spatial study.
 
 Runs the paper's main experiment — for each design and slowdown beta,
 the Single BB baseline, the exact ILP and the two-pass heuristic at
 cluster budgets C = 2 and C = 3, reporting leakage savings and the
 timing-constraint counts — plus the population study behind the
-post-silicon-tuning sections: sample thousands of dies through the
+post-silicon-tuning sections (sample thousands of dies through the
 batched STA backend, optionally tune every slow one, and report the
-yield/leakage economics.
+yield/leakage economics) and the **spatial compensation study**: the
+same die population calibrated twice, once through a per-region sensor
+grid with clustered allocation and once through the classic single
+die-wide sensor with uniform biasing, head to head — the paper's
+central clustered-vs-uniform claim as one experiment row.
 """
 
 from __future__ import annotations
@@ -201,6 +205,132 @@ def run_population(flow: FlowResult,
         lost=lost,
         tune_runtime_s=tune_runtime,
         seed=config.seed,
+    )
+
+
+@dataclass
+class SpatialConfig:
+    """Knobs for a spatial-vs-uniform compensation study."""
+
+    num_dies: int = 200
+    seed: int = 0
+    model: ProcessModel | None = None
+    """Process model the population is drawn from (None = defaults);
+    its ``correlation_length_fraction`` is the study's main axis."""
+    sta_engine: str = "batched"
+    max_clusters: int = 3
+    beta_budget: float = 0.0
+    method: str = "heuristic:row-descent"
+    """Allocator of the spatial arm (the uniform arm uses single_bb)."""
+    num_regions: int = 4
+    """Sensor-grid resolution of the spatial arm."""
+    max_iterations: int = 4
+    """Calibration-iteration budget per die (tester time is paid per
+    verify pass, so the study uses a production-tight budget; both arms
+    get the same one)."""
+    sense_guard: float = 0.01
+    """Sensing guard band applied identically to both arms (see
+    :class:`repro.tuning.controller.TuningController.sense_guard`)."""
+    workers: int = 1
+
+
+@dataclass(frozen=True)
+class SpatialRow:
+    """One design's spatial-vs-uniform compensation study.
+
+    Both arms calibrate the *same* sampled die population against its
+    actual per-gate fields: the spatial arm senses ``num_regions``
+    monitor regions and allocates clustered biases; the uniform arm is
+    the classic baseline — a single path-replica sensor in the die's
+    central band and one uniform voltage (``single_bb``).
+    ``*_leakage_uw`` compare mean recovered-die leakage over the dies
+    *both* arms recovered, so the leakage numbers are apples to apples
+    even when the yields differ.
+    """
+
+    design: str
+    gates: int
+    rows: int
+    num_dies: int
+    num_regions: int
+    seed: int
+    correlation_length: float | None
+    beta_budget: float
+    yield_before: float
+    spatial_yield: float
+    uniform_yield: float
+    spatial_recovered: int
+    spatial_lost: int
+    uniform_recovered: int
+    uniform_lost: int
+    spatial_leakage_uw: float
+    uniform_leakage_uw: float
+    sample_runtime_s: float
+    tune_runtime_s: float
+
+
+def run_spatial(flow: FlowResult,
+                config: SpatialConfig | None = None) -> SpatialRow:
+    """Run the spatial-vs-uniform study on one design's population."""
+    from repro.tuning.controller import TuningController
+    from repro.tuning.population import tune_population
+
+    if config is None:
+        config = SpatialConfig()
+    model = config.model if config.model is not None else ProcessModel()
+    started = time.perf_counter()
+    population = sample_dies(flow.placed, config.num_dies,
+                             model=model, seed=config.seed,
+                             engine=config.sta_engine,
+                             store_scales=False)
+    sample_runtime = time.perf_counter() - started
+
+    started = time.perf_counter()
+    spatial_controller = TuningController(
+        flow.placed, flow.clib, max_clusters=config.max_clusters,
+        method=config.method, max_iterations=config.max_iterations,
+        sense_guard=config.sense_guard)
+    spatial = tune_population(
+        spatial_controller, population, beta_budget=config.beta_budget,
+        workers=config.workers, mode="spatial",
+        num_regions=config.num_regions)
+    uniform_controller = TuningController(
+        flow.placed, flow.clib, max_clusters=config.max_clusters,
+        method="single_bb", max_iterations=config.max_iterations,
+        sense_guard=config.sense_guard)
+    uniform = tune_population(
+        uniform_controller, population, beta_budget=config.beta_budget,
+        workers=config.workers, mode="spatial",
+        num_regions=config.num_regions, replica_sensor=True)
+    tune_runtime = time.perf_counter() - started
+
+    both = [(s.leakage_nw, u.leakage_nw)
+            for s, u in zip(spatial.records, uniform.records)
+            if s.status == "recovered" and u.status == "recovered"]
+    spatial_uw = (sum(s for s, _ in both) / len(both) / 1e3
+                  if both else 0.0)
+    uniform_uw = (sum(u for _, u in both) / len(both) / 1e3
+                  if both else 0.0)
+    return SpatialRow(
+        design=flow.name,
+        gates=flow.num_gates,
+        rows=flow.num_rows,
+        num_dies=config.num_dies,
+        num_regions=spatial.num_regions or config.num_regions,
+        seed=config.seed,
+        correlation_length=model.correlation_length_fraction,
+        beta_budget=config.beta_budget,
+        yield_before=population.timing_yield(config.beta_budget),
+        spatial_yield=spatial.yield_after,
+        uniform_yield=uniform.yield_after,
+        spatial_recovered=spatial.recovered,
+        spatial_lost=spatial.lost,
+        uniform_recovered=uniform.recovered,
+        uniform_lost=uniform.lost,
+        spatial_leakage_uw=spatial_uw,
+        uniform_leakage_uw=uniform_uw,
+        sample_runtime_s=sample_runtime,
+        tune_runtime_s=tune_runtime,
     )
 
 

@@ -1,4 +1,5 @@
-"""Process-pool execution engine for sweeps and population tuning.
+"""Process-pool execution engine for sweeps and population tuning
+(scales the paper's Sec. 5 experiments across cores).
 
 Everything above the batched STA used to be a serial Python loop: a
 sweep executed its RunSpecs one at a time and ``tune_population``
@@ -336,4 +337,61 @@ def tune_dies_parallel(controller: Any,
     else:
         with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
             parts = list(pool.map(_worker_tune_chunk, args))
+    return [record for part in parts for record in part]
+
+
+def _worker_tune_spatial_chunk(args: tuple) -> list:
+    """Spatially calibrate one contiguous chunk of out-of-budget dies.
+
+    Mirrors :func:`_worker_tune_chunk`: the controller (and its sensor
+    grid) is rebuilt once per chunk from the shipped material; every
+    die's record is a pure function of its sampled field, so the
+    concatenated chunks equal the serial sweep bit for bit.
+    """
+    (placed, clib, max_clusters, max_iterations, beta_step, method,
+     sense_guard, beta_budget, num_regions, replica_sensor, gate_names,
+     dies) = args
+    from repro.tuning.controller import TuningController
+    from repro.tuning.population import calibrate_die_spatial
+    controller = TuningController(
+        placed, clib, max_clusters=max_clusters,
+        max_iterations=max_iterations, beta_step=beta_step, method=method,
+        sense_guard=sense_guard)
+    unbiased = controller.clib_leakage_unbiased()
+    grid = (controller.replica_sensor_grid(num_regions) if replica_sensor
+            else controller.sensor_grid(num_regions))
+    return [calibrate_die_spatial(controller, index, beta, scale_row,
+                                  gate_names, beta_budget, unbiased, grid)
+            for index, beta, scale_row in dies]
+
+
+def tune_dies_spatial_parallel(controller: Any,
+                               dies: Sequence[tuple],
+                               gate_names: Sequence[str],
+                               beta_budget: float,
+                               workers: int,
+                               num_regions: int,
+                               replica_sensor: bool = False) -> list:
+    """Shard ``(index, beta, scale_row)`` dies over a pool, in order.
+
+    The spatial twin of :func:`tune_dies_parallel`: each worker rebuilds
+    the tuning controller and its per-region sensor grid once, then
+    runs the field-driven calibration loop per die.  Contiguous chunks
+    concatenate back in die order, so the records are bit-identical to
+    the serial ``workers=1`` path.
+    """
+    workers = resolve_workers(workers, len(dies))
+    if not dies:
+        return []
+    chunks = chunked(list(dies), workers)
+    args = [(controller.placed, controller.clib, controller.max_clusters,
+             controller.max_iterations, controller.beta_step,
+             controller.method, controller.sense_guard, beta_budget,
+             num_regions, replica_sensor, tuple(gate_names), chunk)
+            for chunk in chunks]
+    if len(chunks) == 1:
+        parts = [_worker_tune_spatial_chunk(args[0])]
+    else:
+        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+            parts = list(pool.map(_worker_tune_spatial_chunk, args))
     return [record for part in parts for record in part]

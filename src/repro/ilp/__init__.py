@@ -1,4 +1,5 @@
-"""MILP substrate: model container, simplex, branch & bound, HiGHS."""
+"""MILP substrate for the paper's exact Sec. 4.2 ILP: model container,
+simplex, branch & bound, HiGHS."""
 
 from repro.ilp.branch_bound import solve_branch_bound
 from repro.ilp.highs import solve_highs

@@ -1,4 +1,5 @@
-"""Dense two-phase simplex LP solver (from scratch).
+"""Dense two-phase simplex LP solver (from scratch) — the
+dependency-free base of the paper's Sec. 4.2 ILP relaxations.
 
 A compact, dependency-free LP solver used as the teaching/backstop engine
 under the pure-Python branch & bound.  Solves::

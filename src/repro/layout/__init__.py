@@ -1,4 +1,5 @@
-"""Physical implementation of row-clustered body biasing."""
+"""Physical implementation of row-clustered body biasing
+(paper Sec. 3.3: wells, contacts, rails, area overhead)."""
 
 from repro.layout.area import (MAX_UTILIZATION_INCREASE,
                                MAX_WELL_AREA_FRACTION, AreaReport,

@@ -1,4 +1,5 @@
-"""LEF/DEF physical-design interchange."""
+"""LEF/DEF physical-design interchange for the paper's Sec. 3.3
+clustered layouts."""
 
 from repro.lefdef.def_io import (DBU_PER_MICRON, DefDesign, SpecialNet,
                                  read_def, rebuild_placed_design, write_def)

@@ -1,4 +1,5 @@
-"""DEF (Design Exchange Format) writer and parser.
+"""DEF (Design Exchange Format) writer and parser for the paper's
+Sec. 3.3 clustered placements.
 
 Serialises a :class:`repro.placement.placed_design.PlacedDesign`:
 DIEAREA, ROW statements (one per standard-cell row), COMPONENTS with

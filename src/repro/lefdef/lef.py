@@ -1,4 +1,5 @@
-"""LEF (Library Exchange Format) writer and parser.
+"""LEF (Library Exchange Format) writer and parser for the paper's
+reduced cell library (Sec. 5 characterization).
 
 Covers the subset a physical-design exchange for this flow needs: the
 placement SITE, routing LAYERs (including the top metal that carries the

@@ -1,4 +1,5 @@
-"""Gate-level netlist data structures and interchange formats."""
+"""Gate-level netlist data structures and interchange formats (the
+structural substrate of the paper's Table 1 designs)."""
 
 from repro.netlist.bench import read_bench, write_bench
 from repro.netlist.core import (FUNCTION_ARITY, SEQUENTIAL_FUNCTIONS, Gate,

@@ -1,4 +1,5 @@
-"""Netlist statistics used in reports and experiment tables."""
+"""Netlist statistics used in reports and experiment tables (the
+gates/depth columns of the paper's Table 1)."""
 
 from __future__ import annotations
 

@@ -1,4 +1,5 @@
-"""Structural Verilog subset writer and reader.
+"""Structural Verilog subset writer and reader (interchange for the
+paper's mapped Table 1 netlists).
 
 Two dialects are supported, mirroring what a commercial flow exchanges:
 

@@ -1,4 +1,5 @@
-"""Row-based placement: floorplan, placer, placed-design container."""
+"""Row-based placement: floorplan, placer, placed-design container
+(rows are the paper's Sec. 3.3 clustering granularity)."""
 
 from repro.placement.floorplan import (DEFAULT_UTILIZATION, Floorplan, Row,
                                        make_floorplan)

@@ -31,37 +31,98 @@ from repro.placement.placed_design import PlacedDesign, Placement
 from repro.tech.cells import CellLibrary
 
 
-def connectivity_order(netlist: Netlist) -> list[str]:
-    """BFS linear ordering that keeps connected gates adjacent."""
-    order: list[str] = []
-    visited: set[str] = set()
+def _component_labels(netlist: Netlist) -> dict[str, int]:
+    """Weakly-connected-component label per gate (union-find over nets).
 
-    # Seed queue with gates fed by primary inputs, in netlist order.
-    queue: deque[str] = deque()
+    Labels are normalized to the component's first gate in netlist
+    (insertion) order, so the numbering is deterministic.
+    """
+    parent: dict[str, str] = {name: name for name in netlist.gates}
+
+    def find(name: str) -> str:
+        root = name
+        while parent[root] != root:
+            root = parent[root]
+        while parent[name] != root:
+            parent[name], name = root, parent[name]
+        return root
+
+    for net in netlist.nets.values():
+        members = ([net.driver] if net.driver is not None else []) \
+            + [sink for sink, _pin in net.sinks]
+        for left, right in zip(members, members[1:]):
+            parent[find(left)] = find(right)
+
+    labels: dict[str, int] = {}
+    next_label: dict[str, int] = {}
+    for name in netlist.gates:
+        root = find(name)
+        if root not in next_label:
+            next_label[root] = len(next_label)
+        labels[name] = next_label[root]
+    return labels
+
+
+def connectivity_order(netlist: Netlist) -> list[str]:
+    """BFS linear ordering that keeps connected gates adjacent.
+
+    Disconnected components (independent blocks of a multi-block SoC
+    module) are laid out one after another — each component's BFS runs
+    to completion before the next begins — so the serpentine fold gives
+    every block its own contiguous band of rows.  This is what makes
+    block locality, and with it the spatial-compensation experiments,
+    physical: a block's critical paths stay inside its band.  For the
+    common single-component netlist the ordering is identical to a
+    plain global BFS.
+    """
+    labels = _component_labels(netlist)
+
+    # Seed gates exactly as the global BFS would: gates fed by primary
+    # inputs (in netlist order), then flops (they start paths).
+    seeds: list[str] = []
+    seeded: set[str] = set()
     for net_name in netlist.primary_inputs:
         for gate in netlist.fanout_gates(net_name):
-            if gate.name not in visited:
-                visited.add(gate.name)
-                queue.append(gate.name)
-    # Also seed flops (they start paths) and any remaining gates.
+            if gate.name not in seeded:
+                seeded.add(gate.name)
+                seeds.append(gate.name)
     for gate in netlist.gates.values():
-        if gate.is_sequential and gate.name not in visited:
-            visited.add(gate.name)
-            queue.append(gate.name)
+        if gate.is_sequential and gate.name not in seeded:
+            seeded.add(gate.name)
+            seeds.append(gate.name)
 
-    while queue:
-        name = queue.popleft()
-        order.append(name)
-        gate = netlist.gates[name]
-        for fanout in netlist.fanout_gates(gate.output):
-            if fanout.name not in visited:
-                visited.add(fanout.name)
-                queue.append(fanout.name)
-
+    # Bucket seeds and gates by component once (keeps the walk linear
+    # for many-island netlists), in deterministic order: components
+    # first by seed appearance, then (seedless ones) by first gate in
+    # netlist order.
+    seeds_of: dict[int, list[str]] = {}
+    for name in seeds:
+        seeds_of.setdefault(labels[name], []).append(name)
+    gates_of: dict[int, list[str]] = {}
     for name in netlist.gates:
-        if name not in visited:
+        gates_of.setdefault(labels[name], []).append(name)
+    component_order = list(seeds_of)
+    component_order += [label for label in gates_of
+                        if label not in seeds_of]
+
+    order: list[str] = []
+    visited: set[str] = set()
+    for component in component_order:
+        queue: deque[str] = deque(seeds_of.get(component, ()))
+        visited.update(queue)
+        while queue:
+            name = queue.popleft()
             order.append(name)
-            visited.add(name)
+            gate = netlist.gates[name]
+            for fanout in netlist.fanout_gates(gate.output):
+                if fanout.name not in visited:
+                    visited.add(fanout.name)
+                    queue.append(fanout.name)
+        # Leftovers of this component (unreachable from its seeds).
+        for name in gates_of[component]:
+            if name not in visited:
+                order.append(name)
+                visited.add(name)
     return order
 
 

@@ -1,4 +1,4 @@
-"""Leakage power accounting."""
+"""Leakage power accounting (the paper's Eq. 1 objective data)."""
 
 from repro.power.leakage import (design_leakage_nw, gate_leakage_nw,
                                  leakage_matrix, row_leakage_nw,

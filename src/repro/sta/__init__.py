@@ -1,4 +1,5 @@
-"""Static timing analysis: delays, arrival propagation, path extraction,
+"""Static timing analysis (the paper's PrimeTime stand-in, Sec. 5):
+delays, arrival propagation, path extraction,
 and the batched population engine."""
 
 from repro.sta.batched import BatchedTimingAnalyzer, BatchTimingReport

@@ -1,4 +1,5 @@
-"""Batched array-based STA over whole die populations.
+"""Batched array-based STA over whole die populations (scales the
+paper's Sec. 3.1 die-measurement step to Monte Carlo size).
 
 The scalar :class:`~repro.sta.engine.TimingAnalyzer` walks the netlist
 with Python dicts — perfect as ground truth, far too slow when the

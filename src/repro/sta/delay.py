@@ -1,4 +1,5 @@
-"""Bias- and load-aware cell delay calculation.
+"""Bias- and load-aware cell delay calculation (the per-gate delays
+behind the paper's Sec. 4.1 coefficients).
 
 Each mapped gate's nominal delay is ``intrinsic + slope * C_load`` with
 the load made of sink input pins, a per-fanout wire estimate and, when a

@@ -1,4 +1,5 @@
-"""Synthesis: technology mapping and drive sizing."""
+"""Synthesis: technology mapping and drive sizing (the paper's
+Physical Compiler stand-in, Sec. 5)."""
 
 from repro.synth.mapping import is_fully_mapped, map_netlist
 from repro.synth.sizing import (LOAD_DELAY_BUDGET_PS, WIRE_CAP_PER_FANOUT_FF,

@@ -1,4 +1,5 @@
-"""Fanout-driven drive-strength selection ("repowering").
+"""Fanout-driven drive-strength selection ("repowering") — part of the
+paper's Sec. 5 synthesis stand-in.
 
 After mapping, every gate sits at drive X1.  This pass estimates each
 net's capacitive load (sink input pins plus a per-fanout wire estimate)

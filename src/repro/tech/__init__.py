@@ -1,4 +1,5 @@
-"""Technology substrate: device model, cell library, characterization."""
+"""Technology substrate: device model, cell library, characterization
+(the paper's Sec. 5 foundry inputs, rebuilt from first principles)."""
 
 from repro.tech.cells import CellLibrary, StandardCell, reduced_library
 from repro.tech.characterize import (CellCharacterization,

@@ -1,4 +1,5 @@
-"""Liberty-subset reader/writer for characterized libraries.
+"""Liberty-subset reader/writer for characterized libraries (the
+paper's Sec. 5 per-cell delay/leakage tables).
 
 Commercial flows exchange cell timing/power data in Synopsys Liberty
 (.lib) files.  We support a small, self-consistent subset sufficient to

@@ -1,24 +1,31 @@
-"""Post-silicon tuning: sensors, bias generator, closed-loop controller,
-and wafer-scale population calibration."""
+"""Post-silicon tuning (paper Sec. 3.1, Fig. 2): sensors, bias
+generator, closed-loop controller, and wafer-scale population
+calibration — including the spatial per-region compensation mode."""
 
-from repro.tuning.controller import TuningController, TuningOutcome
+from repro.tuning.controller import (DEFAULT_SENSOR_REGIONS,
+                                     TuningController, TuningOutcome)
 from repro.tuning.generator import BodyBiasGenerator
-from repro.tuning.population import (DIE_STATUSES, DieTuningRecord,
+from repro.tuning.population import (DIE_STATUSES, TUNING_MODES,
+                                     DieTuningRecord,
                                      PopulationTuningSummary, calibrate_die,
-                                     tune_population)
+                                     calibrate_die_spatial, tune_population)
 from repro.tuning.sensors import (InSituMonitor, PathReplicaSensor,
-                                  PopulationMonitor)
+                                  PopulationMonitor, SpatialSensorGrid)
 
 __all__ = [
     "BodyBiasGenerator",
+    "DEFAULT_SENSOR_REGIONS",
     "DIE_STATUSES",
     "DieTuningRecord",
     "InSituMonitor",
     "PathReplicaSensor",
     "PopulationMonitor",
     "PopulationTuningSummary",
+    "SpatialSensorGrid",
+    "TUNING_MODES",
     "TuningController",
     "TuningOutcome",
     "calibrate_die",
+    "calibrate_die_spatial",
     "tune_population",
 ]

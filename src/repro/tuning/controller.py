@@ -14,12 +14,27 @@ The calibration loop for one circuit block:
    (estimate was low), the estimate is bumped one resolution step and
    the loop repeats.
 
+Two sensing modes drive the loop:
+
+* :meth:`TuningController.calibrate` — the paper's die-wide mode: one
+  scalar slowdown models the whole die, allocation derates every row
+  uniformly, an alarm bumps the single estimate.
+* :meth:`TuningController.calibrate_spatial` — the spatial compensation
+  engine: a :class:`~repro.tuning.sensors.SpatialSensorGrid` senses the
+  die's actual per-gate delay-scale field per region, allocation runs
+  against the heterogeneous per-row slowdown vector, and a persisting
+  alarm bumps only the regions whose monitored paths still violate.
+
 The controller is deliberately conservative: it only ever raises the
 estimate, and it fails loudly when even maximum bias cannot recover the
 die (a yield loss, not a tuning bug).
 """
 
 from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
 
 from dataclasses import dataclass, field
 
@@ -32,7 +47,10 @@ from repro.sta.engine import TimingAnalyzer
 from repro.sta.paths import extract_paths
 from repro.tech.characterize import CharacterizedLibrary
 from repro.tuning.generator import BodyBiasGenerator
-from repro.tuning.sensors import InSituMonitor
+from repro.tuning.sensors import InSituMonitor, SpatialSensorGrid
+
+#: default monitor-grid resolution for spatial calibration
+DEFAULT_SENSOR_REGIONS = 4
 
 
 @dataclass
@@ -46,6 +64,8 @@ class TuningOutcome:
     leakage_nw: float
     settle_latency_us: float
     history: list[str] = field(default_factory=list)
+    region_betas: tuple[float, ...] | None = None
+    """Final per-region slowdown estimates (spatial calibration only)."""
 
 
 @dataclass
@@ -61,10 +81,20 @@ class TuningController:
     method: str | None = None
     """Solver-registry method for the allocate step; ``None`` derives it
     from the legacy ``use_ilp`` flag."""
+    sense_guard: float = 0.0
+    """Guard band added to every spatial sensing estimate (slowdown
+    units): monitors read delay-weighted *means*, while timing is set by
+    the *worst* path through a region, so production flows over-bias by
+    a small margin instead of paying one verify iteration per
+    resolution step.  Applied identically to the per-region grid and
+    the single-replica baseline — it shifts both arms, not the
+    comparison."""
 
     def __post_init__(self) -> None:
         if self.max_iterations < 1:
             raise TuningError("need at least one tuning iteration")
+        if self.sense_guard < 0:
+            raise TuningError("sense guard cannot be negative")
         if self.method is None:
             self.method = "ilp:highs" if self.use_ilp else \
                 "heuristic:row-descent"
@@ -76,6 +106,42 @@ class TuningController:
         # Paths are beta-independent: extract once so population-scale
         # calibration does not redo path enumeration per die/iteration.
         self._paths = list(extract_paths(self.analyzer))
+        self._grids: dict[int, SpatialSensorGrid] = {}
+
+    def _base_delays(self) -> dict[str, float]:
+        return {name: self.analyzer.calculator.gate_delay_ps(name)
+                for name in self.placed.netlist.gates}
+
+    def sensor_grid(self, num_regions: int = DEFAULT_SENSOR_REGIONS
+                    ) -> SpatialSensorGrid:
+        """The (cached) per-region monitor grid for spatial sensing."""
+        key = ("grid", num_regions)
+        if key not in self._grids:
+            self._grids[key] = SpatialSensorGrid(
+                self.placed, num_regions, self._base_delays(), self._paths)
+        return self._grids[key]
+
+    def replica_sensor_grid(self, num_regions: int = DEFAULT_SENSOR_REGIONS
+                            ) -> SpatialSensorGrid:
+        """The classic uniform-sensing baseline: one replica sensor.
+
+        A single monitor physically occupying the die's central
+        ``1/num_regions`` row band (the same silicon one monitor of the
+        ``num_regions``-grid would get), its local reading applied
+        die-wide.  This is the Sec. 3.1 single path-replica
+        architecture the spatial experiments compare against: with long
+        spatial correlation the centre of the die speaks for all of it,
+        with short correlation the replica's blind spots grow.
+        """
+        key = ("replica", num_regions)
+        if key not in self._grids:
+            num_rows = self.placed.num_rows
+            band = max(num_rows // max(min(num_regions, num_rows), 1), 1)
+            lo = (num_rows - band) // 2
+            self._grids[key] = SpatialSensorGrid(
+                self.placed, 1, self._base_delays(), self._paths,
+                sense_rows=(lo, lo + band))
+        return self._grids[key]
 
     def _gate_scales(self, solution: BiasSolution) -> dict[str, float]:
         scales = {}
@@ -146,18 +212,107 @@ class TuningController:
             settle_latency_us=self.generator.settle_latency_us(),
             history=history)
 
+    def calibrate_spatial(self, gate_scales: Mapping[str, float] | np.ndarray,
+                          grid: SpatialSensorGrid | None = None,
+                          num_regions: int = DEFAULT_SENSOR_REGIONS
+                          ) -> TuningOutcome:
+        """Run the closed loop against a die's actual delay-scale field.
+
+        ``gate_scales`` is the die's per-gate delay-multiplier field (a
+        mapping, or an array in the grid's ``gate_names`` order) — the
+        sampled reality the sensors measure and the verify step checks
+        against.  Each iteration senses per-region slowdowns, builds the
+        heterogeneous per-row problem, allocates clustered biases, and
+        verifies by full STA of the *combined* (die x bias) field; on a
+        persisting alarm only the regions whose monitored paths still
+        violate get their estimates bumped.  Raises
+        :class:`~repro.errors.TuningError` when the die is beyond FBB
+        recovery (allocation infeasible even at the current estimates).
+        """
+        if grid is None:
+            grid = self.sensor_grid(num_regions)
+        die_row = grid.as_row(gate_scales)
+        if die_row.size and die_row.min() < 0:
+            raise TuningError("gate delay scales cannot be negative")
+        die_field = dict(zip(grid.gate_names, die_row.tolist()))
+        history: list[str] = []
+
+        if not self.monitor.check(0.0, die_field):
+            history.append("no timing alarm: die meets spec unbiased")
+            return TuningOutcome(
+                converged=True, iterations=0, estimated_beta=0.0,
+                solution=None, leakage_nw=self.clib_leakage_unbiased(),
+                settle_latency_us=0.0, history=history,
+                region_betas=tuple([0.0] * grid.num_regions))
+
+        estimates = np.maximum(
+            grid.estimate_region_betas(die_row), 0.0) + self.sense_guard
+        solution: BiasSolution | None = None
+        for iteration in range(1, self.max_iterations + 1):
+            try:
+                problem = build_problem(
+                    self.placed, self.clib, grid.row_betas(estimates),
+                    analyzer=self.analyzer, paths=self._paths,
+                    dcrit_ps=self.dcrit_ps)
+                solution = self._solver.func(problem, self.max_clusters)
+            except InfeasibleError as exc:
+                raise TuningError(
+                    f"die beyond FBB recovery range: {exc}") from exc
+            self.generator.program_solution(
+                [solution.vbs_of_row(r)
+                 for r in range(self.placed.num_rows)])
+            bias = self._gate_scales(solution)
+            combined = {name: die_field[name] * bias[name]
+                        for name in grid.gate_names}
+            alarm = self.monitor.check(0.0, combined)
+            history.append(
+                f"iter {iteration}: region betas "
+                f"[{', '.join(f'{b:.3f}' for b in estimates)}], "
+                f"leakage {solution.leakage_nw / 1e3:.3f} uW, "
+                f"{'ALARM' if alarm else 'clean'}")
+            if not alarm:
+                return TuningOutcome(
+                    converged=True, iterations=iteration,
+                    estimated_beta=float(estimates.max()),
+                    solution=solution, leakage_nw=solution.leakage_nw,
+                    settle_latency_us=self.generator.settle_latency_us(),
+                    history=history,
+                    region_betas=tuple(float(b) for b in estimates))
+            # Localize the persisting alarm: bump only the regions whose
+            # monitored paths still violate (all regions if the full-STA
+            # alarm cannot be pinned to an extracted path).
+            mask = grid.alarm_regions(
+                np.array([combined[name] for name in grid.gate_names]),
+                self.monitor.tcrit_ps)
+            if not mask.any():
+                mask = np.ones(grid.num_regions, dtype=bool)
+            estimates = np.where(
+                mask, np.round(estimates + self.beta_step, 9), estimates)
+        return TuningOutcome(
+            converged=False, iterations=self.max_iterations,
+            estimated_beta=float(estimates.max()),
+            solution=solution,
+            leakage_nw=solution.leakage_nw if solution else 0.0,
+            settle_latency_us=self.generator.settle_latency_us(),
+            history=history,
+            region_betas=tuple(float(b) for b in estimates))
+
     def calibrate_population(self, population, beta_budget: float = 0.0,
-                             workers: int = 1):
+                             workers: int = 1, mode: str = "model",
+                             num_regions: int = DEFAULT_SENSOR_REGIONS):
         """Tune every out-of-budget die of a Monte Carlo population.
 
         Thin wrapper over :func:`repro.tuning.population.tune_population`
         (imported lazily to keep the module graph acyclic); returns its
         :class:`PopulationTuningSummary`.  ``workers > 1`` shards the
-        slow dies over a process pool with bit-identical results.
+        slow dies over a process pool with bit-identical results;
+        ``mode="spatial"`` runs :meth:`calibrate_spatial` against each
+        slow die's sampled field instead of the uniform-derate model.
         """
         from repro.tuning.population import tune_population
         return tune_population(self, population, beta_budget,
-                               workers=workers)
+                               workers=workers, mode=mode,
+                               num_regions=num_regions)
 
     def clib_leakage_unbiased(self) -> float:
         """Design leakage with no body bias applied, nanowatts."""

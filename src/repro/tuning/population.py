@@ -12,17 +12,33 @@ Each die's calibration is independent, so ``tune_population`` can shard
 a population across a process pool (``workers > 1``, engine in
 ``repro/flow/parallel.py``) with results bit-identical to the serial
 loop; see DESIGN.md, "Parallel execution".
+
+Two calibration modes mirror the controller's:
+
+* ``mode="model"`` (default) — each slow die is modelled by its scalar
+  measured beta (the paper's die-wide derate);
+* ``mode="spatial"`` — each slow die is calibrated against its sampled
+  per-gate delay-scale field through a per-region sensor grid
+  (``num_regions``; 1 = the die-uniform sensing baseline), which is the
+  paper's physically-clustered compensation closed over the correlated
+  intra-die field (DESIGN.md, "Spatial compensation").
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import TuningError
-from repro.tuning.controller import TuningController
+from repro.tuning.controller import (DEFAULT_SENSOR_REGIONS,
+                                     TuningController)
+from repro.tuning.sensors import SpatialSensorGrid
 from repro.variation.montecarlo import MonteCarloResult
+
+#: supported population calibration modes
+TUNING_MODES = ("model", "spatial")
 
 #: per-die outcome labels used in :class:`DieTuningRecord.status`
 DIE_STATUSES = ("ok-unbiased", "recovered", "not-converged", "yield-loss")
@@ -49,6 +65,10 @@ class PopulationTuningSummary:
     unbiased_leakage_nw: float
     method: str = "heuristic:row-descent"
     """Solver-registry method the controller allocated with."""
+    mode: str = "model"
+    """Calibration mode: "model" (scalar beta) or "spatial" (field)."""
+    num_regions: int | None = None
+    """Sensor-grid resolution of a spatial run (None for model mode)."""
 
     @property
     def num_dies(self) -> int:
@@ -104,10 +124,48 @@ def calibrate_die(controller: TuningController, index: int, beta: float,
         iterations=outcome.iterations, leakage_nw=outcome.leakage_nw)
 
 
+def calibrate_die_spatial(controller: TuningController, index: int,
+                          beta: float, scale_row: np.ndarray,
+                          gate_names: Sequence[str], beta_budget: float,
+                          unbiased_leakage_nw: float,
+                          grid: SpatialSensorGrid) -> DieTuningRecord:
+    """One die's spatial calibration, as a pure function.
+
+    ``scale_row`` is the die's sampled per-gate delay-scale field in
+    ``gate_names`` order (the population's batched-STA column order);
+    the budget relaxation divides the field by ``1 + budget`` — the same
+    multiplicative identity the model-mode path uses, expressed on the
+    field instead of the scalar.  Pure in the same sense as
+    :func:`calibrate_die`: the record depends only on the die's field
+    and the controller/grid configuration, which is what keeps the
+    parallel sharding bit-identical to the serial sweep.
+    """
+    if beta <= beta_budget:
+        return DieTuningRecord(
+            index=index, beta=beta, status="ok-unbiased",
+            iterations=0, leakage_nw=unbiased_leakage_nw)
+    relaxed = np.asarray(scale_row, dtype=float) / (1.0 + beta_budget)
+    field = dict(zip(gate_names, relaxed.tolist()))
+    try:
+        outcome = controller.calibrate_spatial(field, grid=grid)
+    except TuningError:
+        return DieTuningRecord(
+            index=index, beta=beta, status="yield-loss",
+            iterations=0, leakage_nw=unbiased_leakage_nw)
+    status = "recovered" if outcome.converged else "not-converged"
+    return DieTuningRecord(
+        index=index, beta=beta, status=status,
+        iterations=outcome.iterations, leakage_nw=outcome.leakage_nw)
+
+
 def tune_population(controller: TuningController,
                     population: MonteCarloResult,
                     beta_budget: float = 0.0,
-                    workers: int = 1) -> PopulationTuningSummary:
+                    workers: int = 1,
+                    mode: str = "model",
+                    num_regions: int = DEFAULT_SENSOR_REGIONS,
+                    replica_sensor: bool = False
+                    ) -> PopulationTuningSummary:
     """Calibrate every die of a population that misses the beta budget.
 
     Dies within budget are recorded as ``"ok-unbiased"``; the rest run
@@ -126,7 +184,16 @@ def tune_population(controller: TuningController,
     ``workers > 1`` shards the out-of-budget dies into contiguous
     per-process chunks (via ``repro.flow.parallel``); records are
     reassembled in die order, so the summary is bit-identical to the
-    serial ``workers=1`` reference path.
+    serial ``workers=1`` reference path — in both modes.
+
+    ``mode="spatial"`` calibrates each slow die against its sampled
+    per-gate field through a ``num_regions``-monitor sensor grid; the
+    population must have been sampled with its scale matrix retained
+    (``sample_dies`` keeps it by default).  ``replica_sensor=True``
+    swaps the grid for the classic uniform-sensing baseline — a single
+    replica monitor in the die's central ``1/num_regions`` band, its
+    reading applied die-wide (the comparison arm of the spatial
+    experiments).
 
     An empty population is a well-defined no-op: zero records and a
     yield of 1.0 on both sides (regression for the old
@@ -136,29 +203,56 @@ def tune_population(controller: TuningController,
         raise TuningError("beta budget cannot be negative")
     if workers < 1:
         raise TuningError(f"workers must be >= 1, got {workers}")
+    if mode not in TUNING_MODES:
+        raise TuningError(
+            f"unknown tuning mode {mode!r}; choose from {TUNING_MODES}")
+    spatial = mode == "spatial"
+    if spatial and population.scale_matrix is None:
+        raise TuningError(
+            "spatial tuning needs the population's scale matrix "
+            "(sample with store_scales or the default sample_dies path)")
     unbiased = controller.clib_leakage_unbiased()
     method = controller.method or "heuristic:row-descent"
+    grid = None
+    if spatial:
+        grid = (controller.replica_sensor_grid(num_regions)
+                if replica_sensor else controller.sensor_grid(num_regions))
     if not population.samples:
         return PopulationTuningSummary(
             records=(), yield_before=1.0, yield_after=1.0,
-            unbiased_leakage_nw=unbiased, method=method)
+            unbiased_leakage_nw=unbiased, method=method, mode=mode,
+            num_regions=grid.num_regions if grid else None)
+
+    def _calibrate(index: int, beta: float) -> DieTuningRecord:
+        if spatial:
+            return calibrate_die_spatial(
+                controller, index, beta, population.scale_matrix[index],
+                population.gate_names, beta_budget, unbiased, grid)
+        return calibrate_die(controller, index, beta, beta_budget,
+                             unbiased)
 
     slow_dies = [(die.index, die.beta) for die in population.samples
                  if die.beta > beta_budget]
     if workers == 1 or len(slow_dies) < 2:
-        records = [calibrate_die(controller, die.index, die.beta,
-                                 beta_budget, unbiased)
+        records = [_calibrate(die.index, die.beta)
                    for die in population.samples]
     else:
         # Lazy import: the flow layer sits above tuning in the module
         # graph, so the upward reference stays out of import time.
-        from repro.flow.parallel import tune_dies_parallel
-        tuned = tune_dies_parallel(controller, slow_dies, beta_budget,
-                                   workers)
+        from repro.flow.parallel import (tune_dies_parallel,
+                                         tune_dies_spatial_parallel)
+        if spatial:
+            shard = [(index, beta, population.scale_matrix[index])
+                     for index, beta in slow_dies]
+            tuned = tune_dies_spatial_parallel(
+                controller, shard, population.gate_names, beta_budget,
+                workers, num_regions, replica_sensor)
+        else:
+            tuned = tune_dies_parallel(controller, slow_dies, beta_budget,
+                                       workers)
         by_index = {record.index: record for record in tuned}
         records = [by_index[die.index] if die.beta > beta_budget
-                   else calibrate_die(controller, die.index, die.beta,
-                                      beta_budget, unbiased)
+                   else _calibrate(die.index, die.beta)
                    for die in population.samples]
 
     good_after = sum(1 for record in records
@@ -169,4 +263,6 @@ def tune_population(controller: TuningController,
         yield_after=good_after / len(records),
         unbiased_leakage_nw=unbiased,
         method=method,
+        mode=mode,
+        num_regions=grid.num_regions if grid else None,
     )

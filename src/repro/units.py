@@ -1,4 +1,5 @@
-"""Unit conventions and conversion helpers.
+"""Unit conventions and conversion helpers (ps/nW/V conventions the
+paper's tables use throughout).
 
 The library stores quantities in the following base units, chosen so that
 typical 45 nm standard-cell numbers are O(1..1000) and comfortably exact in

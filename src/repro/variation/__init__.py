@@ -1,4 +1,5 @@
-"""Variability models: process, temperature, aging, Monte Carlo."""
+"""Variability models: process, temperature, aging, Monte Carlo (the
+die populations the paper's Sec. 3 tuning loop compensates)."""
 
 from repro.variation.aging import SECONDS_PER_YEAR, NbtiModel
 from repro.variation.montecarlo import (STA_ENGINES, DieSample,

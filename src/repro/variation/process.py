@@ -36,6 +36,15 @@ class ProcessModel:
     sigma_intra_v: float = 0.012
     intra_grid_levels: int = 3
     intra_independent_fraction: float = 0.3
+    correlation_length_fraction: float | None = None
+    """Characteristic correlation length of the intra-die field, as a
+    fraction of the die span (``None`` keeps the default coarse-heavy
+    ``2^-level`` weighting).  When set, the grid-level variance weights
+    form a log-spaced bell centred on the level whose cell size matches
+    the requested length: values near 1.0 make the whole die drift
+    together (lithography-scale gradients), small values push the
+    variance into the fine grids (doping-scale granularity) — the knob
+    the spatial-compensation experiments sweep."""
 
     def __post_init__(self) -> None:
         if self.sigma_inter_v < 0 or self.sigma_intra_v < 0:
@@ -44,6 +53,32 @@ class ProcessModel:
             raise ReproError("independent fraction must be in [0, 1]")
         if self.intra_grid_levels < 1:
             raise ReproError("need at least one grid level")
+        fraction = self.correlation_length_fraction
+        if fraction is not None and not 0 < fraction <= 1:
+            raise ReproError(
+                "correlation length fraction must be in (0, 1]")
+
+    def level_weights(self) -> np.ndarray:
+        """Raw per-level variance weights of the correlated field.
+
+        Level ``l`` is a ``2^(l+1) x 2^(l+1)`` grid, so its cells span a
+        ``2^-(l+1)`` fraction of the die.  Without a correlation length
+        the paper-era default applies (coarser levels carry more
+        variance, weights ``2^-l``) and the returned vector has one
+        entry per grid level.  With one, the vector gains a leading
+        **die-level** entry — correlation at or above the die span is a
+        coherent whole-die shift, which no finite grid cell can carry —
+        and the weights follow a bell in log2 cell size centred on the
+        scale matching the requested length.  ``1.0`` therefore means
+        "the die drifts as one" (the regime where a single sensor
+        speaks for every block) and small fractions concentrate the
+        variance in fine grids (where it cannot)."""
+        levels = np.arange(self.intra_grid_levels, dtype=float)
+        if self.correlation_length_fraction is None:
+            return 2.0 ** -levels
+        target = np.log2(self.correlation_length_fraction)
+        cell_sizes = np.concatenate([[0.0], -(levels + 1.0)])
+        return np.exp(-0.5 * ((cell_sizes - target) / 0.75) ** 2)
 
 
 def delay_multiplier_for_dvth(tech: Technology, dvth_v: float) -> float:
@@ -110,9 +145,13 @@ def sample_intra_die_dvth_matrix(placed: PlacedDesign, model: ProcessModel,
     independent_var = (sigma_total ** 2) * model.intra_independent_fraction
     correlated_var = (sigma_total ** 2) - independent_var
 
-    raw_weights = np.array([2.0 ** -level
-                            for level in range(model.intra_grid_levels)])
+    raw_weights = model.level_weights()
     level_vars = correlated_var * raw_weights / raw_weights.sum()
+    die_level_var = 0.0
+    if len(level_vars) > model.intra_grid_levels:
+        # Leading entry is the die-coherent component (present when a
+        # correlation length is set; see ProcessModel.level_weights).
+        die_level_var, level_vars = level_vars[0], level_vars[1:]
 
     width = placed.floorplan.core_width_um
     height = placed.floorplan.core_height_um
@@ -121,6 +160,9 @@ def sample_intra_die_dvth_matrix(placed: PlacedDesign, model: ProcessModel,
     xs, ys = positions[:, 0], positions[:, 1]
 
     total = np.zeros((num_dies, len(gate_names)))
+    if die_level_var > 0:
+        total += rng.normal(0.0, float(np.sqrt(die_level_var)),
+                            size=(num_dies, 1))
     for level in range(model.intra_grid_levels):
         cells = 2 ** (level + 1)
         offsets = rng.normal(0.0, float(np.sqrt(level_vars[level])),

@@ -56,6 +56,84 @@ class TestConstruction:
         assert problem.check_timing(np.zeros(problem.num_rows, dtype=int))
 
 
+class TestRowBetaVector:
+    """build_problem's spatial form: per-row slowdown vectors."""
+
+    def test_constant_vector_reduces_to_scalar(self, placed_small,
+                                               problem_small):
+        vector = np.full(placed_small.num_rows, problem_small.beta)
+        spatial = build_problem(placed_small, CLIB, vector)
+        assert spatial.num_constraints == problem_small.num_constraints
+        assert np.allclose(spatial.required_ps,
+                           problem_small.required_ps)
+        assert np.allclose(spatial.recovery.toarray(),
+                           problem_small.recovery.toarray())
+        assert not spatial.is_spatial
+        assert not problem_small.is_spatial
+
+    def test_scalar_problem_records_row_betas(self, problem_small):
+        assert problem_small.row_betas.shape == (problem_small.num_rows,)
+        assert (problem_small.row_betas
+                == pytest.approx(problem_small.beta))
+
+    def test_heterogeneous_rows_degrade_heterogeneously(
+            self, placed_small):
+        betas = np.zeros(placed_small.num_rows)
+        betas[0] = 0.08
+        spatial = build_problem(placed_small, CLIB, betas)
+        assert spatial.is_spatial
+        assert spatial.beta == pytest.approx(0.08)  # binding max
+        dense = spatial.recovery.toarray()
+        counts = spatial.gate_counts.toarray()
+        # Rows beyond the slow one contribute their *nominal* delay
+        # (beta 0), the slow row its degraded delay; check via the
+        # aligned uniform problem at beta=0.08.
+        uniform = build_problem(placed_small, CLIB, 0.08)
+        for k, path in enumerate(spatial.paths):
+            j = uniform.paths.index(path)
+            hot = uniform.recovery.toarray()[j, 0]
+            if counts[k, 0]:
+                assert dense[k, 0] == pytest.approx(hot)
+            cold = dense[k, 1:][counts[k, 1:] > 0]
+            cold_uniform = uniform.recovery.toarray()[j, 1:][
+                counts[k, 1:] > 0]
+            assert np.allclose(cold * 1.08, cold_uniform)
+
+    def test_spatial_constraint_set_is_a_subset(self, placed_small):
+        betas = np.zeros(placed_small.num_rows)
+        betas[0] = 0.08
+        spatial = build_problem(placed_small, CLIB, betas)
+        uniform = build_problem(placed_small, CLIB, 0.08)
+        assert 0 < spatial.num_constraints <= uniform.num_constraints
+        assert set(spatial.paths) <= set(uniform.paths)
+
+    def test_wrong_shape_rejected(self, placed_small):
+        with pytest.raises(AllocationError, match="shape"):
+            build_problem(placed_small, CLIB,
+                          np.zeros(placed_small.num_rows + 1))
+
+    def test_negative_entry_rejected(self, placed_small):
+        betas = np.zeros(placed_small.num_rows)
+        betas[-1] = -0.01
+        with pytest.raises(AllocationError, match="non-negative"):
+            build_problem(placed_small, CLIB, betas)
+
+    def test_zero_vector_has_no_constraints(self, placed_small):
+        problem = build_problem(placed_small, CLIB,
+                                np.zeros(placed_small.num_rows))
+        assert problem.num_constraints == 0
+
+    def test_allocators_consume_spatial_problems(self, placed_small):
+        from repro.core import solve_heuristic, solve_single_bb
+        betas = np.zeros(placed_small.num_rows)
+        betas[:2] = 0.06
+        spatial = build_problem(placed_small, CLIB, betas)
+        baseline = solve_single_bb(spatial)
+        clustered = solve_heuristic(spatial, 3)
+        assert clustered.is_timing_feasible
+        assert clustered.leakage_nw <= baseline.leakage_nw + 1e-9
+
+
 class TestCheckTiming:
     def test_no_bias_fails_under_slowdown(self, problem_small):
         levels = np.zeros(problem_small.num_rows, dtype=int)

@@ -237,6 +237,81 @@ class TestParityWithDirectPaths:
             population_row_payload(row)) == row
 
 
+class TestSpatialKind:
+    """The spatial RunSpec kind: serialization, hashing, execution."""
+
+    SPEC = dict(kind="spatial", design="soc_quad", num_dies=12, seed=9,
+                beta_budget=0.02, num_regions=4,
+                process={"sigma_intra_v": 0.03,
+                         "correlation_length_fraction": 0.5})
+
+    def test_json_round_trip_bit_identical(self):
+        spec = RunSpec(**self.SPEC)
+        text = spec.to_json()
+        recovered = RunSpec.from_json(text)
+        assert recovered == spec
+        assert recovered.to_json() == text
+
+    def test_hash_stable_across_round_trips(self):
+        spec = RunSpec(**self.SPEC)
+        assert RunSpec.from_json(spec.to_json()).spec_hash() \
+            == spec.spec_hash()
+        assert RunSpec(**self.SPEC).spec_hash() == spec.spec_hash()
+
+    def test_workers_stays_an_execution_knob(self):
+        """PR 3 semantics carry over: a spatial spec's content address
+        must not depend on workers, so serial artifacts serve pooled
+        runs and vice versa."""
+        serial = RunSpec(**self.SPEC)
+        pooled = RunSpec(**dict(self.SPEC, workers=4))
+        assert serial.spec_hash() == pooled.spec_hash()
+        assert "workers" not in pooled.cache_material()
+        assert pooled.to_dict()["workers"] == 4
+
+    def test_experiment_knobs_are_key_material(self):
+        base = RunSpec(**self.SPEC)
+        assert RunSpec(**dict(self.SPEC, num_regions=8)).spec_hash() \
+            != base.spec_hash()
+        other = dict(self.SPEC,
+                     process={"sigma_intra_v": 0.03,
+                              "correlation_length_fraction": 0.25})
+        assert RunSpec(**other).spec_hash() != base.spec_hash()
+
+    def test_num_regions_validated(self):
+        with pytest.raises(SpecError, match="num_regions"):
+            RunSpec(kind="spatial", num_regions=0)
+
+    def test_process_model_materializes(self):
+        model = RunSpec(**self.SPEC).process_model()
+        assert model.sigma_intra_v == 0.03
+        assert model.correlation_length_fraction == 0.5
+        assert RunSpec(kind="spatial").process_model() is None
+        with pytest.raises(SpecError, match="bad process overrides"):
+            RunSpec(kind="spatial",
+                    process={"not_a_knob": 1}).process_model()
+
+    def test_executes_matches_run_spatial_and_caches(self, cache):
+        from repro.flow import SpatialConfig, implement, run_spatial
+        result = run(RunSpec(**self.SPEC), cache=cache)
+        row = result.to_spatial_row()
+        flow = implement("soc_quad", cache=cache)
+        direct = run_spatial(flow, SpatialConfig(
+            num_dies=12, seed=9, beta_budget=0.02, num_regions=4,
+            model=RunSpec(**self.SPEC).process_model()))
+        assert row.spatial_yield == direct.spatial_yield
+        assert row.uniform_yield == direct.uniform_yield
+        assert row.spatial_leakage_uw == direct.spatial_leakage_uw
+        warm = run(RunSpec(**self.SPEC), cache=cache)
+        assert warm.cache_hit
+        assert warm.payload == result.payload
+
+    def test_decoder_guards_kind(self, cache):
+        result = run(RunSpec(kind="allocate", design="c1355"),
+                     cache=cache)
+        with pytest.raises(SpecError, match="not a spatial"):
+            result.to_spatial_row()
+
+
 class TestDeprecatedShims:
     """run_table1 / run_population_study route through the facade."""
 

@@ -69,6 +69,29 @@ class TestParser:
             ["allocate", "c1355", "--method", "heuristic:level-sweep"])
         assert args.method == "heuristic:level-sweep"
 
+    def test_spatial_defaults(self):
+        args = build_parser().parse_args(["spatial", "soc_quad"])
+        assert args.dies == 200
+        assert args.regions == 4
+        assert args.correlation_length is None
+        assert args.workers == 1
+
+    def test_spatial_args_threaded(self):
+        args = build_parser().parse_args(
+            ["spatial", "soc_quad", "--dies", "40", "--regions", "6",
+             "--correlation-length", "0.25", "--sigma-intra", "0.03",
+             "--beta-budget", "0.02", "--workers", "2"])
+        assert args.dies == 40
+        assert args.regions == 6
+        assert args.correlation_length == 0.25
+        assert args.sigma_intra == 0.03
+        assert args.beta_budget == 0.02
+        assert args.workers == 2
+
+    def test_spatial_accepts_extra_benchmarks_only_if_known(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["spatial", "nonexistent"])
+
 
 class TestCommands:
     def test_fig1(self, capsys):
@@ -120,6 +143,16 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "level-sweep" in out
         assert "savings vs single BB" in out
+
+    def test_spatial_study(self, capsys):
+        assert main(["spatial", "soc_quad", "--dies", "10",
+                     "--seed", "9", "--beta-budget", "0.02",
+                     "--correlation-length", "0.5",
+                     "--sigma-intra", "0.03"]) == 0
+        out = capsys.readouterr().out
+        assert "soc_quad" in out
+        assert "uniform" in out and "spatial" in out
+        assert "0.50" in out  # correlation length column
 
 
 class TestSweep:

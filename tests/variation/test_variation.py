@@ -118,6 +118,57 @@ class TestScaleMatrix:
                                          np.random.default_rng(0), 0)
 
 
+class TestCorrelationLength:
+    """The correlation_length_fraction knob of ProcessModel."""
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ProcessModel(correlation_length_fraction=0.0)
+        with pytest.raises(ReproError):
+            ProcessModel(correlation_length_fraction=1.5)
+
+    def test_default_weights_unchanged(self):
+        weights = ProcessModel().level_weights()
+        assert np.allclose(weights, [1.0, 0.5, 0.25])
+
+    def test_long_correlation_is_die_coherent(self):
+        """At 1.0 the leading (die-level) entry dominates the bell."""
+        weights = ProcessModel(
+            correlation_length_fraction=1.0).level_weights()
+        assert len(weights) == ProcessModel().intra_grid_levels + 1
+        assert weights[0] == weights.max()
+
+    def test_short_correlation_prefers_fine_grids(self):
+        weights = ProcessModel(
+            correlation_length_fraction=0.125).level_weights()
+        assert weights.argmax() == len(weights) - 1
+
+    def test_total_variance_preserved(self, placed):
+        """The knob reshapes the field, not its per-gate variance."""
+        sigmas = []
+        for fraction in (None, 1.0, 0.25):
+            model = ProcessModel(
+                sigma_intra_v=0.03, intra_independent_fraction=0.1,
+                correlation_length_fraction=fraction)
+            matrix = sample_intra_die_dvth_matrix(
+                placed, model, np.random.default_rng(4), 400)
+            sigmas.append(matrix.std())
+        assert max(sigmas) < 1.25 * min(sigmas)
+
+    def test_long_correlation_flattens_each_die(self, placed):
+        """Within-die spread shrinks as the length grows (the variance
+        moves into the die-coherent component)."""
+        spreads = {}
+        for fraction in (1.0, 0.125):
+            model = ProcessModel(
+                sigma_intra_v=0.03, intra_independent_fraction=0.05,
+                correlation_length_fraction=fraction)
+            matrix = sample_intra_die_dvth_matrix(
+                placed, model, np.random.default_rng(4), 200)
+            spreads[fraction] = matrix.std(axis=1).mean()
+        assert spreads[1.0] < spreads[0.125]
+
+
 class TestMonteCarlo:
     def test_population_statistics(self, placed):
         result = sample_dies(placed, 40, seed=2)
@@ -172,6 +223,62 @@ class TestMonteCarlo:
     def test_bad_count_rejected(self, placed):
         with pytest.raises(ReproError):
             sample_dies(placed, 0)
+
+
+class TestMonteCarloEdgeCases:
+    """MonteCarloResult corner cases: single-gate designs, threshold
+    boundaries, missing matrices (ISSUE 4 satellite)."""
+
+    @pytest.fixture(scope="class")
+    def single_gate_placed(self):
+        from repro.netlist.core import Netlist
+        from repro.placement import place_design as place
+        netlist = Netlist("one_inv")
+        netlist.add_input("a")
+        netlist.add_output("y")
+        netlist.add_gate("u1", "INV", ["a"], "y")
+        from repro.synth import map_netlist as remap
+        return place(remap(netlist, LIBRARY), LIBRARY)
+
+    def test_single_gate_population(self, single_gate_placed):
+        result = sample_dies(single_gate_placed, 16, seed=3)
+        assert result.scale_matrix.shape == (16, 1)
+        assert result.gate_names == ("u1",)
+        assert np.all(result.betas > -1.0)
+        rebuilt = result.gate_scales_of(7)
+        assert rebuilt == {"u1": result.scale_matrix[7, 0]}
+
+    def test_single_gate_engines_agree(self, single_gate_placed):
+        batched = sample_dies(single_gate_placed, 9, seed=2,
+                              engine="batched")
+        scalar = sample_dies(single_gate_placed, 9, seed=2,
+                             engine="scalar")
+        assert np.array_equal(batched.betas, scalar.betas)
+
+    def test_gate_scales_of_without_matrix_raises(self, placed):
+        import dataclasses
+        result = sample_dies(placed, 3, seed=1)
+        stripped = dataclasses.replace(result, scale_matrix=None)
+        with pytest.raises(ReproError, match="scale matrix"):
+            stripped.gate_scales_of(0)
+
+    def test_slow_dies_threshold_is_strict(self, placed):
+        """A die exactly at the threshold is *not* slow: the tuning
+        budget contract is beta > threshold, matching timing_yield's
+        beta <= budget."""
+        result = sample_dies(placed, 20, seed=2)
+        boundary = float(result.betas[4])
+        slow = result.slow_dies(boundary)
+        assert all(die.beta > boundary for die in slow)
+        assert result.samples[4] not in slow
+        # complementarity: yield fraction + slow fraction == 1
+        assert (len(slow) / result.num_dies
+                == pytest.approx(1.0 - result.timing_yield(boundary)))
+
+    def test_slow_dies_extreme_thresholds(self, placed):
+        result = sample_dies(placed, 20, seed=2)
+        assert result.slow_dies(result.betas.max()) == []
+        assert len(result.slow_dies(-1.0)) == result.num_dies
 
 
 class TestTemperature:
