@@ -3,25 +3,35 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
 .PHONY: test lint docs-check bench bench-batched bench-cache \
-	bench-parallel bench-spatial test-parallel test-spatial
+	bench-parallel bench-spatial bench-grouping test-parallel \
+	test-spatial test-grouping examples
 
 test:
 	$(PYTEST) -x -q
 
 # Static checks: ruff (config in ruff.toml) plus the registry policy
-# suite — every solver-registry entry must carry a docstring, and the
-# docs must track the registered method names.  ruff is optional
-# locally but required (and installed) in CI.
+# suites — every solver-registry entry and every grouping-strategy
+# entry must carry a docstring, and the docs must track the registered
+# names.  ruff is optional locally but required (and installed) in CI.
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks examples; \
 	else \
 		echo "ruff not installed; skipping style pass (CI runs it)"; \
 	fi
-	$(PYTEST) -q tests/core/test_registry.py tests/test_docs.py
+	$(PYTEST) -q tests/core/test_registry.py \
+		tests/grouping/test_grouping.py tests/test_docs.py
 
 docs-check:
 	$(PYTEST) -q tests/test_docs.py
+
+# Run every example script at full size (tests/test_examples.py smoke-
+# runs the same scripts with REPRO_EXAMPLE_TINY=1 on every `make test`).
+examples:
+	@set -e; for script in examples/*.py; do \
+		echo "== $$script"; \
+		PYTHONPATH=src python $$script; \
+	done
 
 bench:
 	$(PYTEST) -q benchmarks/
@@ -40,6 +50,13 @@ bench-parallel:
 bench-spatial:
 	$(PYTEST) -q benchmarks/bench_spatial.py
 
+# Bias-domain grouping, gated: >= 3x ILP+heuristic solve-time speedup
+# at bands:8 on the largest catalog circuit, the coarser-groups ->
+# fewer-boundaries / higher-leakage monotone trade-off, and identity-
+# grouping bit-identity.
+bench-grouping:
+	$(PYTEST) -q benchmarks/bench_grouping.py
+
 # The parallel/concurrency suite on its own: cache hammering across
 # processes plus serial-vs-parallel equivalence (CI's smoke job).
 test-parallel:
@@ -49,3 +66,8 @@ test-parallel:
 # The spatial compensation engine suite on its own.
 test-spatial:
 	$(PYTEST) -q tests/tuning/test_spatial.py
+
+# The bias-domain grouping suite on its own (unit + property tests +
+# grouped tuning).
+test-grouping:
+	$(PYTEST) -q tests/grouping/ tests/tuning/test_grouping_tuning.py

@@ -2,7 +2,12 @@
 
 The paper sweeps C = 2..11 on c5315 at beta = 5 % and observes only a
 2.56 % marginal savings gain — the argument for the cheap 2-rail
-(3-cluster) physical implementation.
+(3-cluster) physical implementation.  The report separates the two
+counts the old version conflated: *voltage clusters* (distinct bias
+values, what the paper's C budgets) and *physical domains* (contiguous
+same-voltage row wells, what the layout pays for) — with bias-domain
+grouping in the stack these genuinely differ, see DESIGN.md,
+"Bias-domain grouping".
 """
 
 import pytest
@@ -19,12 +24,16 @@ def test_cluster_sweep_c5315(benchmark, problem_factory, out_dir):
     baseline = solve_single_bb(problem)
 
     def sweep():
-        return [solve_heuristic(problem, budget).savings_vs(
-            baseline.leakage_nw) for budget in BUDGETS]
+        return [solve_heuristic(problem, budget) for budget in BUDGETS]
 
-    savings = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    solutions = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    savings = [solution.savings_vs(baseline.leakage_nw)
+               for solution in solutions]
+    clusters = [solution.num_clusters for solution in solutions]
+    domains = [solution.num_domains for solution in solutions]
 
-    text = format_sweep("c5315", 0.05, BUDGETS, savings)
+    text = format_sweep("c5315", 0.05, BUDGETS, savings,
+                        clusters=clusters, domains=domains)
     extra = savings[-1] - savings[1]  # C=11 over C=3
     text += (f"\n\nC=11 gains only {extra:+.2f} points over C=3 "
              "(paper: +2.56 over the C=2..11 sweep)\n")
@@ -38,3 +47,9 @@ def test_cluster_sweep_c5315(benchmark, problem_factory, out_dir):
     assert extra < 6.0
     # but the first clusters matter
     assert savings[0] > 5.0
+    # voltage clusters respect the budget; physical domains are what the
+    # layout pays and can exceed the voltage count (interleaved rows)
+    for budget, voltages, wells in zip(BUDGETS, clusters, domains):
+        assert voltages <= budget
+        # every distinct voltage occupies at least one contiguous run
+        assert wells >= voltages

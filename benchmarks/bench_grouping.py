@@ -1,0 +1,156 @@
+"""E8: bias-domain grouping — solve-time speedup and the granularity
+trade-off (DESIGN.md, "Bias-domain grouping"; paper Sec. 3.3 + Sec. 4).
+
+The paper's premise is *physically clustered* FBB: a handful of bias
+domains, not a knob per row.  The grouping layer makes that granularity
+explicit, and this bench gates its two headline claims on the largest
+catalog circuit (industrial3, the paper's biggest Table 1 module):
+
+1. **Speedup** — ILP and heuristic cost scale with the decision-row
+   count, so solving at ``bands:8`` (8 domains) instead of identity
+   (per-row) must be >= 3x faster, combined across both method
+   families (best-of-3 wall-clock, reduction + expansion included).
+2. **Trade-off monotonicity** — the physical prediction: coarser
+   domains mean fewer well-separation boundaries (cheaper layout) but
+   higher leakage (less precise compensation).  Swept with the exact
+   ILP over *nested* band cuts (each coarser cut set is a subset of
+   the finer one, cuts at ``floor(i*N/k)`` for power-of-two ``k``), so
+   leakage monotonicity is guaranteed by construction — every coarse
+   assignment is expressible at the finer granularity — rather than
+   empirical.  The equal-divmod ``bands:<k>`` splits do not nest, so
+   the sweep builds its groupings explicitly.
+3. **Identity equivalence** — ``grouping="identity"`` must reproduce
+   the ungrouped solver's assignment bit for bit, both through the
+   pass-through path and through the full aggregate/solve/expand
+   machinery.
+
+Artefact: ``benchmarks/out/grouping.txt`` (referenced by
+EXPERIMENTS.md).
+"""
+
+import time
+
+import pytest
+
+from repro.core import solve, solve_single_bb
+from repro.flow import format_grouping_tradeoff
+from repro.grouping import RowGrouping, reduce_problem, solve_grouped
+from repro.layout.wells import well_separation
+
+DESIGN = "industrial3"  # largest catalog circuit (Table 1's biggest)
+BETA = 0.05
+CLUSTERS = 3
+GROUPED_SPEC = "bands:8"
+REQUIRED_SPEEDUP = 3.0
+SWEEP_BAND_COUNTS = (2, 4, 8, 16, 32)
+
+
+def _nested_banding(num_rows: int, num_bands: int) -> RowGrouping:
+    """Contiguous bands with cuts at ``floor(i * N / k)``.
+
+    For ``k | k'`` every cut of the ``k``-banding is a cut of the
+    ``k'``-banding (``i*N/k == (i*k'/k)*N/k'``), so the power-of-two
+    sweep's feasible sets nest — which is what makes the exact-ILP
+    leakage curve provably monotone in granularity.
+    """
+    cuts = sorted({num_rows * index // num_bands
+                   for index in range(1, num_bands)})
+    bounds = [0] + cuts + [num_rows]
+    return RowGrouping.from_band_sizes(
+        [hi - lo for lo, hi in zip(bounds, bounds[1:])],
+        name=f"nested:{num_bands}")
+
+
+def _best_of(repeats, func):
+    """Minimum wall-clock of ``repeats`` runs (noise-robust timing)."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+@pytest.mark.benchmark(group="grouping")
+def test_grouping_speedup_and_tradeoff(flow_factory, problem_factory,
+                                       out_dir):
+    flow = flow_factory(DESIGN)
+    problem = problem_factory(DESIGN, BETA)
+    baseline = solve_single_bb(problem)
+
+    # -- gate 1: solve-time speedup at bands:8 vs identity -------------
+    timings = {}
+    for spec in ("identity", GROUPED_SPEC):
+        for method in ("heuristic:row-descent", "ilp:highs"):
+            opts = ({"time_limit_s": 300.0}
+                    if method.startswith("ilp") else {})
+            timings[(spec, method)], _ = _best_of(3, lambda: solve_grouped(
+                problem, method, CLUSTERS, grouping=spec,
+                placed=flow.placed, **opts))
+    identity_s = sum(timings[("identity", m)]
+                     for _s, m in timings if _s == "identity")
+    grouped_s = sum(timings[(GROUPED_SPEC, m)]
+                    for _s, m in timings if _s == GROUPED_SPEC)
+    speedup = identity_s / grouped_s
+
+    # -- gate 2: granularity trade-off, swept with the exact ILP over
+    # nested cuts (coarse feasible sets are subsets of finer ones) ----
+    sweep = [_nested_banding(problem.num_rows, count)
+             for count in SWEEP_BAND_COUNTS]
+    sweep.append(RowGrouping.identity(problem.num_rows))
+    rows = []
+    for banding in sweep:
+        solve_s, solution = _best_of(1, lambda: solve_grouped(
+            problem, "ilp:highs", CLUSTERS, grouping=banding,
+            placed=flow.placed, time_limit_s=300.0))
+        wells = well_separation(flow.placed, list(solution.levels))
+        rows.append({
+            "spec": banding.name,
+            "groups": solution.num_groups,
+            "savings_pct": solution.savings_vs(baseline.leakage_nw),
+            "leakage_uw": solution.leakage_uw,
+            "boundaries": wells.num_boundaries,
+            "domains": solution.num_domains,
+            "solve_s": solve_s,
+        })
+
+    # -- gate 3: identity equivalence, both paths ----------------------
+    direct = solve(problem, "heuristic:row-descent", CLUSTERS)
+    via_spec = solve_grouped(problem, "heuristic:row-descent", CLUSTERS,
+                             grouping="identity", placed=flow.placed)
+    aggregated = reduce_problem(problem,
+                                RowGrouping.identity(problem.num_rows))
+    via_reduce = solve(aggregated, "heuristic:row-descent", CLUSTERS)
+
+    text = format_grouping_tradeoff(DESIGN, BETA, rows)
+    text += (f"\n\nsolve-time speedup at {GROUPED_SPEC} vs identity "
+             f"(heuristic + ILP, best of 3): {speedup:.1f}x "
+             f"({identity_s * 1e3:.1f} ms -> {grouped_s * 1e3:.1f} ms; "
+             f"gate >= {REQUIRED_SPEEDUP:.0f}x)\n")
+    (out_dir / "grouping.txt").write_text(text)
+    print("\n" + text)
+
+    # gate 1: G << N must buy real solver time on the largest circuit
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"grouped solve only {speedup:.2f}x faster "
+        f"(identity {identity_s:.4f}s, {GROUPED_SPEC} {grouped_s:.4f}s)")
+
+    # gate 2: coarser -> fewer well boundaries, higher leakage
+    # (rows are ordered coarsest-first; identity is the finest point)
+    for coarse, fine in zip(rows, rows[1:]):
+        assert coarse["boundaries"] <= fine["boundaries"], (
+            f"{coarse['spec']} has more well boundaries than "
+            f"{fine['spec']}")
+        assert coarse["leakage_uw"] >= fine["leakage_uw"] - 1e-9, (
+            f"{coarse['spec']} leaks less than finer {fine['spec']}")
+    assert rows[0]["leakage_uw"] > rows[-1]["leakage_uw"], (
+        "granularity made no leakage difference at all")
+    assert rows[0]["boundaries"] < rows[-1]["boundaries"], (
+        "granularity made no well-boundary difference at all")
+
+    # gate 3: identity is bit-identical through every path
+    assert via_spec.levels == direct.levels
+    assert via_reduce.levels == direct.levels
+    assert via_spec.leakage_nw == direct.leakage_nw

@@ -16,6 +16,7 @@ the Sec. 3.3 physical-implementation rules.  Expected runtime: ~1 s.
 Run:  python examples/layout_export.py
 """
 
+import os
 from pathlib import Path
 
 from repro import build_problem, implement, solve_heuristic
@@ -24,11 +25,13 @@ from repro.layout import ascii_layout, route_bias_rails, svg_layout
 from repro.tech import write_liberty
 
 OUT = Path(__file__).parent / "out"
+TINY = os.environ.get("REPRO_EXAMPLE_TINY") == "1"
+DESIGN = "c1355" if TINY else "c5315"
 
 
 def main() -> None:
     OUT.mkdir(exist_ok=True)
-    flow = implement("c5315")
+    flow = implement(DESIGN)
     problem = build_problem(flow.placed, flow.clib, 0.05,
                             analyzer=flow.analyzer, paths=list(flow.paths),
                             dcrit_ps=flow.dcrit_ps)
@@ -49,13 +52,13 @@ def main() -> None:
     write_liberty(flow.clib, lib_path)
     print(f"wrote {lib_path}")
 
-    def_path = OUT / "c5315_fbb.def"
+    def_path = OUT / f"{DESIGN}_fbb.def"
     write_def(flow.placed, def_path, special_nets=route.special_nets())
     parsed = read_def(def_path)
     print(f"wrote {def_path} ({len(parsed.components)} components, "
           f"{len(parsed.special_nets)} special nets)")
 
-    svg_path = OUT / "c5315_fbb.svg"
+    svg_path = OUT / f"{DESIGN}_fbb.svg"
     svg_layout(flow.placed, solution.levels, svg_path, route=route)
     print(f"wrote {svg_path}")
 

@@ -12,7 +12,11 @@ population Table 1's slowdowns are drawn from, plus the Fig. 2
 calibration loop on every slow die.  Expected runtime: ~4 s.
 
 Run:  python examples/process_variation_compensation.py
+(set REPRO_EXAMPLE_TINY=1 for the smoke configuration
+tests/test_examples.py runs)
 """
+
+import os
 
 import numpy as np
 
@@ -21,13 +25,15 @@ from repro.errors import TuningError
 from repro.tuning import TuningController
 from repro.variation import ProcessModel, sample_dies
 
-WAFER_DIES = 10_000
-NUM_DIES = 30
+TINY = os.environ.get("REPRO_EXAMPLE_TINY") == "1"
+DESIGN = "c1355" if TINY else "c3540"
+WAFER_DIES = 300 if TINY else 10_000
+NUM_DIES = 8 if TINY else 30
 
 
 def main() -> None:
-    print("implementing c3540-class ALU...")
-    flow = implement("c3540")
+    print(f"implementing {DESIGN}-class module...")
+    flow = implement(DESIGN)
     print(f"  {flow.num_gates} gates, {flow.num_rows} rows, "
           f"Dcrit = {flow.dcrit_ps:.0f} ps\n")
 

@@ -9,16 +9,24 @@ Reproduces: the methodology behind one Table 1 row (c5315, beta=5%)
 plus a Fig. 3-style clustered layout.  Expected runtime: ~3 s.
 
 Run:  python examples/quickstart.py
+(set REPRO_EXAMPLE_TINY=1 for the seconds-scale smoke configuration
+tests/test_examples.py runs)
 """
+
+import os
 
 from repro import (build_problem, implement, solve_heuristic, solve_ilp,
                    solve_single_bb)
 from repro.layout import area_report, ascii_layout, route_bias_rails
 
+TINY = os.environ.get("REPRO_EXAMPLE_TINY") == "1"
+DESIGN = "c1355" if TINY else "c5315"
+
 
 def main() -> None:
-    print("implementing c5315 (generate -> map -> size -> place -> STA)...")
-    flow = implement("c5315")
+    print(f"implementing {DESIGN} "
+          "(generate -> map -> size -> place -> STA)...")
+    flow = implement(DESIGN)
     print(f"  {flow.num_gates} gates on {flow.num_rows} rows, "
           f"Dcrit = {flow.dcrit_ps:.0f} ps")
 

@@ -40,6 +40,8 @@ from repro.flow import (ArtifactCache, ExperimentConfig, FlowResult,
                         format_population, format_spatial, format_table1,
                         implement, run_design_beta, run_population,
                         run_population_study, run_spatial, run_table1)
+from repro.grouping import (RowGrouping, grouping_registry, make_grouping,
+                            reduce_problem, solve_grouped)
 from repro.tech import (CellLibrary, CharacterizedLibrary, Technology,
                         characterize_library, reduced_library,
                         sweep_inverter)
@@ -57,6 +59,7 @@ __all__ = [
     "FlowResult",
     "PopulationConfig",
     "PopulationRow",
+    "RowGrouping",
     "RunResult",
     "RunSpec",
     "SpatialConfig",
@@ -72,9 +75,12 @@ __all__ = [
     "format_population",
     "format_spatial",
     "format_table1",
+    "grouping_registry",
     "implement",
+    "make_grouping",
     "pass_one",
     "pass_two",
+    "reduce_problem",
     "reduced_library",
     "registry",
     "run",
@@ -85,6 +91,7 @@ __all__ = [
     "run_spatial",
     "run_table1",
     "solve",
+    "solve_grouped",
     "solve_heuristic",
     "solve_ilp",
     "solve_single_bb",

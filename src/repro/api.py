@@ -24,6 +24,10 @@ was reused.  Solver methods are names in the
 ``ilp:highs``, ``ilp:branch_bound``, ``ilp:simplex``,
 ``heuristic:row-descent``, ``heuristic:level-sweep`` plus aliases), so
 new allocation strategies become available here without code changes.
+Allocation *granularity* is a spec axis too: ``grouping="bands:8"``
+solves at eight bias domains through :mod:`repro.grouping` (the
+``"identity"`` default keeps per-row allocation, bit-identical in
+results and content hash to specs predating the field).
 
 The ``repro-fbb sweep`` CLI subcommand is the batch interface over this
 module: a JSON list of RunSpecs in, one JSONL RunResult per line out.
@@ -45,7 +49,8 @@ from typing import Any, Callable
 from repro.core.problem import build_problem
 from repro.core.registry import registry
 from repro.core.single_bb import solve_single_bb
-from repro.errors import SpecError
+from repro.errors import GroupingError, SpecError
+from repro.grouping import solve_grouped, validate_grouping_spec
 from repro.flow.cache import (ArtifactCache, canonical_json, content_hash,
                               default_cache)
 from repro.flow.design_flow import FlowResult, implement
@@ -109,6 +114,13 @@ class RunSpec:
     tune: bool = False
     beta_budget: float = 0.0
     utilization: float = 0.75
+    grouping: str = "identity"
+    """Bias-domain grouping spec (DESIGN.md, "Bias-domain grouping"):
+    ``"identity"`` allocates per row, bit-identical to specs predating
+    the field; ``"bands:<k>"``, ``"correlation:<k>"`` and
+    ``"community:<k>"`` solve at ``k`` bias domains.  Part of the
+    content address — except the ``"identity"`` default, which is
+    omitted so existing spec hashes are unchanged."""
     num_regions: int = 4
     """Sensor-grid resolution of the spatial arm (spatial kind only)."""
     process: dict = field(default_factory=dict)
@@ -145,6 +157,11 @@ class RunSpec:
         if self.num_regions < 1:
             raise SpecError(
                 f"num_regions must be >= 1, got {self.num_regions}")
+        try:
+            validate_grouping_spec(self.grouping)
+        except GroupingError as exc:
+            raise SpecError(
+                f"bad grouping spec {self.grouping!r}: {exc}") from exc
         object.__setattr__(self, "cluster_budgets",
                            tuple(int(c) for c in self.cluster_budgets))
 
@@ -211,9 +228,16 @@ class RunSpec:
         so it does not participate in the content address — a sweep run
         with ``workers=4`` hits the exact artifacts a serial run
         produced, and vice versa.
+
+        ``grouping`` *does* change the result, so non-default values
+        are part of the address; the ``"identity"`` default is dropped
+        from the material so that specs predating the field keep their
+        hashes (and their cached artifacts).
         """
         material = self.to_dict()
         del material["workers"]
+        if material["grouping"] == "identity":
+            del material["grouping"]
         return material
 
     def spec_hash(self) -> str:
@@ -369,8 +393,14 @@ def _execute_allocate(spec: RunSpec, cache: ArtifactCache) -> dict:
     opts: dict[str, Any] = {}
     if entry.name.startswith("ilp:"):
         opts["time_limit_s"] = spec.ilp_time_limit_s
-    solution = entry.func(problem, spec.clusters, **opts)
-    return {
+    grouped = spec.grouping != "identity"
+    if grouped:
+        solution = solve_grouped(problem, entry.name, spec.clusters,
+                                 grouping=spec.grouping,
+                                 placed=flow.placed, **opts)
+    else:
+        solution = entry.func(problem, spec.clusters, **opts)
+    payload = {
         "design": flow.name,
         "gates": flow.num_gates,
         "rows": flow.num_rows,
@@ -385,6 +415,13 @@ def _execute_allocate(spec: RunSpec, cache: ArtifactCache) -> dict:
         "optimal": bool(solution.optimal),
         "runtime_s": solution.runtime_s,
     }
+    if grouped:
+        # Extra keys only on grouped runs: identity payloads stay
+        # bit-identical to those produced before the grouping layer.
+        payload["grouping"] = spec.grouping
+        payload["num_groups"] = solution.num_groups
+        payload["num_domains"] = solution.num_domains
+    return payload
 
 
 def _execute_table1(spec: RunSpec, cache: ArtifactCache) -> dict:
@@ -395,7 +432,8 @@ def _execute_table1(spec: RunSpec, cache: ArtifactCache) -> dict:
         ilp_backend=spec.ilp_backend,
         ilp_time_limit_s=spec.ilp_time_limit_s,
         skip_ilp_above_rows=spec.skip_ilp_above_rows,
-        heuristic_strategy=_heuristic_strategy(spec.method))
+        heuristic_strategy=_heuristic_strategy(spec.method),
+        grouping=spec.grouping)
     return table1_row_payload(run_design_beta(flow, spec.beta, config))
 
 
@@ -406,7 +444,7 @@ def _execute_population(spec: RunSpec, cache: ArtifactCache) -> dict:
         model=spec.process_model(), sta_engine=spec.engine,
         tune=spec.tune, max_clusters=spec.clusters,
         beta_budget=spec.beta_budget, method=spec.method,
-        workers=spec.workers)
+        workers=spec.workers, grouping=spec.grouping)
     return population_row_payload(run_population(flow, config))
 
 
@@ -417,7 +455,7 @@ def _execute_spatial(spec: RunSpec, cache: ArtifactCache) -> dict:
         model=spec.process_model(), sta_engine=spec.engine,
         max_clusters=spec.clusters, beta_budget=spec.beta_budget,
         method=spec.method, num_regions=spec.num_regions,
-        workers=spec.workers)
+        workers=spec.workers, grouping=spec.grouping)
     return spatial_row_payload(run_spatial(flow, config))
 
 

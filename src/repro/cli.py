@@ -6,7 +6,9 @@ Subcommands (all experiment-shaped ones are thin wrappers over the
 * ``table1 [designs...]`` — regenerate the paper's Table 1;
 * ``fig1`` — the inverter delay/leakage sweep of Fig. 1;
 * ``allocate DESIGN --beta B --clusters C`` — one allocation run via
-  the solver registry (``--method`` names any registered solver);
+  the solver registry (``--method`` names any registered solver;
+  ``--grouping bands:8`` solves at 8 bias domains instead of per row —
+  the flag exists on every allocation-shaped subcommand);
 * ``layout DESIGN --beta B`` — ASCII layout view with bias clusters;
 * ``montecarlo DESIGN --dies N --seed S`` — sample a die population
   through the batched STA backend and report yield (``--tune`` runs the
@@ -42,7 +44,8 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     designs = tuple(args.designs) if args.designs else BENCHMARK_NAMES[:6]
     specs = [RunSpec(kind="table1", design=name, beta=beta,
                      ilp_time_limit_s=args.ilp_time_limit,
-                     skip_ilp_above_rows=args.skip_ilp_above_rows)
+                     skip_ilp_above_rows=args.skip_ilp_above_rows,
+                     grouping=args.grouping)
              for name in designs for beta in (0.05, 0.10)]
     rows = [result.to_table1_row() for result in run_many(specs)]
     print(format_table1(rows))
@@ -66,27 +69,34 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
                              else "heuristic:row-descent")
     result = run(RunSpec(kind="allocate", design=args.design,
                          beta=args.beta, method=method,
-                         clusters=args.clusters))
+                         clusters=args.clusters, grouping=args.grouping))
     payload = result.payload
     print(f"{payload['design']} [{payload['method']}] "
           f"beta={payload['beta']:.0%}: baseline "
           f"{payload['baseline_uw']:.3f} uW -> {payload['leakage_uw']:.3f} "
           f"uW across {payload['num_clusters']} clusters, timing "
           f"{'OK' if payload['timing_ok'] else 'VIOLATED'}")
+    if "num_groups" in payload:
+        print(f"grouping {payload['grouping']}: {payload['num_groups']} "
+              f"bias domains solved, {payload['num_domains']} physical "
+              "domains used")
     print(f"savings vs single BB: {payload['savings_pct']:.2f}%")
     return 0
 
 
 def _cmd_layout(args: argparse.Namespace) -> int:
-    from repro.core import build_problem, solve_heuristic
+    from repro.core import build_problem
     from repro.flow import implement
+    from repro.grouping import solve_grouped
     from repro.layout import ascii_layout, route_bias_rails
     flow = implement(args.design)
     problem = build_problem(flow.placed, flow.clib, args.beta,
                             analyzer=flow.analyzer,
                             paths=list(flow.paths),
                             dcrit_ps=flow.dcrit_ps)
-    solution = solve_heuristic(problem, args.clusters)
+    solution = solve_grouped(problem, "heuristic:row-descent",
+                             args.clusters, grouping=args.grouping,
+                             placed=flow.placed)
     route = route_bias_rails(flow.placed, solution.levels_array,
                              problem.vbs_levels)
     print(ascii_layout(flow.placed, solution.levels, route=route))
@@ -100,7 +110,7 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
         kind="population", design=args.design, num_dies=args.dies,
         seed=args.seed, engine=args.engine, tune=args.tune,
         clusters=args.clusters, beta_budget=args.beta_budget,
-        workers=args.workers))
+        workers=args.workers, grouping=args.grouping))
     print(format_population([result.to_population_row()]))
     return 0
 
@@ -117,7 +127,7 @@ def _cmd_spatial(args: argparse.Namespace) -> int:
         kind="spatial", design=args.design, num_dies=args.dies,
         seed=args.seed, clusters=args.clusters,
         beta_budget=args.beta_budget, num_regions=args.regions,
-        process=process, workers=args.workers))
+        process=process, workers=args.workers, grouping=args.grouping))
     print(format_spatial([result.to_spatial_row()]))
     return 0
 
@@ -170,6 +180,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_grouping_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--grouping", default="identity",
+        help="bias-domain grouping spec: identity (per-row, default), "
+             "bands:<k>, correlation:<k> or community:<k>")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-fbb",
@@ -181,6 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help=f"subset of {', '.join(BENCHMARK_NAMES)}")
     table1.add_argument("--ilp-time-limit", type=float, default=120.0)
     table1.add_argument("--skip-ilp-above-rows", type=int, default=None)
+    _add_grouping_flag(table1)
     table1.set_defaults(func=_cmd_table1)
 
     fig1 = sub.add_parser("fig1", help="inverter bias sweep (Fig. 1)")
@@ -194,12 +212,14 @@ def build_parser() -> argparse.ArgumentParser:
     allocate.add_argument("--method", default=None,
                           help="solver-registry method (e.g. ilp:simplex, "
                                "heuristic:level-sweep); overrides --ilp")
+    _add_grouping_flag(allocate)
     allocate.set_defaults(func=_cmd_allocate)
 
     layout = sub.add_parser("layout", help="ASCII clustered layout")
     layout.add_argument("design", choices=ALL_BENCHMARK_NAMES)
     layout.add_argument("--beta", type=float, default=0.05)
     layout.add_argument("--clusters", type=int, default=3)
+    _add_grouping_flag(layout)
     layout.set_defaults(func=_cmd_layout)
 
     montecarlo = sub.add_parser(
@@ -222,6 +242,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="process-pool width for --tune: shard "
                                  "the slow dies across N workers "
                                  "(results identical to serial)")
+    _add_grouping_flag(montecarlo)
     montecarlo.set_defaults(func=_cmd_montecarlo)
 
     spatial = sub.add_parser(
@@ -248,6 +269,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="process-pool width for sharding each "
                               "arm's slow dies (results identical to "
                               "serial)")
+    _add_grouping_flag(spatial)
     spatial.set_defaults(func=_cmd_spatial)
 
     sweep = sub.add_parser(

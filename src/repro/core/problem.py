@@ -40,7 +40,8 @@ the rows that are actually slow.
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 from scipy.sparse import csr_matrix
@@ -51,6 +52,9 @@ from repro.power.leakage import leakage_matrix
 from repro.sta.engine import TimingAnalyzer
 from repro.sta.paths import TimingPath, extract_paths, violating_paths
 from repro.tech.characterize import CharacterizedLibrary
+
+if TYPE_CHECKING:  # the grouping layer sits above core: import lazily
+    from repro.grouping.domains import RowGrouping
 
 #: numerical slack tolerance for timing feasibility, picoseconds
 TIMING_TOL_PS = 1e-6
@@ -77,14 +81,22 @@ class FBBProblem:
     """req[k]: recovery needed by path k, picoseconds. Shape (M,)."""
     paths: tuple[TimingPath, ...]
     """The pruned violating-path set Pi, aligned with matrix rows."""
-    row_betas: np.ndarray = field(default=None)  # type: ignore[assignment]
+    row_betas: np.ndarray | None = None
     """Per-row slowdowns beta_i, shape (N,).  Uniform problems carry
-    ``full(N, beta)``; spatial problems carry the sensed field."""
+    ``full(N, beta)``; spatial problems carry the sensed field.
+    ``None`` is accepted at construction only: ``__post_init__``
+    normalizes it to the uniform vector, so readers always see an
+    array."""
 
     def __post_init__(self) -> None:
-        if self.row_betas is None:
-            object.__setattr__(
-                self, "row_betas", np.full(self.num_rows, self.beta))
+        betas = (np.full(self.num_rows, self.beta)
+                 if self.row_betas is None
+                 else np.asarray(self.row_betas, dtype=float))
+        if betas.shape != (self.num_rows,):
+            raise AllocationError(
+                f"row_betas needs shape ({self.num_rows},), got "
+                f"{betas.shape}")
+        object.__setattr__(self, "row_betas", betas)
 
     @property
     def num_levels(self) -> int:
@@ -139,6 +151,21 @@ class FBBProblem:
         """Distinct voltages used, counting no-bias as a cluster."""
         levels = self._check_levels(levels)
         return len(np.unique(levels))
+
+    def num_domains(self, levels: np.ndarray) -> int:
+        """Physical bias domains: contiguous row runs sharing one level.
+
+        This is the well count of the assignment — exactly one more
+        than the Sec. 3.3 well-separation boundaries — and it is *not*
+        the same thing as :meth:`num_clusters`: three voltages
+        interleaved over many rows use 3 clusters but many domains,
+        while a banded grouping caps the domain count regardless of how
+        many voltages repeat.
+        """
+        levels = self._check_levels(levels)
+        if self.num_rows == 0:
+            return 0
+        return int(1 + np.count_nonzero(levels[1:] != levels[:-1]))
 
     def row_criticality(self, levels: np.ndarray,
                         ranking: str = "inverse-slack") -> np.ndarray:
@@ -208,7 +235,9 @@ def build_problem(placed: PlacedDesign, clib: CharacterizedLibrary,
                   beta: float | Sequence[float] | np.ndarray,
                   analyzer: TimingAnalyzer | None = None,
                   paths: list[TimingPath] | None = None,
-                  dcrit_ps: float | None = None) -> FBBProblem:
+                  dcrit_ps: float | None = None,
+                  grouping: "str | RowGrouping | None" = None
+                  ) -> FBBProblem:
     """Run the Sec. 4.1 pre-processing on a placed design.
 
     ``beta`` is the sensed slowdown: a scalar applies the paper's
@@ -217,6 +246,15 @@ def build_problem(placed: PlacedDesign, clib: CharacterizedLibrary,
     engine's sensed field — see DESIGN.md, "Spatial compensation").
     ``analyzer``/``paths``/``dcrit_ps`` can be supplied to reuse STA
     results across multiple betas (the experiment harness does).
+
+    ``grouping`` sets the allocation granularity (DESIGN.md,
+    "Bias-domain grouping"): a strategy spec (``"bands:8"``) or a
+    prebuilt :class:`~repro.grouping.RowGrouping` aggregates ``L``,
+    ``D``, ``Q`` and ``row_betas`` over bias domains and returns the
+    reduced ``G``-row problem; ``None`` or ``"identity"`` returns the
+    per-row problem bit-identical to the pre-grouping behaviour.  Use
+    :func:`repro.grouping.solve_grouped` when the per-row expansion of
+    the solution is needed afterwards.
     """
     scalar_beta, row_betas = _normalize_row_betas(beta, placed.num_rows)
     if placed.num_rows == 0:
@@ -268,7 +306,7 @@ def build_problem(placed: PlacedDesign, clib: CharacterizedLibrary,
     gate_counts = csr_matrix((counts, (rows_idx, cols_idx)), shape=shape)
 
     speedups = np.array([1.0 - scale for scale in clib.delay_scales])
-    return FBBProblem(
+    problem = FBBProblem(
         design_name=placed.netlist.name,
         beta=(scalar_beta if scalar_beta is not None
               else float(row_betas.max(initial=0.0))),
@@ -283,3 +321,11 @@ def build_problem(placed: PlacedDesign, clib: CharacterizedLibrary,
         paths=tuple(constraint_paths),
         row_betas=row_betas,
     )
+    if grouping is not None:
+        # Imported here, not at module level: grouping sits above core
+        # in the package graph and itself imports this module.
+        from repro.grouping.reduce import reduce_problem, resolve_grouping
+        resolved = resolve_grouping(grouping, problem, placed=placed)
+        if resolved is not None and not resolved.is_identity:
+            return reduce_problem(problem, resolved)
+    return problem

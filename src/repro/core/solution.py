@@ -4,11 +4,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.problem import FBBProblem
 from repro.errors import AllocationError
+
+if TYPE_CHECKING:  # the grouping layer sits above core: no runtime import
+    from repro.grouping.domains import RowGrouping
 
 
 @dataclass(frozen=True)
@@ -52,6 +56,26 @@ class BiasSolution:
         return self.problem.num_clusters(self.levels_array)
 
     @property
+    def num_domains(self) -> int:
+        """Physical bias domains (contiguous same-voltage row runs) —
+        the well count, distinct from the voltage-cluster count."""
+        return self.problem.num_domains(self.levels_array)
+
+    @property
+    def num_groups(self) -> int:
+        """Decision granularity the solver ran at: the grouping's
+        domain count for a solution produced via
+        :func:`repro.grouping.solve_grouped`, otherwise the row count
+        (per-row allocation)."""
+        return int(self.extras.get("num_groups", self.problem.num_rows))
+
+    @property
+    def grouping_name(self) -> str:
+        """Grouping spec the solution was solved under ("identity" for
+        plain per-row solves)."""
+        return str(self.extras.get("grouping", "identity"))
+
+    @property
     def is_timing_feasible(self) -> bool:
         return self.problem.check_timing(self.levels_array)
 
@@ -65,6 +89,43 @@ class BiasSolution:
         for row, level in enumerate(self.levels):
             grouping.setdefault(self.problem.vbs_levels[level], []).append(row)
         return dict(sorted(grouping.items()))
+
+    def expand_to(self, problem: FBBProblem,
+                  grouping: RowGrouping) -> BiasSolution:
+        """Group -> row expansion: lift a bias-domain solution onto the
+        full per-row problem.
+
+        ``self`` must have been solved on the reduced problem of
+        ``grouping`` (one level per domain); the result assigns every
+        member row its domain's level against ``problem``, so layout,
+        wells, leakage and reports keep consuming ordinary per-row
+        level vectors.  The domain-level assignment is preserved in
+        ``extras`` (``grouping``/``num_groups``/``group_levels``).
+        """
+        if len(self.levels) != grouping.num_groups:
+            raise AllocationError(
+                f"solution has {len(self.levels)} domain levels, "
+                f"grouping {grouping.name!r} has {grouping.num_groups} "
+                "domains")
+        if grouping.num_rows != problem.num_rows:
+            raise AllocationError(
+                f"grouping {grouping.name!r} covers {grouping.num_rows} "
+                f"rows, problem has {problem.num_rows}")
+        row_levels = grouping.expand(self.levels_array)
+        extras = dict(self.extras)
+        extras.update({
+            "grouping": grouping.name,
+            "num_groups": grouping.num_groups,
+            "group_levels": [int(level) for level in self.levels],
+        })
+        return BiasSolution(
+            problem=problem,
+            levels=tuple(int(level) for level in row_levels),
+            method=self.method,
+            runtime_s=self.runtime_s,
+            optimal=self.optimal,
+            extras=extras,
+        )
 
     def savings_vs(self, baseline_leakage_nw: float) -> float:
         """Leakage savings in percent against a baseline (Table 1)."""

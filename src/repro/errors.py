@@ -75,5 +75,10 @@ class RegistryError(ReproError):
     entry."""
 
 
+class GroupingError(ReproError):
+    """Bias-domain grouping problems: malformed spec, unknown strategy,
+    or a grouping that does not cover the design's rows."""
+
+
 class SpecError(ReproError):
     """Invalid or unserializable RunSpec/RunResult (repro.api layer)."""

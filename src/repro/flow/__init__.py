@@ -14,9 +14,11 @@ from repro.flow.parallel import (SpecFailure, execute_specs,
                                  resolve_workers, stable_payload,
                                  tune_dies_parallel,
                                  tune_dies_spatial_parallel)
-from repro.flow.reports import (format_cache_stats, format_population,
-                                format_spatial, format_spec_failures,
-                                format_sweep, format_table1)
+from repro.flow.reports import (format_cache_stats,
+                                format_grouping_tradeoff,
+                                format_population, format_spatial,
+                                format_spec_failures, format_sweep,
+                                format_table1)
 
 __all__ = [
     "ArtifactCache",
@@ -34,6 +36,7 @@ __all__ = [
     "default_cache",
     "execute_specs",
     "format_cache_stats",
+    "format_grouping_tradeoff",
     "format_population",
     "format_spatial",
     "format_spec_failures",

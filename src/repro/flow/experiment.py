@@ -20,10 +20,10 @@ import warnings
 from dataclasses import dataclass, field
 
 from repro.core.problem import FBBProblem, build_problem
-from repro.core.registry import solve
 from repro.core.single_bb import solve_single_bb
 from repro.errors import TimeoutError_
 from repro.flow.design_flow import FlowResult, implement
+from repro.grouping import solve_grouped
 from repro.variation.montecarlo import sample_dies
 from repro.variation.process import ProcessModel
 
@@ -63,6 +63,10 @@ class ExperimentConfig:
     workers: int = 1
     """Process-pool width for the (design, beta) fan-out when the run
     routes through ``api.run_many`` (the ``run_table1`` shim)."""
+    grouping: str = "identity"
+    """Bias-domain grouping spec for the ILP/heuristic columns
+    (``"identity"`` = the paper's per-row granularity; the Single BB
+    baseline is granularity-free by definition)."""
     extra: dict = field(default_factory=dict)
 
 
@@ -84,8 +88,10 @@ def run_design_beta(flow: FlowResult, beta: float,
             ilp_savings[clusters] = None
             continue
         try:
-            solution = solve(problem, f"ilp:{config.ilp_backend}", clusters,
-                             time_limit_s=config.ilp_time_limit_s)
+            solution = solve_grouped(
+                problem, f"ilp:{config.ilp_backend}", clusters,
+                grouping=config.grouping, placed=flow.placed,
+                time_limit_s=config.ilp_time_limit_s)
             ilp_savings[clusters] = solution.savings_vs(baseline.leakage_nw)
             ilp_runtime += solution.runtime_s
         except TimeoutError_:
@@ -94,8 +100,9 @@ def run_design_beta(flow: FlowResult, beta: float,
     heuristic_savings: dict[int, float] = {}
     heuristic_runtime = 0.0
     for clusters in config.cluster_budgets:
-        solution = solve(problem,
-                         f"heuristic:{config.heuristic_strategy}", clusters)
+        solution = solve_grouped(
+            problem, f"heuristic:{config.heuristic_strategy}", clusters,
+            grouping=config.grouping, placed=flow.placed)
         heuristic_savings[clusters] = solution.savings_vs(
             baseline.leakage_nw)
         heuristic_runtime += solution.runtime_s
@@ -132,6 +139,9 @@ class PopulationConfig:
     workers: int = 1
     """Process-pool width for sharding the tuning loop across the
     population's slow dies (1 = the serial reference path)."""
+    grouping: str = "identity"
+    """Bias-domain grouping the tuning controller allocates at
+    (``"identity"`` = per-row, the pre-grouping behaviour)."""
 
 
 @dataclass(frozen=True)
@@ -178,7 +188,8 @@ def run_population(flow: FlowResult,
         started = time.perf_counter()
         controller = TuningController(flow.placed, flow.clib,
                                       max_clusters=config.max_clusters,
-                                      method=config.method)
+                                      method=config.method,
+                                      grouping=config.grouping)
         summary = controller.calibrate_population(
             population, beta_budget=config.beta_budget,
             workers=config.workers)
@@ -224,6 +235,9 @@ class SpatialConfig:
     """Allocator of the spatial arm (the uniform arm uses single_bb)."""
     num_regions: int = 4
     """Sensor-grid resolution of the spatial arm."""
+    grouping: str = "identity"
+    """Bias-domain grouping of the spatial arm's allocator (the uniform
+    arm is single-voltage, so granularity does not apply to it)."""
     max_iterations: int = 4
     """Calibration-iteration budget per die (tester time is paid per
     verify pass, so the study uses a production-tight budget; both arms
@@ -289,7 +303,7 @@ def run_spatial(flow: FlowResult,
     spatial_controller = TuningController(
         flow.placed, flow.clib, max_clusters=config.max_clusters,
         method=config.method, max_iterations=config.max_iterations,
-        sense_guard=config.sense_guard)
+        sense_guard=config.sense_guard, grouping=config.grouping)
     spatial = tune_population(
         spatial_controller, population, beta_budget=config.beta_budget,
         workers=config.workers, mode="spatial",
@@ -364,7 +378,8 @@ def run_population_study(designs: tuple[str, ...],
         kind="population", design=name, num_dies=config.num_dies,
         seed=config.seed, engine=config.sta_engine, tune=config.tune,
         clusters=config.max_clusters, beta_budget=config.beta_budget,
-        method=config.method, workers=config.workers)
+        method=config.method, workers=config.workers,
+        grouping=config.grouping)
         for name in designs]
     return [result.to_population_row() for result in api.run_many(specs)]
 
@@ -394,7 +409,8 @@ def run_table1(designs: tuple[str, ...],
         cluster_budgets=tuple(config.cluster_budgets),
         ilp_backend=config.ilp_backend,
         ilp_time_limit_s=config.ilp_time_limit_s,
-        skip_ilp_above_rows=config.skip_ilp_above_rows)
+        skip_ilp_above_rows=config.skip_ilp_above_rows,
+        grouping=config.grouping)
         for name in designs for beta in config.betas]
     return [result.to_table1_row()
             for result in api.run_many(specs, workers=config.workers)]

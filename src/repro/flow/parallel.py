@@ -304,12 +304,13 @@ def _worker_tune_chunk(args: tuple) -> list:
     analyzer/monitor state.
     """
     (placed, clib, max_clusters, max_iterations, beta_step, method,
-     beta_budget, dies) = args
+     grouping, beta_budget, dies) = args
     from repro.tuning.controller import TuningController
     from repro.tuning.population import calibrate_die
     controller = TuningController(
         placed, clib, max_clusters=max_clusters,
-        max_iterations=max_iterations, beta_step=beta_step, method=method)
+        max_iterations=max_iterations, beta_step=beta_step, method=method,
+        grouping=grouping)
     unbiased = controller.clib_leakage_unbiased()
     return [calibrate_die(controller, index, beta, beta_budget, unbiased)
             for index, beta in dies]
@@ -331,7 +332,8 @@ def tune_dies_parallel(controller: Any,
     chunks = chunked(list(dies), workers)
     args = [(controller.placed, controller.clib, controller.max_clusters,
              controller.max_iterations, controller.beta_step,
-             controller.method, beta_budget, chunk) for chunk in chunks]
+             controller.method, controller.grouping, beta_budget, chunk)
+            for chunk in chunks]
     if len(chunks) == 1:
         parts = [_worker_tune_chunk(args[0])]
     else:
@@ -349,14 +351,14 @@ def _worker_tune_spatial_chunk(args: tuple) -> list:
     concatenated chunks equal the serial sweep bit for bit.
     """
     (placed, clib, max_clusters, max_iterations, beta_step, method,
-     sense_guard, beta_budget, num_regions, replica_sensor, gate_names,
-     dies) = args
+     grouping, sense_guard, beta_budget, num_regions, replica_sensor,
+     gate_names, dies) = args
     from repro.tuning.controller import TuningController
     from repro.tuning.population import calibrate_die_spatial
     controller = TuningController(
         placed, clib, max_clusters=max_clusters,
         max_iterations=max_iterations, beta_step=beta_step, method=method,
-        sense_guard=sense_guard)
+        grouping=grouping, sense_guard=sense_guard)
     unbiased = controller.clib_leakage_unbiased()
     grid = (controller.replica_sensor_grid(num_regions) if replica_sensor
             else controller.sensor_grid(num_regions))
@@ -386,7 +388,8 @@ def tune_dies_spatial_parallel(controller: Any,
     chunks = chunked(list(dies), workers)
     args = [(controller.placed, controller.clib, controller.max_clusters,
              controller.max_iterations, controller.beta_step,
-             controller.method, controller.sense_guard, beta_budget,
+             controller.method, controller.grouping,
+             controller.sense_guard, beta_budget,
              num_regions, replica_sensor, tuple(gate_names), chunk)
             for chunk in chunks]
     if len(chunks) == 1:

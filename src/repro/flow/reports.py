@@ -125,13 +125,64 @@ def format_spec_failures(failures: Sequence, total: int) -> str:
 
 def format_sweep(design: str, beta: float,
                  budgets: Sequence[int],
-                 savings: Sequence[float]) -> str:
-    """Render the cluster-count sweep (paper Sec. 5, c5315 C=2..11)."""
+                 savings: Sequence[float],
+                 clusters: Sequence[int] | None = None,
+                 domains: Sequence[int] | None = None) -> str:
+    """Render the cluster-count sweep (paper Sec. 5, c5315 C=2..11).
+
+    ``clusters`` and ``domains`` (optional, aligned with ``budgets``)
+    separate the two counts the old report conflated: *voltage
+    clusters* is how many distinct bias values an assignment uses,
+    *physical domains* is how many contiguous same-voltage row wells it
+    creates (= well boundaries + 1).  With bias-domain grouping the
+    two genuinely differ — a banded grouping caps the domain count no
+    matter how many voltages the budget admits.
+    """
     header = f"cluster-count sweep: {design}, beta={beta:.0%}"
-    lines = [header, f"{'C':>4} {'savings %':>10} {'marginal':>10}"]
+    columns = f"{'C':>4} {'savings %':>10} {'marginal':>10}"
+    if clusters is not None:
+        columns += f" {'voltages':>9}"
+    if domains is not None:
+        columns += f" {'domains':>8}"
+    lines = [header, columns]
     previous = None
-    for budget, value in zip(budgets, savings):
+    for index, (budget, value) in enumerate(zip(budgets, savings)):
         marginal = "" if previous is None else f"{value - previous:+10.2f}"
-        lines.append(f"{budget:>4} {value:>10.2f} {marginal:>10}")
+        line = f"{budget:>4} {value:>10.2f} {marginal:>10}"
+        if clusters is not None:
+            line += f" {clusters[index]:>9}"
+        if domains is not None:
+            line += f" {domains[index]:>8}"
+        lines.append(line)
         previous = value
+    if clusters is not None and domains is not None:
+        lines.append("")
+        lines.append("voltages = distinct bias values used; domains = "
+                     "contiguous same-voltage row wells (boundaries + 1).")
+    return "\n".join(lines)
+
+
+def format_grouping_tradeoff(design: str, beta: float,
+                             rows: Sequence[dict]) -> str:
+    """Render the granularity trade-off sweep of ``bench_grouping.py``.
+
+    Each row is one grouping (``spec``/``groups``/``savings_pct``/
+    ``leakage_uw``/``boundaries``/``domains``/``solve_s`` keys): coarser
+    bias domains mean fewer well boundaries but less leakage recovered —
+    the physical-cost-vs-granularity axis the paper's Sec. 3.3 argues
+    qualitatively.
+    """
+    header = f"grouping granularity sweep: {design}, beta={beta:.0%}"
+    lines = [header,
+             f"{'grouping':<16}{'groups':>7} {'savings %':>10} "
+             f"{'leak uW':>9} {'bnd':>5} {'domains':>8} {'solve s':>9}"]
+    for row in rows:
+        lines.append(
+            f"{row['spec']:<16}{row['groups']:>7} "
+            f"{row['savings_pct']:>10.2f} {row['leakage_uw']:>9.3f} "
+            f"{row['boundaries']:>5} {row['domains']:>8} "
+            f"{row['solve_s']:>9.4f}")
+    lines.append("")
+    lines.append("bnd = well-separation boundaries of the expanded "
+                 "assignment; domains = contiguous same-voltage wells.")
     return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Bias-domain grouping: allocation granularity as a first-class axis.
+
+The paper's clustered-FBB argument (Sec. 2-3) is physical: a few well
+domains driven by a shared bias generator, not one knob per row.  This
+package decouples the *allocation granularity* from the physical row
+count — a :class:`RowGrouping` maps rows to bias domains, a strategy
+registry (``identity``, ``bands:<k>``, ``correlation:<k>``,
+``community:<k>``) decides where domain boundaries fall, and
+:func:`reduce_problem` / :func:`solve_grouped` let every Sec. 4
+allocator run on the reduced ``G x P`` problem while wells, contacts,
+rails, leakage and reports keep operating on expanded per-row level
+vectors.  See DESIGN.md, "Bias-domain grouping".
+"""
+
+from repro.grouping.domains import RowGrouping
+from repro.grouping.reduce import (reduce_problem, resolve_grouping,
+                                   solve_grouped)
+from repro.grouping.registry import (GroupingContext, GroupingEntry,
+                                     GroupingRegistry, grouping_registry,
+                                     is_field_driven, make_grouping,
+                                     parse_grouping_spec,
+                                     validate_grouping_spec)
+
+__all__ = [
+    "GroupingContext",
+    "GroupingEntry",
+    "GroupingRegistry",
+    "RowGrouping",
+    "grouping_registry",
+    "is_field_driven",
+    "make_grouping",
+    "parse_grouping_spec",
+    "reduce_problem",
+    "resolve_grouping",
+    "solve_grouped",
+    "validate_grouping_spec",
+]

@@ -1,0 +1,180 @@
+"""RowGrouping: the bias-domain map from placement rows to well domains.
+
+The paper's whole premise is *physically clustered* FBB (Sec. 2-3): a
+few bias domains driven by a shared generator, not one knob per row.
+The allocation stack nevertheless formulates an ``N_rows x P`` problem
+and lets clusters emerge a-posteriori as distinct voltage levels.  A
+:class:`RowGrouping` makes the granularity explicit: it maps every
+placement row to a bias-domain index, so the allocators can solve the
+reduced ``G x P`` problem (``G << N``) while the physical layers —
+wells, contacts, rails, leakage — keep seeing full per-row level
+vectors through :meth:`RowGrouping.expand`.
+
+A grouping is just a surjective labelling ``row -> domain`` with
+domains numbered ``0..G-1``.  The shipped strategies (see
+``repro/grouping/registry.py``) all produce *contiguous row bands* —
+the only shape a real well layout supports, and the shape the paper's
+Sec. 3.3 well-separation cost model assumes — but the abstraction does
+not require contiguity, so experimental strategies can relax it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+from scipy.sparse import csr_matrix
+
+from repro.errors import GroupingError
+
+
+@dataclass(frozen=True)
+class RowGrouping:
+    """An immutable rows -> bias-domain assignment.
+
+    ``group_of_row[i]`` is the domain index of row ``i``; domains must
+    be numbered contiguously from 0 (every label in ``0..G-1`` occurs).
+    """
+
+    name: str
+    """Canonical strategy spec this grouping came from, e.g.
+    ``"identity"`` or ``"bands:8"`` (free-form for hand-built ones)."""
+
+    group_of_row: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.group_of_row:
+            raise GroupingError(f"{self.name!r}: grouping covers no rows")
+        labels = np.asarray(self.group_of_row, dtype=int)
+        if labels.min() < 0:
+            raise GroupingError(
+                f"{self.name!r}: negative domain index {labels.min()}")
+        present = np.unique(labels)
+        expected = np.arange(labels.max() + 1)
+        if present.shape != expected.shape or np.any(present != expected):
+            raise GroupingError(
+                f"{self.name!r}: domain labels must cover 0..G-1 with no "
+                f"gaps, got {sorted(set(self.group_of_row))}")
+        object.__setattr__(self, "group_of_row",
+                           tuple(int(label) for label in labels))
+
+    # -- shape ------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.group_of_row)
+
+    @property
+    def num_groups(self) -> int:
+        """The paper's G: how many independent bias domains exist."""
+        return max(self.group_of_row) + 1
+
+    @property
+    def is_identity(self) -> bool:
+        """True when every row is its own domain (today's granularity)."""
+        return self.num_groups == self.num_rows
+
+    @cached_property
+    def group_of_row_array(self) -> np.ndarray:
+        return np.asarray(self.group_of_row, dtype=np.intp)
+
+    def rows_of_groups(self) -> tuple[tuple[int, ...], ...]:
+        """Member rows per domain, ascending within each domain."""
+        members: list[list[int]] = [[] for _ in range(self.num_groups)]
+        for row, group in enumerate(self.group_of_row):
+            members[group].append(row)
+        return tuple(tuple(rows) for rows in members)
+
+    def group_sizes(self) -> np.ndarray:
+        """Rows per domain, shape (G,)."""
+        return np.bincount(self.group_of_row_array,
+                           minlength=self.num_groups)
+
+    @property
+    def is_contiguous(self) -> bool:
+        """True when every domain is one contiguous row band (the shape
+        physical well layouts require)."""
+        labels = self.group_of_row_array
+        changes = int(np.count_nonzero(labels[1:] != labels[:-1]))
+        return changes == self.num_groups - 1
+
+    # -- the two directions -----------------------------------------------
+
+    def expand(self, group_values: np.ndarray) -> np.ndarray:
+        """Broadcast per-domain values to the full per-row vector.
+
+        This is the group -> row direction every physical layer
+        consumes: a solver's per-domain level assignment becomes the
+        per-row vector wells/contacts/rails/leakage already understand.
+        """
+        values = np.asarray(group_values)
+        if values.shape != (self.num_groups,):
+            raise GroupingError(
+                f"{self.name!r}: expected {self.num_groups} per-domain "
+                f"values, got shape {values.shape}")
+        return values[self.group_of_row_array]
+
+    def indicator(self) -> csr_matrix:
+        """The (N, G) 0/1 aggregation matrix ``S`` with
+        ``S[i, g] = 1`` iff row ``i`` belongs to domain ``g``; the
+        grouped problem's matrices are ``L_g = S.T @ L`` and
+        ``D_g = D @ S``."""
+        num_rows = self.num_rows
+        return csr_matrix(
+            (np.ones(num_rows), (np.arange(num_rows),
+                                 self.group_of_row_array)),
+            shape=(num_rows, self.num_groups))
+
+    def aggregate_max(self, row_values: np.ndarray) -> np.ndarray:
+        """Per-domain maximum of a per-row vector (the conservative
+        reduction used for sensed slowdowns: a domain must be biased for
+        its worst row)."""
+        values = np.asarray(row_values, dtype=float)
+        if values.shape != (self.num_rows,):
+            raise GroupingError(
+                f"{self.name!r}: expected {self.num_rows} per-row "
+                f"values, got shape {values.shape}")
+        out = np.full(self.num_groups, -np.inf)
+        np.maximum.at(out, self.group_of_row_array, values)
+        return out
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def identity(cls, num_rows: int) -> "RowGrouping":
+        """Every row its own bias domain — today's allocation granularity."""
+        if num_rows < 1:
+            raise GroupingError(f"need at least one row, got {num_rows}")
+        return cls(name="identity", group_of_row=tuple(range(num_rows)))
+
+    @classmethod
+    def contiguous_bands(cls, num_rows: int, num_bands: int,
+                         name: str | None = None) -> "RowGrouping":
+        """``num_bands`` contiguous row bands, sizes as equal as possible
+        (the same deterministic split the sensor grid and the parallel
+        engine use, so domains and sensor regions align by default)."""
+        if num_rows < 1:
+            raise GroupingError(f"need at least one row, got {num_rows}")
+        if num_bands < 1:
+            raise GroupingError(
+                f"need at least one band, got {num_bands}")
+        bands = min(num_bands, num_rows)
+        base, extra = divmod(num_rows, bands)
+        labels: list[int] = []
+        for band in range(bands):
+            labels.extend([band] * (base + (1 if band < extra else 0)))
+        return cls(name=name or f"bands:{num_bands}",
+                   group_of_row=tuple(labels))
+
+    @classmethod
+    def from_band_sizes(cls, sizes: list[int] | tuple[int, ...],
+                        name: str = "bands") -> "RowGrouping":
+        """Contiguous bands with explicit sizes (must all be >= 1)."""
+        if not sizes or any(size < 1 for size in sizes):
+            raise GroupingError(
+                f"band sizes must all be >= 1, got {tuple(sizes)}")
+        labels: list[int] = []
+        for band, size in enumerate(sizes):
+            labels.extend([band] * int(size))
+        return cls(name=name, group_of_row=tuple(labels))

@@ -1,0 +1,135 @@
+"""Problem reduction over bias domains (the grouped Sec. 4 formulation).
+
+Both the ILP (Sec. 4.2) and the two-pass heuristic (Sec. 4.3) scale
+with the number of decision rows, so solving at domain granularity is
+the big lever grouping opens: a ``bands:8`` problem has 8 decision
+variables where industrial3 has 94.  The reduction is *exact*, not an
+approximation, because every per-row quantity the formulation uses is
+additive over the rows of a domain once they share a voltage:
+
+* leakage:   ``L_g[g, j] = sum_{i in g} L[i, j]``      (Eq. 1 objective)
+* recovery:  ``D_g[k, g] = sum_{i in g} D[k, i]``      (Eq. 2 lhs)
+* counts:    ``Q_g[k, g] = sum_{i in g} Q[k, i]``      (ct_i ranking)
+
+so for any per-domain assignment the reduced problem's CheckTiming and
+leakage agree with the full problem evaluated on the expanded per-row
+assignment (floating-point reassociation aside, far below
+``TIMING_TOL_PS``).  ``required_ps``, the path set, the voltage grid
+and the speedups are untouched; per-row slowdowns reduce by ``max`` —
+a display/diagnostic field on the reduced problem, since the sensed
+field already entered ``D`` row by row.
+
+:func:`solve_grouped` is the one-call façade: resolve the strategy,
+reduce, dispatch to the solver registry, and expand the solution back
+to rows (``grouping="identity"`` bypasses everything and is
+bit-identical to a direct ``registry.solve``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.problem import FBBProblem
+from repro.core.registry import registry
+from repro.core.solution import BiasSolution
+from repro.errors import GroupingError
+from repro.grouping.domains import RowGrouping
+from repro.grouping.registry import GroupingContext, make_grouping
+
+if TYPE_CHECKING:
+    from repro.placement.placed_design import PlacedDesign
+
+
+def reduce_problem(problem: FBBProblem,
+                   grouping: RowGrouping) -> FBBProblem:
+    """Aggregate a per-row problem into its bias-domain formulation.
+
+    The returned :class:`FBBProblem` has ``num_rows == G`` — every
+    solver consumes it unchanged — and its "rows" are the grouping's
+    domains, in domain order.  Reduction is exact (sums over member
+    rows); an identity grouping reproduces the input matrices entry for
+    entry.
+    """
+    if grouping.num_rows != problem.num_rows:
+        raise GroupingError(
+            f"grouping {grouping.name!r} covers {grouping.num_rows} "
+            f"rows, problem has {problem.num_rows}")
+    indicator = grouping.indicator()
+    leakage = np.asarray(indicator.T @ problem.leakage_nw)
+    recovery = (problem.recovery @ indicator).tocsr()
+    gate_counts = (problem.gate_counts @ indicator).tocsr()
+    return FBBProblem(
+        design_name=problem.design_name,
+        beta=problem.beta,
+        dcrit_ps=problem.dcrit_ps,
+        num_rows=grouping.num_groups,
+        vbs_levels=problem.vbs_levels,
+        speedups=problem.speedups,
+        leakage_nw=leakage,
+        recovery=recovery,
+        gate_counts=gate_counts,
+        required_ps=problem.required_ps,
+        paths=problem.paths,
+        row_betas=grouping.aggregate_max(problem.row_betas),
+    )
+
+
+def resolve_grouping(grouping: "str | RowGrouping | None",
+                     problem: FBBProblem,
+                     placed: "PlacedDesign | None" = None
+                     ) -> RowGrouping | None:
+    """Turn a spec string (or prebuilt grouping, or None) into a
+    validated :class:`RowGrouping` for a problem.
+
+    Strategy specs resolve against the problem's own context: its row
+    count, its sensed ``row_betas`` field (what ``correlation`` merges
+    on) and, when supplied, the placed design (what ``community``
+    reads).  ``None`` stays ``None`` — the caller's signal that no
+    grouping machinery should run at all.
+    """
+    if grouping is None:
+        return None
+    if isinstance(grouping, RowGrouping):
+        if grouping.num_rows != problem.num_rows:
+            raise GroupingError(
+                f"grouping {grouping.name!r} covers {grouping.num_rows} "
+                f"rows, problem has {problem.num_rows}")
+        return grouping
+    context = GroupingContext(num_rows=problem.num_rows,
+                              row_betas=problem.row_betas,
+                              placed=placed)
+    return make_grouping(grouping, context)
+
+
+def solve_grouped(problem: FBBProblem, method: str = "heuristic",
+                  clusters: int = 3,
+                  grouping: "str | RowGrouping | None" = None,
+                  placed: "PlacedDesign | None" = None,
+                  **opts) -> BiasSolution:
+    """Solve an allocation problem at bias-domain granularity.
+
+    ``grouping`` is a strategy spec (``"bands:8"``), a prebuilt
+    :class:`RowGrouping`, or ``None``/``"identity"`` — the latter two
+    dispatch straight to the solver registry, bit-identical to an
+    ungrouped ``solve``.  Otherwise the problem is reduced, solved at
+    ``G`` decision rows, and the solution expanded back to per-row
+    levels on the *original* problem (so leakage, timing, clusters and
+    every physical layer read it unchanged).  The expanded assignment
+    is re-checked against the full problem's CheckTiming as a safety
+    net — the reduction is exact, so a failure here is a bug, not a
+    modelling error.
+    """
+    resolved = resolve_grouping(grouping, problem, placed=placed)
+    if resolved is None or resolved.is_identity:
+        return registry.solve(problem, method, clusters, **opts)
+    reduced = reduce_problem(problem, resolved)
+    solution = registry.solve(reduced, method, clusters, **opts)
+    expanded = solution.expand_to(problem, resolved)
+    if not expanded.is_timing_feasible:
+        raise GroupingError(
+            f"{problem.design_name}: expanded {resolved.name!r} "
+            "assignment fails CheckTiming on the ungrouped problem — "
+            "reduction bug")
+    return expanded

@@ -1,0 +1,344 @@
+"""Grouping-strategy registry: every bias-domain policy behind one call.
+
+The paper fixes one granularity — a bias knob per placement row (Sec. 3)
+— and only discusses coarser physical clustering qualitatively.  This
+registry makes granularity a first-class, pluggable axis, mirroring the
+solver registry in ``repro/core/registry.py``: strategies are named
+declaratively (``"bands:8"``, ``"correlation:4"``), resolve through one
+:func:`make_grouping` entry point, and new policies plug in without
+touching any caller.
+
+Registered strategies (aliases in parentheses):
+
+* ``identity`` — every row its own domain; today's per-row granularity
+  and the bit-identical baseline;
+* ``bands:<k>`` — ``k`` equal contiguous row bands, the physically
+  obvious well-domain floorplan;
+* ``correlation:<k>`` (``corr:<k>``) — ``k`` contiguous bands grown by
+  merging the adjacent rows whose *sensed slowdowns* are most alike, so
+  domain boundaries land where the correlated intra-die field actually
+  changes;
+* ``community:<k>`` (``netlist:<k>``) — ``k`` contiguous bands grown by
+  merging the adjacent rows that share the most nets, so domains follow
+  the design's communication structure and critical paths cross fewer
+  domain boundaries.
+
+Every entry must carry a docstring — registration fails without one,
+and ``make lint`` / CI enforce it via ``tests/grouping/test_grouping.py``
+(the same policy the solver registry carries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.errors import GroupingError
+from repro.grouping.domains import RowGrouping
+
+if TYPE_CHECKING:  # placement imports nothing from grouping: no cycle
+    from repro.placement.placed_design import PlacedDesign
+
+
+@dataclass(frozen=True)
+class GroupingContext:
+    """Everything a strategy may consult when drawing domain boundaries.
+
+    ``num_rows`` is always required; ``row_betas`` carries the sensed or
+    process slowdown field (the ``correlation`` strategy's input) and
+    ``placed`` the physical design (the ``community`` strategy's input).
+    """
+
+    num_rows: int
+    row_betas: np.ndarray | None = None
+    placed: "PlacedDesign | None" = None
+
+    def __post_init__(self) -> None:
+        if self.num_rows < 1:
+            raise GroupingError(
+                f"need at least one row, got {self.num_rows}")
+        if self.row_betas is not None:
+            betas = np.asarray(self.row_betas, dtype=float)
+            if betas.shape != (self.num_rows,):
+                raise GroupingError(
+                    f"row_betas needs shape ({self.num_rows},), got "
+                    f"{betas.shape}")
+            object.__setattr__(self, "row_betas", betas)
+
+
+GroupingFunc = Callable[[GroupingContext, "int | None"], RowGrouping]
+
+
+@dataclass(frozen=True)
+class GroupingEntry:
+    """One registered grouping strategy."""
+
+    name: str
+    func: GroupingFunc
+    summary: str
+    """First docstring line, shown in CLI/API listings."""
+    requires_param: bool = True
+    """Whether the spec must carry a ``:<k>`` domain-count parameter."""
+    field_driven: bool = False
+    """True when boundaries depend on the sensed slowdown field (so the
+    grouping must be rebuilt whenever the field changes, e.g. per
+    tuning iteration)."""
+
+
+class GroupingRegistry:
+    """Name -> strategy dispatch table with alias support.
+
+    Entries are callables ``func(context, param) -> RowGrouping``.
+    Registration enforces a non-empty docstring so the registry doubles
+    as user-facing documentation of the granularity policies.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, GroupingEntry] = {}
+        self._aliases: dict[str, str] = {}
+
+    def register(self, name: str, func: GroupingFunc | None = None, *,
+                 requires_param: bool = True,
+                 field_driven: bool = False) -> GroupingFunc:
+        """Register a strategy (usable as a decorator)."""
+        if func is None:
+            return lambda f: self.register(
+                name, f, requires_param=requires_param,
+                field_driven=field_driven)
+        if name in self._entries or name in self._aliases:
+            raise GroupingError(
+                f"grouping strategy {name!r} is already registered")
+        doc = (func.__doc__ or "").strip()
+        if not doc:
+            raise GroupingError(
+                f"grouping strategy {name!r} has no docstring; every "
+                "registry entry must document its policy")
+        self._entries[name] = GroupingEntry(
+            name=name, func=func, summary=doc.splitlines()[0].strip(),
+            requires_param=requires_param, field_driven=field_driven)
+        return func
+
+    def alias(self, alias: str, target: str) -> None:
+        """Register ``alias`` as another name for entry ``target``."""
+        if alias in self._entries or alias in self._aliases:
+            raise GroupingError(
+                f"grouping strategy {alias!r} is already registered")
+        if target not in self._entries:
+            raise GroupingError(
+                f"alias target {target!r} is not a registered strategy")
+        self._aliases[alias] = target
+
+    def get(self, strategy: str) -> GroupingEntry:
+        """Resolve a strategy name (or alias) to its entry."""
+        name = self._aliases.get(strategy, strategy)
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise GroupingError(
+                f"unknown grouping strategy {strategy!r}; registered "
+                f"strategies: {', '.join(self.names())}") from None
+
+    def names(self, include_aliases: bool = False) -> tuple[str, ...]:
+        """Registered strategy names, sorted."""
+        names = set(self._entries)
+        if include_aliases:
+            names |= set(self._aliases)
+        return tuple(sorted(names))
+
+    def entries(self) -> tuple[GroupingEntry, ...]:
+        """All registered entries, sorted by name."""
+        return tuple(self._entries[name] for name in sorted(self._entries))
+
+
+grouping_registry = GroupingRegistry()
+"""The process-wide default registry, pre-loaded with the strategies
+below."""
+
+
+def parse_grouping_spec(spec: str) -> tuple[str, int | None]:
+    """Split ``"bands:8"`` into ``("bands", 8)``; bare names get None."""
+    if not isinstance(spec, str) or not spec.strip():
+        raise GroupingError(f"grouping spec must be a non-empty string, "
+                            f"got {spec!r}")
+    base, sep, raw = spec.partition(":")
+    base = base.strip()
+    if not sep:
+        return base, None
+    try:
+        param = int(raw)
+    except ValueError:
+        raise GroupingError(
+            f"grouping spec {spec!r}: parameter {raw!r} is not an "
+            "integer") from None
+    if param < 1:
+        raise GroupingError(
+            f"grouping spec {spec!r}: need at least one domain")
+    return base, param
+
+
+def validate_grouping_spec(spec: str) -> str:
+    """Check a spec names a registered strategy with a legal parameter;
+    returns the canonical form (aliases resolved)."""
+    base, param = parse_grouping_spec(spec)
+    entry = grouping_registry.get(base)
+    if entry.requires_param and param is None:
+        raise GroupingError(
+            f"grouping strategy {entry.name!r} needs a domain count, "
+            f"e.g. {entry.name}:8")
+    if not entry.requires_param and param is not None:
+        raise GroupingError(
+            f"grouping strategy {entry.name!r} takes no parameter, got "
+            f"{spec!r}")
+    return entry.name if param is None else f"{entry.name}:{param}"
+
+
+def is_field_driven(spec: str) -> bool:
+    """True when the spec's boundaries depend on the sensed field."""
+    base, _param = parse_grouping_spec(spec)
+    return grouping_registry.get(base).field_driven
+
+
+def make_grouping(spec: str, context: GroupingContext) -> RowGrouping:
+    """Resolve a strategy spec against a context into a RowGrouping."""
+    canonical = validate_grouping_spec(spec)
+    base, param = parse_grouping_spec(canonical)
+    grouping = grouping_registry.get(base).func(context, param)
+    if grouping.num_rows != context.num_rows:
+        raise GroupingError(
+            f"strategy {canonical!r} covered {grouping.num_rows} rows, "
+            f"design has {context.num_rows}")
+    return grouping
+
+
+# -- agglomerative band merging (shared by correlation and community) ------
+
+def _merge_adjacent_bands(num_rows: int, num_groups: int,
+                          pair_key) -> list[tuple[int, int]]:
+    """Merge adjacent single-row segments until ``num_groups`` remain.
+
+    ``pair_key(a, b)`` scores merging adjacent segments ``a=(lo, hi)``
+    and ``b=(hi, hi2)``; the *smallest* key merges first, and keys embed
+    (combined size, index) tie-breakers so the result is deterministic.
+    """
+    segments = [(row, row + 1) for row in range(num_rows)]
+    target = min(num_groups, num_rows)
+    while len(segments) > target:
+        best_index = 0
+        best_key = None
+        for index in range(len(segments) - 1):
+            key = pair_key(segments[index], segments[index + 1])
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = index
+        lo, _ = segments[best_index]
+        _, hi = segments.pop(best_index + 1)
+        segments[best_index] = (lo, hi)
+    return segments
+
+
+def _bands_to_grouping(segments: list[tuple[int, int]],
+                       name: str) -> RowGrouping:
+    return RowGrouping.from_band_sizes(
+        [hi - lo for lo, hi in segments], name=name)
+
+
+# -- the shipped strategies -------------------------------------------------
+
+@grouping_registry.register("identity", requires_param=False)
+def _identity(context: GroupingContext,
+              _param: int | None) -> RowGrouping:
+    """Every row its own bias domain (the paper's per-row granularity).
+
+    The bit-identical baseline: allocation behaves exactly as it did
+    before the grouping layer existed.
+    """
+    return RowGrouping.identity(context.num_rows)
+
+
+@grouping_registry.register("bands")
+def _bands(context: GroupingContext, param: int | None) -> RowGrouping:
+    """K equal contiguous row bands (the obvious well-domain floorplan).
+
+    Sizes differ by at most one row — the same deterministic split the
+    spatial sensor grid uses for its monitor regions, so domains and
+    sensors align when their counts match.
+    """
+    return RowGrouping.contiguous_bands(context.num_rows, int(param))
+
+
+@grouping_registry.register("correlation", field_driven=True)
+def _correlation(context: GroupingContext,
+                 param: int | None) -> RowGrouping:
+    """K bands grown by merging adjacent rows with the most similar
+    sensed slowdowns (boundaries follow the correlated intra-die field).
+
+    Agglomerative: every row starts as its own band; the adjacent pair
+    whose mean slowdowns differ least merges first (ties: smallest
+    combined band, then lowest row index).  With no field — or a
+    uniform one — every pair ties and the size tie-breaker grows
+    near-equal bands, degrading gracefully to ``bands:<k>`` behaviour.
+    """
+    betas = (context.row_betas if context.row_betas is not None
+             else np.zeros(context.num_rows))
+    prefix = np.concatenate(([0.0], np.cumsum(betas)))
+
+    def mean(segment: tuple[int, int]) -> float:
+        lo, hi = segment
+        return (prefix[hi] - prefix[lo]) / (hi - lo)
+
+    def key(a: tuple[int, int], b: tuple[int, int]):
+        return (abs(mean(a) - mean(b)), (a[1] - a[0]) + (b[1] - b[0]),
+                a[0])
+
+    segments = _merge_adjacent_bands(context.num_rows, int(param), key)
+    return _bands_to_grouping(segments, f"correlation:{param}")
+
+
+@grouping_registry.register("community")
+def _community(context: GroupingContext,
+               param: int | None) -> RowGrouping:
+    """K bands grown by merging the adjacent rows that share the most
+    nets (domains follow the netlist's communication structure).
+
+    Agglomerative over the row-pair net-incidence matrix: the adjacent
+    band pair connected by the most nets merges first (ties: smallest
+    combined band, then lowest row index), so strongly-communicating
+    neighbourhoods — where critical paths live — end up inside one
+    domain instead of straddling a well boundary.
+    """
+    placed = context.placed
+    if placed is None:
+        raise GroupingError(
+            "the 'community' strategy needs the placed design "
+            "(GroupingContext.placed) to read net affinity")
+    num_rows = context.num_rows
+    affinity = np.zeros((num_rows, num_rows))
+    for net in placed.netlist.nets.values():
+        gates = set(name for name, _pin in net.sinks)
+        if net.driver is not None:
+            gates.add(net.driver)
+        rows = sorted({placed.row_of(name) for name in gates})
+        for i, row_a in enumerate(rows):
+            for row_b in rows[i + 1:]:
+                affinity[row_a, row_b] += 1.0
+                affinity[row_b, row_a] += 1.0
+    # 2-D prefix sums make band-pair affinity an O(1) block lookup.
+    prefix = np.zeros((num_rows + 1, num_rows + 1))
+    prefix[1:, 1:] = affinity.cumsum(axis=0).cumsum(axis=1)
+
+    def block(a: tuple[int, int], b: tuple[int, int]) -> float:
+        (a0, a1), (b0, b1) = a, b
+        return float(prefix[a1, b1] - prefix[a0, b1]
+                     - prefix[a1, b0] + prefix[a0, b0])
+
+    def key(a: tuple[int, int], b: tuple[int, int]):
+        return (-block(a, b), (a[1] - a[0]) + (b[1] - b[0]), a[0])
+
+    segments = _merge_adjacent_bands(num_rows, int(param), key)
+    return _bands_to_grouping(segments, f"community:{param}")
+
+
+grouping_registry.alias("corr", "correlation")
+grouping_registry.alias("netlist", "community")

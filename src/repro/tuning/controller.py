@@ -38,10 +38,13 @@ import numpy as np
 
 from dataclasses import dataclass, field
 
-from repro.core.problem import build_problem
+from repro.core.problem import FBBProblem, build_problem
 from repro.core.registry import registry
 from repro.core.solution import BiasSolution
-from repro.errors import InfeasibleError, TuningError
+from repro.errors import GroupingError, InfeasibleError, TuningError
+from repro.grouping import (GroupingContext, RowGrouping, is_field_driven,
+                            make_grouping, reduce_problem,
+                            validate_grouping_spec)
 from repro.placement.placed_design import PlacedDesign
 from repro.sta.engine import TimingAnalyzer
 from repro.sta.paths import extract_paths
@@ -89,12 +92,24 @@ class TuningController:
     resolution step.  Applied identically to the per-region grid and
     the single-replica baseline — it shifts both arms, not the
     comparison."""
+    grouping: str | None = None
+    """Bias-domain grouping spec for the allocate step (DESIGN.md,
+    "Bias-domain grouping"): ``None`` or ``"identity"`` allocates per
+    row exactly as before; ``"bands:<k>"`` / ``"correlation:<k>"`` /
+    ``"community:<k>"`` solve the reduced domain problem and expand the
+    assignment back to rows before it is applied."""
 
     def __post_init__(self) -> None:
         if self.max_iterations < 1:
             raise TuningError("need at least one tuning iteration")
         if self.sense_guard < 0:
             raise TuningError("sense guard cannot be negative")
+        if self.grouping is not None:
+            try:
+                validate_grouping_spec(self.grouping)
+            except GroupingError as exc:
+                raise TuningError(
+                    f"bad grouping spec {self.grouping!r}: {exc}") from exc
         if self.method is None:
             self.method = "ilp:highs" if self.use_ilp else \
                 "heuristic:row-descent"
@@ -106,7 +121,45 @@ class TuningController:
         # Paths are beta-independent: extract once so population-scale
         # calibration does not redo path enumeration per die/iteration.
         self._paths = list(extract_paths(self.analyzer))
-        self._grids: dict[int, SpatialSensorGrid] = {}
+        self._grids: dict[tuple, SpatialSensorGrid] = {}
+        self._groupings: dict[str, RowGrouping] = {}
+
+    # -- bias-domain grouping ---------------------------------------------
+
+    def _resolve_grouping(self,
+                          row_betas: np.ndarray) -> RowGrouping | None:
+        """The controller's grouping for the current sensed field.
+
+        ``None``/"identity" (and any spec that resolves to per-row
+        granularity) return None — the allocate step then runs exactly
+        the pre-grouping path.  Field-independent strategies (bands,
+        community) are resolved once and cached; field-driven ones
+        (correlation) are rebuilt against every sensed field, so
+        domain boundaries track what the monitors actually read.
+        """
+        spec = self.grouping
+        if spec in (None, "identity"):
+            return None
+        if not is_field_driven(spec) and spec in self._groupings:
+            resolved = self._groupings[spec]
+        else:
+            context = GroupingContext(
+                num_rows=self.placed.num_rows,
+                row_betas=np.asarray(row_betas, dtype=float),
+                placed=self.placed)
+            resolved = make_grouping(spec, context)
+            if not is_field_driven(spec):
+                self._groupings[spec] = resolved
+        return None if resolved.is_identity else resolved
+
+    def _allocate(self, problem: FBBProblem,
+                  grouping: RowGrouping | None) -> BiasSolution:
+        """One allocate step, at domain granularity when grouped."""
+        if grouping is None:
+            return self._solver.func(problem, self.max_clusters)
+        reduced = reduce_problem(problem, grouping)
+        solution = self._solver.func(reduced, self.max_clusters)
+        return solution.expand_to(problem, grouping)
 
     def _base_delays(self) -> dict[str, float]:
         return {name: self.analyzer.calculator.gate_delay_ps(name)
@@ -183,7 +236,8 @@ class TuningController:
                                         analyzer=self.analyzer,
                                         paths=self._paths,
                                         dcrit_ps=self.dcrit_ps)
-                solution = self._solver.func(problem, self.max_clusters)
+                solution = self._allocate(
+                    problem, self._resolve_grouping(problem.row_betas))
             except InfeasibleError as exc:
                 raise TuningError(
                     f"die beyond FBB recovery range: {exc}") from exc
@@ -250,11 +304,19 @@ class TuningController:
         solution: BiasSolution | None = None
         for iteration in range(1, self.max_iterations + 1):
             try:
+                row_estimates = grid.row_betas(estimates)
+                grouping = self._resolve_grouping(row_estimates)
+                if grouping is not None:
+                    # Sensing at domain granularity: map the monitor
+                    # regions onto the bias domains, each domain reading
+                    # the worst estimate over the rows it spans.
+                    row_estimates = grouping.expand(
+                        grid.group_betas(estimates, grouping))
                 problem = build_problem(
-                    self.placed, self.clib, grid.row_betas(estimates),
+                    self.placed, self.clib, row_estimates,
                     analyzer=self.analyzer, paths=self._paths,
                     dcrit_ps=self.dcrit_ps)
-                solution = self._solver.func(problem, self.max_clusters)
+                solution = self._allocate(problem, grouping)
             except InfeasibleError as exc:
                 raise TuningError(
                     f"die beyond FBB recovery range: {exc}") from exc

@@ -27,11 +27,15 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 from scipy.sparse import csr_matrix
 
 from repro.errors import TuningError
+
+if TYPE_CHECKING:  # grouping sits above the sensor layer: no runtime dep
+    from repro.grouping.domains import RowGrouping
 from repro.placement.placed_design import PlacedDesign
 from repro.sta.batched import BatchedTimingAnalyzer
 from repro.sta.engine import TimingAnalyzer
@@ -320,6 +324,26 @@ class SpatialSensorGrid:
                            ) -> np.ndarray:
         """Sense the field and expand to rows in one step."""
         return self.row_betas(self.estimate_region_betas(scales))
+
+    def group_betas(self, region_betas: np.ndarray,
+                    grouping: RowGrouping) -> np.ndarray:
+        """Map the monitors' per-region readings onto bias domains.
+
+        Each domain takes the *worst* (maximum) reading over the rows
+        it spans — conservative by construction, because one
+        domain-wide bias must recover the domain's slowest region.
+        This is the sensor-side of bias-domain grouping (DESIGN.md,
+        "Bias-domain grouping"): with domains coarser than the monitor
+        grid, several regions fold into one estimate; with finer
+        domains, neighbouring domains share their region's reading.
+        Returns shape ``(grouping.num_groups,)``, floored at zero like
+        :meth:`row_betas`.
+        """
+        if grouping.num_rows != self.num_rows:
+            raise TuningError(
+                f"grouping {grouping.name!r} covers {grouping.num_rows} "
+                f"rows, grid has {self.num_rows}")
+        return grouping.aggregate_max(self.row_betas(region_betas))
 
     # -- alarm localization ------------------------------------------------
 

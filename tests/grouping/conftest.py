@@ -1,0 +1,58 @@
+"""Shared fixtures for the grouping suite: a small placed benchmark,
+its per-row problem, and a heterogeneous (spatial) variant."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import c1355_like
+from repro.core import build_problem
+from repro.placement import place_design
+from repro.synth import map_netlist, size_for_load
+from repro.tech import characterize_library, reduced_library
+
+LIBRARY = reduced_library()
+CLIB = characterize_library(LIBRARY)
+
+
+def _place(**kwargs):
+    mapped = map_netlist(c1355_like(**kwargs), LIBRARY)
+    size_for_load(mapped, LIBRARY)
+    return place_design(mapped, LIBRARY)
+
+
+@pytest.fixture(scope="session")
+def placed_small():
+    return _place(data_width=10, check_bits=5)
+
+
+@pytest.fixture(scope="session")
+def placed_tiny():
+    """Small enough for the from-scratch branch & bound ILP."""
+    return _place(data_width=4, check_bits=2)
+
+
+@pytest.fixture(scope="session")
+def problem_small(placed_small):
+    return build_problem(placed_small, CLIB, beta=0.05)
+
+
+@pytest.fixture(scope="session")
+def problem_tiny(placed_tiny):
+    return build_problem(placed_tiny, CLIB, beta=0.05)
+
+
+def _spatial_betas(num_rows):
+    return 0.02 + 0.06 * np.linspace(0.0, 1.0, num_rows) ** 2
+
+
+@pytest.fixture(scope="session")
+def problem_spatial(placed_small):
+    """Heterogeneous per-row slowdowns: a sensed-field-shaped problem."""
+    return build_problem(placed_small, CLIB,
+                         _spatial_betas(placed_small.num_rows))
+
+
+@pytest.fixture(scope="session")
+def problem_tiny_spatial(placed_tiny):
+    return build_problem(placed_tiny, CLIB,
+                         _spatial_betas(placed_tiny.num_rows))

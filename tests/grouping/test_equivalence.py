@@ -1,0 +1,139 @@
+"""Property tests for the grouping equivalence contract.
+
+Two guarantees the bias-domain layer must never break:
+
+* **Identity bit-identity** — solving through the full
+  aggregate/solve/expand machinery with an identity grouping must
+  reproduce the ungrouped per-row solution *bit for bit*, for every
+  solver family (``single_bb``, both heuristic strategies and the
+  from-scratch ``ilp:branch_bound``).
+* **Expansion feasibility** — whatever the grouping, the expanded
+  per-row assignment must pass ``FBBProblem.check_timing`` on the
+  *ungrouped* problem: the reduction is exact, so a feasible domain
+  solution is a feasible row solution.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import build_problem, solve
+from repro.grouping import (RowGrouping, reduce_problem, resolve_grouping,
+                            solve_grouped)
+from tests.grouping.conftest import CLIB
+
+#: every solver family the identity contract is pinned on (highs is the
+#: same formulation as branch_bound behind a faster backend)
+SOLVERS = ("single_bb", "heuristic:row-descent", "heuristic:level-sweep",
+           "ilp:branch_bound")
+
+
+def random_contiguous_grouping(data, num_rows: int) -> RowGrouping:
+    """Draw a random contiguous banding of ``num_rows`` rows."""
+    num_groups = data.draw(st.integers(1, num_rows), label="num_groups")
+    if num_groups == num_rows:
+        return RowGrouping.identity(num_rows)
+    # num_groups - 1 distinct cut points inside (0, num_rows)
+    cuts = data.draw(
+        st.lists(st.integers(1, num_rows - 1), min_size=num_groups - 1,
+                 max_size=num_groups - 1, unique=True),
+        label="cuts")
+    bounds = [0] + sorted(cuts) + [num_rows]
+    return RowGrouping.from_band_sizes(
+        [hi - lo for lo, hi in zip(bounds, bounds[1:])], name="drawn")
+
+
+@pytest.mark.parametrize("method", SOLVERS)
+def test_identity_grouping_is_bit_identical(problem_tiny, method):
+    """Satellite contract: identity reproduces today's per-row solution
+    bit-identically across solvers — through the *reduction* machinery,
+    not just the passthrough.  (The tiny instance keeps the
+    from-scratch branch & bound in budget; the larger-problem variant
+    below covers the polynomial solvers.)"""
+    direct = solve(problem_tiny, method, 3)
+    aggregated = reduce_problem(
+        problem_tiny, RowGrouping.identity(problem_tiny.num_rows))
+    via_reduce = solve(aggregated, method, 3)
+    via_spec = solve_grouped(problem_tiny, method, 3, grouping="identity")
+    assert via_reduce.levels == direct.levels
+    assert via_spec.levels == direct.levels
+    assert via_reduce.leakage_nw == direct.leakage_nw
+    assert via_spec.leakage_nw == direct.leakage_nw
+
+
+@pytest.mark.parametrize("method",
+                         ("single_bb", "heuristic:row-descent",
+                          "heuristic:level-sweep", "ilp:highs"))
+def test_identity_bit_identical_on_larger_problem(problem_small, method):
+    """The identity contract on a bigger instance (HiGHS stands in for
+    the exponential from-scratch backend)."""
+    direct = solve(problem_small, method, 3)
+    aggregated = reduce_problem(
+        problem_small, RowGrouping.identity(problem_small.num_rows))
+    via_reduce = solve(aggregated, method, 3)
+    assert via_reduce.levels == direct.levels
+
+
+@pytest.mark.parametrize("method", SOLVERS)
+def test_identity_bit_identical_on_spatial_problem(problem_tiny_spatial,
+                                                   method):
+    """The same contract on a heterogeneous (sensed-field) problem."""
+    direct = solve(problem_tiny_spatial, method, 3)
+    aggregated = reduce_problem(
+        problem_tiny_spatial,
+        RowGrouping.identity(problem_tiny_spatial.num_rows))
+    via_reduce = solve(aggregated, method, 3)
+    assert via_reduce.levels == direct.levels
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_any_grouping_expands_to_feasible_assignment(problem_small, data):
+    """Any contiguous grouping's expanded heuristic assignment passes
+    CheckTiming on the ungrouped problem."""
+    grouping = random_contiguous_grouping(data, problem_small.num_rows)
+    solution = solve_grouped(problem_small, "heuristic:row-descent", 3,
+                             grouping=grouping)
+    assert len(solution.levels) == problem_small.num_rows
+    assert problem_small.check_timing(solution.levels_array)
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=st.data())
+def test_any_grouping_expands_feasibly_across_solvers(problem_tiny,
+                                                      data):
+    """The expansion-feasibility contract holds for every solver family,
+    not just the default heuristic (tiny instance: the branch & bound
+    backend is in the draw)."""
+    grouping = random_contiguous_grouping(data, problem_tiny.num_rows)
+    method = data.draw(st.sampled_from(SOLVERS), label="method")
+    solution = solve_grouped(problem_tiny, method, 3, grouping=grouping)
+    assert problem_tiny.check_timing(solution.levels_array)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_any_grouping_feasible_on_spatial_problem(problem_spatial, data):
+    """Expansion feasibility against heterogeneous per-row slowdowns —
+    the field the correlation strategy exists for."""
+    grouping = random_contiguous_grouping(data, problem_spatial.num_rows)
+    solution = solve_grouped(problem_spatial, "heuristic:row-descent", 3,
+                             grouping=grouping)
+    assert problem_spatial.check_timing(solution.levels_array)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), num_groups=st.integers(1, 8))
+def test_strategy_specs_expand_feasibly(placed_small, seed, num_groups):
+    """Registry strategies (not just hand-drawn bands) resolve and
+    expand feasibly against random sensed fields."""
+    rng = np.random.default_rng(seed)
+    betas = rng.uniform(0.0, 0.08, size=placed_small.num_rows)
+    problem = build_problem(placed_small, CLIB, betas)
+    for spec in (f"bands:{num_groups}", f"correlation:{num_groups}",
+                 f"community:{num_groups}"):
+        resolved = resolve_grouping(spec, problem, placed=placed_small)
+        solution = solve_grouped(problem, "heuristic:row-descent", 3,
+                                 grouping=resolved)
+        assert problem.check_timing(solution.levels_array)
+        assert solution.num_groups == resolved.num_groups

@@ -1,0 +1,342 @@
+"""Tests for the bias-domain grouping layer: RowGrouping, the strategy
+registry (including the ``make lint`` docstring policy), problem
+reduction and solution expansion."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_problem, solve, solve_single_bb
+from repro.errors import AllocationError, GroupingError
+from repro.grouping import (GroupingContext, GroupingRegistry, RowGrouping,
+                            grouping_registry, is_field_driven,
+                            make_grouping, parse_grouping_spec,
+                            reduce_problem, resolve_grouping, solve_grouped,
+                            validate_grouping_spec)
+from tests.grouping.conftest import CLIB
+
+EXPECTED_STRATEGIES = ("bands", "community", "correlation", "identity")
+EXPECTED_ALIASES = ("corr", "netlist")
+
+
+class TestRowGrouping:
+    def test_identity_shape(self):
+        grouping = RowGrouping.identity(5)
+        assert grouping.num_rows == 5
+        assert grouping.num_groups == 5
+        assert grouping.is_identity
+        assert grouping.is_contiguous
+
+    def test_bands_split_matches_sensor_grid_convention(self):
+        grouping = RowGrouping.contiguous_bands(10, 3)
+        # same divmod split as SpatialSensorGrid: sizes 4, 3, 3
+        assert grouping.group_of_row == (0, 0, 0, 0, 1, 1, 1, 2, 2, 2)
+        assert not grouping.is_identity
+        assert grouping.is_contiguous
+
+    def test_more_bands_than_rows_degenerates_to_identity(self):
+        grouping = RowGrouping.contiguous_bands(4, 9)
+        assert grouping.is_identity
+
+    def test_label_gaps_rejected(self):
+        with pytest.raises(GroupingError, match="no gaps"):
+            RowGrouping(name="bad", group_of_row=(0, 2, 2))
+
+    def test_negative_labels_rejected(self):
+        with pytest.raises(GroupingError, match="negative"):
+            RowGrouping(name="bad", group_of_row=(0, -1))
+
+    def test_empty_rejected(self):
+        with pytest.raises(GroupingError, match="no rows"):
+            RowGrouping(name="bad", group_of_row=())
+
+    def test_expand_and_rows_of_groups(self):
+        grouping = RowGrouping.from_band_sizes([2, 1, 3])
+        assert grouping.rows_of_groups() == ((0, 1), (2,), (3, 4, 5))
+        expanded = grouping.expand(np.array([5, 7, 9]))
+        assert expanded.tolist() == [5, 5, 7, 9, 9, 9]
+
+    def test_expand_shape_checked(self):
+        grouping = RowGrouping.from_band_sizes([2, 2])
+        with pytest.raises(GroupingError, match="per-domain"):
+            grouping.expand(np.zeros(3))
+
+    def test_indicator_sums_rows(self):
+        grouping = RowGrouping.from_band_sizes([1, 2])
+        matrix = np.arange(6.0).reshape(3, 2)
+        reduced = np.asarray(grouping.indicator().T @ matrix)
+        assert reduced.tolist() == [[0.0, 1.0], [6.0, 8.0]]
+
+    def test_aggregate_max(self):
+        grouping = RowGrouping.from_band_sizes([2, 2])
+        out = grouping.aggregate_max(np.array([0.1, 0.4, 0.2, 0.0]))
+        assert out.tolist() == [0.4, 0.2]
+
+    def test_non_contiguous_allowed_but_flagged(self):
+        grouping = RowGrouping(name="interleaved",
+                               group_of_row=(0, 1, 0, 1))
+        assert not grouping.is_contiguous
+        assert grouping.num_groups == 2
+
+
+class TestSpecParsing:
+    def test_parse_variants(self):
+        assert parse_grouping_spec("identity") == ("identity", None)
+        assert parse_grouping_spec("bands:8") == ("bands", 8)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(GroupingError, match="not an integer"):
+            parse_grouping_spec("bands:many")
+        with pytest.raises(GroupingError, match="at least one"):
+            parse_grouping_spec("bands:0")
+        with pytest.raises(GroupingError, match="non-empty"):
+            parse_grouping_spec("")
+
+    def test_validate_requires_param(self):
+        with pytest.raises(GroupingError, match="needs a domain count"):
+            validate_grouping_spec("bands")
+        with pytest.raises(GroupingError, match="takes no parameter"):
+            validate_grouping_spec("identity:3")
+
+    def test_validate_resolves_aliases(self):
+        assert validate_grouping_spec("corr:4") == "correlation:4"
+        assert validate_grouping_spec("netlist:4") == "community:4"
+
+    def test_unknown_strategy_lists_alternatives(self):
+        with pytest.raises(GroupingError, match="bands"):
+            validate_grouping_spec("voronoi:4")
+
+    def test_field_driven_flag(self):
+        assert is_field_driven("correlation:4")
+        assert is_field_driven("corr:4")
+        assert not is_field_driven("bands:4")
+        assert not is_field_driven("identity")
+
+
+class TestRegistryPolicy:
+    def test_expected_strategies_registered(self):
+        assert grouping_registry.names() == EXPECTED_STRATEGIES
+
+    def test_aliases_resolve(self):
+        for alias in EXPECTED_ALIASES:
+            assert grouping_registry.get(alias).name in EXPECTED_STRATEGIES
+
+    def test_every_entry_has_docstring(self):
+        """The build-breaking policy ``make lint`` runs: no undocumented
+        grouping strategies (mirrors the solver-registry rule)."""
+        for entry in grouping_registry.entries():
+            doc = (entry.func.__doc__ or "").strip()
+            assert doc, f"grouping entry {entry.name!r} has no docstring"
+            assert entry.summary == doc.splitlines()[0].strip()
+
+    def test_registration_rejects_undocumented(self):
+        registry = GroupingRegistry()
+
+        def naked(context, param):
+            return RowGrouping.identity(context.num_rows)
+
+        with pytest.raises(GroupingError, match="docstring"):
+            registry.register("naked", naked)
+
+    def test_duplicate_registration_rejected(self):
+        registry = GroupingRegistry()
+
+        def documented(context, param):
+            """A documented strategy."""
+            return RowGrouping.identity(context.num_rows)
+
+        registry.register("dup", documented)
+        with pytest.raises(GroupingError, match="already registered"):
+            registry.register("dup", documented)
+
+
+class TestStrategies:
+    def test_identity_strategy(self):
+        grouping = make_grouping("identity", GroupingContext(num_rows=7))
+        assert grouping.is_identity
+
+    def test_bands_strategy(self):
+        grouping = make_grouping("bands:3", GroupingContext(num_rows=10))
+        assert grouping.num_groups == 3
+        assert grouping.is_contiguous
+        assert grouping.name == "bands:3"
+
+    def test_correlation_merges_similar_neighbours(self):
+        # Two sharply distinct plateaus: the boundary must land between
+        # them, whatever the merge order.
+        betas = np.array([0.01, 0.01, 0.01, 0.2, 0.2, 0.2])
+        grouping = make_grouping(
+            "correlation:2",
+            GroupingContext(num_rows=6, row_betas=betas))
+        assert grouping.group_of_row == (0, 0, 0, 1, 1, 1)
+
+    def test_correlation_without_field_gives_balanced_bands(self):
+        grouping = make_grouping("correlation:2",
+                                 GroupingContext(num_rows=8))
+        assert grouping.num_groups == 2
+        sizes = grouping.group_sizes()
+        assert abs(int(sizes[0]) - int(sizes[1])) <= 1
+
+    def test_correlation_deterministic(self):
+        rng = np.random.default_rng(3)
+        betas = rng.uniform(0.0, 0.1, size=20)
+        context = GroupingContext(num_rows=20, row_betas=betas)
+        first = make_grouping("correlation:5", context)
+        second = make_grouping("correlation:5", context)
+        assert first.group_of_row == second.group_of_row
+
+    def test_community_needs_placed(self):
+        with pytest.raises(GroupingError, match="placed design"):
+            make_grouping("community:2", GroupingContext(num_rows=4))
+
+    def test_community_contiguous_bands(self, placed_small):
+        grouping = make_grouping(
+            "community:4",
+            GroupingContext(num_rows=placed_small.num_rows,
+                            placed=placed_small))
+        assert grouping.num_groups == 4
+        assert grouping.is_contiguous
+        assert grouping.num_rows == placed_small.num_rows
+
+    def test_context_validates_row_betas_shape(self):
+        with pytest.raises(GroupingError, match="shape"):
+            GroupingContext(num_rows=4, row_betas=np.zeros(3))
+
+
+class TestReduceProblem:
+    def test_reduced_shape(self, problem_small):
+        grouping = RowGrouping.contiguous_bands(problem_small.num_rows, 4)
+        reduced = reduce_problem(problem_small, grouping)
+        assert reduced.num_rows == 4
+        assert reduced.num_constraints == problem_small.num_constraints
+        assert reduced.vbs_levels == problem_small.vbs_levels
+        assert reduced.dcrit_ps == problem_small.dcrit_ps
+
+    def test_leakage_aggregates_exactly(self, problem_small):
+        grouping = RowGrouping.contiguous_bands(problem_small.num_rows, 3)
+        reduced = reduce_problem(problem_small, grouping)
+        for group, rows in enumerate(grouping.rows_of_groups()):
+            expected = problem_small.leakage_nw[list(rows)].sum(axis=0)
+            assert np.allclose(reduced.leakage_nw[group], expected)
+
+    def test_recovery_aggregates_exactly(self, problem_small):
+        grouping = RowGrouping.contiguous_bands(problem_small.num_rows, 3)
+        reduced = reduce_problem(problem_small, grouping)
+        dense = problem_small.recovery.toarray()
+        for group, rows in enumerate(grouping.rows_of_groups()):
+            expected = dense[:, list(rows)].sum(axis=1)
+            assert np.allclose(
+                np.asarray(reduced.recovery[:, group].todense()).ravel(),
+                expected)
+
+    def test_row_betas_reduce_by_max(self, problem_spatial):
+        grouping = RowGrouping.contiguous_bands(
+            problem_spatial.num_rows, 3)
+        reduced = reduce_problem(problem_spatial, grouping)
+        for group, rows in enumerate(grouping.rows_of_groups()):
+            assert reduced.row_betas[group] == \
+                problem_spatial.row_betas[list(rows)].max()
+
+    def test_grouped_cost_equals_expanded_cost(self, problem_small):
+        grouping = RowGrouping.contiguous_bands(problem_small.num_rows, 4)
+        reduced = reduce_problem(problem_small, grouping)
+        group_levels = np.array([3, 0, 2, 1])
+        expanded = grouping.expand(group_levels)
+        assert reduced.total_leakage_nw(group_levels) == pytest.approx(
+            problem_small.total_leakage_nw(expanded), rel=1e-12)
+        assert np.allclose(reduced.path_slacks_ps(group_levels),
+                           problem_small.path_slacks_ps(expanded))
+
+    def test_row_count_mismatch_rejected(self, problem_small):
+        with pytest.raises(GroupingError, match="covers"):
+            reduce_problem(problem_small, RowGrouping.identity(3))
+
+
+class TestSolveGrouped:
+    def test_expand_to_records_grouping(self, problem_small, placed_small):
+        solution = solve_grouped(problem_small, "heuristic", 3,
+                                 grouping="bands:4", placed=placed_small)
+        assert solution.problem is problem_small
+        assert len(solution.levels) == problem_small.num_rows
+        assert solution.num_groups == 4
+        assert solution.grouping_name == "bands:4"
+        assert solution.extras["group_levels"] == [
+            solution.levels[rows[0]] for rows in
+            RowGrouping.contiguous_bands(
+                problem_small.num_rows, 4).rows_of_groups()]
+        assert solution.is_timing_feasible
+
+    def test_identity_passthrough_has_no_grouping_extras(
+            self, problem_small):
+        solution = solve_grouped(problem_small, "heuristic", 3,
+                                 grouping="identity")
+        assert "grouping" not in solution.extras
+        assert solution.grouping_name == "identity"
+        assert solution.num_groups == problem_small.num_rows
+
+    def test_coarse_grouping_never_beats_identity(self, problem_small):
+        identity = solve_grouped(problem_small, "ilp:highs", 3,
+                                 grouping="identity")
+        coarse = solve_grouped(problem_small, "ilp:highs", 3,
+                               grouping="bands:2")
+        assert coarse.leakage_nw >= identity.leakage_nw - 1e-9
+
+    def test_domain_count_capped_by_grouping(self, problem_small):
+        solution = solve_grouped(problem_small, "heuristic", 3,
+                                 grouping="bands:4")
+        assert solution.num_domains <= 4
+        assert solution.num_clusters <= 3
+
+    def test_prebuilt_grouping_accepted(self, problem_small):
+        grouping = RowGrouping.contiguous_bands(problem_small.num_rows, 2)
+        solution = solve_grouped(problem_small, "single_bb", 1,
+                                 grouping=grouping)
+        assert solution.is_timing_feasible
+
+    def test_resolve_rejects_mismatched_prebuilt(self, problem_small):
+        with pytest.raises(GroupingError, match="covers"):
+            resolve_grouping(RowGrouping.identity(2), problem_small)
+
+    def test_expand_to_shape_mismatch_rejected(self, problem_small):
+        solution = solve(problem_small, "single_bb")
+        with pytest.raises(AllocationError, match="domain levels"):
+            solution.expand_to(
+                problem_small,
+                RowGrouping.contiguous_bands(problem_small.num_rows, 2))
+
+
+class TestBuildProblemGrouping:
+    def test_build_problem_grouping_param(self, placed_small):
+        reduced = build_problem(placed_small, CLIB, 0.05,
+                                grouping="bands:4")
+        full = build_problem(placed_small, CLIB, 0.05)
+        assert reduced.num_rows == 4
+        assert full.num_rows == placed_small.num_rows
+        assert np.allclose(reduced.leakage_nw.sum(axis=0),
+                           full.leakage_nw.sum(axis=0))
+
+    def test_build_problem_identity_is_same_output(self, placed_small):
+        plain = build_problem(placed_small, CLIB, 0.05)
+        via_identity = build_problem(placed_small, CLIB, 0.05,
+                                     grouping="identity")
+        assert via_identity.num_rows == plain.num_rows
+        assert np.array_equal(via_identity.leakage_nw, plain.leakage_nw)
+        assert np.array_equal(via_identity.required_ps, plain.required_ps)
+
+    def test_build_problem_community_spec(self, placed_small):
+        reduced = build_problem(placed_small, CLIB, 0.05,
+                                grouping="community:3")
+        assert reduced.num_rows == 3
+
+
+class TestDomainCounts:
+    def test_num_domains_counts_runs(self, problem_small):
+        levels = np.zeros(problem_small.num_rows, dtype=int)
+        assert problem_small.num_domains(levels) == 1
+        levels[::2] = 1  # fully interleaved
+        assert problem_small.num_domains(levels) == problem_small.num_rows
+        assert problem_small.num_clusters(levels) == 2
+
+    def test_single_bb_is_one_domain(self, problem_small):
+        solution = solve_single_bb(problem_small)
+        assert solution.num_domains == 1
+        assert solution.num_clusters == 1

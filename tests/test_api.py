@@ -341,3 +341,98 @@ class TestDeprecatedShims:
         assert rows[0].beta_mean == direct.beta_mean
         assert rows[0].timing_yield == direct.timing_yield
         assert rows[0].seed == 8
+
+
+class TestGroupingSpecAxis:
+    """RunSpec.grouping: validated, hash-stable at the default, and a
+    real content-address axis at non-default values."""
+
+    #: pre-grouping-layer spec hashes, pinned: the "identity" default
+    #: must keep producing exactly these (cache compatibility contract)
+    PINNED_HASHES = {
+        "allocate": ("063de3e769689a42551908e93d94d914"
+                     "3c0b13635c8ec033d2916e017cc5ec55"),
+        "table1": ("df4a54b909a0e30109447494e1fe772a"
+                   "a13372f6f2c273bb88de80880d62137f"),
+        "population": ("dea35a2504697a6c0ccf4d2257f9a9c8"
+                       "1402eec33519a5e62dc026444ec2cc9b"),
+        "spatial": ("88c5ba6b0d4fd03502415f9035e4e445"
+                    "c4eb5069f1041082311efa6c899dee82"),
+    }
+
+    def test_default_hashes_pinned_to_pre_grouping_values(self):
+        for kind, expected in self.PINNED_HASHES.items():
+            assert RunSpec(kind=kind, design="c1355").spec_hash() == \
+                expected, f"{kind} spec hash drifted"
+
+    def test_identity_grouping_not_key_material(self):
+        spec = RunSpec(kind="allocate", design="c1355")
+        assert "grouping" not in spec.cache_material()
+        assert spec.to_dict()["grouping"] == "identity"
+
+    def test_non_default_grouping_is_key_material(self):
+        plain = RunSpec(kind="allocate", design="c1355")
+        banded = RunSpec(kind="allocate", design="c1355",
+                         grouping="bands:4")
+        assert banded.cache_material()["grouping"] == "bands:4"
+        assert banded.spec_hash() != plain.spec_hash()
+        assert RunSpec(kind="allocate", design="c1355",
+                       grouping="bands:8").spec_hash() != \
+            banded.spec_hash()
+
+    def test_pre_grouping_json_still_parses(self):
+        spec = RunSpec.from_json(
+            '{"kind": "allocate", "design": "c1355", "beta": 0.05}')
+        assert spec.grouping == "identity"
+
+    def test_grouping_round_trips(self):
+        spec = RunSpec(kind="allocate", design="c1355",
+                       grouping="correlation:4")
+        assert RunSpec.from_json(spec.to_json()) == spec
+
+    def test_bad_grouping_spec_rejected(self):
+        with pytest.raises(SpecError, match="grouping"):
+            RunSpec(kind="allocate", design="c1355", grouping="bands:-2")
+        with pytest.raises(SpecError, match="grouping"):
+            RunSpec(kind="allocate", design="c1355", grouping="mystery:3")
+
+    def test_identity_payload_has_no_grouping_keys(self, cache):
+        result = run(RunSpec(kind="allocate", design="c1355"),
+                     cache=cache)
+        for key in ("grouping", "num_groups", "num_domains"):
+            assert key not in result.payload
+
+    def test_grouped_allocate_payload(self, cache, flow):
+        result = run(RunSpec(kind="allocate", design="c1355",
+                             grouping="bands:4"), cache=cache)
+        payload = result.payload
+        assert payload["grouping"] == "bands:4"
+        assert payload["num_groups"] == 4
+        assert payload["num_domains"] <= 4
+        assert payload["timing_ok"]
+        # the expanded assignment is constant within each band
+        from repro.grouping import RowGrouping
+        grouping = RowGrouping.contiguous_bands(payload["rows"], 4)
+        for rows in grouping.rows_of_groups():
+            assert len({payload["levels"][row] for row in rows}) == 1
+
+    def test_grouped_and_identity_results_cached_separately(self, cache):
+        plain = run(RunSpec(kind="allocate", design="c1355"), cache=cache)
+        banded = run(RunSpec(kind="allocate", design="c1355",
+                             grouping="bands:4"), cache=cache)
+        assert plain.payload["levels"] != banded.payload["levels"] or \
+            plain.payload.keys() != banded.payload.keys()
+
+    def test_grouped_table1_runs(self, cache):
+        result = run(RunSpec(kind="table1", design="c1355",
+                             grouping="bands:4",
+                             skip_ilp_above_rows=1), cache=cache)
+        row = result.to_table1_row()
+        assert row.heuristic_savings  # solved at domain granularity
+
+    def test_grouped_population_spec_runs(self, cache):
+        result = run(RunSpec(kind="population", design="c1355",
+                             num_dies=10, tune=True, grouping="bands:3",
+                             beta_budget=0.02), cache=cache)
+        row = result.to_population_row()
+        assert row.tuned_yield is not None

@@ -153,6 +153,49 @@ def test_readme_maps_every_package():
     assert not missing, f"README.md package map misses: {missing}"
 
 
+#: names of the bias-domain grouping layer that DESIGN.md's
+#: "Bias-domain grouping" section must pin down (ISSUE 5)
+GROUPING_DOC_NAMES = ("Bias-domain grouping", "RowGrouping",
+                      "solve_grouped", "reduce_problem", "num_domains",
+                      "bench_grouping.py", "--grouping",
+                      "group_betas", "cache_material")
+
+
+def test_bias_domain_grouping_documented():
+    """DESIGN.md must describe the grouping abstraction, the exact
+    reduction, the identity bit-identity/hash-stability contract and
+    the sensor mapping."""
+    text = (REPO_ROOT / "DESIGN.md").read_text(encoding="utf-8")
+    missing = [name for name in GROUPING_DOC_NAMES if name not in text]
+    assert not missing, f"DESIGN.md does not mention: {missing}"
+
+
+def test_documented_grouping_strategies_exist():
+    """Every grouping strategy DESIGN.md names must be registered, and
+    every registered strategy must be documented there."""
+    _ensure_src_on_path()
+    from repro.grouping import grouping_registry
+    text = (REPO_ROOT / "DESIGN.md").read_text(encoding="utf-8")
+    for name in grouping_registry.names():
+        assert f"`{name}" in text, (
+            f"DESIGN.md does not document grouping strategy {name!r}")
+
+
+def test_grouping_bench_artifact_documented():
+    """EXPERIMENTS.md must track the grouping benchmark."""
+    text = (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+    for name in ("bench_grouping.py", "out/grouping.txt"):
+        assert name in text, f"EXPERIMENTS.md does not mention {name}"
+
+
+def test_tutorial_shows_grouping_flag():
+    """TUTORIAL.md must carry the --grouping bands:8 walkthrough (the
+    CLI line is parser-validated by test_tutorial_cli_lines_parse)."""
+    text = (REPO_ROOT / "TUTORIAL.md").read_text(encoding="utf-8")
+    assert "--grouping bands:8" in text
+    assert "solve_grouped" in text
+
+
 # -- TUTORIAL.md: executable documentation ---------------------------------
 
 def _fenced_blocks(language: str) -> list[str]:

@@ -1,0 +1,61 @@
+"""Smoke-run every example script (the paper-scenario walkthroughs).
+
+The examples were lint-checked but never executed, so they could rot
+silently against API changes.  This suite runs each ``examples/*.py``
+in a subprocess with ``REPRO_EXAMPLE_TINY=1`` — the seconds-scale
+configuration every example honours (smallest benchmark, shrunk die
+counts) — and asserts a clean exit with real output.  ``make examples``
+runs the same scripts at full size.
+
+Discovery is by glob, so a newly added example is guarded the moment
+it lands.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: generous per-script budget; tiny runs finish in a few seconds
+TIMEOUT_S = 180
+
+
+def test_examples_discovered():
+    """The glob must keep finding the shipped walkthroughs."""
+    names = [path.name for path in EXAMPLE_SCRIPTS]
+    assert "quickstart.py" in names
+    assert len(names) >= 5
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS,
+                         ids=[path.stem for path in EXAMPLE_SCRIPTS])
+def test_example_runs_clean_in_tiny_mode(script):
+    env = dict(os.environ)
+    env["REPRO_EXAMPLE_TINY"] = "1"
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(REPO_ROOT / "src"), env.get("PYTHONPATH")]))
+    result = subprocess.run(
+        [sys.executable, str(script)], env=env, cwd=str(REPO_ROOT),
+        capture_output=True, text=True, timeout=TIMEOUT_S)
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n--- stdout ---\n{result.stdout}\n"
+        f"--- stderr ---\n{result.stderr}")
+    assert result.stdout.strip(), f"{script.name} printed nothing"
+
+
+def test_examples_honour_tiny_mode():
+    """Every example must read REPRO_EXAMPLE_TINY so the smoke suite
+    actually exercises a shrunk configuration, not the full run."""
+    for script in EXAMPLE_SCRIPTS:
+        text = script.read_text(encoding="utf-8")
+        assert "REPRO_EXAMPLE_TINY" in text, (
+            f"{script.name} ignores REPRO_EXAMPLE_TINY (add a tiny "
+            "configuration so tests/test_examples.py stays fast)")

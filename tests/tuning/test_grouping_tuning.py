@@ -1,0 +1,148 @@
+"""Grouping-aware tuning: the closed loop (paper Sec. 3.1, Fig. 2)
+allocating at bias-domain granularity.
+
+Covers the controller's grouped allocate step (scalar and spatial
+sensing modes), the sensor grid's region -> domain mapping, and the
+serial-vs-parallel bit-identity of grouped population tuning."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import c1355_like
+from repro.errors import TuningError
+from repro.grouping import RowGrouping
+from repro.placement import place_design
+from repro.synth import map_netlist, size_for_load
+from repro.tech import characterize_library, reduced_library
+from repro.tuning import TuningController, tune_population
+from repro.variation import ProcessModel, sample_dies
+
+LIBRARY = reduced_library()
+CLIB = characterize_library(LIBRARY)
+
+MODEL = ProcessModel(sigma_inter_v=0.004, sigma_intra_v=0.03,
+                     intra_independent_fraction=0.1,
+                     correlation_length_fraction=0.25)
+
+
+@pytest.fixture(scope="module")
+def placed():
+    mapped = map_netlist(c1355_like(data_width=10, check_bits=5), LIBRARY)
+    size_for_load(mapped, LIBRARY)
+    return place_design(mapped, LIBRARY)
+
+
+@pytest.fixture(scope="module")
+def population(placed):
+    return sample_dies(placed, 20, model=MODEL, seed=5,
+                       store_scales=False)
+
+
+def _domain_constant(levels, grouping: RowGrouping) -> bool:
+    levels = np.asarray(levels)
+    return all(len(set(levels[list(rows)].tolist())) == 1
+               for rows in grouping.rows_of_groups())
+
+
+class TestControllerGrouping:
+    def test_bad_spec_rejected_at_construction(self, placed):
+        with pytest.raises(TuningError, match="grouping"):
+            TuningController(placed, CLIB, grouping="bands:zero")
+
+    def test_grouped_calibrate_converges_domain_constant(self, placed):
+        controller = TuningController(placed, CLIB, grouping="bands:3")
+        outcome = controller.calibrate(0.05)
+        assert outcome.converged
+        grouping = RowGrouping.contiguous_bands(placed.num_rows, 3)
+        assert _domain_constant(outcome.solution.levels, grouping)
+        assert outcome.solution.num_groups == 3
+
+    def test_identity_spec_matches_ungrouped_bitwise(self, placed):
+        plain = TuningController(placed, CLIB).calibrate(0.05)
+        spec = TuningController(placed, CLIB,
+                                grouping="identity").calibrate(0.05)
+        assert spec.solution.levels == plain.solution.levels
+        assert spec.leakage_nw == plain.leakage_nw
+        assert spec.iterations == plain.iterations
+
+    def test_grouped_leakage_at_least_ungrouped(self, placed):
+        plain = TuningController(placed, CLIB).calibrate(0.05)
+        banded = TuningController(placed, CLIB,
+                                  grouping="bands:2").calibrate(0.05)
+        assert banded.converged
+        assert banded.leakage_nw >= plain.leakage_nw - 1e-9
+
+    def test_correlation_grouping_rebuilt_per_field(self, placed):
+        controller = TuningController(placed, CLIB,
+                                      grouping="correlation:3")
+        outcome = controller.calibrate(0.04)
+        assert outcome.converged
+        # field-driven strategies must not populate the static cache
+        assert "correlation:3" not in controller._groupings
+
+    def test_static_grouping_cached(self, placed):
+        controller = TuningController(placed, CLIB, grouping="bands:4")
+        controller.calibrate(0.04)
+        assert "bands:4" in controller._groupings
+
+
+class TestSpatialGrouping:
+    def test_group_betas_max_over_domain(self, placed):
+        controller = TuningController(placed, CLIB)
+        grid = controller.sensor_grid(4)
+        grouping = RowGrouping.contiguous_bands(placed.num_rows, 2)
+        region = np.array([0.01, 0.05, 0.02, 0.04])[:grid.num_regions]
+        per_group = grid.group_betas(region, grouping)
+        rows = grid.row_betas(region)
+        expected = [rows[list(members)].max()
+                    for members in grouping.rows_of_groups()]
+        assert per_group.tolist() == expected
+
+    def test_group_betas_shape_checked(self, placed):
+        controller = TuningController(placed, CLIB)
+        grid = controller.sensor_grid(2)
+        with pytest.raises(TuningError, match="grouping"):
+            grid.group_betas(np.zeros(2), RowGrouping.identity(3))
+
+    def test_grouped_calibrate_spatial_converges(self, placed):
+        controller = TuningController(placed, CLIB, grouping="bands:2",
+                                      sense_guard=0.01)
+        grid = controller.sensor_grid(4)
+        field = {name: 1.04 for name in grid.gate_names}
+        outcome = controller.calibrate_spatial(field)
+        assert outcome.converged
+        grouping = RowGrouping.contiguous_bands(placed.num_rows, 2)
+        assert _domain_constant(outcome.solution.levels, grouping)
+
+    def test_identity_spatial_matches_ungrouped(self, placed):
+        field_controller = TuningController(placed, CLIB,
+                                            sense_guard=0.01)
+        grid = field_controller.sensor_grid(4)
+        betas = 1.0 + 0.05 * np.linspace(0, 1, len(grid.gate_names))
+        field = dict(zip(grid.gate_names, betas.tolist()))
+        plain = field_controller.calibrate_spatial(field)
+        spec = TuningController(placed, CLIB, grouping="identity",
+                                sense_guard=0.01).calibrate_spatial(field)
+        assert plain.converged == spec.converged
+        if plain.solution is not None:
+            assert spec.solution.levels == plain.solution.levels
+
+
+class TestGroupedPopulationTuning:
+    def test_workers_bit_identical_with_grouping(self, placed,
+                                                 population):
+        controller = TuningController(placed, CLIB, grouping="bands:3")
+        serial = tune_population(controller, population,
+                                 beta_budget=0.01, workers=1)
+        parallel = tune_population(controller, population,
+                                   beta_budget=0.01, workers=2)
+        assert serial == parallel
+
+    def test_grouped_spatial_population_mode(self, placed):
+        scaled = sample_dies(placed, 8, model=MODEL, seed=11)
+        controller = TuningController(placed, CLIB, grouping="bands:2",
+                                      sense_guard=0.01, max_iterations=4)
+        summary = tune_population(controller, scaled, beta_budget=0.02,
+                                  mode="spatial", num_regions=4)
+        assert summary.num_dies == 8
+        assert summary.mode == "spatial"
