@@ -3,8 +3,9 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
 .PHONY: test lint docs-check bench bench-batched bench-cache \
-	bench-parallel bench-spatial bench-grouping test-parallel \
-	test-spatial test-grouping examples
+	bench-parallel bench-spatial bench-grouping \
+	bench-tuning-throughput test-parallel test-spatial test-grouping \
+	test-batched examples
 
 test:
 	$(PYTEST) -x -q
@@ -56,6 +57,19 @@ bench-spatial:
 # grouping bit-identity.
 bench-grouping:
 	$(PYTEST) -q benchmarks/bench_grouping.py
+
+# Batched population calibration, gated: >= 10x tuned dies/s over the
+# per-die loop on c1355/1000 dies (tiered by cores), summaries
+# bit-identical either way.
+bench-tuning-throughput:
+	$(PYTEST) -q benchmarks/bench_tuning_throughput.py
+
+# The batched-calibration suite on its own: batched-vs-serial summary
+# equivalence (randomized populations, groupings, workers) plus the
+# incremental-STA refine() oracle tests.
+test-batched:
+	$(PYTEST) -q tests/tuning/test_batched_equivalence.py \
+		tests/sta/test_incremental.py
 
 # The parallel/concurrency suite on its own: cache hammering across
 # processes plus serial-vs-parallel equivalence (CI's smoke job).

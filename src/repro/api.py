@@ -55,10 +55,11 @@ from repro.flow.cache import (ArtifactCache, canonical_json, content_hash,
                               default_cache)
 from repro.flow.design_flow import FlowResult, implement
 from repro.flow.parallel import SpecFailure, execute_specs
-from repro.flow.experiment import (ExperimentConfig, PopulationConfig,
-                                   PopulationRow, SpatialConfig, SpatialRow,
-                                   Table1Row, run_design_beta,
-                                   run_population, run_spatial)
+from repro.flow.experiment import (TUNING_ENGINES, ExperimentConfig,
+                                   PopulationConfig, PopulationRow,
+                                   SpatialConfig, SpatialRow, Table1Row,
+                                   run_design_beta, run_population,
+                                   run_spatial)
 from repro.tech.technology import BodyBiasRules, Technology
 from repro.variation.process import ProcessModel
 
@@ -132,6 +133,12 @@ class RunSpec:
     tuning shards its slow dies across this many workers).  An
     execution knob, not an experiment input: it is excluded from the
     content address, and results are bit-identical for any value."""
+    tuning_engine: str = "serial"
+    """Calibration execution engine for tuned population runs:
+    ``"serial"`` is the per-die reference loop, ``"batched"`` the
+    population-at-a-time engine (DESIGN.md, "Batched calibration").
+    Like ``workers``, an execution knob with bit-identical results —
+    excluded from the content address."""
     tech: dict = field(default_factory=dict)
     """Technology field overrides, e.g. ``{"vth0_n": 0.5}``; the nested
     ``bias_rules`` value may itself be a dict of BodyBiasRules fields."""
@@ -154,6 +161,10 @@ class RunSpec:
             raise SpecError(f"num_dies must be >= 1, got {self.num_dies}")
         if self.workers < 1:
             raise SpecError(f"workers must be >= 1, got {self.workers}")
+        if self.tuning_engine not in TUNING_ENGINES:
+            raise SpecError(
+                f"unknown tuning engine {self.tuning_engine!r}; choose "
+                f"from {TUNING_ENGINES}")
         if self.num_regions < 1:
             raise SpecError(
                 f"num_regions must be >= 1, got {self.num_regions}")
@@ -227,7 +238,10 @@ class RunSpec:
         ``workers`` parallelizes execution without changing the result,
         so it does not participate in the content address — a sweep run
         with ``workers=4`` hits the exact artifacts a serial run
-        produced, and vice versa.
+        produced, and vice versa.  ``tuning_engine`` is the same kind
+        of knob (the batched engine is bit-identical to the serial
+        loop), so it is always dropped too — which also keeps every
+        spec hash from before the field existed.
 
         ``grouping`` *does* change the result, so non-default values
         are part of the address; the ``"identity"`` default is dropped
@@ -236,6 +250,7 @@ class RunSpec:
         """
         material = self.to_dict()
         del material["workers"]
+        del material["tuning_engine"]
         if material["grouping"] == "identity":
             del material["grouping"]
         return material
@@ -444,7 +459,8 @@ def _execute_population(spec: RunSpec, cache: ArtifactCache) -> dict:
         model=spec.process_model(), sta_engine=spec.engine,
         tune=spec.tune, max_clusters=spec.clusters,
         beta_budget=spec.beta_budget, method=spec.method,
-        workers=spec.workers, grouping=spec.grouping)
+        workers=spec.workers, grouping=spec.grouping,
+        tuning_engine=spec.tuning_engine)
     return population_row_payload(run_population(flow, config))
 
 

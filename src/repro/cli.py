@@ -12,8 +12,10 @@ Subcommands (all experiment-shaped ones are thin wrappers over the
 * ``layout DESIGN --beta B`` — ASCII layout view with bias clusters;
 * ``montecarlo DESIGN --dies N --seed S`` — sample a die population
   through the batched STA backend and report yield (``--tune`` runs the
-  closed calibration loop on every slow die, ``--workers N`` shards it
-  over a process pool; runs are reproducible from the seed);
+  closed calibration loop on every slow die, ``--tuning-engine batched``
+  switches it to the population-at-a-time engine with bit-identical
+  results, ``--workers N`` shards it over a process pool; runs are
+  reproducible from the seed);
 * ``spatial DESIGN --dies N --regions R`` — the spatial-vs-uniform
   compensation study: calibrate one correlated die population twice,
   per-region clustered vs single-sensor uniform, and report both yields
@@ -110,7 +112,8 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
         kind="population", design=args.design, num_dies=args.dies,
         seed=args.seed, engine=args.engine, tune=args.tune,
         clusters=args.clusters, beta_budget=args.beta_budget,
-        workers=args.workers, grouping=args.grouping))
+        workers=args.workers, grouping=args.grouping,
+        tuning_engine=args.tuning_engine))
     print(format_population([result.to_population_row()]))
     return 0
 
@@ -238,6 +241,13 @@ def build_parser() -> argparse.ArgumentParser:
     montecarlo.add_argument("--beta-budget", type=float, default=0.0,
                             help="slowdown margin defining timing yield "
                                  "and, with --tune, the tuning target")
+    montecarlo.add_argument("--tuning-engine",
+                            choices=("serial", "batched"),
+                            default="serial",
+                            help="calibration execution engine: per-die "
+                                 "serial loop or the batched "
+                                 "population-at-a-time engine "
+                                 "(bit-identical results)")
     montecarlo.add_argument("--workers", type=int, default=1,
                             help="process-pool width for --tune: shard "
                                  "the slow dies across N workers "

@@ -21,11 +21,15 @@ from dataclasses import dataclass, field
 
 from repro.core.problem import FBBProblem, build_problem
 from repro.core.single_bb import solve_single_bb
-from repro.errors import TimeoutError_
+from repro.errors import SpecError, TimeoutError_
 from repro.flow.design_flow import FlowResult, implement
 from repro.grouping import solve_grouped
 from repro.variation.montecarlo import sample_dies
 from repro.variation.process import ProcessModel
+
+#: population-tuning execution engines (PopulationConfig.tuning_engine /
+#: RunSpec.tuning_engine): both produce bit-identical summaries
+TUNING_ENGINES = ("serial", "batched")
 
 
 @dataclass(frozen=True)
@@ -142,6 +146,12 @@ class PopulationConfig:
     grouping: str = "identity"
     """Bias-domain grouping the tuning controller allocates at
     (``"identity"`` = per-row, the pre-grouping behaviour)."""
+    tuning_engine: str = "serial"
+    """Calibration execution engine: ``"serial"`` runs the per-die
+    reference loop, ``"batched"`` advances all slow dies one
+    sense/allocate/verify step per matrix pass
+    (:mod:`repro.tuning.batched`) with bit-identical results.  An
+    execution knob like ``workers``, not an experiment input."""
 
 
 @dataclass(frozen=True)
@@ -185,6 +195,10 @@ def run_population(flow: FlowResult,
     tune_runtime = 0.0
     if config.tune:
         from repro.tuning.controller import TuningController
+        if config.tuning_engine not in TUNING_ENGINES:
+            raise SpecError(
+                f"unknown tuning engine {config.tuning_engine!r}; "
+                f"choose from {TUNING_ENGINES}")
         started = time.perf_counter()
         controller = TuningController(flow.placed, flow.clib,
                                       max_clusters=config.max_clusters,
@@ -192,7 +206,9 @@ def run_population(flow: FlowResult,
                                       grouping=config.grouping)
         summary = controller.calibrate_population(
             population, beta_budget=config.beta_budget,
-            workers=config.workers)
+            workers=config.workers,
+            mode=("batched" if config.tuning_engine == "batched"
+                  else "model"))
         tune_runtime = time.perf_counter() - started
         tuned_yield = summary.yield_after
         recovered = summary.recovered

@@ -342,6 +342,56 @@ def tune_dies_parallel(controller: Any,
     return [record for part in parts for record in part]
 
 
+def _worker_tune_batched_chunk(args: tuple) -> list:
+    """Batch-calibrate one contiguous chunk of out-of-budget dies.
+
+    Mirrors :func:`_worker_tune_chunk` with the population-at-a-time
+    engine inside: the controller (and its compiled batched analyzer)
+    is rebuilt once per chunk, and every die's record is still a pure
+    function of its ``(beta, beta_budget)``, so concatenated chunks
+    equal the serial batched sweep — which itself equals the per-die
+    loop — bit for bit.
+    """
+    (placed, clib, max_clusters, max_iterations, beta_step, method,
+     grouping, beta_budget, dies) = args
+    from repro.tuning.batched import calibrate_dies_batched
+    from repro.tuning.controller import TuningController
+    controller = TuningController(
+        placed, clib, max_clusters=max_clusters,
+        max_iterations=max_iterations, beta_step=beta_step, method=method,
+        grouping=grouping)
+    unbiased = controller.clib_leakage_unbiased()
+    return calibrate_dies_batched(controller, dies, beta_budget, unbiased)
+
+
+def tune_dies_batched_parallel(controller: Any,
+                               dies: Sequence[tuple[int, float]],
+                               beta_budget: float,
+                               workers: int) -> list:
+    """Shard ``(index, beta)`` dies over a pool of batched engines.
+
+    The batched twin of :func:`tune_dies_parallel`: same contiguous
+    chunking, same order-restoring concatenation, each worker running
+    :func:`repro.tuning.batched.calibrate_dies_batched` over its chunk.
+    Chunk boundaries cannot change any record (per-die purity), so
+    ``workers=N`` stays bit-identical to ``workers=1``.
+    """
+    workers = resolve_workers(workers, len(dies))
+    if not dies:
+        return []
+    chunks = chunked(list(dies), workers)
+    args = [(controller.placed, controller.clib, controller.max_clusters,
+             controller.max_iterations, controller.beta_step,
+             controller.method, controller.grouping, beta_budget, chunk)
+            for chunk in chunks]
+    if len(chunks) == 1:
+        parts = [_worker_tune_batched_chunk(args[0])]
+    else:
+        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+            parts = list(pool.map(_worker_tune_batched_chunk, args))
+    return [record for part in parts for record in part]
+
+
 def _worker_tune_spatial_chunk(args: tuple) -> list:
     """Spatially calibrate one contiguous chunk of out-of-budget dies.
 

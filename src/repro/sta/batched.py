@@ -43,6 +43,12 @@ from repro.sta.engine import Endpoint, TimingAnalyzer
 #: faster than 4096+ chunks at 10k dies)
 DEFAULT_CHUNK_DIES = 1024
 
+#: dirty-gate fraction above which :meth:`BatchedTimingAnalyzer.refine`
+#: abandons the incremental path and re-propagates everything — the
+#: per-level sub-gathers stop paying for themselves once most of the
+#: netlist is dirty anyway
+DEFAULT_REFINE_FALLBACK = 0.5
+
 
 @dataclass(frozen=True)
 class BatchTimingReport:
@@ -248,6 +254,90 @@ class BatchedTimingAnalyzer:
             latest = arrival[:, fanin_block].max(axis=2)
             arrival[:, members] = latest + effective[:, members]
         return arrival
+
+    def dirty_gate_mask(self, changed_gate_mask: np.ndarray) -> np.ndarray:
+        """Fan-out closure of a set of changed gates.
+
+        A gate is *dirty* when its own effective delay changed or any of
+        its (transitive) fanin gates did — exactly the gates whose
+        arrivals a re-propagation may move.  Computed with one gather
+        per logic level over the same padded fanin blocks the propagate
+        sweep uses (the sentinel column is never dirty, matching its
+        pinned zero arrival).
+        """
+        mask = np.asarray(changed_gate_mask, dtype=bool)
+        if mask.shape != (self.num_gates,):
+            raise TimingError(
+                f"changed_gate_mask must have shape ({self.num_gates},), "
+                f"got {mask.shape}")
+        dirty = np.zeros(self.num_gates + 1, dtype=bool)
+        for members, fanin_block in self._level_blocks:
+            dirty[members] = mask[members] | dirty[fanin_block].any(axis=1)
+        return dirty[:self.num_gates]
+
+    def refine(self, prev_arrival_ps: np.ndarray,
+               changed_gate_mask: np.ndarray,
+               scales: np.ndarray | None = None,
+               derate: float | np.ndarray = 1.0,
+               num_dies: int | None = None,
+               fallback_fraction: float = DEFAULT_REFINE_FALLBACK
+               ) -> BatchTimingReport:
+        """Incremental STA: re-propagate only the dirty fan-out cones.
+
+        ``prev_arrival_ps`` is the ``arrival_ps`` matrix of an earlier
+        :meth:`analyze`/:meth:`refine` over the same dies, and
+        ``changed_gate_mask`` is a (num_gates,) boolean marking every
+        gate whose effective delay may differ between that call and this
+        one (for bias tuning: the gates on rows whose bias moved).  Only
+        the levels of the marked gates' fan-out closure are recomputed;
+        clean gates keep their previous arrivals verbatim.
+
+        Recomputed gates use the same gather + ``max`` + add the full
+        sweep uses and clean gates' inputs are bit-for-bit the previous
+        values, so the report is exactly ``analyze(scales, derate)`` —
+        the dirty-cone invariant tested by ``tests/sta/test_incremental``.
+        When the dirty closure covers more than ``fallback_fraction`` of
+        the netlist the method falls back to a full propagation (same
+        result, cheaper than many near-total sub-gathers).
+        """
+        if fallback_fraction < 0:
+            raise TimingError("fallback_fraction cannot be negative")
+        scales, derate_arr, dies = self._check_inputs(scales, derate,
+                                                      num_dies)
+        prev = np.asarray(prev_arrival_ps, dtype=float)
+        if prev.shape != (dies, self.num_gates):
+            raise TimingError(
+                f"prev_arrival_ps must have shape "
+                f"({dies}, {self.num_gates}), got {prev.shape}")
+        effective = self._effective_delays(scales, derate_arr, dies)
+        dirty = self.dirty_gate_mask(changed_gate_mask)
+        num_dirty = int(dirty.sum())
+        if num_dirty > fallback_fraction * self.num_gates:
+            arrival = self._propagate(effective)
+        else:
+            # Start from the previous arrivals (sentinel column pinned
+            # to 0) and resweep only the dirty members of each level.
+            arrival = np.zeros((dies, self.num_gates + 1))
+            arrival[:, :self.num_gates] = prev
+            if num_dirty:
+                for members, fanin_block in self._level_blocks:
+                    selector = dirty[members]
+                    if not selector.any():
+                        continue
+                    sub_members = members[selector]
+                    latest = arrival[:, fanin_block[selector]].max(axis=2)
+                    arrival[:, sub_members] = \
+                        latest + effective[:, sub_members]
+        endpoint = (arrival[:, self._endpoint_driver]
+                    + self._endpoint_setup_ps[None, :])
+        return BatchTimingReport(
+            gate_names=self.gate_names,
+            endpoints=self.endpoints,
+            arrival_ps=arrival[:, :self.num_gates],
+            gate_delay_ps=effective,
+            endpoint_delay_ps=endpoint,
+            critical_delay_ps=endpoint.max(axis=1),
+        )
 
     def analyze(self, scales: np.ndarray | None = None,
                 derate: float | np.ndarray = 1.0,

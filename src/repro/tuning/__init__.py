@@ -2,6 +2,7 @@
 generator, closed-loop controller, and wafer-scale population
 calibration — including the spatial per-region compensation mode."""
 
+from repro.tuning.batched import calibrate_dies_batched
 from repro.tuning.controller import (DEFAULT_SENSOR_REGIONS,
                                      TuningController, TuningOutcome)
 from repro.tuning.generator import BodyBiasGenerator
@@ -27,5 +28,6 @@ __all__ = [
     "TuningOutcome",
     "calibrate_die",
     "calibrate_die_spatial",
+    "calibrate_dies_batched",
     "tune_population",
 ]

@@ -32,6 +32,7 @@ die (a yield loss, not a tuning bug).
 
 from __future__ import annotations
 
+import math
 from collections.abc import Mapping
 
 import numpy as np
@@ -46,6 +47,7 @@ from repro.grouping import (GroupingContext, RowGrouping, is_field_driven,
                             make_grouping, reduce_problem,
                             validate_grouping_spec)
 from repro.placement.placed_design import PlacedDesign
+from repro.sta.batched import BatchedTimingAnalyzer
 from repro.sta.engine import TimingAnalyzer
 from repro.sta.paths import extract_paths
 from repro.tech.characterize import CharacterizedLibrary
@@ -123,6 +125,8 @@ class TuningController:
         self._paths = list(extract_paths(self.analyzer))
         self._grids: dict[tuple, SpatialSensorGrid] = {}
         self._groupings: dict[str, RowGrouping] = {}
+        self._batched = None
+        self._gate_rows: np.ndarray | None = None
 
     # -- bias-domain grouping ---------------------------------------------
 
@@ -204,15 +208,80 @@ class TuningController:
                 scales[name] = scale
         return scales
 
+    # -- batched-calibration surface (engine in repro.tuning.batched) -----
+
+    def batched_analyzer(self) -> BatchedTimingAnalyzer:
+        """The (cached) array STA engine compiled from this controller's
+        scalar analyzer — the verify backend of batched calibration."""
+        if self._batched is None:
+            self._batched = BatchedTimingAnalyzer(self.analyzer)
+        return self._batched
+
+    def scale_row_of(self, solution: BiasSolution) -> np.ndarray:
+        """A solution's per-gate delay scales as one batched-STA row.
+
+        The array twin of :meth:`_gate_scales`: element ``i`` is
+        ``delay_scales[levels[row_of(gate_names[i])]]``, so a verify
+        through the batched engine prices exactly the mapping the
+        scalar monitor would check.
+        """
+        if self._gate_rows is None:
+            row_of = {}
+            for row, members in enumerate(self.placed.rows_to_gates()):
+                for name in members:
+                    row_of[name] = row
+            self._gate_rows = np.array(
+                [row_of[name]
+                 for name in self.batched_analyzer().gate_names],
+                dtype=np.intp)
+        scales = np.asarray(self.clib.delay_scales, dtype=float)
+        return scales[solution.levels_array[self._gate_rows]]
+
+    def initial_sensor_estimate(self, true_beta: float) -> float:
+        """The sensor's quantised reading of a die's slowdown.
+
+        The truth floored to the ``beta_step`` resolution grid (never
+        below one step): sensors report in resolution ticks, so two dies
+        with nearby slowdowns read identically.  Population-scale
+        calibration leans on exactly this collision — distinct estimates
+        across a wafer number ~``beta_max / beta_step``, so the batched
+        engine solves each allocation subproblem once per estimate
+        instead of once per die (DESIGN.md, "Batched calibration").
+        """
+        steps = math.floor(true_beta / self.beta_step)
+        return max(round(steps * self.beta_step, 9), self.beta_step)
+
+    def allocate_for_estimate(self, estimate: float) -> BiasSolution:
+        """One die-wide allocate step at a scalar slowdown estimate.
+
+        Builds the uniformly derated problem and solves it at the
+        controller's grouping granularity — the exact build/allocate
+        pair of one :meth:`calibrate` iteration, exposed so the batched
+        population engine can share (and dedup) it.  Raises
+        :class:`~repro.errors.TuningError` when even maximum bias cannot
+        meet timing at this estimate.
+        """
+        try:
+            problem = build_problem(self.placed, self.clib, estimate,
+                                    analyzer=self.analyzer,
+                                    paths=self._paths,
+                                    dcrit_ps=self.dcrit_ps)
+            return self._allocate(
+                problem, self._resolve_grouping(problem.row_betas))
+        except InfeasibleError as exc:
+            raise TuningError(
+                f"die beyond FBB recovery range: {exc}") from exc
+
     def calibrate(self, true_beta: float,
                   initial_estimate: float | None = None) -> TuningOutcome:
         """Run the sense/allocate/apply/verify loop against a real die.
 
         ``true_beta`` is the die's actual slowdown (hidden from the
         controller except through the sensors); ``initial_estimate``
-        models sensor quantisation error (defaults to the truth rounded
-        *down* one step, forcing at least one verify-driven bump in the
-        common case).
+        overrides the sensor reading, which defaults to
+        :meth:`initial_sensor_estimate` — the truth floored to the
+        ``beta_step`` grid, modelling sensor quantisation error and
+        forcing a verify-driven bump whenever the floor undershoots.
         """
         if true_beta < 0:
             raise TuningError("die slowdown cannot be negative")
@@ -228,19 +297,10 @@ class TuningController:
                 history=history)
 
         estimate = (initial_estimate if initial_estimate is not None
-                    else max(true_beta - self.beta_step, self.beta_step))
+                    else self.initial_sensor_estimate(true_beta))
         solution: BiasSolution | None = None
         for iteration in range(1, self.max_iterations + 1):
-            try:
-                problem = build_problem(self.placed, self.clib, estimate,
-                                        analyzer=self.analyzer,
-                                        paths=self._paths,
-                                        dcrit_ps=self.dcrit_ps)
-                solution = self._allocate(
-                    problem, self._resolve_grouping(problem.row_betas))
-            except InfeasibleError as exc:
-                raise TuningError(
-                    f"die beyond FBB recovery range: {exc}") from exc
+            solution = self.allocate_for_estimate(estimate)
             self.generator.program_solution(
                 [solution.vbs_of_row(r)
                  for r in range(self.placed.num_rows)])
@@ -369,7 +429,10 @@ class TuningController:
         :class:`PopulationTuningSummary`.  ``workers > 1`` shards the
         slow dies over a process pool with bit-identical results;
         ``mode="spatial"`` runs :meth:`calibrate_spatial` against each
-        slow die's sampled field instead of the uniform-derate model.
+        slow die's sampled field instead of the uniform-derate model;
+        ``mode="batched"`` runs the model-mode loop population-at-a-time
+        through :func:`repro.tuning.batched.calibrate_dies_batched`,
+        bit-identical to the per-die sweep.
         """
         from repro.tuning.population import tune_population
         return tune_population(self, population, beta_budget,

@@ -13,7 +13,7 @@ a population across a process pool (``workers > 1``, engine in
 ``repro/flow/parallel.py``) with results bit-identical to the serial
 loop; see DESIGN.md, "Parallel execution".
 
-Two calibration modes mirror the controller's:
+Three calibration modes mirror the controller's:
 
 * ``mode="model"`` (default) — each slow die is modelled by its scalar
   measured beta (the paper's die-wide derate);
@@ -21,7 +21,13 @@ Two calibration modes mirror the controller's:
   per-gate delay-scale field through a per-region sensor grid
   (``num_regions``; 1 = the die-uniform sensing baseline), which is the
   paper's physically-clustered compensation closed over the correlated
-  intra-die field (DESIGN.md, "Spatial compensation").
+  intra-die field (DESIGN.md, "Spatial compensation");
+* ``mode="batched"`` — model-mode semantics executed population-at-a-
+  time by :mod:`repro.tuning.batched` (one allocation per distinct
+  quantised estimate, one matrix-STA verify per pass).  An execution
+  engine, not an experiment input: the summary is bit-identical to
+  ``mode="model"`` and records ``mode="model"`` (DESIGN.md, "Batched
+  calibration").
 """
 
 from __future__ import annotations
@@ -38,7 +44,7 @@ from repro.tuning.sensors import SpatialSensorGrid
 from repro.variation.montecarlo import MonteCarloResult
 
 #: supported population calibration modes
-TUNING_MODES = ("model", "spatial")
+TUNING_MODES = ("model", "spatial", "batched")
 
 #: per-die outcome labels used in :class:`DieTuningRecord.status`
 DIE_STATUSES = ("ok-unbiased", "recovered", "not-converged", "yield-loss")
@@ -184,7 +190,15 @@ def tune_population(controller: TuningController,
     ``workers > 1`` shards the out-of-budget dies into contiguous
     per-process chunks (via ``repro.flow.parallel``); records are
     reassembled in die order, so the summary is bit-identical to the
-    serial ``workers=1`` reference path — in both modes.
+    serial ``workers=1`` reference path — in every mode.
+
+    ``mode="batched"`` keeps model-mode semantics but advances all slow
+    dies one sense/allocate/verify step per matrix pass
+    (:func:`repro.tuning.batched.calibrate_dies_batched`): the summary
+    — including its recorded ``mode="model"`` — is bit-identical to the
+    per-die path, only faster.  Populations with no out-of-budget dies
+    short-circuit to zero matrix passes (and zero allocations) in both
+    engines.
 
     ``mode="spatial"`` calibrates each slow die against its sampled
     per-gate field through a ``num_regions``-monitor sensor grid; the
@@ -207,21 +221,40 @@ def tune_population(controller: TuningController,
         raise TuningError(
             f"unknown tuning mode {mode!r}; choose from {TUNING_MODES}")
     spatial = mode == "spatial"
+    batched = mode == "batched"
     if spatial and population.scale_matrix is None:
         raise TuningError(
             "spatial tuning needs the population's scale matrix "
             "(sample with store_scales or the default sample_dies path)")
     unbiased = controller.clib_leakage_unbiased()
     method = controller.method or "heuristic:row-descent"
+    # "batched" is an execution engine for model-mode semantics: the
+    # summary records "model" so it compares equal to the per-die path.
+    summary_mode = "model" if batched else mode
+
+    slow_dies = [(die.index, die.beta) for die in population.samples
+                 if die.beta > beta_budget]
     grid = None
+    regions = None
     if spatial:
-        grid = (controller.replica_sensor_grid(num_regions)
-                if replica_sensor else controller.sensor_grid(num_regions))
+        if num_regions < 1:
+            raise TuningError(
+                f"need at least one sensor region, got {num_regions}")
+        # The summary's resolution, clamped exactly as the grid clamps
+        # it — computed up front so an all-converged or empty population
+        # never pays for grid construction (its path/incidence matrices)
+        # it will not use.
+        regions = (1 if replica_sensor
+                   else min(num_regions, controller.placed.num_rows))
+        if slow_dies:
+            grid = (controller.replica_sensor_grid(num_regions)
+                    if replica_sensor
+                    else controller.sensor_grid(num_regions))
     if not population.samples:
         return PopulationTuningSummary(
             records=(), yield_before=1.0, yield_after=1.0,
-            unbiased_leakage_nw=unbiased, method=method, mode=mode,
-            num_regions=grid.num_regions if grid else None)
+            unbiased_leakage_nw=unbiased, method=method, mode=summary_mode,
+            num_regions=regions)
 
     def _calibrate(index: int, beta: float) -> DieTuningRecord:
         if spatial:
@@ -231,9 +264,22 @@ def tune_population(controller: TuningController,
         return calibrate_die(controller, index, beta, beta_budget,
                              unbiased)
 
-    slow_dies = [(die.index, die.beta) for die in population.samples
-                 if die.beta > beta_budget]
-    if workers == 1 or len(slow_dies) < 2:
+    if batched:
+        if workers == 1 or len(slow_dies) < 2:
+            # Lazy import: calibrate_dies_batched imports this module's
+            # record types, so the downward reference stays lazy here.
+            from repro.tuning.batched import calibrate_dies_batched
+            tuned = calibrate_dies_batched(controller, slow_dies,
+                                           beta_budget, unbiased)
+        else:
+            from repro.flow.parallel import tune_dies_batched_parallel
+            tuned = tune_dies_batched_parallel(controller, slow_dies,
+                                               beta_budget, workers)
+        by_index = {record.index: record for record in tuned}
+        records = [by_index[die.index] if die.beta > beta_budget
+                   else _calibrate(die.index, die.beta)
+                   for die in population.samples]
+    elif workers == 1 or len(slow_dies) < 2:
         records = [_calibrate(die.index, die.beta)
                    for die in population.samples]
     else:
@@ -263,6 +309,6 @@ def tune_population(controller: TuningController,
         yield_after=good_after / len(records),
         unbiased_leakage_nw=unbiased,
         method=method,
-        mode=mode,
-        num_regions=grid.num_regions if grid else None,
+        mode=summary_mode,
+        num_regions=regions,
     )

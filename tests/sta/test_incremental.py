@@ -1,0 +1,229 @@
+"""Oracle tests for incremental batched STA (`refine`).
+
+``BatchedTimingAnalyzer.refine`` re-propagates only the fan-out cones
+of gates whose effective delay changed; its contract is *exact float
+equality* with a from-scratch ``analyze`` over the new scale matrix —
+the dirty-cone invariant batched population calibration leans on
+(DESIGN.md, "Batched calibration").  Every test here compares refine
+against the full-propagation oracle for some bias-delta pattern:
+single-row, adjacent-row, all-row and empty deltas, the fallback
+threshold on both sides, and disconnected-component netlists
+(``multiblock_soc``), where a clean component's arrivals must survive
+verbatim.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import c1355_like
+from repro.circuits.industrial import multiblock_soc
+from repro.errors import TimingError
+from repro.placement import place_design
+from repro.sta import BatchedTimingAnalyzer
+from repro.synth import map_netlist
+from repro.tech import characterize_library, reduced_library
+
+LIBRARY = reduced_library()
+CLIB = characterize_library(LIBRARY)
+
+
+@pytest.fixture(scope="module")
+def placed():
+    mapped = map_netlist(c1355_like(data_width=10, check_bits=5), LIBRARY)
+    return place_design(mapped, LIBRARY)
+
+
+@pytest.fixture(scope="module")
+def batched(placed):
+    return BatchedTimingAnalyzer.for_placed(placed)
+
+
+@pytest.fixture(scope="module")
+def soc_batched():
+    netlist = multiblock_soc("soc_mini", num_blocks=3, block_gates=220)
+    placed = place_design(map_netlist(netlist, LIBRARY), LIBRARY)
+    return placed, BatchedTimingAnalyzer.for_placed(placed)
+
+
+def _row_gate_mask(placed, batched, rows):
+    """Boolean gate mask covering the given placement rows."""
+    mask = np.zeros(batched.num_gates, dtype=bool)
+    for row, members in enumerate(placed.rows_to_gates()):
+        if row in rows:
+            for name in members:
+                mask[batched.gate_index(name)] = True
+    return mask
+
+
+def _random_scales(batched, num_dies, seed, lo=0.85, hi=1.0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(lo, hi, size=(num_dies, batched.num_gates))
+
+
+def _assert_reports_identical(got, want):
+    assert np.array_equal(got.arrival_ps, want.arrival_ps)
+    assert np.array_equal(got.gate_delay_ps, want.gate_delay_ps)
+    assert np.array_equal(got.endpoint_delay_ps, want.endpoint_delay_ps)
+    assert np.array_equal(got.critical_delay_ps, want.critical_delay_ps)
+
+
+class TestRefineOracle:
+    """refine() == analyze() to the last bit, per delta pattern."""
+
+    @pytest.mark.parametrize("rows", [(0,), (3,), (2, 3), (0, 1, 2)])
+    def test_row_deltas_match_full_propagation(self, placed, batched, rows):
+        before = _random_scales(batched, 5, seed=7)
+        prev = batched.analyze(scales=before, derate=1.04)
+        after = before.copy()
+        mask = _row_gate_mask(placed, batched, set(rows))
+        after[:, mask] *= 0.92
+        report = batched.refine(prev.arrival_ps, mask, scales=after,
+                                derate=1.04)
+        _assert_reports_identical(report, batched.analyze(scales=after,
+                                                          derate=1.04))
+
+    def test_all_rows_changed(self, placed, batched):
+        before = _random_scales(batched, 4, seed=1)
+        prev = batched.analyze(scales=before, derate=1.08)
+        after = before * 0.9
+        mask = np.ones(batched.num_gates, dtype=bool)
+        report = batched.refine(prev.arrival_ps, mask, scales=after,
+                                derate=1.08)
+        _assert_reports_identical(report, batched.analyze(scales=after,
+                                                          derate=1.08))
+
+    def test_empty_delta_returns_previous_arrivals(self, batched):
+        scales = _random_scales(batched, 3, seed=3)
+        prev = batched.analyze(scales=scales, derate=1.02)
+        mask = np.zeros(batched.num_gates, dtype=bool)
+        report = batched.refine(prev.arrival_ps, mask, scales=scales,
+                                derate=1.02)
+        _assert_reports_identical(report, prev)
+
+    def test_per_die_derate_vector(self, placed, batched):
+        before = _random_scales(batched, 6, seed=11)
+        derate = 1.0 + np.linspace(0.0, 0.1, 6)
+        prev = batched.analyze(scales=before, derate=derate)
+        after = before.copy()
+        mask = _row_gate_mask(placed, batched, {1, 4})
+        after[:, mask] = 0.88
+        report = batched.refine(prev.arrival_ps, mask, scales=after,
+                                derate=derate)
+        _assert_reports_identical(
+            report, batched.analyze(scales=after, derate=derate))
+
+    def test_random_gate_subsets(self, batched):
+        rng = np.random.default_rng(42)
+        before = _random_scales(batched, 4, seed=5)
+        prev = batched.analyze(scales=before)
+        for fraction in (0.01, 0.1, 0.4):
+            mask = rng.random(batched.num_gates) < fraction
+            after = before.copy()
+            after[:, mask] *= rng.uniform(0.85, 1.0)
+            report = batched.refine(prev.arrival_ps, mask, scales=after)
+            _assert_reports_identical(report, batched.analyze(scales=after))
+
+
+class TestFallbackThreshold:
+    """Both sides of the dirty-fraction boundary give the same report."""
+
+    def test_forced_fallback_equals_incremental(self, placed, batched):
+        before = _random_scales(batched, 3, seed=9)
+        prev = batched.analyze(scales=before, derate=1.05)
+        after = before.copy()
+        mask = _row_gate_mask(placed, batched, {2})
+        after[:, mask] *= 0.9
+        incremental = batched.refine(prev.arrival_ps, mask, scales=after,
+                                     derate=1.05, fallback_fraction=1.0)
+        fallback = batched.refine(prev.arrival_ps, mask, scales=after,
+                                  derate=1.05, fallback_fraction=0.0)
+        _assert_reports_identical(incremental, fallback)
+        _assert_reports_identical(
+            incremental, batched.analyze(scales=after, derate=1.05))
+
+    def test_exact_boundary_is_incremental(self, batched):
+        """`fraction * num_gates == num_dirty` stays on the incremental
+        path (the fallback triggers on strictly-greater), and both sides
+        of the boundary agree with the oracle."""
+        scales = _random_scales(batched, 2, seed=13)
+        prev = batched.analyze(scales=scales)
+        mask = np.zeros(batched.num_gates, dtype=bool)
+        mask[: batched.num_gates // 2] = True
+        dirty = int(batched.dirty_gate_mask(mask).sum())
+        boundary = dirty / batched.num_gates
+        after = scales * 0.95
+        at = batched.refine(prev.arrival_ps, np.ones_like(mask),
+                            scales=after, fallback_fraction=boundary)
+        below = batched.refine(prev.arrival_ps, np.ones_like(mask),
+                               scales=after,
+                               fallback_fraction=boundary - 1e-9)
+        oracle = batched.analyze(scales=after)
+        _assert_reports_identical(at, oracle)
+        _assert_reports_identical(below, oracle)
+
+    def test_negative_fallback_rejected(self, batched):
+        scales = _random_scales(batched, 1, seed=0)
+        prev = batched.analyze(scales=scales)
+        with pytest.raises(TimingError):
+            batched.refine(prev.arrival_ps,
+                           np.zeros(batched.num_gates, dtype=bool),
+                           scales=scales, fallback_fraction=-0.1)
+
+
+class TestDisconnectedComponents:
+    """multiblock_soc: a delta in one block leaves the others' arrivals
+    untouched — and bit-identical to full propagation."""
+
+    def test_single_block_delta(self, soc_batched):
+        placed, batched = soc_batched
+        before = _random_scales(batched, 4, seed=21)
+        prev = batched.analyze(scales=before, derate=1.03)
+        # Dirty exactly the gates of one block (by name prefix).
+        block = {name for name in batched.gate_names
+                 if name.startswith("b0_")}
+        assert block, "expected block-prefixed gate names"
+        mask = np.array([name in block for name in batched.gate_names])
+        after = before.copy()
+        after[:, mask] *= 0.9
+        report = batched.refine(prev.arrival_ps, mask, scales=after,
+                                derate=1.03)
+        _assert_reports_identical(
+            report, batched.analyze(scales=after, derate=1.03))
+        # The clean components' closure must not grow into other blocks:
+        dirty = batched.dirty_gate_mask(mask)
+        outside = ~np.array([name in block
+                             for name in batched.gate_names])
+        assert not dirty[outside].any()
+        assert np.array_equal(report.arrival_ps[:, outside],
+                              prev.arrival_ps[:, outside])
+
+    def test_dirty_cone_is_fanout_closure(self, batched):
+        """Every dirty gate is reachable from a changed gate; marked
+        gates are always dirty; nothing upstream-only is."""
+        mask = np.zeros(batched.num_gates, dtype=bool)
+        mask[0] = True
+        dirty = batched.dirty_gate_mask(mask)
+        assert dirty[0]
+        assert dirty.sum() >= 1
+        # Growing the seed set can only grow the closure.
+        mask2 = mask.copy()
+        mask2[batched.num_gates // 2] = True
+        dirty2 = batched.dirty_gate_mask(mask2)
+        assert (dirty2 | dirty).sum() == dirty2.sum()
+
+
+class TestRefineValidation:
+    def test_wrong_prev_shape_rejected(self, batched):
+        scales = _random_scales(batched, 3, seed=2)
+        prev = batched.analyze(scales=scales)
+        with pytest.raises(TimingError):
+            batched.refine(prev.arrival_ps[:2],
+                           np.zeros(batched.num_gates, dtype=bool),
+                           scales=scales)
+
+    def test_wrong_mask_shape_rejected(self, batched):
+        scales = _random_scales(batched, 2, seed=2)
+        prev = batched.analyze(scales=scales)
+        with pytest.raises(TimingError):
+            batched.refine(prev.arrival_ps, np.zeros(3, dtype=bool),
+                           scales=scales)

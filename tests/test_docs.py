@@ -188,6 +188,40 @@ def test_grouping_bench_artifact_documented():
         assert name in text, f"EXPERIMENTS.md does not mention {name}"
 
 
+#: names of the batched calibration layer that DESIGN.md's "Batched
+#: calibration" section must pin down (ISSUE 6)
+BATCHED_DOC_NAMES = ("Batched calibration", "mode=\"batched\"",
+                     "tuning_engine", "initial_sensor_estimate",
+                     "refine", "DEFAULT_REFINE_FALLBACK",
+                     "bench_tuning_throughput.py",
+                     "--tuning-engine batched")
+
+
+def test_batched_calibration_documented():
+    """DESIGN.md must describe the pass topology, the dedup-by-estimate
+    cache, the dirty-cone invariant and the determinism contract of the
+    batched calibration engine."""
+    text = (REPO_ROOT / "DESIGN.md").read_text(encoding="utf-8")
+    missing = [name for name in BATCHED_DOC_NAMES if name not in text]
+    assert not missing, f"DESIGN.md does not mention: {missing}"
+
+
+def test_batched_bench_artifact_documented():
+    """EXPERIMENTS.md must track the batched calibration benchmark."""
+    text = (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+    for name in ("bench_tuning_throughput.py",
+                 "out/tuning_throughput.txt"):
+        assert name in text, f"EXPERIMENTS.md does not mention {name}"
+
+
+def test_tutorial_shows_batched_engine():
+    """TUTORIAL.md must carry the batched-calibration walkthrough (the
+    Python block is executed, the CLI line parser-validated)."""
+    text = (REPO_ROOT / "TUTORIAL.md").read_text(encoding="utf-8")
+    assert 'mode="batched"' in text
+    assert "--tuning-engine batched" in text
+
+
 def test_tutorial_shows_grouping_flag():
     """TUTORIAL.md must carry the --grouping bands:8 walkthrough (the
     CLI line is parser-validated by test_tutorial_cli_lines_parse)."""
