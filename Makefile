@@ -10,18 +10,22 @@ PYTEST := PYTHONPATH=src python -m pytest
 test:
 	$(PYTEST) -x -q
 
-# Static checks: ruff (config in ruff.toml) plus the registry policy
-# suites — every solver-registry entry and every grouping-strategy
-# entry must carry a docstring, and the docs must track the registered
-# names.  ruff is optional locally but required (and installed) in CI.
+# Static checks, three layers: ruff (style families, config in
+# ruff.toml), the repro.lint AST contract checkers (determinism,
+# hash-stability, units-suffix, registry-docstring, paper-anchor; see
+# DESIGN.md "Static contract checking"), and the registry/docs policy
+# suites.  ruff is optional locally but required (and installed) in CI;
+# repro.lint has no dependencies beyond the repo itself and always runs.
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
 		ruff check src tests benchmarks examples; \
 	else \
 		echo "ruff not installed; skipping style pass (CI runs it)"; \
 	fi
+	PYTHONPATH=src python -m repro.lint src tests benchmarks examples
 	$(PYTEST) -q tests/core/test_registry.py \
-		tests/grouping/test_grouping.py tests/test_docs.py
+		tests/grouping/test_grouping.py tests/test_docs.py \
+		tests/lint/
 
 docs-check:
 	$(PYTEST) -q tests/test_docs.py

@@ -9,8 +9,8 @@ the rails' geometry.
 import pytest
 
 from repro.core import solve_heuristic
-from repro.lefdef import read_def, write_def
 from repro.layout import route_bias_rails, svg_layout
+from repro.lefdef import read_def, write_def
 
 
 @pytest.mark.benchmark(group="fig6")

@@ -20,8 +20,8 @@ import os
 from pathlib import Path
 
 from repro import build_problem, implement, solve_heuristic
-from repro.lefdef import read_def, read_lef, write_def, write_lef
 from repro.layout import ascii_layout, route_bias_rails, svg_layout
+from repro.lefdef import read_def, read_lef, write_def, write_lef
 from repro.tech import write_liberty
 
 OUT = Path(__file__).parent / "out"

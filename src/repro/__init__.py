@@ -30,6 +30,7 @@ or, driving the layers directly::
     print(clustered.savings_vs(baseline.leakage_nw), "% leakage saved")
 """
 
+from repro.api import RunResult, RunSpec, run, run_many, solver_names
 from repro.core import (BiasSolution, FBBProblem, build_problem, pass_one,
                         pass_two, registry, solve, solve_heuristic,
                         solve_ilp, solve_single_bb, uniform_solution)
@@ -45,7 +46,6 @@ from repro.grouping import (RowGrouping, grouping_registry, make_grouping,
 from repro.tech import (CellLibrary, CharacterizedLibrary, Technology,
                         characterize_library, reduced_library,
                         sweep_inverter)
-from repro.api import RunResult, RunSpec, run, run_many, solver_names
 
 __version__ = "1.0.0"
 

@@ -50,16 +50,16 @@ from repro.core.problem import build_problem
 from repro.core.registry import registry
 from repro.core.single_bb import solve_single_bb
 from repro.errors import GroupingError, SpecError
-from repro.grouping import solve_grouped, validate_grouping_spec
 from repro.flow.cache import (ArtifactCache, canonical_json, content_hash,
                               default_cache)
 from repro.flow.design_flow import FlowResult, implement
-from repro.flow.parallel import SpecFailure, execute_specs
 from repro.flow.experiment import (TUNING_ENGINES, ExperimentConfig,
                                    PopulationConfig, PopulationRow,
                                    SpatialConfig, SpatialRow, Table1Row,
                                    run_design_beta, run_population,
                                    run_spatial)
+from repro.flow.parallel import SpecFailure, execute_specs
+from repro.grouping import solve_grouped, validate_grouping_spec
 from repro.tech.technology import BodyBiasRules, Technology
 from repro.variation.process import ProcessModel
 
@@ -67,6 +67,28 @@ SCHEMA_VERSION = 1
 """Serialization schema of RunSpec/RunResult; bumped on breaking change."""
 
 RUN_KINDS = ("allocate", "table1", "population", "spatial")
+
+EXECUTION_KNOBS = ("workers", "tuning_engine")
+"""RunSpec fields that choose *how* a run executes, never *what* it
+computes: results are bit-identical for every value, so they are
+excluded from :meth:`RunSpec.cache_material` and do not perturb the
+content address.  The ``hash-stability`` lint rule requires every
+RunSpec field to appear here or in :data:`HASHED_FIELDS` — adding a
+field without declaring its hash fate is a lint failure."""
+
+HASHED_FIELDS = (
+    "kind", "design", "beta", "method", "clusters", "cluster_budgets",
+    "ilp_backend", "ilp_time_limit_s", "skip_ilp_above_rows", "seed",
+    "num_dies", "engine", "tune", "beta_budget", "utilization",
+    "grouping", "num_regions", "process", "tech", "schema_version",
+)
+"""RunSpec fields that participate in the content address: changing any
+of them changes :meth:`RunSpec.spec_hash` and therefore misses the run
+cache.  (``grouping`` is special-cased: its ``"identity"`` default is
+elided from the material so spec hashes predating the field are
+stable.)  Kept disjoint from :data:`EXECUTION_KNOBS` and exhaustive
+over the dataclass fields, both enforced by the ``hash-stability``
+lint rule and ``tests/lint``."""
 
 
 @dataclass(frozen=True)
@@ -235,13 +257,13 @@ class RunSpec:
         """Key material for the run cache: the spec minus execution-only
         knobs.
 
-        ``workers`` parallelizes execution without changing the result,
-        so it does not participate in the content address — a sweep run
-        with ``workers=4`` hits the exact artifacts a serial run
-        produced, and vice versa.  ``tuning_engine`` is the same kind
-        of knob (the batched engine is bit-identical to the serial
-        loop), so it is always dropped too — which also keeps every
-        spec hash from before the field existed.
+        The fields in :data:`EXECUTION_KNOBS` parallelize or re-engine
+        execution without changing the result — a sweep run with
+        ``workers=4`` hits the exact artifacts a serial run produced,
+        and the batched ``tuning_engine`` is bit-identical to the
+        serial loop — so they do not participate in the content
+        address (which also keeps every spec hash from before those
+        fields existed).
 
         ``grouping`` *does* change the result, so non-default values
         are part of the address; the ``"identity"`` default is dropped
@@ -249,8 +271,8 @@ class RunSpec:
         hashes (and their cached artifacts).
         """
         material = self.to_dict()
-        del material["workers"]
-        del material["tuning_engine"]
+        for knob in EXECUTION_KNOBS:
+            del material[knob]
         if material["grouping"] == "identity":
             del material["grouping"]
         return material

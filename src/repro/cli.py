@@ -27,7 +27,11 @@ Subcommands (all experiment-shaped ones are thin wrappers over the
   counters.  A malformed or failing spec no longer aborts the batch:
   it becomes a JSONL error record (``{"error": ..., "message": ...,
   "spec": ...}``), the remaining specs still run, and the exit status
-  is nonzero when any spec failed.
+  is nonzero when any spec failed;
+* ``lint [paths...]`` — the :mod:`repro.lint` static contract
+  checkers (determinism, hash-stability, units-suffix,
+  registry-docstring, paper-anchor) over the tree; exits nonzero on
+  any finding (same engine as ``python -m repro.lint``).
 """
 
 from __future__ import annotations
@@ -183,6 +187,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_lint_command
+    return run_lint_command(args.paths, output_format=args.format,
+                            rules=args.rule)
+
+
 def _add_grouping_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--grouping", default="identity",
@@ -296,6 +306,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fan the batch out over a process pool of "
                             "N workers (results identical to serial)")
     sweep.set_defaults(func=_cmd_sweep)
+
+    lint = sub.add_parser(
+        "lint", help="run the repro.lint static contract checkers")
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to lint (default: "
+                           "src, tests, benchmarks, examples)")
+    lint.add_argument("--format", choices=("human", "json"),
+                      default="human",
+                      help="output format (default: human)")
+    lint.add_argument("--rule", action="append", default=None,
+                      metavar="RULE",
+                      help="run only this rule (repeatable; see "
+                           "'python -m repro.lint --help' for the "
+                           "catalogue)")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

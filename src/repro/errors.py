@@ -82,3 +82,8 @@ class GroupingError(ReproError):
 
 class SpecError(ReproError):
     """Invalid or unserializable RunSpec/RunResult (repro.api layer)."""
+
+
+class LintError(ReproError):
+    """repro.lint misuse: unknown rule, undocumented checker entry, or
+    an unreadable lint target."""

@@ -1,0 +1,43 @@
+"""repro.lint — static contract checkers for the reproduction's
+invariants.
+
+Every headline claim this reproduction makes about the paper's numbers
+— batched STA bit-identical to the scalar engine, ``workers=N``
+bit-identical to serial, batched calibration equal to the per-die loop —
+rests on invariants that ordinary tests exercise but nothing enforces
+*statically*: Monte Carlo sampling must flow through seeded
+``np.random.Generator`` objects only, ``RunSpec.cache_material()`` must
+stay in sync with the spec's dataclass fields, and public quantities
+must carry the :mod:`repro.units` base-unit suffixes the paper's tables
+are written in (ps / nW / V).  This package is an AST-level lint pass
+that turns each of those contracts into a named, testable rule:
+
+* ``determinism`` — no hidden-global or wall-clock entropy sources;
+* ``hash-stability`` — every RunSpec field has a declared hash fate;
+* ``units-suffix`` — public quantities use the units.py suffixes;
+* ``registry-docstring`` — registry entries carry docstrings;
+* ``paper-anchor`` — every module docstring names its paper anchor.
+
+Checkers live in a :class:`~repro.lint.registry.CheckerRegistry`
+mirroring the solver registry, run via ``python -m repro.lint`` or
+``repro-fbb lint``, and honour inline
+``# repro-lint: ignore[rule] -- reason`` suppressions.  See DESIGN.md,
+"Static contract checking".
+"""
+
+from repro.lint.engine import (Finding, SourceFile, collect_paths,
+                               lint_paths, lint_sources)
+from repro.lint.registry import (CheckerEntry, CheckerRegistry,
+                                 checker_registry, load_builtin_checkers)
+
+__all__ = [
+    "CheckerEntry",
+    "CheckerRegistry",
+    "Finding",
+    "SourceFile",
+    "checker_registry",
+    "collect_paths",
+    "lint_paths",
+    "lint_sources",
+    "load_builtin_checkers",
+]

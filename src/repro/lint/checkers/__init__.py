@@ -1,0 +1,23 @@
+"""Built-in checkers: the project contracts behind the paper's claims.
+
+Importing this package registers every first-party rule with the
+default :data:`~repro.lint.registry.checker_registry`:
+
+* :mod:`~repro.lint.checkers.determinism` — seeded-RNG-only sampling,
+  no wall-clock entropy (the Monte Carlo reproducibility contract);
+* :mod:`~repro.lint.checkers.hash_stability` — RunSpec fields vs
+  ``cache_material()`` (the content-address stability contract);
+* :mod:`~repro.lint.checkers.units_suffix` — the ps/nW/V base-unit
+  naming discipline of the paper's tables (:mod:`repro.units`);
+* :mod:`~repro.lint.checkers.registry_docstring` — documented registry
+  entries (solver, grouping and checker registries alike);
+* :mod:`~repro.lint.checkers.paper_anchor` — every module names the
+  paper section/figure/table it reproduces.
+"""
+
+from repro.lint.checkers import (determinism, hash_stability,
+                                 paper_anchor, registry_docstring,
+                                 units_suffix)
+
+__all__ = ["determinism", "hash_stability", "paper_anchor",
+           "registry_docstring", "units_suffix"]

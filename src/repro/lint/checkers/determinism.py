@@ -1,0 +1,176 @@
+"""Determinism checker: seeded-RNG-only sampling, no wall-clock entropy.
+
+The reproduction's Monte Carlo results (the paper's die-population
+yield studies and the spatial compensation experiments) are defined to be
+pure functions of a seed: identical seeds reproduce identical
+populations, batched == scalar and ``workers=N`` == serial bit for bit.
+Four sub-rules protect that contract:
+
+* legacy ``np.random.*`` module functions (``rand``, ``seed``,
+  ``shuffle``, ...) draw from hidden global state — sampling must flow
+  through an explicit seeded ``np.random.default_rng(seed)`` Generator;
+* bare ``random.*`` module functions are the stdlib flavour of the same
+  problem — build a ``random.Random(seed)`` instance instead (the
+  industrial netlist generators do exactly this);
+* ``time.time()`` / ``datetime.now()`` / ``os.urandom()`` inject
+  wall-clock or OS entropy into library code; the only sanctioned clock
+  is ``time.perf_counter()`` for the ``runtime_s`` reporting fields,
+  which are explicitly outside the bit-identity contract;
+* RNG parameters (``rng``) in library signatures must be typed
+  ``np.random.Generator`` (or ``random.Random``), so a caller can never
+  silently hand in an unseeded source.
+
+The sampling rules apply tree-wide; the wall-clock and typing rules
+only to library code under ``src/``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import Finding, SourceFile
+from repro.lint.registry import checker_registry
+
+RULE = "determinism"
+
+#: legacy numpy.random module-level samplers (global-state API)
+LEGACY_NP_RANDOM = frozenset({
+    "seed", "rand", "randn", "randint", "random", "random_sample",
+    "ranf", "sample", "choice", "shuffle", "permutation", "uniform",
+    "normal", "standard_normal", "lognormal", "binomial", "poisson",
+    "beta", "gamma", "exponential", "get_state", "set_state",
+    "RandomState",
+})
+
+#: stdlib random module-level samplers (global-state API)
+BARE_RANDOM = frozenset({
+    "seed", "random", "randint", "randrange", "choice", "choices",
+    "shuffle", "sample", "uniform", "gauss", "normalvariate",
+    "betavariate", "expovariate", "triangular", "getrandbits",
+    "randbytes", "vonmisesvariate",
+})
+
+#: (module, attribute) wall-clock / OS entropy sources banned in library
+#: code; time.perf_counter is the sanctioned runtime_s clock
+ENTROPY_SOURCES = {
+    ("time", "time"): "time.time() is wall-clock entropy; only "
+                      "time.perf_counter() is sanctioned, for the "
+                      "runtime_s reporting fields",
+    ("datetime", "now"): "datetime.now() is wall-clock entropy; runs "
+                         "must be pure functions of their spec",
+    ("datetime", "utcnow"): "datetime.utcnow() is wall-clock entropy; "
+                            "runs must be pure functions of their spec",
+    ("datetime", "today"): "datetime.today() is wall-clock entropy; "
+                           "runs must be pure functions of their spec",
+    ("os", "urandom"): "os.urandom() is OS entropy; sample through a "
+                       "seeded np.random.Generator",
+}
+
+#: annotations accepted for an ``rng`` parameter
+_RNG_ANNOTATIONS = ("np.random.Generator", "numpy.random.Generator",
+                    "random.Random")
+
+
+class _Aliases(ast.NodeVisitor):
+    """Map local names to the canonical modules/classes they bind."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, str] = {}
+        self.names: dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            self.modules[local] = alias.name.split(".")[0]
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None:
+            return
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self.names[local] = f"{node.module}.{alias.name}"
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """Unparse a Name/Attribute chain to ``a.b.c`` (None otherwise)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+@checker_registry.register(RULE)
+def check_determinism(source: SourceFile) -> list[Finding]:
+    """Seeded-RNG-only sampling and no wall-clock entropy in library
+    code (the Monte Carlo reproducibility contract)."""
+    assert source.tree is not None
+    aliases = _Aliases()
+    aliases.visit(source.tree)
+    findings: list[Finding] = []
+
+    def flag(node: ast.AST, message: str) -> None:
+        findings.append(Finding(path=source.path, line=node.lineno,
+                                rule=RULE, message=message))
+
+    library = source.role == "library"
+    for node in ast.walk(source.tree):
+        if isinstance(node, ast.Attribute):
+            dotted = _dotted(node)
+            if dotted is None:
+                continue
+            head, _, attribute = dotted.rpartition(".")
+            # legacy np.random.* (tree-wide)
+            head_root, _, head_attr = head.partition(".")
+            if (head_attr == "random"
+                    and aliases.modules.get(head_root) == "numpy"
+                    and attribute in LEGACY_NP_RANDOM):
+                flag(node, f"legacy np.random.{attribute} draws from "
+                           "hidden global state; sample through a "
+                           "seeded np.random.default_rng(seed) "
+                           "Generator")
+            # bare random.* (tree-wide)
+            elif (not head_attr
+                    and aliases.modules.get(head_root) == "random"
+                    and attribute in BARE_RANDOM):
+                flag(node, f"module-level random.{attribute} draws from "
+                           "hidden global state; build a seeded "
+                           "random.Random(seed) instance")
+            elif library:
+                if head_attr:
+                    resolved = aliases.modules.get(head_root)
+                    canonical = (f"{resolved}.{head_attr}" if resolved
+                                 else head)
+                else:
+                    canonical = (aliases.modules.get(head_root)
+                                 or aliases.names.get(head_root, head))
+                if canonical.startswith("datetime."):
+                    canonical = "datetime"
+                message = ENTROPY_SOURCES.get((canonical, attribute))
+                if message is not None:
+                    flag(node, message)
+        elif (library and isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)):
+            # from-imported entropy sources called by bare name
+            origin = aliases.names.get(node.func.id)
+            if origin in ("time.time", "os.urandom"):
+                flag(node, ENTROPY_SOURCES[tuple(origin.split("."))])
+        elif (library and isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef))):
+            arguments = node.args
+            for arg in (arguments.posonlyargs + arguments.args
+                        + arguments.kwonlyargs):
+                if arg.arg != "rng":
+                    continue
+                annotation = ("" if arg.annotation is None
+                              else ast.unparse(arg.annotation))
+                if not any(accepted in annotation
+                           for accepted in _RNG_ANNOTATIONS):
+                    flag(arg, "RNG parameter 'rng' must be typed "
+                              "np.random.Generator (or random.Random) "
+                              "so unseeded sources cannot slip in; "
+                              f"got {annotation or 'no annotation'!r}")
+    return findings

@@ -1,0 +1,147 @@
+"""Hash-stability checker: every RunSpec field has a declared hash fate.
+
+``RunSpec.spec_hash()`` is the content address of every cached artifact
+(the key that makes re-running a paper sweep free), so adding a field
+to the spec silently changes — or silently fails to change — every
+existing hash unless someone decides the field's fate: is it an
+experiment input that belongs in the address, or an execution knob
+(like ``workers``) that must be excluded because results are
+bit-identical for any value?  PRs 3, 5 and 6 each made that call by
+hand; this rule makes forgetting it a lint error.
+
+For any dataclass that defines a ``cache_material()`` method, every
+field must appear in exactly one of:
+
+* the module-level ``HASHED_FIELDS`` tuple — experiment inputs,
+  part of the content address;
+* the module-level ``EXECUTION_KNOBS`` tuple — execution-only knobs,
+  excluded from ``cache_material()``;
+* the source of ``cache_material()`` itself, as a string literal —
+  fields with bespoke handling (e.g. ``grouping``'s identity-default
+  elision, which keeps pre-grouping spec hashes stable).
+
+The rule also rejects tuple entries that name no real field, fields
+listed in both tuples, and a ``cache_material()`` that never consults
+``EXECUTION_KNOBS``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import Finding, SourceFile
+from repro.lint.registry import checker_registry
+
+RULE = "hash-stability"
+
+EXCLUSION_TUPLE = "EXECUTION_KNOBS"
+INCLUSION_TUPLE = "HASHED_FIELDS"
+
+
+def _string_tuple(module: ast.Module, name: str) -> dict[str, int] | None:
+    """Module-level ``NAME = ("a", "b", ...)`` as a dict name->lineno
+    (None when the tuple is not declared)."""
+    for node in module.body:
+        if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == name
+                and isinstance(node.value, ast.Tuple)):
+            return {element.value: node.lineno
+                    for element in node.value.elts
+                    if isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)}
+    return None
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        name = target.attr if isinstance(target, ast.Attribute) \
+            else getattr(target, "id", None)
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _spec_fields(node: ast.ClassDef) -> dict[str, int]:
+    """Class-level annotated fields (name -> line), ClassVars excluded."""
+    fields: dict[str, int] = {}
+    for statement in node.body:
+        if not isinstance(statement, ast.AnnAssign):
+            continue
+        if not isinstance(statement.target, ast.Name):
+            continue
+        if "ClassVar" in ast.unparse(statement.annotation):
+            continue
+        fields[statement.target.id] = statement.lineno
+    return fields
+
+
+@checker_registry.register(RULE)
+def check_hash_stability(source: SourceFile) -> list[Finding]:
+    """Spec dataclass fields vs ``cache_material()``: every field's
+    hash fate must be declared (the content-address contract)."""
+    assert source.tree is not None
+    findings: list[Finding] = []
+
+    def flag(line: int, message: str) -> None:
+        findings.append(Finding(path=source.path, line=line, rule=RULE,
+                                message=message))
+
+    for node in source.tree.body:
+        if not isinstance(node, ast.ClassDef) or not _is_dataclass(node):
+            continue
+        material = next(
+            (item for item in node.body
+             if isinstance(item, ast.FunctionDef)
+             and item.name == "cache_material"), None)
+        if material is None:
+            continue
+        fields = _spec_fields(node)
+        excluded = _string_tuple(source.tree, EXCLUSION_TUPLE)
+        hashed = _string_tuple(source.tree, INCLUSION_TUPLE)
+        if excluded is None:
+            flag(node.lineno,
+                 f"{node.name} defines cache_material() but the module "
+                 f"declares no {EXCLUSION_TUPLE} tuple naming the "
+                 "execution-only fields excluded from the content "
+                 "address")
+            excluded = {}
+        if hashed is None:
+            hashed = {}
+        material_literals = {
+            constant.value
+            for constant in ast.walk(material)
+            if isinstance(constant, ast.Constant)
+            and isinstance(constant.value, str)}
+        material_names = {
+            name.id for name in ast.walk(material)
+            if isinstance(name, ast.Name)}
+
+        for field_name, line in fields.items():
+            in_excluded = field_name in excluded
+            in_hashed = field_name in hashed
+            if in_excluded and in_hashed:
+                flag(line, f"{node.name}.{field_name} is listed in both "
+                           f"{INCLUSION_TUPLE} and {EXCLUSION_TUPLE}; "
+                           "a field has exactly one hash fate")
+            elif not (in_excluded or in_hashed
+                      or field_name in material_literals):
+                flag(line, f"{node.name}.{field_name} has no declared "
+                           "hash fate: add it to "
+                           f"{INCLUSION_TUPLE} (content-addressed) or "
+                           f"{EXCLUSION_TUPLE} (execution-only, "
+                           "excluded from cache_material())")
+        for tuple_name, entries in ((EXCLUSION_TUPLE, excluded),
+                                    (INCLUSION_TUPLE, hashed)):
+            for entry, line in entries.items():
+                if entry not in fields:
+                    flag(line, f"{tuple_name} names {entry!r}, which is "
+                               f"not a {node.name} field")
+        if excluded and EXCLUSION_TUPLE not in material_names:
+            flag(material.lineno,
+                 f"{node.name}.cache_material() never consults "
+                 f"{EXCLUSION_TUPLE}; the declared exclusions would "
+                 "not be applied")
+    return findings

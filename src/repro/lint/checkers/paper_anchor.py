@@ -1,0 +1,52 @@
+"""Paper-anchor checker: every library module names what it reproduces.
+
+The codebase is a reproduction: each module either implements a
+concrete piece of the DATE 2009 paper (a section, figure, table or
+equation) or substitutes for a part of its flow the paper assumed
+(a commercial placer, an industrial netlist).  Either way the module
+docstring must say so — ``Sec. 4.2``, ``Fig. 5``, ``Table 1`` or an
+explicit mention of the paper — so a reader can always navigate from
+code to claim.  This rule migrates the policy from its ad-hoc home in
+``tests/test_docs.py`` into the lint framework; the test suite is now a
+thin wrapper over this checker.
+
+Applies to public modules under ``src/`` (``_``-prefixed module names
+are internal and exempt; ``__init__.py`` is not).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import PurePath
+
+from repro.lint.engine import Finding, SourceFile
+from repro.lint.registry import checker_registry
+
+RULE = "paper-anchor"
+
+#: what counts as "naming the paper anchor" in a module docstring
+PAPER_ANCHOR = re.compile(
+    r"Sec\.|Fig\.|Table\s?\d|Eq\.|paper|Paper|DATE 2009")
+
+
+@checker_registry.register(RULE)
+def check_paper_anchor(source: SourceFile) -> list[Finding]:
+    """Every public library module carries a docstring naming its
+    paper anchor (Sec./Fig./Table/Eq. or an explicit paper mention)."""
+    assert source.tree is not None
+    if source.role != "library":
+        return []
+    name = PurePath(source.path).name
+    if name.startswith("_") and name != "__init__.py":
+        return []
+    docstring = ast.get_docstring(source.tree)
+    if not docstring or not docstring.strip():
+        message = "missing module docstring (must name its paper anchor)"
+    elif not PAPER_ANCHOR.search(docstring):
+        message = ("module docstring names no paper anchor "
+                   "(Sec./Fig./Table/Eq. or 'paper')")
+    else:
+        return []
+    return [Finding(path=source.path, line=1, rule=RULE,
+                    message=message)]

@@ -1,0 +1,112 @@
+"""Registry-docstring checker: every registered entry documents itself.
+
+The solver registry (paper Sec. 4's three method families), the
+grouping-strategy registry and the lint checker registry all enforce a
+docstring at registration time — the registry doubles as the
+user-facing catalogue of the method space.  That runtime guard only
+fires when the module is imported, though; this rule moves the policy
+to lint time, where CI fails before anything runs.  It resolves the
+static registration idioms the codebase uses:
+
+* ``@registry.register("name")`` decorators — the decorated function
+  must carry a docstring;
+* ``registry.register("name", func)`` calls — the referenced
+  module-level function must carry a docstring;
+* ``registry.register("name", make_entry(...))`` factory calls — the
+  factory must either assign ``entry.__doc__`` or return an inner
+  function that has its own docstring.
+
+A receiver counts as a registry when its name is ``registry`` or ends
+in ``registry`` (``grouping_registry``, ``checker_registry``);
+``self.register`` plumbing inside registry classes is ignored, as are
+call forms the checker cannot resolve statically (the import-time guard
+still covers those).  Applies to library code under ``src/`` only.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import Finding, SourceFile
+from repro.lint.registry import checker_registry
+
+RULE = "registry-docstring"
+
+
+def _is_registry_receiver(func: ast.expr) -> bool:
+    return (isinstance(func, ast.Attribute)
+            and func.attr == "register"
+            and isinstance(func.value, ast.Name)
+            and (func.value.id == "registry"
+                 or func.value.id.endswith("registry")))
+
+
+def _factory_documents_entry(factory: ast.FunctionDef) -> bool:
+    """True when a factory assigns ``__doc__`` or returns an inner
+    function that carries a docstring."""
+    for node in ast.walk(factory):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (isinstance(target, ast.Attribute)
+                        and target.attr == "__doc__"):
+                    return True
+        if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node is not factory and ast.get_docstring(node)):
+            return True
+    return False
+
+
+@checker_registry.register(RULE)
+def check_registry_docstring(source: SourceFile) -> list[Finding]:
+    """Statically enforce the docstring-at-registration policy of the
+    solver/grouping/checker registries (paper Sec. 4 method catalogue)."""
+    assert source.tree is not None
+    if source.role != "library":
+        return []
+    findings: list[Finding] = []
+
+    def flag(line: int, message: str) -> None:
+        findings.append(Finding(path=source.path, line=line, rule=RULE,
+                                message=message))
+
+    module_functions = {
+        node.name: node for node in ast.walk(source.tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))}
+
+    # decorator form: @registry.register("name")
+    for node in ast.walk(source.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            registered = any(
+                isinstance(decorator, ast.Call)
+                and _is_registry_receiver(decorator.func)
+                for decorator in node.decorator_list)
+            if registered and not ast.get_docstring(node):
+                flag(node.lineno,
+                     f"registered entry {node.name!r} has no docstring; "
+                     "every registry entry documents its method")
+        if not (isinstance(node, ast.Call)
+                and _is_registry_receiver(node.func)
+                and len(node.args) >= 2):
+            continue
+        entry_name = ast.unparse(node.args[0])
+        candidate = node.args[1]
+        if isinstance(candidate, ast.Lambda):
+            flag(node.lineno,
+                 f"registry entry {entry_name} is a lambda, which "
+                 "cannot carry the required docstring")
+        elif isinstance(candidate, ast.Name):
+            target = module_functions.get(candidate.id)
+            if target is not None and not ast.get_docstring(target):
+                flag(node.lineno,
+                     f"registry entry {entry_name} registers "
+                     f"{candidate.id!r}, which has no docstring")
+        elif (isinstance(candidate, ast.Call)
+              and isinstance(candidate.func, ast.Name)):
+            factory = module_functions.get(candidate.func.id)
+            if factory is not None and \
+                    not _factory_documents_entry(factory):
+                flag(node.lineno,
+                     f"registry entry {entry_name} comes from factory "
+                     f"{candidate.func.id!r}, which neither assigns "
+                     "__doc__ nor returns a documented function")
+    return findings

@@ -1,0 +1,125 @@
+"""Units-suffix checker: public quantities use the units.py base units.
+
+The library stores every physical quantity in the base units of
+:mod:`repro.units` — picoseconds, nanowatts (microwatts in the paper's
+Table 1 totals), volts/millivolts, micrometres/nanometres — and encodes
+the unit in the name (``delay_ps``, ``leakage_nw``, ``vbs_mv``), so a
+reader can check dimensional sanity at every call site without running
+anything.  Two sub-rules keep public signatures honest:
+
+* a public function, parameter or dataclass field whose name ends in a
+  *display*-unit suffix (``_ns``, ``_mw``, ``_mm``, ``_pf``, ...) is
+  quoting the wrong convention — store base units, convert at the
+  display edge (that is what the ``units.py`` helpers are for);
+* a name that *is* a bare quantity word (``delay``, ``leakage``,
+  ``slack``, ``arrival``, ``runtime``) carries a physical quantity with
+  no unit at all — add the suffix.
+
+``repro/units.py`` itself and ``x_to_y`` conversion helpers are exempt
+(they are the sanctioned display edge).  Applies to library code under
+``src/`` only; private (``_``-prefixed) definitions are left alone.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.lint.engine import Finding, SourceFile
+from repro.lint.registry import checker_registry
+
+RULE = "units-suffix"
+
+#: base-unit (and sanctioned reporting) suffixes from units.py
+SANCTIONED_SUFFIXES = frozenset({
+    "ps",            # time: picoseconds
+    "nw", "uw",      # leakage: nanowatts, microwatts in Table 1 totals
+    "um", "nm",      # distance: micrometres, nanometres
+    "v", "mv",       # voltage
+    "ff",            # capacitance: femtofarads
+    "k",             # temperature: kelvin
+    "s",             # wall-clock runtime reporting (runtime_s)
+})
+
+#: display-unit suffix -> the base-unit suffix to use instead
+FORBIDDEN_SUFFIXES = {
+    "ns": "ps", "fs": "ps", "us": "ps", "ms": "s",
+    "mw": "uw", "pw": "nw", "kw": "uw",
+    "mm": "um", "cm": "um",
+    "uv": "mv", "nv": "mv",
+    "pf": "ff", "nf": "ff", "uf": "ff",
+}
+
+#: names that are bare physical-quantity words (no unit at all)
+BARE_QUANTITY_WORDS = frozenset({
+    "delay", "leakage", "slack", "arrival", "runtime",
+})
+
+#: sanctioned conversion-helper names (nw_to_uw, ps_to_ns, ...)
+_CONVERSION_NAME = re.compile(r"^[a-z]+_to_[a-z]+$")
+
+
+def _check_name(name: str) -> str | None:
+    """Return a violation message for ``name`` (None when clean)."""
+    if name.startswith("_") or _CONVERSION_NAME.match(name):
+        return None
+    if name in BARE_QUANTITY_WORDS:
+        return (f"{name!r} carries a physical quantity with no unit; "
+                "use a units.py base-unit suffix "
+                "(e.g. ps, nw, uw, mv, nm)")
+    _, _, suffix = name.rpartition("_")
+    replacement = FORBIDDEN_SUFFIXES.get(suffix)
+    if replacement is not None:
+        return (f"{name!r} uses display unit '_{suffix}'; store the "
+                f"units.py base unit instead ('_{replacement}') and "
+                "convert at the display edge")
+    return None
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) \
+            else decorator
+        name = target.attr if isinstance(target, ast.Attribute) \
+            else getattr(target, "id", None)
+        if name == "dataclass":
+            return True
+    return False
+
+
+@checker_registry.register(RULE)
+def check_units_suffix(source: SourceFile) -> list[Finding]:
+    """Public functions, parameters and dataclass fields carrying
+    physical quantities must use the units.py base-unit suffixes."""
+    assert source.tree is not None
+    if source.role != "library" or source.path.endswith("units.py"):
+        return []
+    findings: list[Finding] = []
+
+    def flag(line: int, message: str) -> None:
+        findings.append(Finding(path=source.path, line=line, rule=RULE,
+                                message=message))
+
+    for node in ast.walk(source.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name.startswith("_"):
+                continue
+            message = _check_name(node.name)
+            if message:
+                flag(node.lineno, f"function {message}")
+            arguments = node.args
+            for arg in (arguments.posonlyargs + arguments.args
+                        + arguments.kwonlyargs):
+                if arg.arg in ("self", "cls"):
+                    continue
+                message = _check_name(arg.arg)
+                if message:
+                    flag(arg.lineno, f"parameter {message}")
+        elif isinstance(node, ast.ClassDef) and _is_dataclass(node):
+            for statement in node.body:
+                if (isinstance(statement, ast.AnnAssign)
+                        and isinstance(statement.target, ast.Name)):
+                    message = _check_name(statement.target.id)
+                    if message:
+                        flag(statement.lineno, f"field {message}")
+    return findings

@@ -1,0 +1,165 @@
+"""Lint engine: source collection, suppressions and rule dispatch.
+
+The engine is deliberately simple — the reproduction's contracts (the
+determinism and hash-stability guarantees behind the paper's Table 1
+and Monte Carlo numbers) live in the checkers; this module only parses
+files once into :class:`SourceFile` records, fans each one through the
+registered rules and filters findings through inline suppressions:
+
+    x = some_call()  # repro-lint: ignore[units-suffix] -- reason here
+
+A suppression comment silences the named rule(s) for findings **on its
+own line** (``ignore[*]`` silences every rule there); the free-form
+text after the bracket is the required human reason.  Files that do not
+parse produce a single ``syntax`` finding instead of crashing the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import LintError
+from repro.lint.registry import checker_registry, load_builtin_checkers
+
+#: inline suppression: ``# repro-lint: ignore[rule1, rule2] -- reason``
+SUPPRESSION = re.compile(
+    r"#\s*repro-lint:\s*ignore\[([A-Za-z0-9_*,\- ]+)\]")
+
+#: directory names that decide how strict the contract set is for a file
+_ROLE_DIRECTORIES = ("src", "tests", "benchmarks", "examples")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """Human-readable one-liner (``path:line: [rule] message``)."""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-native record for ``--format json`` output."""
+        return {"path": self.path, "line": self.line, "rule": self.rule,
+                "message": self.message}
+
+
+@dataclass
+class SourceFile:
+    """One parsed lint target.
+
+    ``role`` scopes the contract set: ``"library"`` files (under
+    ``src/``) get the full set — wall-clock entropy, RNG typing, units
+    suffixes, registry docstrings, paper anchors — while test, bench
+    and example code is only held to the tree-wide sampling rules.
+    """
+
+    path: str
+    text: str
+    role: str = "other"
+    tree: ast.Module | None = field(default=None, repr=False)
+    parse_error: str | None = None
+    suppressions: dict[int, set[str]] = field(default_factory=dict,
+                                              repr=False)
+
+    def __post_init__(self) -> None:
+        if self.tree is None and self.parse_error is None:
+            try:
+                self.tree = ast.parse(self.text)
+            except SyntaxError as exc:
+                self.parse_error = f"{exc.msg} (line {exc.lineno})"
+        for number, line in enumerate(self.text.splitlines(), 1):
+            match = SUPPRESSION.search(line)
+            if match:
+                rules = {token.strip()
+                         for token in match.group(1).split(",")
+                         if token.strip()}
+                self.suppressions[number] = rules
+
+    @classmethod
+    def from_path(cls, path: Path, root: Path | None = None,
+                  display: str | None = None) -> "SourceFile":
+        """Load one file; ``root`` anchors the display path and the
+        role inference."""
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"cannot read lint target {path}: {exc}")
+        relative = path
+        if root is not None:
+            try:
+                relative = path.resolve().relative_to(root.resolve())
+            except ValueError:
+                relative = path
+        return cls(path=display or str(relative), text=text,
+                   role=_role_of(relative))
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """True when an inline comment silences this finding's rule on
+        this finding's line."""
+        rules = self.suppressions.get(finding.line)
+        return bool(rules) and (finding.rule in rules or "*" in rules)
+
+
+def _role_of(path: Path) -> str:
+    for part in path.parts:
+        if part == "src":
+            return "library"
+        if part in _ROLE_DIRECTORIES:
+            return part
+    return "other"
+
+
+def collect_paths(targets: list[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, deduplicated list of
+    ``.py`` files."""
+    seen: dict[Path, None] = {}
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                seen.setdefault(candidate, None)
+        elif path.is_file():
+            seen.setdefault(path, None)
+        else:
+            raise LintError(f"lint target does not exist: {target}")
+    return sorted(seen)
+
+
+def lint_sources(sources: list[SourceFile],
+                 rules: list[str] | None = None) -> list[Finding]:
+    """Run the (selected) registered checkers over parsed sources.
+
+    Findings come back sorted by location; suppressed findings are
+    dropped.  Unparseable sources yield one ``syntax`` finding each.
+    """
+    load_builtin_checkers()
+    selected = (checker_registry.entries() if rules is None
+                else tuple(checker_registry.get(rule) for rule in rules))
+    findings: list[Finding] = []
+    for source in sources:
+        if source.parse_error is not None:
+            findings.append(Finding(path=source.path, line=1,
+                                    rule="syntax",
+                                    message=source.parse_error))
+            continue
+        for entry in selected:
+            findings.extend(f for f in entry.func(source)
+                            if not source.is_suppressed(f))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+
+
+def lint_paths(targets: list[str | Path],
+               rules: list[str] | None = None,
+               root: Path | None = None) -> list[Finding]:
+    """Collect ``.py`` files under ``targets`` and lint them."""
+    sources = [SourceFile.from_path(path, root=root)
+               for path in collect_paths(targets)]
+    return lint_sources(sources, rules=rules)

@@ -1,0 +1,99 @@
+"""Checker registry: every lint rule behind one dispatch table.
+
+Mirrors the solver registry of :mod:`repro.core.registry` (the paper's
+three method families behind one ``solve()``): each static-analysis
+rule registers under a stable name (``determinism``, ``hash-stability``,
+...), registration enforces a docstring so the registry doubles as
+user-facing documentation of the rule space, and the engine, the CLI
+and the test suite all resolve rules through this one table.  New
+contracts — e.g. for the serving layer the ROADMAP points at — plug in
+as new checker modules without touching the engine.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import LintError
+
+if TYPE_CHECKING:  # engine imports this module; no runtime cycle
+    from repro.lint.engine import Finding, SourceFile
+
+CheckerFunc = Callable[["SourceFile"], "list[Finding]"]
+
+
+@dataclass(frozen=True)
+class CheckerEntry:
+    """One registered lint rule."""
+
+    rule: str
+    func: CheckerFunc
+    summary: str
+    """First docstring line, shown in CLI/API listings."""
+
+
+class CheckerRegistry:
+    """Rule name -> checker dispatch table.
+
+    Entries are callables ``func(source) -> list[Finding]`` over one
+    parsed :class:`~repro.lint.engine.SourceFile`.  Registration
+    enforces a non-empty docstring — the same build-breaking policy the
+    solver and grouping registries carry, here applied to the linter
+    itself.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, CheckerEntry] = {}
+
+    def register(self, rule: str,
+                 func: CheckerFunc | None = None) -> CheckerFunc:
+        """Register a checker under ``rule`` (usable as a decorator)."""
+        if func is None:
+            return lambda f: self.register(rule, f)
+        if rule in self._entries:
+            raise LintError(f"checker {rule!r} is already registered")
+        doc = (func.__doc__ or "").strip()
+        if not doc:
+            raise LintError(
+                f"checker {rule!r} has no docstring; every registry "
+                "entry must document its rule")
+        summary = doc.splitlines()[0].strip()
+        self._entries[rule] = CheckerEntry(rule=rule, func=func,
+                                           summary=summary)
+        return func
+
+    def get(self, rule: str) -> CheckerEntry:
+        """Resolve a rule name to its entry."""
+        try:
+            return self._entries[rule]
+        except KeyError:
+            raise LintError(
+                f"unknown lint rule {rule!r}; registered rules: "
+                f"{', '.join(self.names())}") from None
+
+    def names(self) -> tuple[str, ...]:
+        """Registered rule names, sorted."""
+        return tuple(sorted(self._entries))
+
+    def entries(self) -> tuple[CheckerEntry, ...]:
+        """All registered entries, sorted by rule name."""
+        return tuple(self._entries[rule] for rule in sorted(self._entries))
+
+
+checker_registry = CheckerRegistry()
+"""The process-wide default registry; :func:`load_builtin_checkers`
+fills it with the project rules."""
+
+
+def load_builtin_checkers() -> CheckerRegistry:
+    """Import the built-in checker modules (idempotent) and return the
+    populated default registry.
+
+    Registration happens at import time (decorator side effects, like
+    the solver registry), so entry points call this once before
+    dispatching rules.
+    """
+    importlib.import_module("repro.lint.checkers")
+    return checker_registry

@@ -11,6 +11,7 @@ are assembled (Sec. 4.1).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.errors import TechnologyError
@@ -18,8 +19,6 @@ from repro.tech import mosfet
 from repro.tech.cells import CellLibrary, StandardCell
 from repro.tech.technology import Technology
 from repro.units import thermal_voltage
-
-import math
 
 
 @dataclass(frozen=True)

@@ -34,10 +34,9 @@ from __future__ import annotations
 
 import math
 from collections.abc import Mapping
+from dataclasses import dataclass, field
 
 import numpy as np
-
-from dataclasses import dataclass, field
 
 from repro.core.problem import FBBProblem, build_problem
 from repro.core.registry import registry
@@ -67,7 +66,7 @@ class TuningOutcome:
     estimated_beta: float
     solution: BiasSolution | None
     leakage_nw: float
-    settle_latency_us: float
+    settle_latency_us: float  # repro-lint: ignore[units-suffix] -- mirrors BodyBiasGenerator.settle_latency_us (native us)
     history: list[str] = field(default_factory=list)
     region_betas: tuple[float, ...] | None = None
     """Final per-region slowdown estimates (spatial calibration only)."""

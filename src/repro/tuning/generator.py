@@ -20,7 +20,7 @@ class BodyBiasGenerator:
     """A rail-limited, grid-quantised bias voltage source."""
 
     tech: Technology
-    settle_time_us: float = 5.0
+    settle_time_us: float = 5.0  # repro-lint: ignore[units-suffix] -- generator settle spec is O(us); ps base unit would read 5e6
     rail_voltages: dict[str, float] = field(default_factory=dict)
     updates_issued: int = field(default=0, init=False)
 
@@ -58,7 +58,7 @@ class BodyBiasGenerator:
             raise TuningError(f"rail {rail!r} is not programmed")
         del self.rail_voltages[rail]
 
-    def settle_latency_us(self, num_updates: int | None = None) -> float:
+    def settle_latency_us(self, num_updates: int | None = None) -> float:  # repro-lint: ignore[units-suffix] -- reported in the settle spec's native us
         """Total settling latency for a batch of updates, microseconds."""
         count = self.updates_issued if num_updates is None else num_updates
         return count * self.settle_time_us

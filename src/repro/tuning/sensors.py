@@ -33,13 +33,13 @@ import numpy as np
 from scipy.sparse import csr_matrix
 
 from repro.errors import TuningError
-
-if TYPE_CHECKING:  # grouping sits above the sensor layer: no runtime dep
-    from repro.grouping.domains import RowGrouping
 from repro.placement.placed_design import PlacedDesign
 from repro.sta.batched import BatchedTimingAnalyzer
 from repro.sta.engine import TimingAnalyzer
 from repro.sta.paths import TimingPath
+
+if TYPE_CHECKING:  # grouping sits above the sensor layer: no runtime dep
+    from repro.grouping.domains import RowGrouping
 
 
 @dataclass

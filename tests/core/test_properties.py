@@ -4,10 +4,9 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core import pass_one, solve_heuristic
-from tests.core.conftest import CLIB, make_placed
-from repro.core import build_problem
 from repro.circuits import c1355_like
+from repro.core import build_problem, pass_one, solve_heuristic
+from tests.core.conftest import CLIB, make_placed
 
 
 @pytest.fixture(scope="module")

@@ -5,6 +5,8 @@ are what "fail the build on registry entries without docstrings" means
 in practice.
 """
 
+from pathlib import Path
+
 import pytest
 
 from repro.circuits import c1355_like
@@ -49,7 +51,15 @@ class TestRegistryContents:
         assert set(EXPECTED_ALIASES) <= set(with_aliases)
 
     def test_every_entry_has_docstring(self):
-        """The build-breaking policy: no undocumented solver entries."""
+        """The build-breaking policy: no undocumented solver entries.
+        Statically enforced by the ``registry-docstring`` checker of
+        :mod:`repro.lint` (this wrapper runs it over the solver
+        package); the summary line stays a runtime assertion."""
+        from repro.lint import lint_paths
+        src = Path(__file__).resolve().parents[2] / "src"
+        findings = lint_paths([src / "repro" / "core"],
+                              rules=["registry-docstring"], root=src)
+        assert not findings, "\n".join(f.format() for f in findings)
         for entry in registry.entries():
             doc = (entry.func.__doc__ or "").strip()
             assert doc, f"registry entry {entry.name!r} has no docstring"

@@ -2,6 +2,8 @@
 registry (including the ``make lint`` docstring policy), problem
 reduction and solution expansion."""
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -122,7 +124,15 @@ class TestRegistryPolicy:
 
     def test_every_entry_has_docstring(self):
         """The build-breaking policy ``make lint`` runs: no undocumented
-        grouping strategies (mirrors the solver-registry rule)."""
+        grouping strategies (mirrors the solver-registry rule).
+        Statically enforced by the ``registry-docstring`` checker of
+        :mod:`repro.lint` over the grouping package; the summary line
+        stays a runtime assertion."""
+        from repro.lint import lint_paths
+        src = Path(__file__).resolve().parents[2] / "src"
+        findings = lint_paths([src / "repro" / "grouping"],
+                              rules=["registry-docstring"], root=src)
+        assert not findings, "\n".join(f.format() for f in findings)
         for entry in grouping_registry.entries():
             doc = (entry.func.__doc__ or "").strip()
             assert doc, f"grouping entry {entry.name!r} has no docstring"

@@ -1,0 +1,231 @@
+"""Fixture corpus for the :mod:`repro.lint` checkers (tests only).
+
+Each checker gets at least one flagging and one passing snippet.  The
+snippets live as *strings* on purpose: the AST checkers never look
+inside string constants, so ``python -m repro.lint tests`` stays clean
+while the corpus still exercises every rule the paper reproduction's
+contracts depend on.
+"""
+
+# -- determinism -----------------------------------------------------------
+
+BAD_DETERMINISM_LEGACY_NP = '''\
+"""Module under test."""
+import numpy as np
+
+def sample():
+    np.random.seed(42)
+    return np.random.rand(4)
+'''
+
+BAD_DETERMINISM_BARE_RANDOM = '''\
+"""Module under test."""
+import random
+
+def pick(items):
+    return random.choice(items)
+'''
+
+BAD_DETERMINISM_WALL_CLOCK = '''\
+"""Module under test."""
+import time
+import datetime as dt
+
+def stamp():
+    return time.time(), dt.datetime.now()
+'''
+
+BAD_DETERMINISM_UNTYPED_RNG = '''\
+"""Module under test."""
+
+def sample(rng, count):
+    return rng.normal(size=count)
+'''
+
+GOOD_DETERMINISM = '''\
+"""Module under test."""
+import time
+import numpy as np
+
+def sample(rng: np.random.Generator, count: int):
+    start = time.perf_counter()
+    values = np.random.default_rng(0).normal(size=count)
+    return values, time.perf_counter() - start
+'''
+
+# -- hash-stability --------------------------------------------------------
+
+BAD_HASH_NO_KNOBS_TUPLE = '''\
+"""Module under test."""
+from dataclasses import dataclass
+
+HASHED_FIELDS = ("design", "seed")
+
+@dataclass(frozen=True)
+class Spec:
+    design: str = "c1355"
+    seed: int = 0
+
+    def cache_material(self) -> dict:
+        return {"design": self.design, "seed": self.seed}
+'''
+
+BAD_HASH_UNDECLARED_FIELD = '''\
+"""Module under test."""
+from dataclasses import dataclass
+
+EXECUTION_KNOBS = ("workers",)
+HASHED_FIELDS = ("design", "seed")
+
+@dataclass(frozen=True)
+class Spec:
+    design: str = "c1355"
+    seed: int = 0
+    workers: int = 1
+    sneaky_new_field: float = 0.0
+
+    def cache_material(self) -> dict:
+        material = {"design": self.design, "seed": self.seed}
+        for knob in EXECUTION_KNOBS:
+            material.pop(knob, None)
+        return material
+'''
+
+GOOD_HASH = '''\
+"""Module under test."""
+from dataclasses import dataclass
+
+EXECUTION_KNOBS = ("workers",)
+HASHED_FIELDS = ("design", "seed")
+
+@dataclass(frozen=True)
+class Spec:
+    design: str = "c1355"
+    seed: int = 0
+    workers: int = 1
+
+    def cache_material(self) -> dict:
+        material = {"design": self.design, "seed": self.seed,
+                    "workers": self.workers}
+        for knob in EXECUTION_KNOBS:
+            del material[knob]
+        return material
+'''
+
+# -- units-suffix ----------------------------------------------------------
+
+BAD_UNITS_DISPLAY_SUFFIX = '''\
+"""Module under test."""
+from dataclasses import dataclass
+
+@dataclass
+class Timing:
+    delay_ns: float = 0.0
+
+def slack_ns(arrival_ps: float) -> float:
+    return arrival_ps / 1000.0
+'''
+
+BAD_UNITS_BARE_QUANTITY = '''\
+"""Module under test."""
+
+def leakage(width_nm: float) -> float:
+    return width_nm * 2.0
+'''
+
+GOOD_UNITS = '''\
+"""Module under test."""
+from dataclasses import dataclass
+
+@dataclass
+class Timing:
+    delay_ps: float = 0.0
+    leakage_nw: float = 0.0
+
+def slack_ps(arrival_ps: float, tcrit_ps: float) -> float:
+    return tcrit_ps - arrival_ps
+
+def ps_to_ns(delay_ps: float) -> float:
+    return delay_ps / 1000.0
+'''
+
+# -- registry-docstring ----------------------------------------------------
+
+BAD_REGISTRY_UNDOCUMENTED = '''\
+"""Module under test."""
+from somewhere import registry
+
+@registry.register("mystery")
+def solve_mystery(problem, clusters):
+    return None
+'''
+
+BAD_REGISTRY_LAMBDA = '''\
+"""Module under test."""
+from somewhere import grouping_registry
+
+grouping_registry.register("quick", lambda context, param: None)
+'''
+
+GOOD_REGISTRY = '''\
+"""Module under test."""
+from somewhere import registry
+
+@registry.register("documented")
+def solve_documented(problem, clusters):
+    """A documented solver entry."""
+    return None
+
+def named(problem, clusters):
+    """A documented call-form entry."""
+    return None
+
+registry.register("named", named)
+'''
+
+# -- paper-anchor ----------------------------------------------------------
+
+BAD_PAPER_ANCHOR = '''\
+"""Helpers for things."""
+
+def helper():
+    return 1
+'''
+
+BAD_PAPER_NO_DOCSTRING = '''\
+def helper():
+    return 1
+'''
+
+GOOD_PAPER_ANCHOR = '''\
+"""Clustered allocation (paper Sec. 4.2, Table 1)."""
+
+def helper():
+    return 1
+'''
+
+# -- suppressions ----------------------------------------------------------
+
+SUPPRESSED_UNITS = '''\
+"""Module under test."""
+from dataclasses import dataclass
+
+@dataclass
+class Generator:
+    settle_time_us: float = 5.0  # repro-lint: ignore[units-suffix] -- native us spec
+'''
+
+SUPPRESSED_WILDCARD = '''\
+"""Module under test."""
+import numpy as np
+
+def sample():
+    return np.random.rand(4)  # repro-lint: ignore[*] -- corpus demo
+'''
+
+# -- engine edge cases -----------------------------------------------------
+
+SYNTAX_ERROR = '''\
+def broken(:
+    pass
+'''

@@ -1,0 +1,163 @@
+"""Checker-level tests for :mod:`repro.lint` over the string corpus.
+
+Every rule is exercised with at least one flagging and one passing
+snippet from ``tests/lint/corpus.py``, plus the acceptance scenarios
+of the lint framework itself: a RunSpec field with no declared hash
+fate is flagged, an unseeded ``np.random.rand`` is flagged, inline
+suppressions silence exactly their rule on their line, and unparseable
+files degrade to a single ``syntax`` finding.
+"""
+
+from repro.lint import SourceFile, lint_sources
+from tests.lint import corpus
+
+
+def findings_for(text, rule, role="library", path="snippet.py"):
+    source = SourceFile(path=path, text=text, role=role)
+    return lint_sources([source], rules=[rule])
+
+
+def rules_of(findings):
+    return {finding.rule for finding in findings}
+
+
+class TestDeterminism:
+    def test_legacy_np_random_flagged(self):
+        found = findings_for(corpus.BAD_DETERMINISM_LEGACY_NP,
+                             "determinism")
+        assert len(found) == 2  # np.random.seed and np.random.rand
+        assert all("global state" in f.message for f in found)
+
+    def test_legacy_np_random_flagged_tree_wide(self):
+        """The sampling rules hold in tests/benchmarks/examples too."""
+        assert findings_for(corpus.BAD_DETERMINISM_LEGACY_NP,
+                            "determinism", role="tests")
+
+    def test_bare_random_flagged(self):
+        found = findings_for(corpus.BAD_DETERMINISM_BARE_RANDOM,
+                             "determinism")
+        assert found and "random.Random(seed)" in found[0].message
+
+    def test_wall_clock_flagged_in_library(self):
+        found = findings_for(corpus.BAD_DETERMINISM_WALL_CLOCK,
+                             "determinism")
+        messages = " ".join(f.message for f in found)
+        assert "time.time()" in messages
+        assert "datetime.now()" in messages
+
+    def test_wall_clock_allowed_outside_library(self):
+        assert not findings_for(corpus.BAD_DETERMINISM_WALL_CLOCK,
+                                "determinism", role="tests")
+
+    def test_untyped_rng_parameter_flagged(self):
+        found = findings_for(corpus.BAD_DETERMINISM_UNTYPED_RNG,
+                             "determinism")
+        assert found and "np.random.Generator" in found[0].message
+
+    def test_seeded_generator_and_perf_counter_pass(self):
+        assert not findings_for(corpus.GOOD_DETERMINISM, "determinism")
+
+
+class TestHashStability:
+    def test_missing_exclusion_tuple_flagged(self):
+        found = findings_for(corpus.BAD_HASH_NO_KNOBS_TUPLE,
+                             "hash-stability")
+        assert found and "EXECUTION_KNOBS" in found[0].message
+
+    def test_undeclared_field_flagged(self):
+        """The acceptance scenario: a new RunSpec-like field absent
+        from both tuples and from cache_material() fails lint."""
+        found = findings_for(corpus.BAD_HASH_UNDECLARED_FIELD,
+                             "hash-stability")
+        assert any("sneaky_new_field" in f.message for f in found)
+
+    def test_complete_declaration_passes(self):
+        assert not findings_for(corpus.GOOD_HASH, "hash-stability")
+
+
+class TestUnitsSuffix:
+    def test_display_suffix_flagged(self):
+        found = findings_for(corpus.BAD_UNITS_DISPLAY_SUFFIX,
+                             "units-suffix")
+        names = " ".join(f.message for f in found)
+        assert "delay_ns" in names and "slack_ns" in names
+
+    def test_bare_quantity_word_flagged(self):
+        found = findings_for(corpus.BAD_UNITS_BARE_QUANTITY,
+                             "units-suffix")
+        assert found and "no unit" in found[0].message
+
+    def test_base_units_and_conversion_helpers_pass(self):
+        assert not findings_for(corpus.GOOD_UNITS, "units-suffix")
+
+    def test_rule_is_library_only(self):
+        assert not findings_for(corpus.BAD_UNITS_DISPLAY_SUFFIX,
+                                "units-suffix", role="tests")
+
+
+class TestRegistryDocstring:
+    def test_undocumented_decorated_entry_flagged(self):
+        found = findings_for(corpus.BAD_REGISTRY_UNDOCUMENTED,
+                             "registry-docstring")
+        assert found and "solve_mystery" in found[0].message
+
+    def test_lambda_entry_flagged(self):
+        found = findings_for(corpus.BAD_REGISTRY_LAMBDA,
+                             "registry-docstring")
+        assert found and "lambda" in found[0].message
+
+    def test_documented_entries_pass(self):
+        assert not findings_for(corpus.GOOD_REGISTRY,
+                                "registry-docstring")
+
+
+class TestPaperAnchor:
+    def test_anchorless_docstring_flagged(self):
+        found = findings_for(corpus.BAD_PAPER_ANCHOR, "paper-anchor")
+        assert found and "paper anchor" in found[0].message
+
+    def test_missing_docstring_flagged(self):
+        found = findings_for(corpus.BAD_PAPER_NO_DOCSTRING,
+                             "paper-anchor")
+        assert found and "missing module docstring" in found[0].message
+
+    def test_anchored_docstring_passes(self):
+        assert not findings_for(corpus.GOOD_PAPER_ANCHOR, "paper-anchor")
+
+    def test_private_modules_exempt(self):
+        assert not findings_for(corpus.BAD_PAPER_ANCHOR, "paper-anchor",
+                                path="_private.py")
+
+    def test_rule_is_library_only(self):
+        assert not findings_for(corpus.BAD_PAPER_ANCHOR, "paper-anchor",
+                                role="tests")
+
+
+class TestSuppressions:
+    def test_named_rule_suppressed_on_its_line(self):
+        assert not findings_for(corpus.SUPPRESSED_UNITS, "units-suffix")
+
+    def test_wildcard_suppresses_every_rule(self):
+        assert not findings_for(corpus.SUPPRESSED_WILDCARD,
+                                "determinism")
+
+    def test_suppression_is_line_scoped(self):
+        """The same violation on an unsuppressed line still fires."""
+        text = corpus.SUPPRESSED_UNITS.replace(
+            "  # repro-lint: ignore[units-suffix] -- native us spec", "")
+        assert findings_for(text, "units-suffix")
+
+
+class TestEngine:
+    def test_syntax_error_degrades_to_finding(self):
+        source = SourceFile(path="broken.py", text=corpus.SYNTAX_ERROR,
+                            role="library")
+        found = lint_sources([source])
+        assert rules_of(found) == {"syntax"}
+
+    def test_findings_sorted_by_location(self):
+        source = SourceFile(path="snippet.py",
+                            text=corpus.BAD_DETERMINISM_LEGACY_NP,
+                            role="library")
+        found = lint_sources([source], rules=["determinism"])
+        assert [f.line for f in found] == sorted(f.line for f in found)

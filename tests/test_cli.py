@@ -244,8 +244,11 @@ class TestSweep:
                      "--workers", "2", "--cache-dir",
                      str(tmp_path / "cache")]) == 0
         from repro.flow import stable_payload
-        read = lambda p: [stable_payload(json.loads(line)["payload"])
-                          for line in p.read_text().splitlines()]
+
+        def read(path):
+            return [stable_payload(json.loads(line)["payload"])
+                    for line in path.read_text().splitlines()]
+
         assert read(serial_out) == read(parallel_out)
 
     def test_montecarlo_tune_workers_matches_serial(self, capsys):
