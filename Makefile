@@ -3,9 +3,9 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
 .PHONY: test lint docs-check bench bench-batched bench-cache \
-	bench-parallel bench-spatial bench-grouping \
-	bench-tuning-throughput test-parallel test-spatial test-grouping \
-	test-batched examples
+	bench-parallel bench-serve bench-spatial bench-grouping \
+	bench-tuning-throughput test-parallel test-serve test-spatial \
+	test-grouping test-batched examples
 
 test:
 	$(PYTEST) -x -q
@@ -50,6 +50,12 @@ bench-cache:
 bench-parallel:
 	$(PYTEST) -q benchmarks/bench_parallel.py
 
+# The allocation service, gated: warm-path dominance on a mixed
+# hot/cold workload, sustained hot req/s over loopback HTTP, and
+# single-flight collapse of concurrent identical specs.
+bench-serve:
+	$(PYTEST) -q benchmarks/bench_serve.py
+
 # The paper's central claim, gated: spatial-vs-uniform dominance,
 # monotone yield advantage in correlation length, worker determinism.
 bench-spatial:
@@ -80,6 +86,11 @@ test-batched:
 test-parallel:
 	$(PYTEST) -q tests/flow/test_parallel.py \
 		tests/tuning/test_population_parallel.py
+
+# The serving-layer suite on its own: engine backends, HTTP framing,
+# single-flight semantics and graceful drain (CI's serve-smoke job).
+test-serve:
+	$(PYTEST) -q tests/serve/ tests/flow/test_executor.py
 
 # The spatial compensation engine suite on its own.
 test-spatial:

@@ -1,0 +1,130 @@
+"""Sustained throughput of the allocation service on a mixed workload.
+
+The serving layer (``repro.serve``) turns the paper's clustered-FBB
+allocator into an always-on decision service; its economics depend on
+the warm path: after the first allocation of a spec lands in the
+artifact cache, every later identical request must be answered at
+HTTP-overhead cost, not allocation cost.  This bench drives a real
+:class:`~repro.serve.client.ServerThread` over the loopback socket
+with a mixed hot/cold workload — a cold phase that executes distinct
+c1355 allocations, then a hot phase hammering the same specs — plus a
+burst of concurrent *identical* cold requests to measure single-flight
+collapse.  The artefact goes to ``benchmarks/out/serve.txt``
+(referenced by EXPERIMENTS.md).
+
+Acceptance:
+
+* warm requests must be >= 5x faster than cold ones (warm-path
+  dominance — the mixed workload's cost is the cold executions; the
+  floor is conservative because the cold specs share one implemented
+  flow, so only the first request pays the full build);
+* the hot phase must sustain >= 10 requests/s through the full
+  HTTP + cache path (loopback, one core);
+* N concurrent identical cold specs must collapse to exactly one
+  execution (``coalesced == N - 1`` on the server's counters).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.api import RunSpec
+from repro.flow import ArtifactCache, format_serve_stats
+from repro.serve import ServerThread, fetch_stats, submit_spec
+
+DESIGN = "c1355"
+COLD_BETAS = (0.05, 0.08, 0.10)
+HOT_ROUNDS = 20          # hot requests = HOT_ROUNDS * len(COLD_BETAS)
+BURST_CLIENTS = 4        # concurrent identical cold requests
+BURST_DESIGN = "c5315"   # unseen design: the burst is cold and its
+BURST_BETA = 0.10        # execution window is wide enough to overlap
+REQUIRED_WARM_DOMINANCE = 5.0
+REQUIRED_HOT_RPS = 10.0
+
+
+@pytest.mark.benchmark(group="serve")
+def test_serve_mixed_workload_throughput(out_dir):
+    specs = [RunSpec(kind="allocate", design=DESIGN, beta=beta)
+             for beta in COLD_BETAS]
+    with ServerThread(cache=ArtifactCache()) as srv:
+        # cold phase: first sight of each spec, real allocations
+        started = time.perf_counter()
+        cold = [submit_spec(srv.url, spec) for spec in specs]
+        cold_s = time.perf_counter() - started
+
+        # hot phase: the steady-state mix, every request a cache hit
+        started = time.perf_counter()
+        hot = [submit_spec(srv.url, spec)
+               for _ in range(HOT_ROUNDS) for spec in specs]
+        hot_s = time.perf_counter() - started
+
+        # burst phase: identical cold spec from concurrent clients;
+        # single-flight must collapse them to one execution
+        burst_spec = RunSpec(kind="allocate", design=BURST_DESIGN,
+                             beta=BURST_BETA)
+        burst_results = []
+        burst_lock = threading.Lock()
+
+        def burst_client():
+            result = submit_spec(srv.url, burst_spec)
+            with burst_lock:
+                burst_results.append(result)
+
+        threads = [threading.Thread(target=burst_client)
+                   for _ in range(BURST_CLIENTS)]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        burst_s = time.perf_counter() - started
+
+        stats = fetch_stats(srv.url)
+
+    cold_mean_s = cold_s / len(specs)
+    hot_mean_s = hot_s / len(hot)
+    dominance = cold_mean_s / hot_mean_s
+    hot_rps = len(hot) / hot_s
+    run_stats = stats["endpoints"]["run"]
+
+    assert [r.cache_hit for r in cold] == [False] * len(specs)
+    assert all(r.cache_hit for r in hot)
+    for result in hot:
+        reference = cold[COLD_BETAS.index(result.spec.beta)]
+        assert result.payload == reference.payload
+
+    # exactly one burst execution; every client got the same answer
+    assert len(burst_results) == BURST_CLIENTS
+    burst_payloads = {r.to_json() for r in burst_results}
+    assert len(burst_payloads) == 1
+    coalesced = stats["single_flight"]["coalesced"]
+    assert coalesced == BURST_CLIENTS - 1
+    assert run_stats["cache_misses"] == len(specs) + 1
+    assert run_stats["requests"] == (len(specs) + len(hot)
+                                     + BURST_CLIENTS)
+    assert run_stats["errors"] == 0
+
+    text = "\n".join([
+        f"allocation service, mixed workload: {DESIGN}, "
+        f"betas {COLD_BETAS}, inline backend, loopback HTTP",
+        f"  cold phase: {len(specs)} specs in {cold_s:8.3f} s "
+        f"({cold_mean_s * 1e3:9.1f} ms/request)",
+        f"  hot phase:  {len(hot)} requests in {hot_s:8.3f} s "
+        f"({hot_mean_s * 1e3:9.1f} ms/request, {hot_rps:7.1f} req/s)",
+        f"  warm-path dominance: {dominance:8.0f}x "
+        f"(required >= {REQUIRED_WARM_DOMINANCE:.0f}x)",
+        f"  single-flight burst: {BURST_CLIENTS} identical cold "
+        f"requests in {burst_s:.3f} s -> 1 execution, "
+        f"{coalesced} coalesced",
+        "",
+        format_serve_stats(stats),
+        "",
+        "hot payloads are bit-identical to cold payloads "
+        "(asserted, not sampled).",
+    ])
+    (out_dir / "serve.txt").write_text(text + "\n", encoding="utf-8")
+    print("\n" + text)
+
+    assert dominance >= REQUIRED_WARM_DOMINANCE
+    assert hot_rps >= REQUIRED_HOT_RPS

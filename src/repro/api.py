@@ -58,7 +58,7 @@ from repro.flow.experiment import (TUNING_ENGINES, ExperimentConfig,
                                    SpatialConfig, SpatialRow, Table1Row,
                                    run_design_beta, run_population,
                                    run_spatial)
-from repro.flow.parallel import SpecFailure, execute_specs
+from repro.flow.parallel import SpecFailure
 from repro.grouping import solve_grouped, validate_grouping_spec
 from repro.tech.technology import BodyBiasRules, Technology
 from repro.variation.process import ProcessModel
@@ -551,23 +551,28 @@ def run_many(specs: list[RunSpec] | tuple[RunSpec, ...],
              ) -> list[RunResult | SpecFailure]:
     """Execute a batch of specs in order (the `sweep` CLI's engine).
 
-    ``workers > 1`` fans the batch out over a process pool
-    (:func:`repro.flow.parallel.execute_specs`): the parent resolves
-    cache hits and deduplicates, unique misses execute in workers, and
-    payloads merge back into the shared cache — results and their order
-    are identical to the serial ``workers=1`` path (modulo wall-clock
-    runtime fields inside payloads).
+    A thin batch adapter over
+    :class:`repro.flow.executor.ExecutionEngine` — the same
+    resolve → dedupe → dispatch → merge core the ``repro.serve``
+    request loop drives.  ``workers > 1`` selects the process-pool
+    backend: the parent resolves cache hits and deduplicates, unique
+    misses execute in warm workers, and payloads merge back into the
+    shared cache — results and their order are identical to the serial
+    ``workers=1`` (inline-backend) path, modulo wall-clock runtime
+    fields inside payloads.
 
     With ``capture_errors=True`` a failing spec produces a
     :class:`~repro.flow.parallel.SpecFailure` in its result slot and
     the rest of the batch still runs; otherwise the first failure (in
     spec order) is raised, as before.
     """
+    from repro.flow.executor import ExecutionEngine
     if cache is None:
         cache = default_cache()
-    return execute_specs(list(specs), cache, workers=workers,
-                         use_cache=use_cache,
-                         capture_errors=capture_errors)
+    with ExecutionEngine.for_batch(cache, workers,
+                                   num_tasks=len(specs)) as engine:
+        return engine.execute(list(specs), use_cache=use_cache,
+                              capture_errors=capture_errors)
 
 
 def solve(problem, method: str = "heuristic", clusters: int = 3, **opts):

@@ -28,10 +28,22 @@ Subcommands (all experiment-shaped ones are thin wrappers over the
   it becomes a JSONL error record (``{"error": ..., "message": ...,
   "spec": ...}``), the remaining specs still run, and the exit status
   is nonzero when any spec failed;
+* ``serve`` — the always-on allocation service (:mod:`repro.serve`):
+  accept RunSpec JSON over HTTP, answer RunResult JSON, collapse
+  concurrent identical specs to one execution and drain gracefully on
+  SIGTERM (``--port 0`` binds an ephemeral port, ``--port-file``
+  writes it out for scripts; ``--backend process_pool --workers N``
+  executes on a persistent warm pool);
+* ``cache ACTION --cache-dir DIR`` — disk-tier maintenance:
+  ``stats`` (tiered hit/miss table + per-kind inventory), ``clear``
+  (drop every artifact) and ``migrate`` (rehome legacy flat-layout
+  artifacts into the sharded ``<kind>/<aa>/`` directories); exit codes
+  and ``--format json`` output shaped like ``lint``'s;
 * ``lint [paths...]`` — the :mod:`repro.lint` static contract
   checkers (determinism, hash-stability, units-suffix,
-  registry-docstring, paper-anchor) over the tree; exits nonzero on
-  any finding (same engine as ``python -m repro.lint``).
+  registry-docstring, paper-anchor, async-blocking) over the tree;
+  exits nonzero on any finding (same engine as
+  ``python -m repro.lint``).
 """
 
 from __future__ import annotations
@@ -187,6 +199,76 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.flow import ArtifactCache, ExecutionEngine, default_cache
+    from repro.serve import serve_forever
+    if args.cache_dir or args.max_entries:
+        cache = ArtifactCache(cache_dir=args.cache_dir,
+                              max_entries=args.max_entries)
+    else:
+        cache = default_cache()
+    engine = ExecutionEngine(cache=cache, backend=args.backend,
+                             workers=args.workers)
+    try:
+        return asyncio.run(serve_forever(
+            engine, host=args.host, port=args.port,
+            port_file=args.port_file))
+    except KeyboardInterrupt:
+        return 0  # platforms without add_signal_handler: still graceful
+    finally:
+        engine.close()
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.flow import (ArtifactCache, format_cache_inventory,
+                            format_cache_stats)
+    cache = ArtifactCache(cache_dir=args.cache_dir)
+    if args.action == "stats":
+        inventory = cache.disk_inventory()
+        verified = None if args.no_verify else cache.verify_disk()
+        if args.format == "json":
+            document = {"command": "cache stats",
+                        "cache_dir": args.cache_dir,
+                        "inventory": inventory,
+                        "stats": cache.stats()}
+            if verified is not None:
+                document["verified"] = verified
+            print(json.dumps(document, indent=2, sort_keys=True))
+        else:
+            print(format_cache_inventory(inventory))
+            if verified is not None:
+                print(format_cache_stats(cache.stats()))
+                corrupt = sum(row["corrupt"]
+                              for row in verified.values())
+                if corrupt:
+                    print(f"warning: {corrupt} corrupt artifact(s)",
+                          file=sys.stderr)
+        return 0
+    if args.action == "clear":
+        removed = cache.clear_disk()
+        if args.format == "json":
+            print(json.dumps({"command": "cache clear",
+                              "cache_dir": args.cache_dir,
+                              "removed": removed}))
+        else:
+            print(f"removed {removed} artifact(s) from {args.cache_dir}")
+        return 0
+    # migrate: rehome legacy flat-layout artifacts into shards
+    moved = cache.migrate_layout()
+    total = sum(moved.values())
+    if args.format == "json":
+        print(json.dumps({"command": "cache migrate",
+                          "cache_dir": args.cache_dir,
+                          "migrated": moved, "total": total}))
+    else:
+        print(f"migrated {total} artifact(s) into sharded layout")
+        for kind, count in sorted(moved.items()):
+            print(f"  {kind:<12} {count:>6}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import run_lint_command
     return run_lint_command(args.paths, output_format=args.format,
@@ -306,6 +388,46 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fan the batch out over a process pool of "
                             "N workers (results identical to serial)")
     sweep.set_defaults(func=_cmd_sweep)
+
+    serve = sub.add_parser(
+        "serve", help="run the always-on allocation service")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="TCP port; 0 binds an ephemeral port "
+                            "(default: 8787)")
+    serve.add_argument("--port-file", default=None,
+                       help="write the bound port here once listening "
+                            "(for scripts using --port 0)")
+    serve.add_argument("--backend", choices=("inline", "process_pool"),
+                       default="inline",
+                       help="execution backend: inline (in-process) or "
+                            "a persistent warm process pool")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="pool width for --backend process_pool")
+    serve.add_argument("--cache-dir", default=None,
+                       help="persist the artifact cache on disk "
+                            "(shared with sweep runs)")
+    serve.add_argument("--max-entries", type=int, default=None,
+                       help="bound the memory tier (LRU eviction; "
+                            "disk-tier artifacts stay retrievable)")
+    serve.set_defaults(func=_cmd_serve)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or maintain a disk artifact cache")
+    cache.add_argument("action", choices=("stats", "clear", "migrate"),
+                       help="stats: tiered hit/miss + inventory table; "
+                            "clear: delete every artifact; migrate: "
+                            "rehome legacy flat files into shards")
+    cache.add_argument("--cache-dir", required=True,
+                       help="the cache directory to operate on")
+    cache.add_argument("--format", choices=("human", "json"),
+                       default="human",
+                       help="output format (default: human)")
+    cache.add_argument("--no-verify", action="store_true",
+                       help="stats: skip the read-through pass that "
+                            "loads every artifact")
+    cache.set_defaults(func=_cmd_cache)
 
     lint = sub.add_parser(
         "lint", help="run the repro.lint static contract checkers")

@@ -87,3 +87,8 @@ class SpecError(ReproError):
 class LintError(ReproError):
     """repro.lint misuse: unknown rule, undocumented checker entry, or
     an unreadable lint target."""
+
+
+class ServeError(ReproError):
+    """Allocation-service failures (repro.serve layer): malformed
+    requests, a draining server refusing new work, transport errors."""

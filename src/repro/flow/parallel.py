@@ -9,14 +9,14 @@ JSON-serializable, content-hashed value and every die's calibration is
 independent of every other die's — so this module fans them out over a
 :class:`concurrent.futures.ProcessPoolExecutor`:
 
-* :func:`execute_specs` is the engine behind
-  ``repro.api.run_many(specs, workers=N)``.  The parent process resolves
-  cache hits (memory + disk tier) and deduplicates the batch; only
-  unique misses ship to workers, as canonical spec JSON.  Each worker
-  executes with a process-local :class:`ArtifactCache` that shares the
-  parent's disk tier (safe because disk writes are atomic, see
-  ``flow/cache.py``), and returns a pure-JSON payload that the parent
-  merges back into its own cache.
+* :func:`execute_specs` is the batch entry behind
+  ``repro.api.run_many(specs, workers=N)``.  The orchestration it used
+  to own — resolve cache hits (memory + disk tier), dedupe by
+  ``spec_hash``, dispatch unique misses, merge payloads and counter
+  deltas back — now lives in
+  :class:`repro.flow.executor.ExecutionEngine`, shared with the
+  serving layer; this function remains as the thin batch adapter
+  (inline backend for one worker, persistent process pool otherwise).
 * :func:`tune_dies_parallel` shards a population's out-of-budget dies
   into per-worker chunks; each worker rebuilds the tuning controller
   once and runs the full sense/allocate/apply/verify loop per die.
@@ -33,9 +33,8 @@ produced and vice versa.
 
 from __future__ import annotations
 
-import copy
 import json
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Sequence
 
@@ -124,65 +123,7 @@ class SpecFailure:
         return canonical_json(self.to_dict())
 
 
-# -- spec batches (repro.api.run_many's parallel engine) -------------------
-
-#: per-process caches keyed on cache_dir, so every task a pool worker
-#: executes shares one memory tier (and disk tier, when configured)
-_WORKER_CACHES: dict[str | None, ArtifactCache] = {}
-
-
-def _worker_cache(cache_dir: str | None) -> ArtifactCache:
-    """The executing process's cache for a given disk tier.
-
-    Created once per (process, cache_dir) and reused across tasks:
-    without this, a worker handling several specs of one design would
-    re-run characterization and implementation per spec even though the
-    serial path memoizes them — making parallel slower than serial
-    whenever no disk tier is configured.
-    """
-    if cache_dir not in _WORKER_CACHES:
-        _WORKER_CACHES[cache_dir] = ArtifactCache(cache_dir=cache_dir)
-    return _WORKER_CACHES[cache_dir]
-
-
-def _stats_delta(before: dict, after: dict) -> dict:
-    """Per-kind counter growth between two ``ArtifactCache.stats()``
-    snapshots (worker caches persist across tasks, so only the delta
-    belongs to the current task)."""
-    delta = {}
-    for kind, counts in after.items():
-        prior = before.get(kind, {})
-        hits = counts["hits"] - prior.get("hits", 0)
-        misses = counts["misses"] - prior.get("misses", 0)
-        if hits or misses:
-            delta[kind] = {"hits": hits, "misses": misses}
-    return delta
-
-
-def _worker_run_spec(spec_json: str,
-                     cache_dir: str | None) -> tuple[dict, dict]:
-    """Execute one spec in a pool worker.
-
-    Returns ``(payload, stats_delta)``: the pure-JSON payload plus the
-    worker cache's per-kind hit/miss growth for this task, which the
-    parent folds into its own counters so a parallel sweep's stats
-    report shows the same clib/flow activity a serial run would.  The
-    worker's process-local cache sits on the parent's disk tier (when
-    one is configured) so characterized libraries and implemented flows
-    persist across the batch.  ``spec.workers`` is forced to 1 — a
-    worker never opens a nested pool.
-    """
-    import dataclasses
-
-    from repro import api
-    spec = api.RunSpec.from_json(spec_json)
-    if spec.workers != 1:
-        spec = dataclasses.replace(spec, workers=1)
-    cache = _worker_cache(cache_dir)
-    before = cache.stats()["by_kind"]
-    payload = api.execute_spec(spec, cache=cache)
-    return payload, _stats_delta(before, cache.stats()["by_kind"])
-
+# -- spec batches (repro.api.run_many's batch adapter) ---------------------
 
 def execute_specs(specs: Sequence[Any],
                   cache: ArtifactCache,
@@ -197,100 +138,18 @@ def execute_specs(specs: Sequence[Any],
     order) is raised.  ``workers=1`` is the serial reference path —
     parallel payloads are identical because every spec is a pure
     function of its content.
+
+    This is a thin batch adapter over
+    :class:`repro.flow.executor.ExecutionEngine` (where the shared
+    resolve → dedupe → dispatch → merge sequence lives): one worker
+    selects the inline backend, more select a warm process pool that
+    is torn down when the batch completes.
     """
-    from repro import api
-    workers = resolve_workers(workers, len(specs))
-    results: list[Any] = [None] * len(specs)
-
-    if workers == 1:
-        for index, spec in enumerate(specs):
-            try:
-                results[index] = api.run(spec, cache=cache,
-                                         use_cache=use_cache)
-            except Exception as exc:
-                if not capture_errors:
-                    raise
-                results[index] = SpecFailure.from_exception(
-                    spec.to_dict(), exc)
-        return results
-
-    # Parent-side cache pass: resolve hits inline, dedupe the misses so
-    # each unique spec executes exactly once.  Any per-spec failure —
-    # hashing, serialization or worker execution — lands in `errors`
-    # keyed by spec index, so the raise-vs-capture decision is taken
-    # once at the end, deterministically on the lowest index (the same
-    # exception the serial path would have raised first).
-    pending: dict[str, list[int]] = {}
-    errors: dict[int, Exception] = {}
-    for index, spec in enumerate(specs):
-        try:
-            if not use_cache:
-                pending[f"force-{index}"] = [index]
-                continue
-            key = spec.spec_hash()
-            if key in pending:
-                pending[key].append(index)
-                continue
-            found, payload = cache.lookup("run", key)
-        except Exception as exc:
-            errors[index] = exc
-            continue
-        if found:
-            results[index] = api.RunResult(
-                spec=spec, payload=copy.deepcopy(payload), cache_hit=True)
-        else:
-            pending[key] = [index]
-
-    cache_dir = (str(cache.cache_dir)
-                 if cache.cache_dir is not None else None)
-    futures: dict = {}
-    if pending:
-        with ProcessPoolExecutor(
-                max_workers=min(workers, len(pending))) as pool:
-            for indices in pending.values():
-                try:
-                    spec_json = specs[indices[0]].to_json()
-                except Exception as exc:
-                    for index in indices:
-                        errors[index] = exc
-                    continue
-                futures[pool.submit(_worker_run_spec, spec_json,
-                                    cache_dir)] = indices
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining,
-                                       return_when=FIRST_COMPLETED)
-                for future in done:
-                    indices = futures[future]
-                    first = indices[0]
-                    try:
-                        payload, stats_delta = future.result()
-                    except Exception as exc:
-                        for index in indices:
-                            errors[index] = exc
-                        continue
-                    cache.merge_counts(stats_delta)
-                    cache.put("run", specs[first].cache_material(),
-                              copy.deepcopy(payload))
-                    results[first] = api.RunResult(
-                        spec=specs[first], payload=payload, cache_hit=False)
-                    for index in indices[1:]:
-                        # Mirror the serial contract: a duplicate spec is
-                        # a run-cache hit (counted as one).
-                        found, dup = cache.lookup(
-                            "run", specs[index].spec_hash())
-                        results[index] = api.RunResult(
-                            spec=specs[index],
-                            payload=copy.deepcopy(
-                                dup if found else payload),
-                            cache_hit=True)
-    if errors:
-        if not capture_errors:
-            raise errors[min(errors)]
-        for index, exc in errors.items():
-            results[index] = SpecFailure.from_exception(
-                specs[index].to_dict(), exc)
-    return results
+    from repro.flow.executor import ExecutionEngine
+    with ExecutionEngine.for_batch(cache, workers,
+                                   num_tasks=len(specs)) as engine:
+        return engine.execute(list(specs), use_cache=use_cache,
+                              capture_errors=capture_errors)
 
 
 # -- population tuning (tune_population's parallel engine) -----------------

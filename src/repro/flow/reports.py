@@ -93,19 +93,71 @@ def format_cache_stats(stats: dict) -> str:
     """Render :meth:`ArtifactCache.stats` hit/miss counters.
 
     ``stats`` is the dict returned by
-    :meth:`repro.flow.cache.ArtifactCache.stats`: total hits/misses plus
-    a per-artifact-kind breakdown.
+    :meth:`repro.flow.cache.ArtifactCache.stats`: total hits/misses
+    plus a per-artifact-kind breakdown.  When the tiered split
+    (``memory_hits``/``disk_hits``) is present — warm vs lukewarm, the
+    serving layer's distinction — it is shown alongside the aggregate.
     """
     total = stats.get("hits", 0) + stats.get("misses", 0)
-    lines = [f"artifact cache: {stats.get('hits', 0)} hits / "
-             f"{stats.get('misses', 0)} misses "
-             f"({stats.get('entries', 0)} entries)"]
+    head = (f"artifact cache: {stats.get('hits', 0)} hits / "
+            f"{stats.get('misses', 0)} misses "
+            f"({stats.get('entries', 0)} entries)")
+    if "memory_hits" in stats or "disk_hits" in stats:
+        head += (f" [memory {stats.get('memory_hits', 0)} / "
+                 f"disk {stats.get('disk_hits', 0)}]")
+    lines = [head]
     for kind, counts in sorted(stats.get("by_kind", {}).items()):
-        lines.append(f"  {kind:<12} {counts['hits']:>6} hits "
-                     f"{counts['misses']:>6} misses")
+        line = (f"  {kind:<12} {counts['hits']:>6} hits "
+                f"{counts['misses']:>6} misses")
+        if "memory_hits" in counts or "disk_hits" in counts:
+            line += (f"  [memory {counts.get('memory_hits', 0)} / "
+                     f"disk {counts.get('disk_hits', 0)}]")
+        lines.append(line)
     if total == 0:
         lines.append("  (no lookups recorded)")
     return "\n".join(lines)
+
+
+def format_cache_inventory(inventory: dict) -> str:
+    """Render :meth:`ArtifactCache.disk_inventory` — the per-kind disk
+    census (entry counts by layout, total bytes) behind
+    ``repro-fbb cache stats``."""
+    if not inventory:
+        return "disk tier: empty"
+    total_entries = sum(row["entries"] for row in inventory.values())
+    total_bytes = sum(row["bytes"] for row in inventory.values())
+    lines = [f"disk tier: {total_entries} artifact(s), "
+             f"{total_bytes / 1024:.1f} KiB"]
+    for kind, row in sorted(inventory.items()):
+        lines.append(f"  {kind:<12} {row['entries']:>6} entries "
+                     f"({row['sharded']} sharded / {row['legacy']} legacy)"
+                     f" {row['bytes'] / 1024:>9.1f} KiB")
+    return "\n".join(lines)
+
+
+def format_serve_stats(stats: dict) -> str:
+    """Render the serving layer's ``/stats`` snapshot (per-endpoint
+    request/hit/miss/latency counters, single-flight state and the
+    tiered artifact-cache table) for terminal display."""
+    lines = []
+    for name, counts in sorted(stats.get("endpoints", {}).items()):
+        latency = counts.get("latency", {})
+        lines.append(
+            f"endpoint {name}: {counts.get('requests', 0)} requests "
+            f"({counts.get('errors', 0)} errors, "
+            f"{counts.get('in_flight', 0)} in flight), "
+            f"{counts.get('cache_hits', 0)} hits / "
+            f"{counts.get('cache_misses', 0)} misses / "
+            f"{counts.get('coalesced', 0)} coalesced, "
+            f"mean latency {latency.get('mean_s', 0.0):.4f} s")
+    flight = stats.get("single_flight", {})
+    if flight:
+        lines.append(f"single-flight: {flight.get('leaders', 0)} leaders, "
+                     f"{flight.get('coalesced', 0)} coalesced, "
+                     f"{flight.get('in_flight', 0)} in flight")
+    if "cache" in stats:
+        lines.append(format_cache_stats(stats["cache"]))
+    return "\n".join(lines) if lines else "no serve activity recorded"
 
 
 def format_spec_failures(failures: Sequence, total: int) -> str:

@@ -16,7 +16,9 @@ that turns each of those contracts into a named, testable rule:
 * ``hash-stability`` — every RunSpec field has a declared hash fate;
 * ``units-suffix`` — public quantities use the units.py suffixes;
 * ``registry-docstring`` — registry entries carry docstrings;
-* ``paper-anchor`` — every module docstring names its paper anchor.
+* ``paper-anchor`` — every module docstring names its paper anchor;
+* ``async-blocking`` — no blocking sleeps/I-O inside ``async def``
+  bodies in library code (the serving layer's event-loop contract).
 
 Checkers live in a :class:`~repro.lint.registry.CheckerRegistry`
 mirroring the solver registry, run via ``python -m repro.lint`` or

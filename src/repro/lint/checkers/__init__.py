@@ -12,12 +12,15 @@ default :data:`~repro.lint.registry.checker_registry`:
 * :mod:`~repro.lint.checkers.registry_docstring` — documented registry
   entries (solver, grouping and checker registries alike);
 * :mod:`~repro.lint.checkers.paper_anchor` — every module names the
-  paper section/figure/table it reproduces.
+  paper section/figure/table it reproduces;
+* :mod:`~repro.lint.checkers.async_blocking` — no blocking sleeps or
+  I/O inside ``async def`` bodies in library code (the serving
+  layer's event-loop liveness contract).
 """
 
-from repro.lint.checkers import (determinism, hash_stability,
-                                 paper_anchor, registry_docstring,
-                                 units_suffix)
+from repro.lint.checkers import (async_blocking, determinism,
+                                 hash_stability, paper_anchor,
+                                 registry_docstring, units_suffix)
 
-__all__ = ["determinism", "hash_stability", "paper_anchor",
-           "registry_docstring", "units_suffix"]
+__all__ = ["async_blocking", "determinism", "hash_stability",
+           "paper_anchor", "registry_docstring", "units_suffix"]

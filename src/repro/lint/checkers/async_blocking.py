@@ -1,0 +1,164 @@
+"""Async-blocking checker: no synchronous I/O or sleeps on the loop.
+
+The serving layer (``src/repro/serve/``, the always-on deployment of
+the paper's clustered-FBB allocator) multiplexes every client over a
+single asyncio event loop; one blocking call inside a coroutine stalls
+every in-flight request — the software equivalent of wedging the
+on-chip bias regulator mid-decision.  This rule flags the common
+blocking primitives when they appear directly inside ``async def``
+bodies in library code:
+
+* ``time.sleep`` — await ``asyncio.sleep`` instead;
+* bare ``open()`` and ``pickle.load``/``pickle.dump`` — file I/O
+  belongs on a thread (``loop.run_in_executor``), the bridge the
+  execution engine already provides;
+* blocking socket/urllib constructors and calls (``socket.socket``,
+  ``socket.create_connection``, ``socket.getaddrinfo``,
+  ``urllib.request.urlopen``) — use asyncio streams.
+
+Nested synchronous ``def``/``lambda`` bodies are exempt (defining a
+helper inside a coroutine and shipping it to an executor is exactly
+the sanctioned pattern), as is anything outside ``async def``.
+Intentional exceptions — e.g. a one-shot startup write before the
+server accepts work — carry a
+``# repro-lint: ignore[async-blocking] -- reason`` suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.engine import Finding, SourceFile
+from repro.lint.registry import checker_registry
+
+RULE = "async-blocking"
+
+#: canonical dotted call -> message
+BLOCKING_CALLS = {
+    "time.sleep": "time.sleep() stalls the event loop; await "
+                  "asyncio.sleep() instead",
+    "pickle.load": "pickle.load() does file I/O on the event loop; "
+                   "bridge it through loop.run_in_executor",
+    "pickle.loads": "pickle.loads() can deserialize large artifacts on "
+                    "the event loop; bridge it through "
+                    "loop.run_in_executor",
+    "pickle.dump": "pickle.dump() does file I/O on the event loop; "
+                   "bridge it through loop.run_in_executor",
+    "pickle.dumps": "pickle.dumps() can serialize large artifacts on "
+                    "the event loop; bridge it through "
+                    "loop.run_in_executor",
+    "socket.socket": "blocking socket API inside a coroutine; use "
+                     "asyncio streams (asyncio.open_connection / "
+                     "start_server)",
+    "socket.create_connection": "socket.create_connection() blocks the "
+                                "event loop; use "
+                                "asyncio.open_connection",
+    "socket.getaddrinfo": "socket.getaddrinfo() blocks the event loop; "
+                          "use loop.getaddrinfo",
+    "urllib.request.urlopen": "urlopen() blocks the event loop; bridge "
+                              "it through loop.run_in_executor",
+}
+
+#: blocking builtins called by bare name
+BLOCKING_BUILTINS = {
+    "open": "open() does file I/O on the event loop; bridge it through "
+            "loop.run_in_executor",
+}
+
+
+def _async_body_nodes(tree: ast.AST):
+    """Yield every node lexically inside an ``async def`` body,
+    excluding nested (sync or async) function/lambda scopes — their
+    bodies execute elsewhere (threads, executors, later calls)."""
+
+    def walk_scope(node: ast.AST):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                continue
+            yield child
+            yield from walk_scope(child)
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            for statement in node.body:
+                if isinstance(statement, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef)):
+                    continue
+                yield statement
+                yield from walk_scope(statement)
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """Unparse a Name/Attribute chain to ``a.b.c`` (None otherwise)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class _Aliases(ast.NodeVisitor):
+    """Map local names to the canonical modules/functions they bind."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, str] = {}
+        self.names: dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            self.modules[local] = alias.name.split(".")[0]
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None:
+            return
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self.names[local] = f"{node.module}.{alias.name}"
+
+
+@checker_registry.register(RULE)
+def check_async_blocking(source: SourceFile) -> list[Finding]:
+    """No blocking sleeps, file I/O or socket calls directly inside
+    ``async def`` bodies in library code (the serving layer's
+    event-loop liveness contract)."""
+    assert source.tree is not None
+    if source.role != "library":
+        return []
+    aliases = _Aliases()
+    aliases.visit(source.tree)
+    findings: list[Finding] = []
+
+    def flag(node: ast.AST, message: str) -> None:
+        findings.append(Finding(path=source.path, line=node.lineno,
+                                rule=RULE, message=message))
+
+    for node in _async_body_nodes(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name):
+            # from-imported blocking calls and blocking builtins
+            canonical = aliases.names.get(func.id)
+            message = (BLOCKING_CALLS.get(canonical)
+                       if canonical is not None
+                       else BLOCKING_BUILTINS.get(func.id))
+            if message is not None:
+                flag(node, message)
+            continue
+        dotted = _dotted(func)
+        if dotted is None:
+            continue
+        root, _, rest = dotted.partition(".")
+        resolved = aliases.modules.get(root)
+        if resolved is None:
+            continue
+        canonical = f"{resolved}.{rest}" if rest else resolved
+        message = BLOCKING_CALLS.get(canonical)
+        if message is not None:
+            flag(node, message)
+    return findings

@@ -1,0 +1,37 @@
+"""repro.serve — the always-on clustered-FBB allocation service.
+
+The paper's allocator, deployed: an on-chip body-bias regulator is a
+continuously available decision service ("what bias settings for this
+die right now"), and this package is its software twin (ROADMAP item
+2; paper Sec. 5 workloads served per request).  A stdlib-``asyncio``
+HTTP service accepts RunSpec JSON on ``POST /run``, drives the shared
+:class:`repro.flow.executor.ExecutionEngine`, collapses concurrent
+identical specs to one execution (single-flight by ``spec_hash``),
+drains in-flight work on shutdown, and reports per-endpoint plus
+tiered-cache counters on ``GET /stats``.
+
+Entry points: ``repro-fbb serve`` (CLI),
+:class:`~repro.serve.service.AllocationServer` (embedding),
+:class:`~repro.serve.client.ServerThread` and
+:func:`~repro.serve.client.submit_spec` (clients and tests).
+"""
+
+from repro.serve.client import (ServerThread, fetch_stats,
+                                request_shutdown, submit_spec)
+from repro.serve.metrics import (EndpointMetrics, LatencyStats,
+                                 ServeMetrics)
+from repro.serve.service import AllocationServer, serve_forever
+from repro.serve.singleflight import SingleFlight
+
+__all__ = [
+    "AllocationServer",
+    "EndpointMetrics",
+    "LatencyStats",
+    "ServeMetrics",
+    "ServerThread",
+    "SingleFlight",
+    "fetch_stats",
+    "request_shutdown",
+    "serve_forever",
+    "submit_spec",
+]

@@ -1,0 +1,150 @@
+"""Blocking client helpers and an in-process server harness
+(repro.serve).
+
+The consumer side of the always-on allocation service: small
+``urllib``-based functions that submit one paper RunSpec and decode
+the RunResult, plus :class:`ServerThread`, which runs a complete
+:class:`~repro.serve.service.AllocationServer` on a daemon thread with
+its own event loop — the harness TUTORIAL.md, the serve tests and
+``benchmarks/bench_serve.py`` all drive, so the documented client code
+exercises the real socket path end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import urllib.error
+import urllib.request
+from typing import Any
+
+from repro.errors import ServeError
+from repro.flow.cache import ArtifactCache
+from repro.flow.executor import ExecutionEngine
+from repro.serve.service import AllocationServer
+
+#: default per-request client timeout (allocations are seconds-scale)
+DEFAULT_TIMEOUT_S = 120.0
+
+
+def _request(url: str, data: bytes | None = None,
+             method: str = "GET",
+             timeout_s: float = DEFAULT_TIMEOUT_S) -> bytes:
+    request = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"} if data else {})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as reply:
+            return reply.read()
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode(errors="replace")
+        raise ServeError(f"HTTP {exc.code} from {url}: {detail}") from exc
+    except urllib.error.URLError as exc:
+        raise ServeError(f"cannot reach {url}: {exc.reason}") from exc
+    except (ConnectionError, TimeoutError) as exc:
+        # a draining server may reset a connection it accepted off the
+        # listen backlog just before closing; surface it uniformly
+        raise ServeError(f"connection to {url} failed: {exc}") from exc
+
+
+def submit_spec(base_url: str, spec: Any,
+                timeout_s: float = DEFAULT_TIMEOUT_S) -> Any:
+    """POST one RunSpec to ``/run``; returns the decoded RunResult."""
+    from repro.api import RunResult
+    body = _request(f"{base_url}/run", data=spec.to_json().encode(),
+                    method="POST", timeout_s=timeout_s)
+    return RunResult.from_json(body.decode())
+
+
+def fetch_stats(base_url: str,
+                timeout_s: float = DEFAULT_TIMEOUT_S) -> dict:
+    """GET the server's ``/stats`` counter document."""
+    return json.loads(_request(f"{base_url}/stats", timeout_s=timeout_s))
+
+
+def request_shutdown(base_url: str,
+                     timeout_s: float = DEFAULT_TIMEOUT_S) -> dict:
+    """POST ``/shutdown``: ask the server to drain and exit."""
+    return json.loads(_request(f"{base_url}/shutdown", data=b"{}",
+                               method="POST", timeout_s=timeout_s))
+
+
+class ServerThread:
+    """An :class:`AllocationServer` on a daemon thread (own event loop).
+
+    Context-manager lifecycle: entering starts the loop, binds an
+    ephemeral port and waits until the server accepts connections;
+    exiting requests a graceful drain and joins the thread.  When no
+    ``engine`` is passed one is built from ``cache``/``backend``/
+    ``workers`` and owned (closed) by the harness.
+    """
+
+    def __init__(self, engine: ExecutionEngine | None = None,
+                 cache: ArtifactCache | None = None,
+                 backend: str = "inline", workers: int = 1,
+                 host: str = "127.0.0.1") -> None:
+        self._own_engine = engine is None
+        if engine is None:
+            engine = ExecutionEngine(
+                cache=cache if cache is not None else ArtifactCache(),
+                backend=backend, workers=workers)
+        self.engine = engine
+        self.host = host
+        self.port: int | None = None
+        self.server: AllocationServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def url(self) -> str:
+        assert self.port is not None, "server not started"
+        return f"http://{self.host}:{self.port}"
+
+    def start(self, timeout_s: float = 30.0) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-serve", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout_s):
+            raise ServeError("server thread did not become ready")
+        if self._startup_error is not None:
+            raise ServeError(
+                f"server failed to start: {self._startup_error}")
+        return self
+
+    def stop(self, timeout_s: float = 30.0) -> None:
+        if self._loop is not None and self.server is not None:
+            try:
+                self._loop.call_soon_threadsafe(
+                    self.server.request_shutdown)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout_s)
+        if self._own_engine:
+            self.engine.close()
+
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # surface startup failures
+            self._startup_error = exc
+        finally:
+            self._ready.set()
+
+    async def _main(self) -> None:
+        server = AllocationServer(self.engine, host=self.host, port=0)
+        await server.start()
+        self.server = server
+        self.port = server.port
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await server.serve_until_shutdown()
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

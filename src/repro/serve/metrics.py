@@ -1,0 +1,83 @@
+"""Serving-layer telemetry counters (repro.serve).
+
+The paper's closed tuning loop lives or dies on its monitors; the
+serving twin gets the same treatment: per-endpoint request, error,
+in-flight, cache-hit/miss and single-flight-coalesced counters plus
+latency aggregates, snapshotted by the ``/stats`` endpoint and
+rendered by :func:`repro.flow.reports.format_serve_stats`.  All
+mutation happens on the server's single event-loop thread, so the
+counters need no locks; ``snapshot()`` returns plain JSON-able dicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LatencyStats:
+    """Streaming latency aggregate (count / total / min / max, in
+    base seconds per the units contract)."""
+
+    count: int = 0
+    total_s: float = 0.0
+    min_s: float | None = None
+    max_s: float = 0.0
+
+    def observe(self, elapsed_s: float) -> None:
+        """Fold one request's wall-clock duration into the aggregate."""
+        self.count += 1
+        self.total_s += elapsed_s
+        self.max_s = max(self.max_s, elapsed_s)
+        self.min_s = (elapsed_s if self.min_s is None
+                      else min(self.min_s, elapsed_s))
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {"count": self.count, "total_s": self.total_s,
+                "mean_s": self.mean_s,
+                "min_s": self.min_s if self.min_s is not None else 0.0,
+                "max_s": self.max_s}
+
+
+@dataclass
+class EndpointMetrics:
+    """One endpoint's counters: volume, failures, concurrency, cache
+    outcome split (hit / miss / coalesced-behind-a-leader)."""
+
+    requests: int = 0
+    errors: int = 0
+    in_flight: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    coalesced: int = 0
+    latency: LatencyStats = field(default_factory=LatencyStats)
+
+    def to_dict(self) -> dict:
+        return {"requests": self.requests, "errors": self.errors,
+                "in_flight": self.in_flight,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "coalesced": self.coalesced,
+                "latency": self.latency.to_dict()}
+
+
+class ServeMetrics:
+    """Registry of per-endpoint counters for one server instance."""
+
+    def __init__(self) -> None:
+        self._endpoints: dict[str, EndpointMetrics] = {}
+
+    def endpoint(self, name: str) -> EndpointMetrics:
+        """The (lazily created) counter block for one endpoint."""
+        if name not in self._endpoints:
+            self._endpoints[name] = EndpointMetrics()
+        return self._endpoints[name]
+
+    def snapshot(self) -> dict:
+        """JSON-able view of every endpoint's counters."""
+        return {name: metrics.to_dict()
+                for name, metrics in sorted(self._endpoints.items())}

@@ -1,0 +1,73 @@
+"""Single-flight deduplication for in-flight specs (repro.serve).
+
+The batch engine dedupes identical RunSpecs inside one batch; a server
+faces the same duplication *across concurrent requests* — e.g. every
+die of a wafer asking for the paper's c1355 allocation at once.  This
+module collapses them: the first request for a ``spec_hash`` becomes
+the leader and actually executes, every concurrent duplicate awaits
+the leader's future and receives the identical result (counted as
+``coalesced``).  Once the leader resolves, the key leaves the
+in-flight table — later requests hit the artifact cache instead, which
+is the cheaper steady-state path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable
+
+
+class SingleFlight:
+    """In-flight dedup table keyed by an opaque string (``spec_hash``).
+
+    Single-threaded by design: all calls happen on the server's event
+    loop, so a dict plus per-key futures is the whole mechanism.
+    """
+
+    def __init__(self) -> None:
+        self._inflight: dict[str, asyncio.Future] = {}
+        self.leaders = 0
+        self.coalesced = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Number of keys currently executing."""
+        return len(self._inflight)
+
+    async def run(self, key: str,
+                  supplier: Callable[[], Awaitable[Any]]
+                  ) -> tuple[Any, bool]:
+        """Execute ``supplier`` once per concurrently requested key.
+
+        Returns ``(value, coalesced)``: the leader gets
+        ``coalesced=False`` and runs the supplier; concurrent callers
+        with the same key get ``coalesced=True`` and the leader's
+        value (or its exception).  The shared future is shielded so a
+        cancelled follower cannot cancel the leader's work.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.coalesced += 1
+            return await asyncio.shield(existing), True
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        self.leaders += 1
+        try:
+            value = await supplier()
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+                # mark retrieved: followers may all have gone away
+                future.exception()
+            raise
+        else:
+            if not future.done():
+                future.set_result(value)
+            return value, False
+        finally:
+            self._inflight.pop(key, None)
+
+    def snapshot(self) -> dict:
+        """JSON-able counter view for the ``/stats`` endpoint."""
+        return {"leaders": self.leaders, "coalesced": self.coalesced,
+                "in_flight": self.in_flight}

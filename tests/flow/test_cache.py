@@ -75,8 +75,10 @@ class TestArtifactCache:
         cache.get_or_create("x", {"k": 1}, lambda: 1)
         stats = cache.stats()
         assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["memory_hits"] == 1 and stats["disk_hits"] == 0
         assert stats["entries"] == 1
-        assert stats["by_kind"]["x"] == {"hits": 1, "misses": 1}
+        assert stats["by_kind"]["x"] == {"hits": 1, "memory_hits": 1,
+                                         "disk_hits": 0, "misses": 1}
 
     def test_clear_resets_memory_and_counters(self):
         cache = ArtifactCache()
@@ -96,7 +98,7 @@ class TestArtifactCache:
     def test_corrupt_disk_artifact_is_a_miss(self, tmp_path):
         cache = ArtifactCache(cache_dir=tmp_path)
         address = cache.put("thing", {"k": 1}, "value")
-        path = tmp_path / "thing" / f"{address}.pkl"
+        path = tmp_path / "thing" / address[:2] / f"{address}.pkl"
         path.write_bytes(b"not a pickle")
         fresh = ArtifactCache(cache_dir=tmp_path)
         found, _ = fresh.lookup("thing", {"k": 1})
@@ -130,6 +132,65 @@ class TestArtifactCache:
             assert default_cache() is replacement
         finally:
             set_default_cache(previous)
+
+
+class TestEvictionAndMergeEdgeCases:
+    """Satellite edge cases: eviction at the minimum memory budget
+    with mixed kinds, and counter merging with empty / overlapping /
+    legacy-shaped delta dicts."""
+
+    def test_max_entries_one_with_mixed_kinds(self):
+        """The memory tier is one LRU across kinds: at max_entries=1
+        a put of any kind evicts whatever else was resident."""
+        cache = ArtifactCache(max_entries=1)
+        cache.put("clib", {"k": 1}, "library")
+        cache.put("flow", {"k": 1}, "netlist")  # evicts the clib entry
+        assert cache.lookup("clib", {"k": 1})[0] is False
+        found, value = cache.lookup("flow", {"k": 1})
+        assert found and value == "netlist"
+        assert cache.stats()["entries"] == 1
+        # the eviction was memory-only bookkeeping, not a counter reset
+        assert cache.stats()["by_kind"]["clib"]["misses"] == 1
+
+    def test_max_entries_one_disk_tier_keeps_both_kinds(self, tmp_path):
+        cache = ArtifactCache(cache_dir=tmp_path, max_entries=1)
+        cache.put("clib", {"k": 1}, "library")
+        cache.put("flow", {"k": 1}, "netlist")
+        found, value = cache.lookup("clib", {"k": 1})
+        assert found and value == "library"  # reloaded from disk
+        assert cache.stats()["by_kind"]["clib"]["disk_hits"] == 1
+        assert cache.stats()["by_kind"]["clib"]["memory_hits"] == 0
+
+    def test_merge_counts_empty_delta_is_a_noop(self):
+        cache = ArtifactCache()
+        cache.get_or_create("x", {"k": 1}, lambda: 1)
+        before = cache.stats()
+        cache.merge_counts({})
+        cache.merge_counts({"x": {}})
+        after = cache.stats()
+        assert after == before
+
+    def test_merge_counts_overlapping_kinds_accumulate(self):
+        """Merging into a kind the cache already counted adds to the
+        existing tallies instead of replacing them."""
+        cache = ArtifactCache()
+        cache.get_or_create("x", {"k": 1}, lambda: 1)  # x: 1 miss
+        cache.get_or_create("x", {"k": 1}, lambda: 1)  # x: 1 memory hit
+        cache.merge_counts({"x": {"memory_hits": 5, "disk_hits": 2,
+                                  "misses": 3},
+                            "y": {"memory_hits": 1}})
+        by_kind = cache.stats()["by_kind"]
+        assert by_kind["x"] == {"hits": 8, "memory_hits": 6,
+                                "disk_hits": 2, "misses": 4}
+        assert by_kind["y"] == {"hits": 1, "memory_hits": 1,
+                                "disk_hits": 0, "misses": 0}
+
+    def test_merge_counts_legacy_hits_attributed_to_memory(self):
+        cache = ArtifactCache()
+        cache.merge_counts({"x": {"hits": 4, "misses": 2}})
+        assert cache.stats()["by_kind"]["x"] == {
+            "hits": 4, "memory_hits": 4, "disk_hits": 0, "misses": 2}
+        assert cache.hits == 4 and cache.misses == 2
 
 
 class TestCharacterizedLibraryCache:

@@ -1,0 +1,191 @@
+"""Unit tests for the engine-agnostic execution core
+(``repro.flow.executor``): backend selection, single-spec and batch
+semantics, dedupe/mirror accounting and counter-delta merging.
+
+Serial-vs-parallel *equivalence* on real RunSpec batches lives in
+``tests/flow/test_parallel.py``; this module pins the orchestration
+contract itself with fast stubs.
+"""
+
+import pytest
+
+from repro.api import RunResult, RunSpec
+from repro.errors import SpecError
+from repro.flow.cache import ArtifactCache
+from repro.flow.executor import (BACKEND_NAMES, ExecutionEngine,
+                                 InlineBackend, ProcessPoolBackend,
+                                 create_backend)
+from repro.flow.parallel import SpecFailure
+
+SPEC_A = RunSpec(kind="allocate", design="c1355", beta=0.05)
+SPEC_B = RunSpec(kind="allocate", design="c1355", beta=0.10)
+
+
+@pytest.fixture
+def stub_execute(monkeypatch):
+    """Replace ``repro.api.execute_spec`` with a counting stub."""
+    calls = []
+
+    def fake_execute(spec, cache=None):
+        calls.append(spec.spec_hash())
+        if spec.beta >= 0.5:
+            raise ValueError(f"refused beta {spec.beta}")
+        return {"value": spec.beta, "nested": {"beta": spec.beta}}
+
+    monkeypatch.setattr("repro.api.execute_spec", fake_execute)
+    return calls
+
+
+class TestBackendSelection:
+    def test_create_backend_by_name(self):
+        cache = ArtifactCache()
+        inline = create_backend("inline", cache)
+        assert isinstance(inline, InlineBackend)
+        assert (inline.name, inline.workers) == ("inline", 1)
+        pool = create_backend("process_pool", cache, workers=2)
+        try:
+            assert isinstance(pool, ProcessPoolBackend)
+            assert (pool.name, pool.workers) == ("process_pool", 2)
+        finally:
+            pool.close()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SpecError, match="unknown execution backend"):
+            create_backend("carrier_pigeon", ArtifactCache())
+
+    def test_backend_names_is_the_cli_contract(self):
+        assert BACKEND_NAMES == ("inline", "process_pool")
+
+    def test_for_batch_prefers_inline_for_one_worker(self):
+        with ExecutionEngine.for_batch(ArtifactCache(), workers=1,
+                                       num_tasks=10) as engine:
+            assert engine.describe() == {"name": "inline", "workers": 1}
+
+    def test_for_batch_clamps_workers_to_tasks(self):
+        with ExecutionEngine.for_batch(ArtifactCache(), workers=8,
+                                       num_tasks=1) as engine:
+            assert engine.describe() == {"name": "inline", "workers": 1}
+
+    def test_for_batch_opens_a_pool_for_real_parallelism(self):
+        with ExecutionEngine.for_batch(ArtifactCache(), workers=2,
+                                       num_tasks=4) as engine:
+            assert engine.describe() == {"name": "process_pool",
+                                         "workers": 2}
+
+    def test_close_propagates_to_backend(self):
+        class Recorder(InlineBackend):
+            closed = False
+
+            def close(self):
+                type(self).closed = True
+
+        engine = ExecutionEngine(cache=ArtifactCache(),
+                                 backend=Recorder(ArtifactCache()))
+        with engine:
+            pass
+        assert Recorder.closed
+
+
+class TestRunSpec:
+    def test_miss_then_hit(self, stub_execute):
+        with ExecutionEngine(cache=ArtifactCache()) as engine:
+            first = engine.run_spec(SPEC_A)
+            second = engine.run_spec(SPEC_A)
+        assert len(stub_execute) == 1
+        assert first.cache_hit is False and second.cache_hit is True
+        assert first.payload == second.payload
+
+    def test_returned_payloads_are_isolated_from_the_cache(
+            self, stub_execute):
+        with ExecutionEngine(cache=ArtifactCache()) as engine:
+            first = engine.run_spec(SPEC_A)
+            first.payload["nested"]["beta"] = 99.0
+            second = engine.run_spec(SPEC_A)
+        assert second.payload["nested"]["beta"] == 0.05
+
+    def test_use_cache_false_always_executes(self, stub_execute):
+        with ExecutionEngine(cache=ArtifactCache()) as engine:
+            engine.run_spec(SPEC_A)
+            result = engine.run_spec(SPEC_A, use_cache=False)
+        assert len(stub_execute) == 2
+        assert result.cache_hit is False
+
+
+class TestExecuteBatch:
+    def test_dedupes_identical_specs(self, stub_execute):
+        with ExecutionEngine(cache=ArtifactCache()) as engine:
+            results = engine.execute([SPEC_A, SPEC_A, SPEC_B])
+        assert len(stub_execute) == 2  # one per unique spec
+        assert [r.cache_hit for r in results] == [False, True, False]
+        assert results[0].payload == results[1].payload
+        assert all(isinstance(r, RunResult) for r in results)
+
+    def test_results_land_in_spec_order(self, stub_execute):
+        with ExecutionEngine(cache=ArtifactCache()) as engine:
+            results = engine.execute([SPEC_B, SPEC_A])
+        assert [r.spec.beta for r in results] == [0.10, 0.05]
+
+    def test_use_cache_false_executes_every_slot(self, stub_execute):
+        with ExecutionEngine(cache=ArtifactCache()) as engine:
+            results = engine.execute([SPEC_A, SPEC_A],
+                                     use_cache=False)
+        assert len(stub_execute) == 2
+        assert [r.cache_hit for r in results] == [False, False]
+
+    def test_capture_errors_isolates_failures(self, stub_execute):
+        bad = RunSpec(kind="allocate", design="c1355", beta=0.75)
+        with ExecutionEngine(cache=ArtifactCache()) as engine:
+            results = engine.execute([SPEC_A, bad, SPEC_B],
+                                     capture_errors=True)
+        assert isinstance(results[1], SpecFailure)
+        assert "refused beta" in results[1].message
+        assert results[0].payload["value"] == 0.05
+        assert results[2].payload["value"] == 0.10
+
+    def test_lowest_index_failure_raised_without_capture(
+            self, stub_execute):
+        early = RunSpec(kind="allocate", design="c1355", beta=0.60)
+        late = RunSpec(kind="allocate", design="c1355", beta=0.90)
+        with ExecutionEngine(cache=ArtifactCache()) as engine:
+            with pytest.raises(ValueError, match="beta 0.6"):
+                engine.execute([SPEC_A, early, late])
+
+    def test_batch_misses_become_hits_for_later_batches(
+            self, stub_execute):
+        with ExecutionEngine(cache=ArtifactCache()) as engine:
+            engine.execute([SPEC_A, SPEC_B])
+            results = engine.execute([SPEC_A, SPEC_B])
+        assert len(stub_execute) == 2
+        assert all(r.cache_hit for r in results)
+
+
+class TestCounterDeltaMerge:
+    def test_backend_stats_deltas_fold_into_engine_cache(self):
+        """A backend returning worker counter deltas (the process-pool
+        contract) sees them merged into the engine cache's counters."""
+        from concurrent.futures import Future
+
+        class DeltaBackend:
+            name = "delta-stub"
+            workers = 1
+
+            def submit(self, spec):
+                future = Future()
+                future.set_result(({"value": 1},
+                                   {"clib": {"memory_hits": 2,
+                                             "disk_hits": 1,
+                                             "misses": 3}}))
+                return future
+
+            def close(self):
+                pass
+
+        cache = ArtifactCache()
+        with ExecutionEngine(cache=cache, backend=DeltaBackend()) \
+                as engine:
+            engine.run_spec(SPEC_A)
+        by_kind = cache.stats()["by_kind"]
+        assert by_kind["clib"] == {"hits": 3, "memory_hits": 2,
+                                   "disk_hits": 1, "misses": 3}
+        # the run-cache lookup itself was a miss, then stored
+        assert by_kind["run"]["misses"] == 1

@@ -191,11 +191,16 @@ class TestRunManyParallel:
     def test_merge_counts_accumulates(self):
         cache = ArtifactCache()
         cache.lookup("flow", {"k": 1})  # one native miss
-        cache.merge_counts({"flow": {"hits": 2, "misses": 3},
+        cache.merge_counts({"flow": {"memory_hits": 2, "disk_hits": 1,
+                                     "misses": 3},
                             "clib": {"hits": 1, "misses": 0}})
         by_kind = cache.stats()["by_kind"]
-        assert by_kind["flow"] == {"hits": 2, "misses": 4}
-        assert by_kind["clib"] == {"hits": 1, "misses": 0}
+        # tiered delta folds per tier; a legacy aggregate delta
+        # ("hits" only) is attributed to the memory tier
+        assert by_kind["flow"] == {"hits": 3, "memory_hits": 2,
+                                   "disk_hits": 1, "misses": 4}
+        assert by_kind["clib"] == {"hits": 1, "memory_hits": 1,
+                                   "disk_hits": 0, "misses": 0}
 
     def test_workers_share_parent_disk_tier(self, tmp_path):
         """Artifacts a worker builds must persist in the shared disk
@@ -206,8 +211,9 @@ class TestRunManyParallel:
         found, _ = fresh.lookup("run", self.SPECS[0].spec_hash())
         assert found
         # the worker's flow/clib intermediates landed on disk too
-        assert list(tmp_path.glob("clib/*.pkl"))
-        assert list(tmp_path.glob("flow/*.pkl"))
+        # (sharded layout: <kind>/<aa>/<address>.pkl)
+        assert list(tmp_path.glob("clib/??/*.pkl"))
+        assert list(tmp_path.glob("flow/??/*.pkl"))
 
 
 class TestDiskCacheConcurrency:
@@ -227,7 +233,7 @@ class TestDiskCacheConcurrency:
         cache = ArtifactCache(cache_dir=tmp_path)
         for k in range(5):
             cache.put("thing", {"k": k}, HAMMER_VALUE)
-        assert len(list(tmp_path.glob("thing/*.pkl"))) == 5
+        assert len(list(tmp_path.glob("thing/??/*.pkl"))) == 5
         assert not list(tmp_path.rglob("*.tmp"))
 
     def test_truncated_pickle_degrades_to_miss_and_heals(self, tmp_path):
@@ -235,7 +241,7 @@ class TestDiskCacheConcurrency:
         later successful write must repair the entry."""
         cache = ArtifactCache(cache_dir=tmp_path)
         address = cache.put("thing", HAMMER_KEY, HAMMER_VALUE)
-        path = tmp_path / "thing" / f"{address}.pkl"
+        path = tmp_path / "thing" / address[:2] / f"{address}.pkl"
         whole = pickle.dumps(HAMMER_VALUE)
         path.write_bytes(whole[:len(whole) // 2])  # simulate the crash
         fresh = ArtifactCache(cache_dir=tmp_path)

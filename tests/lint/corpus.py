@@ -204,6 +204,75 @@ def helper():
     return 1
 '''
 
+# -- async-blocking --------------------------------------------------------
+
+BAD_ASYNC_BLOCKING_IO = '''\
+"""Module under test."""
+import pickle
+import time
+
+
+async def handler(path):
+    time.sleep(0.1)
+    with open(path, "rb") as handle:
+        return pickle.load(handle)
+'''
+
+BAD_ASYNC_SOCKET = '''\
+"""Module under test."""
+import socket
+from urllib.request import urlopen
+
+
+async def probe(host):
+    urlopen(f"http://{host}/healthz")
+    return socket.create_connection((host, 80))
+'''
+
+BAD_ASYNC_ALIASED_SLEEP = '''\
+"""Module under test."""
+from time import sleep
+
+
+async def backoff():
+    sleep(1.0)
+'''
+
+GOOD_ASYNC_BRIDGED = '''\
+"""Module under test."""
+import asyncio
+import pickle
+
+
+def _read(path):
+    with open(path, "rb") as handle:
+        return pickle.load(handle)
+
+
+async def handler(loop, path):
+    await asyncio.sleep(0.1)
+    return await loop.run_in_executor(None, _read, path)
+'''
+
+GOOD_ASYNC_NESTED_SYNC = '''\
+"""Module under test."""
+
+
+async def handler(loop):
+    def reader(path):
+        with open(path, "rb") as handle:
+            return handle.read()
+    return await loop.run_in_executor(None, reader, "artifact.pkl")
+'''
+
+SUPPRESSED_ASYNC_BLOCKING = '''\
+"""Module under test."""
+
+
+async def announce(port_file, port):
+    open(port_file, "w").write(str(port))  # repro-lint: ignore[async-blocking] -- one-shot startup write
+'''
+
 # -- suppressions ----------------------------------------------------------
 
 SUPPRESSED_UNITS = '''\

@@ -133,6 +133,45 @@ class TestPaperAnchor:
                                 role="tests")
 
 
+class TestAsyncBlocking:
+    def test_sleep_open_and_pickle_flagged(self):
+        found = findings_for(corpus.BAD_ASYNC_BLOCKING_IO,
+                             "async-blocking")
+        messages = " ".join(f.message for f in found)
+        assert len(found) == 3
+        assert "asyncio.sleep" in messages
+        assert "open()" in messages
+        assert "pickle.load()" in messages
+
+    def test_socket_and_urlopen_flagged(self):
+        found = findings_for(corpus.BAD_ASYNC_SOCKET, "async-blocking")
+        messages = " ".join(f.message for f in found)
+        assert len(found) == 2
+        assert "asyncio.open_connection" in messages
+        assert "urlopen()" in messages
+
+    def test_from_imported_alias_flagged(self):
+        found = findings_for(corpus.BAD_ASYNC_ALIASED_SLEEP,
+                             "async-blocking")
+        assert found and "time.sleep()" in found[0].message
+
+    def test_executor_bridge_passes(self):
+        assert not findings_for(corpus.GOOD_ASYNC_BRIDGED,
+                                "async-blocking")
+
+    def test_nested_sync_helper_exempt(self):
+        assert not findings_for(corpus.GOOD_ASYNC_NESTED_SYNC,
+                                "async-blocking")
+
+    def test_rule_is_library_only(self):
+        assert not findings_for(corpus.BAD_ASYNC_BLOCKING_IO,
+                                "async-blocking", role="tests")
+
+    def test_sanctioned_suppression(self):
+        assert not findings_for(corpus.SUPPRESSED_ASYNC_BLOCKING,
+                                "async-blocking")
+
+
 class TestSuppressions:
     def test_named_rule_suppressed_on_its_line(self):
         assert not findings_for(corpus.SUPPRESSED_UNITS, "units-suffix")

@@ -31,11 +31,11 @@ def test_shipped_tree_is_lint_clean():
     assert not findings, "\n".join(f.format() for f in findings)
 
 
-def test_all_five_rules_registered():
+def test_all_six_rules_registered():
     load_builtin_checkers()
     assert checker_registry.names() == (
-        "determinism", "hash-stability", "paper-anchor",
-        "registry-docstring", "units-suffix")
+        "async-blocking", "determinism", "hash-stability",
+        "paper-anchor", "registry-docstring", "units-suffix")
 
 
 def test_runspec_hash_fate_declarations_are_exhaustive():

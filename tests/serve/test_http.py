@@ -1,0 +1,82 @@
+"""Unit tests for the serving layer's HTTP framing
+(``repro.serve.http``): request parsing, size ceilings, malformed
+input and response rendering."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.http import HttpError, read_request, response_bytes
+
+
+def parse(raw: bytes, **kwargs):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_get_without_body(self):
+        request = parse(b"GET /stats HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.target == "/stats"
+        assert request.headers["host"] == "x"
+        assert request.body == b""
+
+    def test_post_with_content_length_body(self):
+        request = parse(b"POST /run HTTP/1.1\r\n"
+                        b"Content-Length: 4\r\n\r\nabcd")
+        assert request.method == "POST"
+        assert request.body == b"abcd"
+
+    def test_query_string_stripped_by_path(self):
+        request = parse(b"GET /stats?verbose=1 HTTP/1.1\r\n\r\n")
+        assert request.target == "/stats?verbose=1"
+        assert request.path == "/stats"
+
+    def test_closed_connection_is_none(self):
+        assert parse(b"") is None
+
+    def test_malformed_request_line_is_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"NONSENSE\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_malformed_header_is_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"GET / HTTP/1.1\r\nnot-a-header\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_bad_content_length_is_400(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_oversized_body_is_413(self):
+        with pytest.raises(HttpError) as excinfo:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n",
+                  max_bytes=100)
+        assert excinfo.value.status == 413
+
+    def test_oversized_headers_are_413(self):
+        raw = (b"GET / HTTP/1.1\r\n"
+               + b"X-Pad: " + b"a" * 200 + b"\r\n\r\n")
+        with pytest.raises(HttpError) as excinfo:
+            parse(raw, max_bytes=100)
+        assert excinfo.value.status == 413
+
+
+class TestResponseBytes:
+    def test_shape_and_content_length(self):
+        raw = response_bytes(200, '{"ok":true}')
+        text = raw.decode()
+        assert text.startswith("HTTP/1.1 200 OK\r\n")
+        assert "Content-Length: 11\r\n" in text
+        assert "Connection: close\r\n" in text
+        assert text.endswith('{"ok":true}')
+
+    def test_unknown_status_still_renders(self):
+        assert response_bytes(299, "x").startswith(b"HTTP/1.1 299 ")

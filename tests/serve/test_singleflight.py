@@ -1,0 +1,116 @@
+"""Unit tests for single-flight deduplication
+(``repro.serve.singleflight``): one execution per concurrently
+requested key, shared exceptions, counter bookkeeping."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.singleflight import SingleFlight
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestSingleFlight:
+    def test_concurrent_duplicates_execute_once(self):
+        flight = SingleFlight()
+        calls = []
+
+        async def main():
+            started = asyncio.Event()
+            release = asyncio.Event()
+
+            async def supplier():
+                calls.append(1)
+                started.set()
+                await release.wait()
+                return "value"
+
+            async def leader():
+                return await flight.run("key", supplier)
+
+            async def follower():
+                await started.wait()
+                return await flight.run("key", supplier)
+
+            tasks = [asyncio.create_task(leader())] + [
+                asyncio.create_task(follower()) for _ in range(3)]
+            await started.wait()
+            assert flight.in_flight == 1
+            release.set()
+            return await asyncio.gather(*tasks)
+
+        results = run(main())
+        assert len(calls) == 1
+        assert [value for value, _ in results] == ["value"] * 4
+        coalesced_flags = sorted(flag for _, flag in results)
+        assert coalesced_flags == [False, True, True, True]
+        assert flight.leaders == 1 and flight.coalesced == 3
+        assert flight.in_flight == 0
+
+    def test_sequential_calls_execute_each(self):
+        flight = SingleFlight()
+        calls = []
+
+        async def supplier():
+            calls.append(1)
+            return len(calls)
+
+        async def main():
+            first = await flight.run("key", supplier)
+            second = await flight.run("key", supplier)
+            return first, second
+
+        (v1, c1), (v2, c2) = run(main())
+        assert (v1, v2) == (1, 2)
+        assert (c1, c2) == (False, False)
+        assert flight.leaders == 2 and flight.coalesced == 0
+
+    def test_leader_exception_shared_with_followers(self):
+        flight = SingleFlight()
+
+        async def main():
+            started = asyncio.Event()
+
+            async def supplier():
+                started.set()
+                await asyncio.sleep(0.01)
+                raise ValueError("boom")
+
+            async def follower():
+                await started.wait()
+                with pytest.raises(ValueError):
+                    await flight.run("key", supplier)
+                return "follower-saw-it"
+
+            leader = asyncio.create_task(flight.run("key", supplier))
+            trailer = asyncio.create_task(follower())
+            with pytest.raises(ValueError):
+                await leader
+            return await trailer
+
+        assert run(main()) == "follower-saw-it"
+        assert flight.in_flight == 0
+
+    def test_distinct_keys_do_not_coalesce(self):
+        flight = SingleFlight()
+        calls = []
+
+        async def main():
+            async def supplier():
+                calls.append(1)
+                return "v"
+
+            await asyncio.gather(flight.run("a", supplier),
+                                 flight.run("b", supplier))
+
+        run(main())
+        assert len(calls) == 2
+        assert flight.coalesced == 0
+
+    def test_snapshot_shape(self):
+        flight = SingleFlight()
+        assert flight.snapshot() == {"leaders": 0, "coalesced": 0,
+                                     "in_flight": 0}

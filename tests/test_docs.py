@@ -213,6 +213,39 @@ def test_batched_bench_artifact_documented():
         assert name in text, f"EXPERIMENTS.md does not mention {name}"
 
 
+#: names of the serving layer that DESIGN.md's "Serving layer"
+#: section must pin down (ISSUE 8)
+SERVE_DOC_NAMES = ("Serving layer", "ExecutionEngine", "single-flight",
+                   "spec_hash", "POST /run", "GET /stats",
+                   "repro-fbb serve", "repro-fbb cache",
+                   "flow/executor.py", "bench_serve.py",
+                   "async-blocking")
+
+
+def test_serving_layer_documented():
+    """DESIGN.md must describe the execution core, the single-flight
+    contract, the drain semantics and the service endpoints."""
+    text = (REPO_ROOT / "DESIGN.md").read_text(encoding="utf-8")
+    missing = [name for name in SERVE_DOC_NAMES if name not in text]
+    assert not missing, f"DESIGN.md does not mention: {missing}"
+
+
+def test_serve_bench_artifact_documented():
+    """EXPERIMENTS.md must track the allocation-service benchmark."""
+    text = (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+    for name in ("bench_serve.py", "out/serve.txt"):
+        assert name in text, f"EXPERIMENTS.md does not mention {name}"
+
+
+def test_tutorial_shows_serving_layer():
+    """TUTORIAL.md must carry the serving walkthrough (the
+    ServerThread block is executed, the CLI lines parser-validated)."""
+    text = (REPO_ROOT / "TUTORIAL.md").read_text(encoding="utf-8")
+    assert "ServerThread" in text
+    assert "repro-fbb serve" in text
+    assert "repro-fbb cache" in text
+
+
 def test_tutorial_shows_batched_engine():
     """TUTORIAL.md must carry the batched-calibration walkthrough (the
     Python block is executed, the CLI line parser-validated)."""
