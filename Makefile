@@ -2,10 +2,10 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: test lint docs-check bench bench-batched bench-cache \
-	bench-parallel bench-serve bench-spatial bench-grouping \
-	bench-tuning-throughput test-parallel test-serve test-spatial \
-	test-grouping test-batched examples
+.PHONY: test lint docs-check bench bench-aging bench-batched \
+	bench-cache bench-parallel bench-serve bench-spatial \
+	bench-grouping bench-tuning-throughput test-aging test-parallel \
+	test-serve test-spatial test-grouping test-batched examples
 
 test:
 	$(PYTEST) -x -q
@@ -41,6 +41,13 @@ examples:
 bench:
 	$(PYTEST) -q benchmarks/
 
+# The temporal-scenario engine, gated: incremental ECO re-solve >= 5x
+# faster than the cold-cache full re-solve over a drift lifetime on
+# industrial3 (tiered by cores), bit-identical assignments either way,
+# zero-drift epochs collapsing to pure cache hits.
+bench-aging:
+	$(PYTEST) -q benchmarks/bench_aging.py
+
 bench-batched:
 	$(PYTEST) -q benchmarks/bench_batched_sta.py
 
@@ -73,6 +80,14 @@ bench-grouping:
 # bit-identical either way.
 bench-tuning-throughput:
 	$(PYTEST) -q benchmarks/bench_tuning_throughput.py
+
+# The temporal-scenario suite on its own: the NBTI drift process, the
+# closed-loop lifetime engine, and the incremental-vs-full ECO
+# equivalence property harness (CI's aging-smoke job).
+test-aging:
+	$(PYTEST) -q tests/variation/test_aging.py \
+		tests/tuning/test_lifetime.py \
+		tests/tuning/test_eco_equivalence.py
 
 # The batched-calibration suite on its own: batched-vs-serial summary
 # equivalence (randomized populations, groupings, workers) plus the

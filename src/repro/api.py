@@ -54,19 +54,23 @@ from repro.flow.cache import (ArtifactCache, canonical_json, content_hash,
                               default_cache)
 from repro.flow.design_flow import FlowResult, implement
 from repro.flow.experiment import (TUNING_ENGINES, ExperimentConfig,
+                                   LifetimeConfig, LifetimeRow,
                                    PopulationConfig, PopulationRow,
                                    SpatialConfig, SpatialRow, Table1Row,
-                                   run_design_beta, run_population,
-                                   run_spatial)
+                                   run_design_beta, run_lifetime_study,
+                                   run_population, run_spatial)
 from repro.flow.parallel import SpecFailure
 from repro.grouping import solve_grouped, validate_grouping_spec
 from repro.tech.technology import BodyBiasRules, Technology
+from repro.tuning.lifetime import LIFETIME_MODES
+from repro.variation.aging import NbtiModel
+from repro.variation.drift import DriftModel
 from repro.variation.process import ProcessModel
 
 SCHEMA_VERSION = 1
 """Serialization schema of RunSpec/RunResult; bumped on breaking change."""
 
-RUN_KINDS = ("allocate", "table1", "population", "spatial")
+RUN_KINDS = ("allocate", "table1", "population", "spatial", "lifetime")
 
 EXECUTION_KNOBS = ("workers", "tuning_engine")
 """RunSpec fields that choose *how* a run executes, never *what* it
@@ -80,15 +84,17 @@ HASHED_FIELDS = (
     "kind", "design", "beta", "method", "clusters", "cluster_budgets",
     "ilp_backend", "ilp_time_limit_s", "skip_ilp_above_rows", "seed",
     "num_dies", "engine", "tune", "beta_budget", "utilization",
-    "grouping", "num_regions", "process", "tech", "schema_version",
+    "grouping", "num_regions", "process", "tech", "epochs", "cadence",
+    "drift", "mode", "schema_version",
 )
 """RunSpec fields that participate in the content address: changing any
 of them changes :meth:`RunSpec.spec_hash` and therefore misses the run
 cache.  (``grouping`` is special-cased: its ``"identity"`` default is
 elided from the material so spec hashes predating the field are
-stable.)  Kept disjoint from :data:`EXECUTION_KNOBS` and exhaustive
-over the dataclass fields, both enforced by the ``hash-stability``
-lint rule and ``tests/lint``."""
+stable; the lifetime fields ``epochs``/``cadence``/``drift`` elide
+their defaults the same way.)  Kept disjoint from
+:data:`EXECUTION_KNOBS` and exhaustive over the dataclass fields, both
+enforced by the ``hash-stability`` lint rule and ``tests/lint``."""
 
 
 @dataclass(frozen=True)
@@ -145,7 +151,24 @@ class RunSpec:
     content address — except the ``"identity"`` default, which is
     omitted so existing spec hashes are unchanged."""
     num_regions: int = 4
-    """Sensor-grid resolution of the spatial arm (spatial kind only)."""
+    """Sensor-grid resolution of the spatial arm (spatial kind, and
+    lifetime runs tuned with ``method``-driven spatial sensing)."""
+    epochs: int = 8
+    """Service-life epochs of a lifetime run (lifetime kind only)."""
+    cadence: int = 1
+    """Re-calibration cadence of a lifetime run: re-tune every
+    ``cadence`` epochs (1 = every epoch, ``epochs`` = once at time
+    zero).  Must not exceed ``epochs``."""
+    drift: dict = field(default_factory=dict)
+    """DriftModel field overrides for the lifetime aging process, e.g.
+    ``{"activity_sigma_v": 0.002, "nbti": {"prefactor_v": 0.012}}``
+    (the nested ``nbti`` value may be a dict of NbtiModel fields;
+    empty = model defaults)."""
+    mode: str = "model"
+    """Lifetime re-calibration mode (lifetime kind only): ``"model"``
+    senses each die as one scalar slowdown (the paper's die-wide
+    derate), ``"spatial"`` re-tunes against the composed per-gate field
+    through a ``num_regions`` sensor grid."""
     process: dict = field(default_factory=dict)
     """ProcessModel field overrides for the sampled population, e.g.
     ``{"correlation_length_fraction": 0.25, "sigma_intra_v": 0.02}``
@@ -190,6 +213,18 @@ class RunSpec:
         if self.num_regions < 1:
             raise SpecError(
                 f"num_regions must be >= 1, got {self.num_regions}")
+        if self.epochs < 1:
+            raise SpecError(f"epochs must be >= 1, got {self.epochs}")
+        if self.cadence < 1:
+            raise SpecError(f"cadence must be >= 1, got {self.cadence}")
+        if self.cadence > self.epochs:
+            raise SpecError(
+                f"cadence {self.cadence} exceeds the {self.epochs}-epoch "
+                "lifetime: the controller would never re-calibrate")
+        if self.mode not in LIFETIME_MODES:
+            raise SpecError(
+                f"unknown lifetime mode {self.mode!r}; choose from "
+                f"{LIFETIME_MODES}")
         try:
             validate_grouping_spec(self.grouping)
         except GroupingError as exc:
@@ -221,6 +256,28 @@ class RunSpec:
         except TypeError as exc:
             raise SpecError(
                 f"bad process overrides {self.process}: {exc}") from exc
+
+    def drift_model(self) -> DriftModel | None:
+        """Materialize the DriftModel overrides (None when empty, so
+        the lifetime harness falls back to its default drift)."""
+        if not self.drift:
+            return None
+        overrides = dict(self.drift)
+        nbti = overrides.pop("nbti", None)
+        if isinstance(nbti, dict):
+            try:
+                nbti = NbtiModel(**nbti)
+            except TypeError as exc:
+                raise SpecError(
+                    f"bad nbti overrides {self.drift['nbti']}: "
+                    f"{exc}") from exc
+        if nbti is not None:
+            overrides["nbti"] = nbti
+        try:
+            return DriftModel(**overrides)
+        except TypeError as exc:
+            raise SpecError(
+                f"bad drift overrides {self.drift}: {exc}") from exc
 
     # -- serialization ----------------------------------------------------
 
@@ -268,13 +325,23 @@ class RunSpec:
         ``grouping`` *does* change the result, so non-default values
         are part of the address; the ``"identity"`` default is dropped
         from the material so that specs predating the field keep their
-        hashes (and their cached artifacts).
+        hashes (and their cached artifacts).  The lifetime fields
+        (``epochs``, ``cadence``, ``drift``) elide their defaults for
+        the same reason.
         """
         material = self.to_dict()
         for knob in EXECUTION_KNOBS:
             del material[knob]
         if material["grouping"] == "identity":
             del material["grouping"]
+        if material["epochs"] == 8:
+            del material["epochs"]
+        if material["cadence"] == 1:
+            del material["cadence"]
+        if not material["drift"]:
+            del material["drift"]
+        if material["mode"] == "model":
+            del material["mode"]
         return material
 
     def spec_hash(self) -> str:
@@ -346,6 +413,12 @@ class RunResult:
             raise SpecError(f"not a spatial result (kind={self.kind!r})")
         return spatial_row_from_payload(self.payload)
 
+    def to_lifetime_row(self) -> LifetimeRow:
+        """Rebuild the LifetimeRow a lifetime run produced."""
+        if self.kind != "lifetime":
+            raise SpecError(f"not a lifetime result (kind={self.kind!r})")
+        return lifetime_row_from_payload(self.payload)
+
 
 # -- payload codecs (JSON-native dicts <-> harness row dataclasses) --------
 
@@ -401,6 +474,20 @@ def spatial_row_payload(row: SpatialRow) -> dict:
 def spatial_row_from_payload(payload: dict) -> SpatialRow:
     """Inverse of :func:`spatial_row_payload`."""
     return SpatialRow(**payload)
+
+
+def lifetime_row_payload(row: LifetimeRow) -> dict:
+    """Encode a LifetimeRow as a pure-JSON payload (list yield curve)."""
+    data = dataclasses.asdict(row)
+    data["yield_curve"] = list(row.yield_curve)
+    return data
+
+
+def lifetime_row_from_payload(payload: dict) -> LifetimeRow:
+    """Inverse of :func:`lifetime_row_payload`."""
+    data = dict(payload)
+    data["yield_curve"] = tuple(data["yield_curve"])
+    return LifetimeRow(**data)
 
 
 # -- execution -------------------------------------------------------------
@@ -497,11 +584,25 @@ def _execute_spatial(spec: RunSpec, cache: ArtifactCache) -> dict:
     return spatial_row_payload(run_spatial(flow, config))
 
 
+def _execute_lifetime(spec: RunSpec, cache: ArtifactCache) -> dict:
+    flow = _implement_spec(spec, cache)
+    config = LifetimeConfig(
+        num_dies=spec.num_dies, seed=spec.seed,
+        model=spec.process_model(), drift=spec.drift_model(),
+        sta_engine=spec.engine, epochs=spec.epochs,
+        cadence=spec.cadence, max_clusters=spec.clusters,
+        beta_budget=spec.beta_budget, method=spec.method,
+        mode=spec.mode, num_regions=spec.num_regions,
+        grouping=spec.grouping)
+    return lifetime_row_payload(run_lifetime_study(flow, config))
+
+
 _EXECUTORS: dict[str, Callable[[RunSpec, ArtifactCache], dict]] = {
     "allocate": _execute_allocate,
     "table1": _execute_table1,
     "population": _execute_population,
     "spatial": _execute_spatial,
+    "lifetime": _execute_lifetime,
 }
 
 

@@ -21,6 +21,11 @@ Subcommands (all experiment-shaped ones are thin wrappers over the
   per-region clustered vs single-sensor uniform, and report both yields
   and the recovered-die leakage comparison (``--correlation-length``
   sets the intra-die field's feature size as a die-span fraction);
+* ``lifetime DESIGN --epochs E --cadence K`` — the lifetime aging
+  study: age a die population through per-row NBTI drift epochs,
+  re-calibrate every K epochs and report the yield-vs-age curve
+  (``--mode spatial`` re-tunes against the composed per-gate field
+  through the sensor grid instead of the scalar die-wide model);
 * ``sweep SPECS.json`` — the batch service interface: run a JSON list
   of RunSpecs (``--workers N`` fans them out over a process pool), emit
   one JSONL RunResult per line, and report artifact cache hit/miss
@@ -148,6 +153,26 @@ def _cmd_spatial(args: argparse.Namespace) -> int:
         beta_budget=args.beta_budget, num_regions=args.regions,
         process=process, workers=args.workers, grouping=args.grouping))
     print(format_spatial([result.to_spatial_row()]))
+    return 0
+
+
+def _cmd_lifetime(args: argparse.Namespace) -> int:
+    from repro.api import RunSpec, run
+    from repro.flow import format_lifetime
+    drift = {}
+    if args.activity_sigma is not None:
+        drift["activity_sigma_v"] = args.activity_sigma
+    if args.epoch_years is not None:
+        drift["epoch_years"] = args.epoch_years
+    if args.nbti_prefactor is not None:
+        drift["nbti"] = {"prefactor_v": args.nbti_prefactor}
+    result = run(RunSpec(
+        kind="lifetime", design=args.design, num_dies=args.dies,
+        seed=args.seed, clusters=args.clusters,
+        beta_budget=args.beta_budget, epochs=args.epochs,
+        cadence=args.cadence, mode=args.mode,
+        num_regions=args.regions, drift=drift, grouping=args.grouping))
+    print(format_lifetime([result.to_lifetime_row()]))
     return 0
 
 
@@ -373,6 +398,41 @@ def build_parser() -> argparse.ArgumentParser:
                               "serial)")
     _add_grouping_flag(spatial)
     spatial.set_defaults(func=_cmd_spatial)
+
+    lifetime = sub.add_parser(
+        "lifetime", help="lifetime aging and re-calibration study")
+    lifetime.add_argument("design", choices=ALL_BENCHMARK_NAMES)
+    lifetime.add_argument("--dies", type=int, default=200)
+    lifetime.add_argument("--seed", type=int, default=0,
+                          help="sampling seed; also drives the drift "
+                               "trajectory")
+    lifetime.add_argument("--epochs", type=int, default=8,
+                          help="service-life epochs to age through")
+    lifetime.add_argument("--cadence", type=int, default=1,
+                          help="re-calibrate every K epochs (1 = every "
+                               "epoch; equal to --epochs = tune once "
+                               "at time zero and coast)")
+    lifetime.add_argument("--mode", choices=("model", "spatial"),
+                          default="model",
+                          help="re-calibration mode: scalar die-wide "
+                               "model or per-region spatial sensing")
+    lifetime.add_argument("--regions", type=int, default=4,
+                          help="sensor-grid regions (--mode spatial)")
+    lifetime.add_argument("--clusters", type=int, default=3,
+                          help="tuning cluster budget")
+    lifetime.add_argument("--beta-budget", type=float, default=0.0,
+                          help="slowdown margin defining the epoch "
+                               "yield and the tuning target")
+    lifetime.add_argument("--activity-sigma", type=float, default=None,
+                          help="per-epoch activity-skew sigma override, "
+                               "volts")
+    lifetime.add_argument("--epoch-years", type=float, default=None,
+                          help="years of service per epoch (default 1)")
+    lifetime.add_argument("--nbti-prefactor", type=float, default=None,
+                          help="NBTI one-year dVth prefactor override, "
+                               "volts")
+    _add_grouping_flag(lifetime)
+    lifetime.set_defaults(func=_cmd_lifetime)
 
     sweep = sub.add_parser(
         "sweep", help="run a JSON batch of RunSpecs, emit JSONL results")

@@ -1,4 +1,5 @@
-"""Experiment harnesses: Table 1, Monte Carlo populations, spatial study.
+"""Experiment harnesses: Table 1, Monte Carlo populations, spatial and
+lifetime studies.
 
 Runs the paper's main experiment — for each design and slowdown beta,
 the Single BB baseline, the exact ILP and the two-pass heuristic at
@@ -10,7 +11,10 @@ yield/leakage economics) and the **spatial compensation study**: the
 same die population calibrated twice, once through a per-region sensor
 grid with clustered allocation and once through the classic single
 die-wide sensor with uniform biasing, head to head — the paper's
-central clustered-vs-uniform claim as one experiment row.
+central clustered-vs-uniform claim as one experiment row — and the
+**lifetime study**: the same population aged through per-row NBTI drift
+epochs and re-calibrated at a cadence (:mod:`repro.tuning.lifetime`),
+reporting the yield-vs-age trajectory.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ from repro.core.single_bb import solve_single_bb
 from repro.errors import SpecError, TimeoutError_
 from repro.flow.design_flow import FlowResult, implement
 from repro.grouping import solve_grouped
+from repro.variation.drift import DriftModel
 from repro.variation.montecarlo import sample_dies
 from repro.variation.process import ProcessModel
 
@@ -361,6 +366,114 @@ def run_spatial(flow: FlowResult,
         uniform_leakage_uw=uniform_uw,
         sample_runtime_s=sample_runtime,
         tune_runtime_s=tune_runtime,
+    )
+
+
+@dataclass
+class LifetimeConfig:
+    """Knobs for a lifetime aging-and-recalibration study."""
+
+    num_dies: int = 200
+    seed: int = 0
+    """Sampling seed; also drives the drift trajectory."""
+    model: ProcessModel | None = None
+    drift: DriftModel | None = None
+    """Per-row aging drift process (None = :class:`DriftModel`
+    defaults)."""
+    sta_engine: str = "batched"
+    epochs: int = 8
+    """Service-life epochs the population ages through."""
+    cadence: int = 1
+    """Re-calibrate every ``cadence`` epochs (1 = every epoch,
+    ``epochs`` = tune once at time zero and coast)."""
+    max_clusters: int = 3
+    beta_budget: float = 0.0
+    method: str = "heuristic:row-descent"
+    mode: str = "model"
+    """Lifetime calibration mode: "model" (scalar die-wide derate) or
+    "spatial" (per-region sensing of the composed field)."""
+    num_regions: int = 4
+    grouping: str = "identity"
+
+
+@dataclass(frozen=True)
+class LifetimeRow:
+    """One design's lifetime study: yield-vs-age under a re-calibration
+    cadence.
+
+    ``yield_curve`` is the epoch-by-epoch timing yield of the aging
+    population with the currently programmed biases — the trajectory
+    that decays between calibration visits and recovers at each one.
+    """
+
+    design: str
+    gates: int
+    rows: int
+    num_dies: int
+    epochs: int
+    cadence: int
+    epoch_years: float
+    mode: str
+    beta_budget: float
+    seed: int
+    grouping: str
+    recalibrations: int
+    initial_yield: float
+    final_yield: float
+    min_yield: float
+    mean_yield: float
+    yield_curve: tuple[float, ...]
+    mean_leakage_uw: float
+    """Population-mean leakage at end of life, microwatts."""
+    sample_runtime_s: float
+    tune_runtime_s: float
+
+
+def run_lifetime_study(flow: FlowResult,
+                       config: LifetimeConfig | None = None) -> LifetimeRow:
+    """Age one design's die population and re-tune it at a cadence."""
+    from repro.tuning.controller import TuningController
+    from repro.tuning.lifetime import run_lifetime
+
+    if config is None:
+        config = LifetimeConfig()
+    started = time.perf_counter()
+    population = sample_dies(flow.placed, config.num_dies,
+                             model=config.model, seed=config.seed,
+                             engine=config.sta_engine)
+    sample_runtime = time.perf_counter() - started
+
+    controller = TuningController(flow.placed, flow.clib,
+                                  max_clusters=config.max_clusters,
+                                  method=config.method,
+                                  grouping=config.grouping)
+    summary = run_lifetime(
+        controller, population, config.drift,
+        epochs=config.epochs, cadence=config.cadence,
+        beta_budget=config.beta_budget, mode=config.mode,
+        num_regions=config.num_regions, seed=config.seed)
+    curve = summary.yield_curve()
+    return LifetimeRow(
+        design=flow.name,
+        gates=flow.num_gates,
+        rows=flow.num_rows,
+        num_dies=config.num_dies,
+        epochs=config.epochs,
+        cadence=config.cadence,
+        epoch_years=summary.epoch_years,
+        mode=config.mode,
+        beta_budget=config.beta_budget,
+        seed=config.seed,
+        grouping=config.grouping,
+        recalibrations=summary.recalibrations,
+        initial_yield=curve[0],
+        final_yield=summary.final_yield,
+        min_yield=summary.min_yield,
+        mean_yield=summary.mean_yield,
+        yield_curve=curve,
+        mean_leakage_uw=summary.outcomes[-1].mean_leakage_nw / 1e3,
+        sample_runtime_s=sample_runtime,
+        tune_runtime_s=summary.runtime_s,
     )
 
 

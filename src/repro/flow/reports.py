@@ -1,12 +1,13 @@
 """Fixed-width report tables for the experiment harness (the paper's
-Table 1 layout, the population study, and the spatial-vs-uniform
-compensation comparison)."""
+Table 1 layout, the population study, the spatial-vs-uniform
+compensation comparison and the lifetime aging study)."""
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.flow.experiment import PopulationRow, SpatialRow, Table1Row
+from repro.flow.experiment import (LifetimeRow, PopulationRow, SpatialRow,
+                                   Table1Row)
 
 
 def format_table1(rows: Sequence[Table1Row],
@@ -86,6 +87,35 @@ def format_spatial(rows: Sequence[SpatialRow]) -> str:
                  "single-voltage FBB; spatial = per-region sensing + "
                  "clustered allocation; leakage averaged over dies "
                  "both arms recovered.")
+    return "\n".join(lines)
+
+
+def format_lifetime(rows: Sequence[LifetimeRow]) -> str:
+    """Render lifetime aging study rows plus their yield-vs-age curves.
+
+    One summary line per (design, cadence, mode) study, followed by the
+    epoch-by-epoch yield trajectory — the curve that decays between
+    calibration visits and recovers at each one.
+    """
+    header = (f"{'Benchmark':<15}{'Dies':>6}{'Ep':>4}{'Cad':>5}"
+              f"{'Mode':>9}{'Recal':>7}{'init':>7}{'final':>7}"
+              f"{'min':>7}{'leak uW':>9}{'t_tune s':>9}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.design:<15}{row.num_dies:>6}{row.epochs:>4}"
+            f"{row.cadence:>5}{row.mode:>9}{row.recalibrations:>7}"
+            f"{row.initial_yield * 100:>6.0f}%"
+            f"{row.final_yield * 100:>6.0f}%{row.min_yield * 100:>6.0f}%"
+            f"{row.mean_leakage_uw:>9.3f}{row.tune_runtime_s:>9.3f}")
+    lines.append("")
+    for row in rows:
+        curve = " ".join(f"{y * 100:.0f}" for y in row.yield_curve)
+        lines.append(f"{row.design} yield-vs-age (% per epoch of "
+                     f"{row.epoch_years:g}y): {curve}")
+    lines.append("")
+    lines.append("init/final/min = epoch timing yield within the beta "
+                 "budget; Recal = calibration visits over the lifetime.")
     return "\n".join(lines)
 
 

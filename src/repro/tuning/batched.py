@@ -49,8 +49,9 @@ from repro.tuning.population import DieTuningRecord
 def calibrate_dies_batched(controller: TuningController,
                            dies: Sequence[tuple[int, float]],
                            beta_budget: float,
-                           unbiased_leakage_nw: float
-                           ) -> list[DieTuningRecord]:
+                           unbiased_leakage_nw: float,
+                           scales_out: dict[int, np.ndarray | None] | None
+                           = None) -> list[DieTuningRecord]:
     """Calibrate ``(index, beta)`` dies population-at-a-time.
 
     The batched twin of mapping
@@ -59,6 +60,14 @@ def calibrate_dies_batched(controller: TuningController,
     sweep.  Dies within budget short-circuit to ``"ok-unbiased"`` and an
     empty ``dies`` returns without touching the STA or allocation
     machinery at all — zero matrix passes.
+
+    ``scales_out``, when given, is filled with each die's *applied* bias
+    row (the :meth:`~TuningController.scale_row_of` vector of the last
+    programmed solution, in the batched engine's gate order) — ``None``
+    for dies that ended up unbiased (within budget, recovered at pass 0,
+    or beyond FBB range).  The lifetime engine uses this to carry each
+    die's programmed bias forward between re-calibrations; the records
+    themselves are unchanged.
     """
     if beta_budget < 0:
         raise TuningError("beta budget cannot be negative")
@@ -68,10 +77,13 @@ def calibrate_dies_batched(controller: TuningController,
     beta_of = dict(dies)
 
     def _record(index: int, status: str, iterations: int,
-                leakage_nw: float) -> None:
+                leakage_nw: float,
+                scale_row: np.ndarray | None = None) -> None:
         records[index] = DieTuningRecord(
             index=index, beta=beta_of[index], status=status,
             iterations=iterations, leakage_nw=float(leakage_nw))
+        if scales_out is not None:
+            scales_out[index] = scale_row
 
     # The budget relaxation calibrate_die applies before entering the
     # controller: tuning to the budgeted Dcrit at slowdown beta is
@@ -166,13 +178,15 @@ def calibrate_dies_batched(controller: TuningController,
         for position, index in enumerate(active):
             if not alarms[position]:
                 _record(index, "recovered", iteration,
-                        solved[estimates[index]][1])
+                        solved[estimates[index]][1],
+                        solved[estimates[index]][0])
             elif iteration == controller.max_iterations:
                 # Scalar loop exhausted: not converged, last solution's
                 # leakage (the estimate is bumped after the verify, so
                 # the record prices the allocation actually applied).
                 _record(index, "not-converged", controller.max_iterations,
-                        solved[estimates[index]][1])
+                        solved[estimates[index]][1],
+                        solved[estimates[index]][0])
             else:
                 estimates[index] = round(
                     estimates[index] + controller.beta_step, 9)

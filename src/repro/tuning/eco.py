@@ -1,0 +1,377 @@
+"""ECO incremental re-solve: patch a bias solution after drift.
+
+The paper's allocation (Sec. 4) is a one-shot solve against one frozen
+slowdown field.  Over a lifetime the field moves — NBTI drift between
+epochs (:mod:`repro.variation.drift`), or a placement/netlist delta —
+and re-running the whole Sec. 4 pre-processing plus solver per epoch
+wastes work on the rows that did not move.  :class:`EcoSolver` is the
+incremental path:
+
+* the sensed per-row betas are **quantised** to a step (the same
+  estimate grid :class:`~repro.tuning.controller.TuningController`
+  programs), so sub-step wobble never invalidates anything;
+* allocation is decomposed per **bias domain**
+  (:class:`~repro.grouping.RowGrouping`, resolved once at construction
+  — domains are physical wells, they do not move with the field); each
+  domain must *undo its own damage*: for every extracted path it
+  touches, recover the delay excess its own rows contribute.  The
+  per-domain sub-solution is therefore a pure function of the domain's
+  own quantised betas and the static path structure — the
+  **dirty-domain invariant** (DESIGN.md, "Temporal scenarios");
+* every sub-solve is memoised in an :class:`~repro.flow.cache.ArtifactCache`
+  keyed by (design, tech, method, domain rows, quantised betas), so an
+  epoch only pays for its **dirty domains** — rows whose quantised beta
+  actually moved.  A zero-drift epoch collapses to pure cache hits.
+  "Full re-solve" is the same code path against a cold cache, which is
+  what makes incremental==full *bit-identical by construction* (the
+  property :mod:`tests.tuning.test_eco_equivalence` drives);
+* the spliced per-row assignment is repaired to the cluster budget
+  (merge-up: the lowest non-zero rail joins the next one above, which
+  only adds speed) and checked against the epoch's *joint* violating
+  constraints — ``check_timing`` safety net — falling back to a cached
+  global grouped solve on the (never-observed) failure path.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.sparse import csr_matrix
+
+from repro.core.problem import FBBProblem
+from repro.core.solution import BiasSolution
+from repro.errors import InfeasibleError, TuningError
+from repro.flow.cache import ArtifactCache, content_hash, tech_content
+from repro.grouping.domains import RowGrouping
+from repro.grouping.reduce import solve_grouped
+from repro.grouping.registry import GroupingContext, make_grouping
+from repro.placement.placed_design import PlacedDesign
+from repro.power.leakage import leakage_matrix
+from repro.sta.engine import TimingAnalyzer
+from repro.sta.paths import extract_paths
+from repro.tech.characterize import CharacterizedLibrary
+
+#: default beta quantisation step — matches TuningController.beta_step,
+#: the coarsest slowdown difference the tuning loop acts on.
+DEFAULT_QUANT_STEP = 0.01
+
+#: cache kind of the per-domain sub-solves (tier counters key on it)
+DOMAIN_KIND = "eco-domain"
+
+#: cache kind of the global fallback solves
+GLOBAL_KIND = "eco-global"
+
+
+def quantise_betas(row_betas: np.ndarray,
+                   step: float = DEFAULT_QUANT_STEP) -> np.ndarray:
+    """Floor per-row betas onto the estimate grid (9-decimal rounded,
+    the controller's hash-stable float discipline)."""
+    if step <= 0:
+        raise TuningError(f"quantisation step must be positive, got {step}")
+    betas = np.maximum(np.asarray(row_betas, dtype=float), 0.0)
+    return np.round(np.floor(betas / step) * step, 9)
+
+
+@dataclass(frozen=True)
+class EcoResult:
+    """One epoch's incremental re-solve: the spliced solution plus the
+    dirty-domain bookkeeping the reports and benchmarks read."""
+
+    solution: BiasSolution
+    dirty_domains: tuple[int, ...]
+    """Domains whose quantised beta field moved since the previous
+    resolve (all of them on the first call)."""
+    num_domains: int
+    num_violating_paths: int
+    repaired: bool
+    """True when the spliced assignment exceeded the cluster budget and
+    was merged up."""
+    fallback: bool
+    """True when the safety net had to re-solve globally."""
+    runtime_s: float
+
+    @property
+    def levels(self) -> tuple[int, ...]:
+        return self.solution.levels
+
+    @property
+    def leakage_nw(self) -> float:
+        return self.solution.leakage_nw
+
+
+@dataclass
+class EcoSolver:
+    """Incremental per-domain re-solver over a fixed placed design.
+
+    Construction runs STA and path extraction once and freezes the
+    domain map; :meth:`resolve` is then called once per drift epoch (or
+    ECO event) with the sensed per-row beta field.  ``cache`` persists
+    across calls — that persistence *is* the incremental mode; pass a
+    fresh cold cache per call to get the reference full re-solve.
+    """
+
+    placed: PlacedDesign
+    clib: CharacterizedLibrary
+    method: str = "heuristic"
+    clusters: int = 3
+    grouping: str | RowGrouping | None = None
+    quant_step: float = DEFAULT_QUANT_STEP
+    dcrit_ps: float | None = None
+    initial_betas: np.ndarray | None = None
+    """Field the field-driven groupings (``correlation:k``) resolve
+    against; domains are frozen wells, so this is consulted once."""
+    cache: ArtifactCache = field(default_factory=ArtifactCache)
+
+    def __post_init__(self) -> None:
+        if self.clusters < 1:
+            raise TuningError(
+                f"cluster budget must be >= 1, got {self.clusters}")
+        placed = self.placed
+        analyzer = TimingAnalyzer.for_placed(placed)
+        paths = extract_paths(analyzer)
+        if self.dcrit_ps is None:
+            self.dcrit_ps = max(path.delay_ps for path in paths)
+        self._paths = tuple(paths)
+        row_of = {name: placed.row_of(name)
+                  for name in placed.netlist.gates}
+
+        # Static per-path per-row structure over ALL extracted paths:
+        # d0[k, i] — undegraded gate delay of path k on row i — is the
+        # only matrix any epoch needs; degraded quantities are
+        # column-scalings of it (build_problem's vector semantics).
+        data, rows_idx, cols_idx, counts = [], [], [], []
+        for k, path in enumerate(paths):
+            per_row: dict[int, float] = {}
+            per_count: dict[int, int] = {}
+            for gate_name, delay in zip(path.gates, path.gate_delays_ps):
+                row = row_of[gate_name]
+                per_row[row] = per_row.get(row, 0.0) + delay
+                per_count[row] = per_count.get(row, 0) + 1
+            for row, delay in per_row.items():
+                rows_idx.append(k)
+                cols_idx.append(row)
+                data.append(delay)
+                counts.append(per_count[row])
+        shape = (len(paths), placed.num_rows)
+        self._d0 = csr_matrix((data, (rows_idx, cols_idx)), shape=shape)
+        self._q0 = csr_matrix((counts, (rows_idx, cols_idx)), shape=shape)
+        self._gate_totals = np.asarray(
+            self._d0 @ np.ones(placed.num_rows)).ravel()
+        self._setup = np.array([path.setup_ps for path in paths])
+        #: per-path factor turning a row's beta-delay product into its
+        #: excess contribution (gate derate plus setup-derate share)
+        self._excess_factor = 1.0 + self._setup / np.maximum(
+            self._gate_totals, 1e-12)
+
+        self._leakage = leakage_matrix(placed, self.clib)
+        self._speedups = np.array(
+            [1.0 - scale for scale in self.clib.delay_scales])
+        self._grouping = self._resolve_grouping()
+        self._domain_rows = self._grouping.rows_of_groups()
+        self._signature = content_hash({
+            "artifact": "eco-solver",
+            "design": placed.netlist.name,
+            "tech": tech_content(placed.library.tech),
+            "vbs_levels": list(self.clib.vbs_levels),
+            "delay_scales": list(self.clib.delay_scales),
+            "method": self.method,
+            "clusters": self.clusters,
+            "grouping": list(self._grouping.group_of_row),
+            "quant_step": self.quant_step,
+            "dcrit_ps": self.dcrit_ps,
+        })
+        self._previous_qbeta: np.ndarray | None = None
+
+    # -- domain map -------------------------------------------------------
+
+    def _resolve_grouping(self) -> RowGrouping:
+        grouping = self.grouping
+        if grouping is None or grouping == "identity":
+            return RowGrouping.identity(self.placed.num_rows)
+        if isinstance(grouping, RowGrouping):
+            return grouping
+        betas = (np.zeros(self.placed.num_rows)
+                 if self.initial_betas is None
+                 else np.asarray(self.initial_betas, dtype=float))
+        context = GroupingContext(num_rows=self.placed.num_rows,
+                                  row_betas=betas, placed=self.placed)
+        return make_grouping(grouping, context)
+
+    @property
+    def num_domains(self) -> int:
+        return self._grouping.num_groups
+
+    def dirty_domains(self, row_betas: np.ndarray) -> tuple[int, ...]:
+        """Domains whose quantised betas differ from the previous
+        resolve (every domain before the first resolve)."""
+        qbeta = quantise_betas(row_betas, self.quant_step)
+        if self._previous_qbeta is None:
+            return tuple(range(self.num_domains))
+        changed = qbeta != self._previous_qbeta
+        return tuple(sorted({
+            domain for domain in range(self.num_domains)
+            if changed[list(self._domain_rows[domain])].any()}))
+
+    # -- the per-epoch entry point ----------------------------------------
+
+    def resolve(self, row_betas: np.ndarray, *,
+                cache: ArtifactCache | None = None) -> EcoResult:
+        """Splice a bias solution for one epoch's sensed beta field.
+
+        ``cache=None`` uses the solver's persistent cache (incremental
+        mode); a fresh :class:`ArtifactCache` makes this the reference
+        full re-solve — same code path, so the two are bit-identical.
+        """
+        start = time.perf_counter()
+        cache = self.cache if cache is None else cache
+        qbeta = quantise_betas(np.asarray(row_betas, dtype=float),
+                               self.quant_step)
+        if qbeta.shape != (self.placed.num_rows,):
+            raise TuningError(
+                f"row_betas needs shape ({self.placed.num_rows},), got "
+                f"{qbeta.shape}")
+        dirty = self.dirty_domains(qbeta)
+
+        levels = np.zeros(self.placed.num_rows, dtype=int)
+        fallback = False
+        for domain in range(self.num_domains):
+            rows = list(self._domain_rows[domain])
+            local = qbeta[rows]
+            if not local.any():
+                continue  # undegraded domain: no excess, stays unbiased
+            material = {"artifact": DOMAIN_KIND,
+                        "solver": self._signature,
+                        "rows": rows,
+                        "qbetas": [float(value) for value in local]}
+            payload = cache.get_or_create(
+                DOMAIN_KIND, material,
+                lambda rows=rows, local=local:
+                    self._solve_domain(rows, local))
+            if payload.get("infeasible"):
+                fallback = True
+                break
+            levels[rows] = payload["levels"]
+
+        problem = self._joint_problem(qbeta)
+        repaired = False
+        if not fallback:
+            repaired = self._repair_clusters(problem, levels)
+            if not problem.check_timing(levels):
+                fallback = True  # safety net: splice failed CheckTiming
+        if fallback:
+            levels = self._solve_global(problem, qbeta, cache)
+            repaired = False
+
+        solution = BiasSolution(
+            problem=problem,
+            levels=tuple(int(level) for level in levels),
+            method=f"eco:{self.method}",
+            extras={"grouping": self._grouping.name,
+                    "num_groups": self.num_domains,
+                    "dirty_domains": [int(d) for d in dirty]})
+        self._previous_qbeta = qbeta
+        return EcoResult(
+            solution=solution,
+            dirty_domains=dirty,
+            num_domains=self.num_domains,
+            num_violating_paths=problem.num_constraints,
+            repaired=repaired,
+            fallback=fallback,
+            runtime_s=time.perf_counter() - start)
+
+    # -- internals --------------------------------------------------------
+
+    def _solve_domain(self, rows: list[int],
+                      local_qbeta: np.ndarray) -> dict:
+        """One domain's undo-your-own-damage sub-solve (pure function of
+        ``(rows, local_qbeta)`` given the frozen design — the cacheable
+        unit).  Returns a JSON-plain payload so memory and disk tiers
+        round-trip identically."""
+        d0_sub = self._d0[:, rows]
+        excess = np.asarray(
+            d0_sub @ local_qbeta).ravel() * self._excess_factor
+        touching = np.flatnonzero(excess > 1e-12)
+        if touching.size == 0:
+            return {"levels": [0] * len(rows), "leakage_nw": 0.0}
+        derate = 1.0 + local_qbeta
+        recovery = d0_sub[touching].multiply(derate[None, :]).tocsr()
+        gate_counts = self._q0[touching][:, rows].tocsr()
+        problem = FBBProblem(
+            design_name=self.placed.netlist.name,
+            beta=float(local_qbeta.max()),
+            dcrit_ps=self.dcrit_ps,
+            num_rows=len(rows),
+            vbs_levels=self.clib.vbs_levels,
+            speedups=self._speedups,
+            leakage_nw=self._leakage[rows],
+            recovery=recovery,
+            gate_counts=gate_counts,
+            required_ps=excess[touching],
+            paths=tuple(self._paths[k] for k in touching),
+            row_betas=local_qbeta)
+        one_domain = RowGrouping(name="eco-domain",
+                                 group_of_row=(0,) * len(rows))
+        try:
+            solution = solve_grouped(problem, self.method, self.clusters,
+                                     grouping=one_domain)
+        except InfeasibleError:
+            return {"infeasible": True}
+        return {"levels": [int(level) for level in solution.levels],
+                "leakage_nw": float(solution.leakage_nw)}
+
+    def _joint_problem(self, qbeta: np.ndarray) -> FBBProblem:
+        """The epoch's true joint constraint set (every path whose
+        degraded delay violates Dcrit), for the safety net and the
+        returned solution's bookkeeping."""
+        dot = np.asarray(self._d0 @ qbeta).ravel()
+        degraded = (self._gate_totals + dot + self._setup
+                    * (1.0 + dot / np.maximum(self._gate_totals, 1e-12)))
+        violating = np.flatnonzero(degraded > self.dcrit_ps + 1e-9)
+        derate = 1.0 + qbeta
+        recovery = self._d0[violating].multiply(derate[None, :]).tocsr()
+        return FBBProblem(
+            design_name=self.placed.netlist.name,
+            beta=float(qbeta.max(initial=0.0)),
+            dcrit_ps=self.dcrit_ps,
+            num_rows=self.placed.num_rows,
+            vbs_levels=self.clib.vbs_levels,
+            speedups=self._speedups,
+            leakage_nw=self._leakage,
+            recovery=recovery,
+            gate_counts=self._q0[violating].tocsr(),
+            required_ps=degraded[violating] - self.dcrit_ps,
+            paths=tuple(self._paths[k] for k in violating),
+            row_betas=qbeta)
+
+    def _repair_clusters(self, problem: FBBProblem,
+                         levels: np.ndarray) -> bool:
+        """Merge-up rail repair: independently solved domains may use
+        more distinct voltages than the budget; raising the lowest
+        non-zero rail onto the next one above only adds speedup (the
+        level grid is monotone), so feasibility is preserved."""
+        repaired = False
+        while problem.num_clusters(levels) > self.clusters:
+            nonzero = np.unique(levels[levels > 0])
+            if len(nonzero) < 2:
+                break  # cannot merge further; safety net will catch it
+            levels[levels == nonzero[0]] = nonzero[1]
+            repaired = True
+        return repaired
+
+    def _solve_global(self, problem: FBBProblem, qbeta: np.ndarray,
+                      cache: ArtifactCache) -> np.ndarray:
+        """Cached whole-problem grouped solve — the fallback when a
+        domain sub-solve is infeasible or the splice fails CheckTiming."""
+        material = {"artifact": GLOBAL_KIND,
+                    "solver": self._signature,
+                    "qbetas": [float(value) for value in qbeta]}
+
+        def factory() -> dict:
+            solution = solve_grouped(problem, self.method, self.clusters,
+                                     grouping=self._grouping)
+            return {"levels": [int(level) for level in solution.levels]}
+
+        payload = cache.get_or_create(GLOBAL_KIND, material, factory)
+        return np.asarray(payload["levels"], dtype=int)

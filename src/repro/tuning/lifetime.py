@@ -1,0 +1,310 @@
+"""Closed-loop lifetime workload: re-calibrate an aging die population.
+
+The paper's closed sense/allocate/apply/verify loop (Sec. 3.1, Fig. 2)
+is usually exercised once, at time-zero test.  Its cited motivation is
+broader: FBB is the *recovery knob* for lifetime degradation (Mitra's
+failure-prediction work, [3]).  This module closes that loop over the
+die's whole service life — each epoch the per-row drift process of
+:mod:`repro.variation.drift` slows the population a little more, and at
+a configurable **cadence** the tuning controller re-senses and
+re-allocates body biases, trading tester/in-field calibration time
+against the yield that decays between visits.
+
+Epoch topology: epoch ``e`` (0-based) covers service years
+``(e, e+1] * epoch_years``; its drift field applies for the whole epoch
+and re-calibration (when ``e % cadence == 0``) happens at the epoch's
+*start*, i.e. the loop re-tunes first and then the epoch's yield is
+measured with those biases applied.  ``cadence=1`` re-tunes every
+epoch; ``cadence=epochs`` tunes once at time zero and coasts.
+
+Two calibration modes mirror the population tuner's:
+
+* ``mode="model"`` — each die is sensed through one batched-STA sweep
+  of its composed (process x aging) field, then modelled by that scalar
+  slowdown (the paper's die-wide derate) and re-tuned population-at-a-
+  time by :func:`repro.tuning.batched.calibrate_dies_batched`;
+* ``mode="spatial"`` — each out-of-budget die is calibrated against its
+  composed per-gate field through a ``num_regions`` sensor grid — the
+  clustered compensation arm, which *sees* the row-correlated aging
+  skew the scalar model averages away.
+
+Either way the epoch's reported yield is measured against the **real**
+composed field with the applied biases (one batched verify pass), so a
+model-mode allocation that under-compensates a spatially skewed die
+shows up as yield loss — that gap is the experiment's signal.
+
+Every count over an empty set (no dies, no recovered dies, an epoch
+where every die is beyond FBB range) degrades to a well-formed zero or
+a yield of 1.0 for an empty population — never a ``ZeroDivisionError``
+(regression-tested in ``tests/tuning/test_lifetime.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TuningError
+from repro.tuning.batched import calibrate_dies_batched
+from repro.tuning.controller import (DEFAULT_SENSOR_REGIONS,
+                                     TuningController)
+from repro.variation.drift import DriftModel, row_betas_epochs
+from repro.variation.montecarlo import MonteCarloResult
+
+#: supported lifetime calibration modes (see module docstring)
+LIFETIME_MODES = ("model", "spatial")
+
+#: verify-pass slack tolerance, picoseconds — matches the core
+#: problem's TIMING_TOL_PS scale so boundary dies don't flap between
+#: epochs on float noise.
+MEETS_TOL_PS = 1e-9
+
+
+@dataclass(frozen=True)
+class EpochOutcome:
+    """One epoch of the lifetime loop: drift state, tuning, yield."""
+
+    epoch: int
+    """0-based epoch index."""
+    age_years: float
+    """Service age at the epoch's end, years."""
+    recalibrated: bool
+    """Whether the controller re-tuned at this epoch's start."""
+    mean_row_beta: float
+    """Mean per-row aging slowdown of the epoch's drift field."""
+    max_row_beta: float
+    meets: int
+    """Dies meeting the budgeted Dcrit under the composed field with
+    their currently programmed biases applied."""
+    total: int
+    yield_fraction: float
+    """``meets / total`` (1.0 for an empty population)."""
+    recovered: int
+    """Dies the re-calibration biased back into spec (0 when the epoch
+    did not re-calibrate)."""
+    lost: int
+    """Dies beyond FBB recovery range or not converged at this epoch's
+    re-calibration (0 when the epoch did not re-calibrate)."""
+    mean_leakage_nw: float
+    """Population-mean leakage with the current biases, nanowatts."""
+
+
+@dataclass(frozen=True)
+class LifetimeSummary:
+    """Aggregate outcome of a lifetime re-calibration run."""
+
+    design: str
+    mode: str
+    epochs: int
+    cadence: int
+    epoch_years: float
+    beta_budget: float
+    grouping: str
+    num_dies: int
+    num_regions: int | None
+    """Sensor-grid resolution of a spatial run (None for model mode)."""
+    recalibrations: int
+    """Number of epochs that re-ran the calibration loop."""
+    final_yield: float
+    min_yield: float
+    """Worst epoch yield — the number a service-level agreement sees."""
+    mean_yield: float
+    outcomes: tuple[EpochOutcome, ...]
+    runtime_s: float = 0.0
+
+    def yield_curve(self) -> tuple[float, ...]:
+        """Epoch yields in age order — the yield-vs-age trajectory."""
+        return tuple(outcome.yield_fraction for outcome in self.outcomes)
+
+
+def run_lifetime(controller: TuningController,
+                 population: MonteCarloResult,
+                 drift: DriftModel | None = None,
+                 *,
+                 epochs: int = 8,
+                 cadence: int = 1,
+                 beta_budget: float = 0.0,
+                 mode: str = "model",
+                 num_regions: int = DEFAULT_SENSOR_REGIONS,
+                 seed: int = 0) -> LifetimeSummary:
+    """Age a die population through ``epochs`` and re-tune at ``cadence``.
+
+    ``population`` must retain its sampled scale matrix (``sample_dies``
+    keeps it by default) — the lifetime loop composes each die's process
+    field with the epoch's aging field, so it needs the per-gate data,
+    not just the scalar betas.  ``seed`` drives the drift trajectory
+    (independent of the population's sampling seed).
+
+    The per-epoch loop: compose the fields, re-calibrate when
+    ``epoch % cadence == 0`` (sense -> allocate -> apply, in the chosen
+    mode), then verify every die's composed field times its programmed
+    bias row in one batched pass and count who meets
+    ``tcrit * (1 + beta_budget)``.
+    """
+    if epochs < 1:
+        raise TuningError(f"epochs must be >= 1, got {epochs}")
+    if cadence < 1:
+        raise TuningError(f"cadence must be >= 1, got {cadence}")
+    if cadence > epochs:
+        raise TuningError(
+            f"cadence {cadence} exceeds the {epochs}-epoch lifetime: "
+            "the controller would never re-calibrate")
+    if beta_budget < 0:
+        raise TuningError("beta budget cannot be negative")
+    if mode not in LIFETIME_MODES:
+        raise TuningError(
+            f"unknown lifetime mode {mode!r}; choose from {LIFETIME_MODES}")
+    if drift is None:
+        drift = DriftModel()
+
+    started = time.perf_counter()
+    placed = controller.placed
+    total = len(population.samples)
+    if total and population.scale_matrix is None:
+        raise TuningError(
+            "lifetime tuning needs the population's scale matrix "
+            "(sample with store_scales or the default sample_dies path)")
+
+    beta_rows = row_betas_epochs(placed, placed.library.tech, drift,
+                                 seed, epochs)
+    spatial = mode == "spatial"
+    regions = min(num_regions, placed.num_rows) if spatial else None
+    if spatial and num_regions < 1:
+        raise TuningError(
+            f"need at least one sensor region, got {num_regions}")
+
+    if total == 0:
+        # Empty population: the drift trajectory is still well-defined,
+        # the yield is vacuously 1.0 and no calibration machinery runs.
+        outcomes = tuple(
+            EpochOutcome(
+                epoch=epoch, age_years=(epoch + 1) * drift.epoch_years,
+                recalibrated=epoch % cadence == 0,
+                mean_row_beta=float(beta_rows[epoch].mean()),
+                max_row_beta=float(beta_rows[epoch].max()),
+                meets=0, total=0, yield_fraction=1.0,
+                recovered=0, lost=0, mean_leakage_nw=0.0)
+            for epoch in range(epochs))
+        return LifetimeSummary(
+            design=placed.netlist.name, mode=mode, epochs=epochs, cadence=cadence,
+            epoch_years=drift.epoch_years, beta_budget=beta_budget,
+            grouping=controller.grouping or "identity", num_dies=0,
+            num_regions=regions,
+            recalibrations=sum(1 for o in outcomes if o.recalibrated),
+            final_yield=1.0, min_yield=1.0, mean_yield=1.0,
+            outcomes=outcomes,
+            runtime_s=time.perf_counter() - started)
+
+    batched = controller.batched_analyzer()
+    if (population.gate_names
+            and tuple(population.gate_names) != tuple(batched.gate_names)):
+        raise TuningError(
+            "population gate order does not match the controller's "
+            "batched engine — was the population sampled from a "
+            "different design?")
+    # Row index of each scale-matrix column: maps the per-row drift
+    # field onto the per-gate composed field.
+    gate_rows = np.array([placed.row_of(name)
+                          for name in batched.gate_names], dtype=np.intp)
+    scale_matrix = np.asarray(population.scale_matrix, dtype=float)
+    nominal = population.nominal_delay_ps
+    limit_ps = controller.monitor.tcrit_ps * (1.0 + beta_budget)
+    unbiased = controller.clib_leakage_unbiased()
+
+    # Per-die state carried between re-calibrations: the programmed
+    # bias row (None = rails released) and the leakage being paid.
+    bias_rows: list[np.ndarray | None] = [None] * total
+    leakage = np.full(total, unbiased)
+    grid = None
+    outcomes: list[EpochOutcome] = []
+
+    for epoch in range(epochs):
+        aging = 1.0 + beta_rows[epoch][gate_rows]
+        composed = scale_matrix * aging[None, :]
+        recalibrated = epoch % cadence == 0
+        recovered = 0
+        lost = 0
+        if recalibrated:
+            # Sense: the population's real slowdowns under the aged
+            # field, rails released (the controller's own sense pass
+            # also reads the unbiased die).
+            criticals = batched.critical_delays(scales=composed)
+            sensed = criticals / nominal - 1.0
+            if spatial:
+                if grid is None:
+                    grid = controller.sensor_grid(num_regions)
+                for index in range(total):
+                    if float(sensed[index]) <= beta_budget:
+                        bias_rows[index] = None
+                        leakage[index] = unbiased
+                        continue
+                    relaxed = dict(zip(
+                        batched.gate_names,
+                        (composed[index] / (1.0 + beta_budget)).tolist()))
+                    try:
+                        outcome = controller.calibrate_spatial(
+                            relaxed, grid=grid)
+                    except TuningError:
+                        bias_rows[index] = None
+                        leakage[index] = unbiased
+                        lost += 1
+                        continue
+                    bias_rows[index] = (
+                        controller.scale_row_of(outcome.solution)
+                        if outcome.solution is not None else None)
+                    leakage[index] = outcome.leakage_nw
+                    if outcome.converged:
+                        recovered += 1
+                    else:
+                        lost += 1
+            else:
+                scales_out: dict[int, np.ndarray | None] = {}
+                records = calibrate_dies_batched(
+                    controller,
+                    [(index, float(beta))
+                     for index, beta in enumerate(sensed)],
+                    beta_budget, unbiased, scales_out=scales_out)
+                for record in records:
+                    bias_rows[record.index] = scales_out.get(record.index)
+                    leakage[record.index] = record.leakage_nw
+                    if record.status == "recovered":
+                        recovered += 1
+                    elif record.status in ("yield-loss", "not-converged"):
+                        lost += 1
+
+        # Verify: the composed field with the programmed biases, one
+        # batched pass over the whole population.
+        combined = composed.copy()
+        for index, row in enumerate(bias_rows):
+            if row is not None:
+                combined[index] *= row
+        verified = batched.critical_delays(scales=combined)
+        meets = int((verified <= limit_ps + MEETS_TOL_PS).sum())
+        outcomes.append(EpochOutcome(
+            epoch=epoch,
+            age_years=(epoch + 1) * drift.epoch_years,
+            recalibrated=recalibrated,
+            mean_row_beta=float(beta_rows[epoch].mean()),
+            max_row_beta=float(beta_rows[epoch].max()),
+            meets=meets,
+            total=total,
+            yield_fraction=meets / total,
+            recovered=recovered,
+            lost=lost,
+            mean_leakage_nw=float(leakage.mean()),
+        ))
+
+    yields = [outcome.yield_fraction for outcome in outcomes]
+    return LifetimeSummary(
+        design=placed.netlist.name, mode=mode, epochs=epochs, cadence=cadence,
+        epoch_years=drift.epoch_years, beta_budget=beta_budget,
+        grouping=controller.grouping or "identity", num_dies=total,
+        num_regions=regions,
+        recalibrations=sum(1 for o in outcomes if o.recalibrated),
+        final_yield=yields[-1],
+        min_yield=min(yields),
+        mean_yield=float(np.mean(yields)),
+        outcomes=tuple(outcomes),
+        runtime_s=time.perf_counter() - started)

@@ -2,11 +2,15 @@
 die populations the paper's Sec. 3 tuning loop compensates)."""
 
 from repro.variation.aging import SECONDS_PER_YEAR, NbtiModel
+from repro.variation.drift import (DriftModel, epoch_increment_v,
+                                   row_betas_epochs, row_dvth_epochs,
+                                   row_positions_um)
 from repro.variation.montecarlo import (STA_ENGINES, DieSample,
                                         MonteCarloResult, sample_dies)
 from repro.variation.process import (ProcessModel, delay_multiplier_for_dvth,
                                      delay_multipliers_for_dvth,
                                      gate_delay_scales,
+                                     sample_correlated_field,
                                      sample_inter_die_dvth,
                                      sample_intra_die_dvth,
                                      sample_intra_die_dvth_matrix,
@@ -16,6 +20,7 @@ from repro.variation.temperature import (REFERENCE_TEMPERATURE_K,
 
 __all__ = [
     "DieSample",
+    "DriftModel",
     "MonteCarloResult",
     "NbtiModel",
     "ProcessModel",
@@ -25,7 +30,12 @@ __all__ = [
     "TemperatureModel",
     "delay_multiplier_for_dvth",
     "delay_multipliers_for_dvth",
+    "epoch_increment_v",
     "gate_delay_scales",
+    "row_betas_epochs",
+    "row_dvth_epochs",
+    "row_positions_um",
+    "sample_correlated_field",
     "sample_dies",
     "sample_inter_die_dvth",
     "sample_intra_die_dvth",

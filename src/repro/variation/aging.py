@@ -49,9 +49,24 @@ class NbtiModel:
             return 0.0
         return self.prefactor_v * (stress_s / self.reference_s) ** self.exponent
 
+    def dvth_after_years(self, years: float) -> float:
+        """Threshold shift after ``years`` of stress, volts.
+
+        Convenience wrapper over :meth:`dvth_v` used by the epoch-based
+        drift process (:mod:`repro.variation.drift`), which counts age
+        in years rather than seconds.
+        """
+        if years < 0:
+            raise ReproError(f"negative stress age {years} years")
+        return self.dvth_v(years * SECONDS_PER_YEAR)
+
     def delay_multiplier(self, tech: Technology, stress_s: float) -> float:
         """Circuit delay multiplier after a stress time."""
         return delay_multiplier_for_dvth(tech, self.dvth_v(stress_s))
+
+    def beta_after_years(self, tech: Technology, years: float) -> float:
+        """Equivalent slowdown coefficient beta after ``years``."""
+        return self.slowdown_beta(tech, years * SECONDS_PER_YEAR)
 
     def slowdown_beta(self, tech: Technology, stress_s: float) -> float:
         """Equivalent slowdown coefficient beta after a stress time."""

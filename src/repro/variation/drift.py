@@ -1,0 +1,144 @@
+"""Per-row aging drift: spatially correlated Vth shift over epochs.
+
+The paper positions FBB as the recovery knob for lifetime degradation
+(Sec. 1 cites Mitra's failure-prediction work [3]); this module supplies
+the time axis the frozen process snapshot lacks.  Each die ages through
+discrete **epochs** of ``epoch_years``; after epoch ``e`` every
+standard-cell row carries a threshold shift
+
+    dVth_row[e] = dVth_NBTI((e+1) * epoch_years)          (shared mean)
+                + sum_{k<=e} increment_k[row]             (activity skew)
+
+where the deterministic mean follows :class:`NbtiModel`'s power law and
+each epoch's stochastic increment is a spatially *correlated* field over
+row centres, drawn through the same multi-level grid machinery as the
+process model (:func:`repro.variation.process.sample_correlated_field`)
+— neighbouring rows run similar workloads, so they age together, which
+is what makes row-clustered re-compensation effective.
+
+Determinism contract: epoch ``e``'s increment is drawn from the child
+generator ``np.random.default_rng([seed, e])``, so (a) the same seed
+always yields the same drift trajectory, and (b) the field of epoch
+``e`` is identical whether 3 or 30 epochs are materialised — epoch
+composition is order-independent by construction.  Shifts are clamped
+non-negative (NBTI only degrades; relaxation is below the model floor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.placement.placed_design import PlacedDesign
+from repro.tech.technology import Technology
+from repro.variation.aging import NbtiModel
+from repro.variation.process import (ProcessModel, delay_multipliers_for_dvth,
+                                     sample_correlated_field)
+
+
+@dataclass(frozen=True)
+class DriftModel:
+    """Epoch-based per-row NBTI drift process.
+
+    ``nbti`` anchors the deterministic mean; ``activity_sigma_v`` is the
+    one-sigma per-epoch *stochastic* increment (volts) capturing
+    workload/temperature skew between regions of the die, spatially
+    correlated with ``correlation_length_fraction`` exactly as in
+    :class:`repro.variation.process.ProcessModel`.
+    """
+
+    nbti: NbtiModel = field(default_factory=NbtiModel)
+    epoch_years: float = 1.0
+    activity_sigma_v: float = 0.004
+    correlation_length_fraction: float | None = 0.5
+    grid_levels: int = 3
+    independent_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.epoch_years <= 0:
+            raise ReproError("epoch_years must be positive")
+        if self.activity_sigma_v < 0:
+            raise ReproError("activity sigma must be non-negative")
+        # Reuse ProcessModel's validation for the correlation knobs.
+        self.spatial_model()
+
+    def spatial_model(self) -> ProcessModel:
+        """The correlated-field model of one epoch's activity skew."""
+        return ProcessModel(
+            sigma_inter_v=0.0,
+            sigma_intra_v=self.activity_sigma_v,
+            intra_grid_levels=self.grid_levels,
+            intra_independent_fraction=self.independent_fraction,
+            correlation_length_fraction=self.correlation_length_fraction)
+
+    def mean_dvth_v(self, epoch: int) -> float:
+        """Shared NBTI mean shift at the *end* of ``epoch`` (0-based)."""
+        if epoch < 0:
+            raise ReproError(f"epoch must be non-negative, got {epoch}")
+        return self.nbti.dvth_after_years((epoch + 1) * self.epoch_years)
+
+
+def row_positions_um(placed: PlacedDesign) -> tuple[np.ndarray, np.ndarray]:
+    """Sample sites of the drift field: one point per row, at mid-width.
+
+    The drift field varies across rows (the allocation unit), not along
+    them — a whole row shares one body-bias rail, so finer-than-row
+    drift structure is unobservable to the compensation loop anyway.
+    """
+    floorplan = placed.floorplan
+    ys = np.array([floorplan.row(r).y_um for r in range(placed.num_rows)])
+    xs = np.full(placed.num_rows, floorplan.core_width_um / 2.0)
+    return xs, ys
+
+
+def epoch_increment_v(placed: PlacedDesign, model: DriftModel, seed: int,
+                      epoch: int) -> np.ndarray:
+    """Epoch ``epoch``'s stochastic per-row Vth increment, volts.
+
+    Drawn from the child generator ``default_rng([seed, epoch])`` — the
+    composition-order-independence anchor (see module docstring).
+    """
+    if epoch < 0:
+        raise ReproError(f"epoch must be non-negative, got {epoch}")
+    if model.activity_sigma_v == 0:
+        return np.zeros(placed.num_rows)
+    xs, ys = row_positions_um(placed)
+    rng = np.random.default_rng([seed, epoch])
+    field_v = sample_correlated_field(
+        model.spatial_model(), rng, 1, xs, ys,
+        placed.floorplan.core_width_um, placed.floorplan.core_height_um)
+    return field_v[0]
+
+
+def row_dvth_epochs(placed: PlacedDesign, model: DriftModel, seed: int,
+                    num_epochs: int) -> np.ndarray:
+    """Cumulative per-row threshold shifts, ``(num_epochs, num_rows)``.
+
+    Row ``r`` of epoch ``e`` is the NBTI mean at age ``(e+1) *
+    epoch_years`` plus the running sum of the first ``e+1`` stochastic
+    increments, clamped non-negative.
+    """
+    if num_epochs <= 0:
+        raise ReproError(f"num_epochs must be positive, got {num_epochs}")
+    increments = np.stack([epoch_increment_v(placed, model, seed, e)
+                           for e in range(num_epochs)])
+    means = np.array([model.mean_dvth_v(e) for e in range(num_epochs)])
+    dvth = means[:, None] + np.cumsum(increments, axis=0)
+    return np.maximum(dvth, 0.0)
+
+
+def row_betas_epochs(placed: PlacedDesign, tech: Technology,
+                     model: DriftModel, seed: int,
+                     num_epochs: int) -> np.ndarray:
+    """Per-row slowdown coefficients per epoch, ``(num_epochs, num_rows)``.
+
+    Threshold shifts from :func:`row_dvth_epochs` mapped through the
+    alpha-power delay sensitivity; each row of the result is a
+    ``row_betas`` field ready for :func:`repro.core.problem.build_problem`
+    or the ECO re-solver.
+    """
+    dvth = row_dvth_epochs(placed, model, seed, num_epochs)
+    betas = delay_multipliers_for_dvth(tech, dvth) - 1.0
+    return np.maximum(betas, 0.0)

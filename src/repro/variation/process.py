@@ -141,6 +141,27 @@ def sample_intra_die_dvth_matrix(placed: PlacedDesign, model: ProcessModel,
         raise ReproError(f"num_dies must be positive, got {num_dies}")
     if gate_names is None:
         gate_names = list(placed.netlist.gates)
+    positions = np.array([placed.gate_position_um(name)
+                          for name in gate_names])
+    return sample_correlated_field(
+        model, rng, num_dies, positions[:, 0], positions[:, 1],
+        placed.floorplan.core_width_um, placed.floorplan.core_height_um)
+
+
+def sample_correlated_field(model: ProcessModel, rng: np.random.Generator,
+                            num_samples: int, xs: np.ndarray,
+                            ys: np.ndarray, width_um: float,
+                            height_um: float) -> np.ndarray:
+    """Correlated Gaussian field samples at arbitrary die coordinates.
+
+    The shared machinery behind :func:`sample_intra_die_dvth_matrix` and
+    the aging drift process of :mod:`repro.variation.drift` — callers
+    supply the sample sites (gate positions, row centres, sensor sites)
+    and the die extents.  The rng draw order is fixed and documented:
+    optional die-coherent shift, then one ``(num_samples, cells, cells)``
+    offset block per grid level (coarse to fine), then the independent
+    per-site term.  Returns ``(num_samples, len(xs))``.
+    """
     sigma_total = model.sigma_intra_v
     independent_var = (sigma_total ** 2) * model.intra_independent_fraction
     correlated_var = (sigma_total ** 2) - independent_var
@@ -153,30 +174,24 @@ def sample_intra_die_dvth_matrix(placed: PlacedDesign, model: ProcessModel,
         # correlation length is set; see ProcessModel.level_weights).
         die_level_var, level_vars = level_vars[0], level_vars[1:]
 
-    width = placed.floorplan.core_width_um
-    height = placed.floorplan.core_height_um
-    positions = np.array([placed.gate_position_um(name)
-                          for name in gate_names])
-    xs, ys = positions[:, 0], positions[:, 1]
-
-    total = np.zeros((num_dies, len(gate_names)))
+    total = np.zeros((num_samples, len(xs)))
     if die_level_var > 0:
         total += rng.normal(0.0, float(np.sqrt(die_level_var)),
-                            size=(num_dies, 1))
+                            size=(num_samples, 1))
     for level in range(model.intra_grid_levels):
         cells = 2 ** (level + 1)
         offsets = rng.normal(0.0, float(np.sqrt(level_vars[level])),
-                             size=(num_dies, cells, cells))
-        cols = np.minimum((xs / max(width, 1e-9) * cells).astype(np.intp),
+                             size=(num_samples, cells, cells))
+        cols = np.minimum((xs / max(width_um, 1e-9) * cells).astype(np.intp),
                           cells - 1)
-        rows = np.minimum((ys / max(height, 1e-9) * cells).astype(np.intp),
+        rows = np.minimum((ys / max(height_um, 1e-9) * cells).astype(np.intp),
                           cells - 1)
         total += offsets[:, rows, cols]
 
     sigma_independent = float(np.sqrt(independent_var))
     if sigma_independent > 0:
         total += rng.normal(0.0, sigma_independent,
-                            size=(num_dies, len(gate_names)))
+                            size=(num_samples, len(xs)))
     return total
 
 

@@ -53,6 +53,26 @@ def sample(rng: np.random.Generator, count: int):
     return values, time.perf_counter() - start
 '''
 
+BAD_DETERMINISM_UNSEEDED_DRIFT = '''\
+"""An aging-drift process drawn from hidden global state: the same
+lifetime run would produce a different trajectory every invocation,
+breaking the epoch-composition contract."""
+import numpy as np
+
+def epoch_increment(num_rows, sigma):
+    return sigma * np.random.normal(size=num_rows)
+'''
+
+GOOD_DETERMINISM_SEEDED_DRIFT = '''\
+"""The seeded twin: each epoch draws from its own child generator, so
+trajectories reproduce and epoch composition is order-independent."""
+import numpy as np
+
+def epoch_increment(seed, epoch, num_rows, sigma):
+    rng = np.random.default_rng([seed, epoch])
+    return sigma * rng.normal(size=num_rows)
+'''
+
 # -- hash-stability --------------------------------------------------------
 
 BAD_HASH_NO_KNOBS_TUPLE = '''\

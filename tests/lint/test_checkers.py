@@ -57,6 +57,19 @@ class TestDeterminism:
     def test_seeded_generator_and_perf_counter_pass(self):
         assert not findings_for(corpus.GOOD_DETERMINISM, "determinism")
 
+    def test_unseeded_drift_process_flagged(self):
+        """The temporal-scenario contract: an aging-drift sampler on
+        hidden global state must fail lint."""
+        found = findings_for(corpus.BAD_DETERMINISM_UNSEEDED_DRIFT,
+                             "determinism")
+        assert found and "np.random.normal" in found[0].message
+
+    def test_seeded_child_generator_drift_passes(self):
+        """The shipped drift idiom — default_rng([seed, epoch]) child
+        generators — must stay clean."""
+        assert not findings_for(corpus.GOOD_DETERMINISM_SEEDED_DRIFT,
+                                "determinism")
+
 
 class TestHashStability:
     def test_missing_exclusion_tuple_flagged(self):

@@ -436,3 +436,101 @@ class TestGroupingSpecAxis:
                              beta_budget=0.02), cache=cache)
         row = result.to_population_row()
         assert row.tuned_yield is not None
+
+
+class TestLifetimeKind:
+    """The lifetime RunSpec kind: serialization, hash-stable defaults,
+    drift materialization, execution parity with run_lifetime_study."""
+
+    SPEC = dict(kind="lifetime", design="c1355", num_dies=12, seed=5,
+                epochs=3, cadence=1, beta_budget=0.02,
+                drift={"activity_sigma_v": 0.002,
+                       "nbti": {"prefactor_v": 0.012}})
+
+    def test_json_round_trip_bit_identical(self):
+        spec = RunSpec(**self.SPEC)
+        text = spec.to_json()
+        recovered = RunSpec.from_json(text)
+        assert recovered == spec
+        assert recovered.to_json() == text
+        assert recovered.spec_hash() == spec.spec_hash()
+
+    def test_default_lifetime_fields_not_key_material(self):
+        """Pre-lifetime specs must keep their content addresses: the
+        new fields elide at their defaults for every kind."""
+        material = RunSpec(kind="allocate", design="c1355").cache_material()
+        for fieldname in ("epochs", "cadence", "drift", "mode"):
+            assert fieldname not in material
+        assert RunSpec(kind="allocate", design="c1355").spec_hash() == \
+            TestGroupingSpecAxis.PINNED_HASHES["allocate"]
+
+    def test_lifetime_knobs_are_key_material(self):
+        base = RunSpec(**self.SPEC)
+        assert RunSpec(**dict(self.SPEC, epochs=6)).spec_hash() \
+            != base.spec_hash()
+        assert RunSpec(**dict(self.SPEC, cadence=3)).spec_hash() \
+            != base.spec_hash()
+        assert RunSpec(**dict(self.SPEC, mode="spatial")).spec_hash() \
+            != base.spec_hash()
+        assert RunSpec(**dict(self.SPEC, drift={})).spec_hash() \
+            != base.spec_hash()
+
+    def test_pre_lifetime_json_still_parses(self):
+        spec = RunSpec.from_json(
+            '{"kind": "population", "design": "c1355", "num_dies": 10}')
+        assert spec.epochs == 8
+        assert spec.cadence == 1
+        assert spec.drift == {}
+        assert spec.mode == "model"
+
+    def test_validation(self):
+        with pytest.raises(SpecError, match="epochs"):
+            RunSpec(kind="lifetime", epochs=0)
+        with pytest.raises(SpecError, match="cadence"):
+            RunSpec(kind="lifetime", cadence=0)
+        with pytest.raises(SpecError, match="never re-calibrate"):
+            RunSpec(kind="lifetime", epochs=2, cadence=5)
+        with pytest.raises(SpecError, match="mode"):
+            RunSpec(kind="lifetime", mode="bogus")
+
+    def test_drift_model_materializes(self):
+        drift = RunSpec(**self.SPEC).drift_model()
+        assert drift.activity_sigma_v == 0.002
+        assert drift.nbti.prefactor_v == 0.012
+        assert RunSpec(kind="lifetime").drift_model() is None
+        with pytest.raises(SpecError, match="bad drift overrides"):
+            RunSpec(kind="lifetime",
+                    drift={"not_a_knob": 1}).drift_model()
+        with pytest.raises(SpecError, match="bad nbti overrides"):
+            RunSpec(kind="lifetime",
+                    drift={"nbti": {"not_a_knob": 1}}).drift_model()
+
+    def test_executes_matches_run_lifetime_study_and_caches(self, cache,
+                                                            flow):
+        from repro.flow import LifetimeConfig, run_lifetime_study
+        result = run(RunSpec(**self.SPEC), cache=cache)
+        row = result.to_lifetime_row()
+        direct = run_lifetime_study(flow, LifetimeConfig(
+            num_dies=12, seed=5, epochs=3, cadence=1, beta_budget=0.02,
+            drift=RunSpec(**self.SPEC).drift_model()))
+        assert row.yield_curve == direct.yield_curve
+        assert row.final_yield == direct.final_yield
+        assert row.mean_leakage_uw == direct.mean_leakage_uw
+        assert row.recalibrations == direct.recalibrations
+        warm = run(RunSpec(**self.SPEC), cache=cache)
+        assert warm.cache_hit
+        assert warm.payload == result.payload
+
+    def test_payload_codec_inverts(self, cache):
+        from repro.api import (lifetime_row_from_payload,
+                               lifetime_row_payload)
+        result = run(RunSpec(**self.SPEC), cache=cache)
+        row = result.to_lifetime_row()
+        assert lifetime_row_from_payload(lifetime_row_payload(row)) == row
+        assert isinstance(row.yield_curve, tuple)
+
+    def test_decoder_guards_kind(self, cache):
+        result = run(RunSpec(kind="allocate", design="c1355"),
+                     cache=cache)
+        with pytest.raises(SpecError, match="not a lifetime"):
+            result.to_lifetime_row()

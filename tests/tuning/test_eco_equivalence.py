@@ -1,0 +1,217 @@
+"""Incremental-vs-full ECO re-solve equivalence harness.
+
+``EcoSolver.resolve`` against its persistent cache (incremental mode)
+and against a cold cache (the reference full re-solve) run the *same*
+code path — every per-domain sub-solution is a pure function of the
+domain's rows and quantised betas — so the two must agree bit for bit:
+identical level assignments, identical leakage floats.  This suite
+drives that contract over randomized drift trajectories (seeds,
+circuits across three size classes, domain groupings including
+``bands:k`` and ``correlation:k``, drift magnitudes), and pins the
+zero-drift short-circuit: re-resolving an unchanged field reports no
+dirty domains and is served purely from the ``eco-domain`` cache tier
+(counters asserted, DESIGN.md "Temporal scenarios").
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import c1355_like
+from repro.circuits.industrial import industrial_module, multiblock_soc
+from repro.errors import TuningError
+from repro.flow.cache import ArtifactCache
+from repro.placement import place_design
+from repro.synth import map_netlist
+from repro.tech import characterize_library, reduced_library
+from repro.tuning import DEFAULT_QUANT_STEP, EcoSolver, quantise_betas
+from repro.tuning.eco import DOMAIN_KIND
+from repro.variation import DriftModel, NbtiModel, row_betas_epochs
+
+LIBRARY = reduced_library()
+CLIB = characterize_library(LIBRARY)
+
+GROUPINGS = (None, "bands:4", "correlation:4")
+
+#: drift magnitudes the property sweep composes with seeds/designs —
+#: "mild" mostly wobbles below the quantisation step, "moderate"
+#: re-quantises large correlated patches every epoch.
+DRIFTS = {
+    "mild": DriftModel(nbti=NbtiModel(prefactor_v=0.004),
+                       activity_sigma_v=0.001),
+    "moderate": DriftModel(nbti=NbtiModel(prefactor_v=0.012),
+                           activity_sigma_v=0.003),
+}
+
+_PLACED = {}
+_SOLVERS = {}
+
+
+def _placed(design: str):
+    if design not in _PLACED:
+        if design == "c1355_small":
+            netlist = c1355_like(data_width=10, check_bits=5)
+        elif design == "soc_small":
+            netlist = multiblock_soc("soc_small", num_blocks=2,
+                                     block_gates=220)
+        else:
+            netlist = industrial_module("ind_small", 900, seed=5)
+        _PLACED[design] = place_design(map_netlist(netlist, LIBRARY),
+                                       LIBRARY)
+    return _PLACED[design]
+
+
+def _solver(design: str, grouping: str | None) -> EcoSolver:
+    """Module-cached solvers: construction re-runs STA + path
+    extraction, which would dominate the property suite's runtime.
+    Statefulness across examples is fine — a sub-solution depends only
+    on (rows, quantised betas), never on resolve history."""
+    key = (design, grouping)
+    if key not in _SOLVERS:
+        _SOLVERS[key] = EcoSolver(_placed(design), CLIB,
+                                  grouping=grouping)
+    return _SOLVERS[key]
+
+
+@pytest.fixture(scope="module")
+def placed():
+    return _placed("c1355_small")
+
+
+class TestIncrementalEqualsFull:
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(min_value=0, max_value=200),
+           design=st.sampled_from(["c1355_small", "soc_small",
+                                   "ind_small"]),
+           grouping=st.sampled_from(GROUPINGS),
+           drift=st.sampled_from(sorted(DRIFTS)))
+    def test_property_incremental_equals_full(self, seed, design,
+                                              grouping, drift):
+        solver = _solver(design, grouping)
+        placed = _placed(design)
+        betas = row_betas_epochs(placed, placed.library.tech,
+                                 DRIFTS[drift], seed, num_epochs=3)
+        for epoch in range(3):
+            incremental = solver.resolve(betas[epoch])
+            full = solver.resolve(betas[epoch], cache=ArtifactCache())
+            assert incremental.levels == full.levels  # bit-identical
+            assert incremental.leakage_nw == full.leakage_nw
+            assert incremental.num_domains == solver.num_domains
+
+    def test_zero_drift_epoch_is_pure_cache_hits(self, placed):
+        """The unchanged field must add zero eco-domain misses — every
+        degraded domain is served from the cache tiers."""
+        solver = EcoSolver(placed, CLIB)
+        betas = row_betas_epochs(placed, placed.library.tech,
+                                 DRIFTS["moderate"], seed=1,
+                                 num_epochs=1)[0]
+        first = solver.resolve(betas)
+        stats = solver.cache.stats()["by_kind"][DOMAIN_KIND]
+        misses, hits = stats["misses"], stats["hits"]
+        degraded = sum(1 for domain in range(solver.num_domains)
+                       if quantise_betas(betas)[
+                           list(solver._domain_rows[domain])].any())
+        assert misses == degraded  # first epoch: every domain solved
+
+        repeat = solver.resolve(betas)
+        stats = solver.cache.stats()["by_kind"][DOMAIN_KIND]
+        assert repeat.dirty_domains == ()
+        assert stats["misses"] == misses  # zero new solves
+        assert stats["hits"] == hits + degraded  # all served warm
+        assert repeat.levels == first.levels
+        assert repeat.leakage_nw == first.leakage_nw
+
+    def test_sub_step_wobble_never_invalidates(self, placed):
+        solver = EcoSolver(placed, CLIB)
+        betas = np.full(placed.num_rows, 0.021)
+        first = solver.resolve(betas)
+        wobbled = betas + 0.004  # still inside the 0.02 cell
+        again = solver.resolve(wobbled)
+        assert again.dirty_domains == ()
+        assert again.levels == first.levels
+
+    def test_single_row_drift_dirties_single_domain(self, placed):
+        solver = EcoSolver(placed, CLIB)  # identity: domain == row
+        betas = np.full(placed.num_rows, 0.021)
+        solver.resolve(betas)
+        moved = betas.copy()
+        moved[3] += 2 * DEFAULT_QUANT_STEP
+        result = solver.resolve(moved)
+        assert result.dirty_domains == (3,)
+        full = solver.resolve(moved, cache=ArtifactCache())
+        assert result.levels == full.levels
+
+
+class TestEcoMechanics:
+    def test_quantise_floors_to_grid(self):
+        np.testing.assert_array_equal(
+            quantise_betas(np.array([0.0, 0.004, 0.01, 0.019, 0.035])),
+            np.array([0.0, 0.0, 0.01, 0.01, 0.03]))
+
+    def test_quantise_clamps_negative(self):
+        np.testing.assert_array_equal(
+            quantise_betas(np.array([-0.02, -0.001])),
+            np.zeros(2))
+
+    def test_quantise_rejects_bad_step(self):
+        with pytest.raises(TuningError):
+            quantise_betas(np.array([0.01]), step=0.0)
+
+    def test_undegraded_field_stays_unbiased(self, placed):
+        solver = EcoSolver(placed, CLIB)
+        result = solver.resolve(np.zeros(placed.num_rows))
+        assert result.levels == (0,) * placed.num_rows
+        assert result.num_violating_paths == 0
+        assert not result.fallback
+
+    def test_first_resolve_marks_all_domains_dirty(self, placed):
+        solver = EcoSolver(placed, CLIB, grouping="bands:4")
+        assert solver.num_domains == 4
+        result = solver.resolve(np.full(placed.num_rows, 0.015))
+        assert result.dirty_domains == (0, 1, 2, 3)
+
+    def test_repair_enforces_cluster_budget(self, placed):
+        """Independently solved domains may exceed the rail budget; the
+        merge-up repair must bring the splice back inside it."""
+        solver = EcoSolver(placed, CLIB, clusters=1)
+        rng = np.random.default_rng(0)
+        betas = 0.02 + 0.02 * rng.random(placed.num_rows)
+        result = solver.resolve(betas)
+        assert result.solution.problem.num_clusters(
+            np.asarray(result.levels)) <= 1
+        full = solver.resolve(betas, cache=ArtifactCache())
+        assert result.levels == full.levels
+
+    def test_infeasible_domain_falls_back_to_global(self, placed,
+                                                    monkeypatch):
+        """The safety net: a domain sub-solve reporting infeasible must
+        trigger the cached global re-solve, and the result must still
+        meet the epoch's joint constraints."""
+        solver = EcoSolver(placed, CLIB)
+        monkeypatch.setattr(
+            solver, "_solve_domain",
+            lambda rows, local: {"infeasible": True})
+        betas = np.full(placed.num_rows, 0.03)
+        result = solver.resolve(betas)
+        assert result.fallback
+        assert not result.repaired
+        assert result.solution.problem.check_timing(
+            np.asarray(result.levels))
+
+    def test_wrong_shape_rejected(self, placed):
+        solver = EcoSolver(placed, CLIB)
+        with pytest.raises(TuningError, match="shape"):
+            solver.resolve(np.zeros(placed.num_rows + 1))
+
+    def test_bad_cluster_budget_rejected(self, placed):
+        with pytest.raises(TuningError):
+            EcoSolver(placed, CLIB, clusters=0)
+
+    def test_solution_records_eco_method_and_dirty_domains(self, placed):
+        solver = EcoSolver(placed, CLIB)
+        result = solver.resolve(np.full(placed.num_rows, 0.015))
+        assert result.solution.method == "eco:heuristic"
+        assert result.solution.extras["dirty_domains"] \
+            == list(result.dirty_domains)

@@ -1,0 +1,168 @@
+"""Tests for the epoch-based NBTI drift process (repro/variation/drift.py)
+and the year-denominated NbtiModel helpers it builds on."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import c1355_like
+from repro.errors import ReproError
+from repro.placement import place_design
+from repro.synth import map_netlist
+from repro.tech import Technology, reduced_library
+from repro.variation import (DriftModel, NbtiModel, epoch_increment_v,
+                             row_betas_epochs, row_dvth_epochs)
+from repro.variation.drift import row_positions_um
+
+LIBRARY = reduced_library()
+TECH = Technology()
+
+
+@pytest.fixture(scope="module")
+def placed():
+    mapped = map_netlist(c1355_like(data_width=8, check_bits=4), LIBRARY)
+    return place_design(mapped, LIBRARY)
+
+
+class TestNbtiYears:
+    def test_dvth_after_years_matches_power_law(self):
+        model = NbtiModel()
+        assert model.dvth_after_years(1.0) == pytest.approx(
+            model.prefactor_v, rel=1e-9)
+        assert model.dvth_after_years(4.0) == pytest.approx(
+            model.prefactor_v * 4 ** model.exponent, rel=1e-9)
+
+    def test_dvth_after_years_monotone(self):
+        model = NbtiModel()
+        shifts = [model.dvth_after_years(y) for y in (0.5, 1, 2, 5, 10)]
+        assert all(b > a for a, b in zip(shifts, shifts[1:]))
+
+    def test_beta_after_years_monotone(self):
+        model = NbtiModel()
+        betas = [model.beta_after_years(TECH, y) for y in (1, 3, 10)]
+        assert betas[0] < betas[1] < betas[2]
+        assert betas[0] > 0
+
+    def test_years_to_beta_inverts_beta_after_years(self):
+        model = NbtiModel()
+        target = 0.04
+        years = model.years_to_beta(TECH, target)
+        assert model.beta_after_years(TECH, years) >= target
+        # One resolution step earlier the target was not yet reached.
+        if years > 0.05:
+            assert model.beta_after_years(TECH, years - 0.05) < target
+
+    def test_years_to_beta_nonpositive_target_is_zero(self):
+        model = NbtiModel()
+        assert model.years_to_beta(TECH, 0.0) == 0.0
+        assert model.years_to_beta(TECH, -0.1) == 0.0
+
+    def test_years_to_beta_unreachable_raises(self):
+        with pytest.raises(ReproError):
+            NbtiModel().years_to_beta(TECH, 10.0)
+
+    def test_negative_years_rejected(self):
+        with pytest.raises(ReproError):
+            NbtiModel().dvth_after_years(-1.0)
+        with pytest.raises(ReproError):
+            NbtiModel().beta_after_years(TECH, -0.5)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            NbtiModel(prefactor_v=-0.01)
+        with pytest.raises(ReproError):
+            NbtiModel(exponent=0.0)
+        with pytest.raises(ReproError):
+            NbtiModel(reference_s=0.0)
+
+
+class TestDriftModel:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            DriftModel(epoch_years=0.0)
+        with pytest.raises(ReproError):
+            DriftModel(activity_sigma_v=-0.001)
+        with pytest.raises(ReproError):
+            DriftModel(grid_levels=0)  # via ProcessModel validation
+
+    def test_mean_follows_nbti_power_law(self):
+        model = DriftModel(epoch_years=2.0)
+        for epoch in range(4):
+            assert model.mean_dvth_v(epoch) == pytest.approx(
+                model.nbti.dvth_after_years((epoch + 1) * 2.0), rel=1e-12)
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(ReproError):
+            DriftModel().mean_dvth_v(-1)
+
+
+class TestEpochIncrements:
+    def test_seed_determinism(self, placed):
+        model = DriftModel()
+        first = row_dvth_epochs(placed, model, seed=3, num_epochs=4)
+        second = row_dvth_epochs(placed, model, seed=3, num_epochs=4)
+        other = row_dvth_epochs(placed, model, seed=4, num_epochs=4)
+        np.testing.assert_array_equal(first, second)
+        assert not np.array_equal(first, other)
+
+    def test_epoch_composition_order_independent(self, placed):
+        """Epoch e's field must not depend on how many epochs are
+        materialised — the child-generator contract."""
+        model = DriftModel()
+        short = row_dvth_epochs(placed, model, seed=0, num_epochs=3)
+        long = row_dvth_epochs(placed, model, seed=0, num_epochs=8)
+        np.testing.assert_array_equal(short, long[:3])
+
+    def test_zero_sigma_is_pure_mean(self, placed):
+        model = DriftModel(activity_sigma_v=0.0)
+        increments = epoch_increment_v(placed, model, seed=0, epoch=2)
+        np.testing.assert_array_equal(increments,
+                                      np.zeros(placed.num_rows))
+        dvth = row_dvth_epochs(placed, model, seed=0, num_epochs=3)
+        for epoch in range(3):
+            np.testing.assert_allclose(dvth[epoch],
+                                       model.mean_dvth_v(epoch))
+
+    def test_long_correlation_limits_row_spread(self, placed):
+        """A die-spanning correlation length must yield near-coherent
+        increments across rows; a short one must not."""
+        spreads = {}
+        for fraction in (1.0, 0.02):
+            model = DriftModel(activity_sigma_v=0.01,
+                               correlation_length_fraction=fraction,
+                               independent_fraction=0.0)
+            spread = [np.std(epoch_increment_v(placed, model, seed, 0))
+                      for seed in range(10)]
+            spreads[fraction] = float(np.mean(spread))
+        assert spreads[1.0] < 0.55 * spreads[0.02]
+
+    def test_shifts_clamped_nonnegative(self, placed):
+        # No deterministic mean, large walk: raw sums go negative but
+        # the published shifts must not (NBTI only degrades).
+        model = DriftModel(nbti=NbtiModel(prefactor_v=0.0),
+                           activity_sigma_v=0.05)
+        dvth = row_dvth_epochs(placed, model, seed=0, num_epochs=4)
+        assert (dvth >= 0.0).all()
+        assert (dvth == 0.0).any()
+
+    def test_row_betas_shape_and_monotone_mean(self, placed):
+        model = DriftModel(activity_sigma_v=0.0)
+        betas = row_betas_epochs(placed, placed.library.tech, model,
+                                 seed=0, num_epochs=5)
+        assert betas.shape == (5, placed.num_rows)
+        assert (betas >= 0.0).all()
+        means = betas.mean(axis=1)
+        assert all(b > a for a, b in zip(means, means[1:]))
+
+    def test_row_positions_one_site_per_row(self, placed):
+        xs, ys = row_positions_um(placed)
+        assert xs.shape == ys.shape == (placed.num_rows,)
+        np.testing.assert_allclose(
+            xs, placed.floorplan.core_width_um / 2.0)
+        assert len(np.unique(ys)) == placed.num_rows
+
+    def test_bad_epoch_counts_rejected(self, placed):
+        model = DriftModel()
+        with pytest.raises(ReproError):
+            row_dvth_epochs(placed, model, seed=0, num_epochs=0)
+        with pytest.raises(ReproError):
+            epoch_increment_v(placed, model, seed=0, epoch=-1)
