@@ -3,9 +3,10 @@
 PYTEST := PYTHONPATH=src python -m pytest
 
 .PHONY: test lint docs-check bench bench-aging bench-batched \
-	bench-cache bench-parallel bench-serve bench-spatial \
+	bench-cache bench-parallel bench-placer bench-serve bench-spatial \
 	bench-grouping bench-tuning-throughput test-aging test-parallel \
-	test-serve test-spatial test-grouping test-batched examples
+	test-placement test-serve test-spatial test-grouping test-batched \
+	examples
 
 test:
 	$(PYTEST) -x -q
@@ -57,6 +58,13 @@ bench-cache:
 bench-parallel:
 	$(PYTEST) -q benchmarks/bench_parallel.py
 
+# The annealing placer, gated: anneal:default <= 0.8x the BFS well
+# boundaries at equal-or-better leakage on industrial3, batched
+# delta-HPWL >= 10x the scalar oracle at equal move count, plus the
+# knob-sweep Pareto table.
+bench-placer:
+	$(PYTEST) -q benchmarks/bench_placer.py
+
 # The allocation service, gated: warm-path dominance on a mixed
 # hot/cold workload, sustained hot req/s over loopback HTTP, and
 # single-flight collapse of concurrent identical specs.
@@ -101,6 +109,12 @@ test-batched:
 test-parallel:
 	$(PYTEST) -q tests/flow/test_parallel.py \
 		tests/tuning/test_population_parallel.py
+
+# The placement suite on its own: floorplan/BFS placer, the HPWL
+# kernel's vectorized-vs-scalar equivalence, and the seeded annealer's
+# determinism contract (CI's placer-smoke job).
+test-placement:
+	$(PYTEST) -q tests/placement/
 
 # The serving-layer suite on its own: engine backends, HTTP framing,
 # single-flight semantics and graceful drain (CI's serve-smoke job).

@@ -1,0 +1,150 @@
+"""E9: annealing placer — well-boundary quality and kernel throughput
+(DESIGN.md, "Annealing placement"; paper Sec. 2-3.3 premise).
+
+Row-clustered FBB is cheap exactly when timing-critical gates sit in
+few contiguous rows (Sec. 3.3's < 5 % area claim).  The BFS placer
+inherits whatever clustering the netlist order gives; the annealer
+optimizes for it.  This bench gates the two headline claims on the
+largest catalog circuit (industrial3, Table 1's biggest module):
+
+1. **Quality** — after the same allocation flow, the ``anneal:default``
+   placement must produce <= 0.8x the BFS well-separation boundaries at
+   equal-or-better leakage: fewer boundaries means less separation
+   area, and leakage must not pay for it.
+2. **Throughput** — the batched numpy
+   :meth:`~repro.placement.hpwl.HpwlKernel.delta_hpwl` evaluator must
+   be >= 10x faster than the scalar per-move oracle at equal move
+   count (best-of-5 wall-clock); without that margin the vectorized
+   hot path would not buy the anneal its move budget.
+3. **Pareto sweep** — presets (iterations axis), ``lambda_scale``
+   (HPWL-vs-boundary trade) and ``t0_scale`` (exploration) swept into
+   the runtime-vs-quality frontier table.
+
+Artefact: ``benchmarks/out/placer.txt`` (referenced by
+EXPERIMENTS.md).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import build_problem, solve, solve_single_bb
+from repro.flow import format_placer_sweep
+from repro.layout.wells import well_separation
+from repro.placement import HpwlKernel, MoveBatch, place_design, total_hpwl
+
+DESIGN = "industrial3"  # largest catalog circuit (Table 1's biggest)
+BETA = 0.05
+CLUSTERS = 3
+METHOD = "heuristic:row-descent"
+BOUNDARY_GATE = 0.80   # anneal:default boundaries <= 0.8x BFS
+SPEEDUP_GATE = 10.0    # batched delta-HPWL vs scalar oracle
+KERNEL_MOVES = 256
+
+#: the sweep: label -> (registry method, engine options)
+SWEEP = (
+    ("bfs", "bfs", {}),
+    ("anneal:quick", "anneal:quick", {}),
+    ("anneal:default", "anneal:default", {}),
+    ("anneal:deep", "anneal:deep", {}),
+    ("anneal lambda=0.25", "anneal:default", {"lambda_scale": 0.25}),
+    ("anneal lambda=4", "anneal:default", {"lambda_scale": 4.0}),
+    ("anneal t0x4", "anneal:default", {"t0_scale": 4.0}),
+)
+
+
+def _allocate(placed, clib):
+    """Run the standard allocation flow on one placement."""
+    problem = build_problem(placed, clib, BETA)
+    baseline = solve_single_bb(problem)
+    solution = solve(problem, METHOD, CLUSTERS)
+    wells = well_separation(placed, list(solution.levels))
+    return {
+        "boundaries": wells.num_boundaries,
+        "leakage_uw": solution.leakage_uw,
+        "savings_pct": solution.savings_vs(baseline.leakage_nw),
+    }
+
+
+def _random_batch(kernel, rng, num_moves):
+    """Mixed swap/relocate batch (the annealer's proposal shapes)."""
+    num_gates = len(kernel.rows)
+    gate_a = rng.integers(0, num_gates, num_moves)
+    gate_b = rng.integers(0, num_gates, num_moves)
+    is_swap = rng.random(num_moves) < 0.5
+    target = rng.integers(0, kernel.num_rows, num_moves)
+    ends = kernel.row_ends()
+    return MoveBatch(
+        gate0=gate_a,
+        row0=np.where(is_swap, kernel.rows[gate_b], target),
+        site0=np.where(is_swap, kernel.sites[gate_b], ends[target]),
+        gate1=np.where(is_swap, gate_b, -1),
+        row1=np.where(is_swap, kernel.rows[gate_a], 0),
+        site1=np.where(is_swap, kernel.sites[gate_a], 0))
+
+
+def _best_of(repeats, func):
+    """Minimum wall-clock of ``repeats`` runs (noise-robust timing)."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+@pytest.mark.benchmark(group="placer")
+def test_placer_quality_and_kernel_throughput(flow_factory, out_dir):
+    flow = flow_factory(DESIGN)
+    mapped = flow.placed.netlist
+    library = flow.placed.library
+
+    # -- gate 3 data: runtime-vs-quality sweep -------------------------
+    rows = []
+    for label, method, opts in SWEEP:
+        start = time.perf_counter()
+        placed = place_design(mapped, library, placer=method, **opts)
+        place_s = time.perf_counter() - start
+        rows.append({
+            "placer": label,
+            "hpwl_um": total_hpwl(placed),
+            "place_s": place_s,
+            **_allocate(placed, flow.clib),
+        })
+    by_label = {row["placer"]: row for row in rows}
+    bfs = by_label["bfs"]
+    tuned = by_label["anneal:default"]
+
+    # -- gate 2: batched evaluator vs scalar oracle --------------------
+    kernel = HpwlKernel(flow.placed)
+    rng = np.random.default_rng(0)
+    batch = _random_batch(kernel, rng, KERNEL_MOVES)
+    batched_s, batched = _best_of(5, lambda: kernel.delta_hpwl(batch))
+    scalar_s, scalar = _best_of(1, lambda: np.array(
+        [kernel.delta_hpwl_scalar(batch, move)
+         for move in range(len(batch))]))
+    speedup = scalar_s / batched_s
+    assert np.array_equal(batched, scalar)
+
+    text = format_placer_sweep(DESIGN, BETA, rows)
+    text += (f"\n\nbatched delta-HPWL at {KERNEL_MOVES} moves: "
+             f"{batched_s * 1e6:.0f} us vs scalar {scalar_s * 1e6:.0f} us "
+             f"-> {speedup:.0f}x (gate >= {SPEEDUP_GATE:.0f}x)\n")
+    (out_dir / "placer.txt").write_text(text)
+    print("\n" + text)
+
+    # gate 1: fewer well boundaries at equal-or-better leakage
+    assert tuned["boundaries"] <= BOUNDARY_GATE * bfs["boundaries"], (
+        f"anneal:default kept {tuned['boundaries']} boundaries vs "
+        f"bfs {bfs['boundaries']} (gate <= {BOUNDARY_GATE:.0%})")
+    assert tuned["leakage_uw"] <= bfs["leakage_uw"] + 1e-9, (
+        "boundary savings paid for with leakage: "
+        f"{tuned['leakage_uw']:.3f} uW vs bfs {bfs['leakage_uw']:.3f} uW")
+
+    # gate 2: the vectorized hot path must carry the move budget
+    assert speedup >= SPEEDUP_GATE, (
+        f"batched evaluator only {speedup:.1f}x faster than scalar "
+        f"({batched_s * 1e6:.0f} us vs {scalar_s * 1e6:.0f} us)")

@@ -27,7 +27,10 @@ new allocation strategies become available here without code changes.
 Allocation *granularity* is a spec axis too: ``grouping="bands:8"``
 solves at eight bias domains through :mod:`repro.grouping` (the
 ``"identity"`` default keeps per-row allocation, bit-identical in
-results and content hash to specs predating the field).
+results and content hash to specs predating the field).  So is the
+placement engine: ``placer="anneal:default"`` implements the design
+with the bias-domain-aware annealer of :mod:`repro.placement.anneal`
+(the ``"bfs"`` default is likewise hash-elided).
 
 The ``repro-fbb sweep`` CLI subcommand is the batch interface over this
 module: a JSON list of RunSpecs in, one JSONL RunResult per line out.
@@ -49,7 +52,7 @@ from typing import Any, Callable
 from repro.core.problem import build_problem
 from repro.core.registry import registry
 from repro.core.single_bb import solve_single_bb
-from repro.errors import GroupingError, SpecError
+from repro.errors import GroupingError, RegistryError, SpecError
 from repro.flow.cache import (ArtifactCache, canonical_json, content_hash,
                               default_cache)
 from repro.flow.design_flow import FlowResult, implement
@@ -61,6 +64,7 @@ from repro.flow.experiment import (TUNING_ENGINES, ExperimentConfig,
                                    run_population, run_spatial)
 from repro.flow.parallel import SpecFailure
 from repro.grouping import solve_grouped, validate_grouping_spec
+from repro.placement.registry import validate_placer_spec
 from repro.tech.technology import BodyBiasRules, Technology
 from repro.tuning.lifetime import LIFETIME_MODES
 from repro.variation.aging import NbtiModel
@@ -85,14 +89,14 @@ HASHED_FIELDS = (
     "ilp_backend", "ilp_time_limit_s", "skip_ilp_above_rows", "seed",
     "num_dies", "engine", "tune", "beta_budget", "utilization",
     "grouping", "num_regions", "process", "tech", "epochs", "cadence",
-    "drift", "mode", "schema_version",
+    "drift", "mode", "placer", "schema_version",
 )
 """RunSpec fields that participate in the content address: changing any
 of them changes :meth:`RunSpec.spec_hash` and therefore misses the run
 cache.  (``grouping`` is special-cased: its ``"identity"`` default is
 elided from the material so spec hashes predating the field are
-stable; the lifetime fields ``epochs``/``cadence``/``drift`` elide
-their defaults the same way.)  Kept disjoint from
+stable; the lifetime fields ``epochs``/``cadence``/``drift`` and the
+``placer`` field elide their defaults the same way.)  Kept disjoint from
 :data:`EXECUTION_KNOBS` and exhaustive over the dataclass fields, both
 enforced by the ``hash-stability`` lint rule and ``tests/lint``."""
 
@@ -169,6 +173,13 @@ class RunSpec:
     senses each die as one scalar slowdown (the paper's die-wide
     derate), ``"spatial"`` re-tunes against the composed per-gate field
     through a ``num_regions`` sensor grid."""
+    placer: str = "bfs"
+    """Placement engine in the placer registry (DESIGN.md, "Annealing
+    placement"): ``"bfs"`` is the deterministic serpentine default,
+    bit-identical to specs predating the field; ``"anneal:<preset>"``
+    anneals from the BFS seed with a bias-domain-aware cost.  Part of
+    the content address — except the ``"bfs"`` default, which is
+    omitted so existing spec hashes are unchanged."""
     process: dict = field(default_factory=dict)
     """ProcessModel field overrides for the sampled population, e.g.
     ``{"correlation_length_fraction": 0.25, "sigma_intra_v": 0.02}``
@@ -230,6 +241,11 @@ class RunSpec:
         except GroupingError as exc:
             raise SpecError(
                 f"bad grouping spec {self.grouping!r}: {exc}") from exc
+        try:
+            validate_placer_spec(self.placer)
+        except RegistryError as exc:
+            raise SpecError(
+                f"bad placer spec {self.placer!r}: {exc}") from exc
         object.__setattr__(self, "cluster_budgets",
                            tuple(int(c) for c in self.cluster_budgets))
 
@@ -342,6 +358,8 @@ class RunSpec:
             del material["drift"]
         if material["mode"] == "model":
             del material["mode"]
+        if material["placer"] == "bfs":
+            del material["placer"]
         return material
 
     def spec_hash(self) -> str:
@@ -494,7 +512,8 @@ def lifetime_row_from_payload(payload: dict) -> LifetimeRow:
 
 def _implement_spec(spec: RunSpec, cache: ArtifactCache) -> FlowResult:
     return implement(spec.design, tech=spec.technology(),
-                     utilization=spec.utilization, cache=cache)
+                     utilization=spec.utilization, placer=spec.placer,
+                     cache=cache)
 
 
 def _heuristic_strategy(method: str) -> str:

@@ -8,7 +8,12 @@ Subcommands (all experiment-shaped ones are thin wrappers over the
 * ``allocate DESIGN --beta B --clusters C`` — one allocation run via
   the solver registry (``--method`` names any registered solver;
   ``--grouping bands:8`` solves at 8 bias domains instead of per row —
-  the flag exists on every allocation-shaped subcommand);
+  the flag exists on every allocation-shaped subcommand; ``--placer
+  anneal:default`` implements the design with the annealing placer);
+* ``place DESIGN --placer anneal:default`` — compare placement engines
+  head to head: HPWL, well boundaries and recovered leakage of the
+  named placer versus the bfs baseline through the same allocation
+  flow;
 * ``layout DESIGN --beta B`` — ASCII layout view with bias clusters;
 * ``montecarlo DESIGN --dies N --seed S`` — sample a die population
   through the batched STA backend and report yield (``--tune`` runs the
@@ -92,7 +97,8 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
                              else "heuristic:row-descent")
     result = run(RunSpec(kind="allocate", design=args.design,
                          beta=args.beta, method=method,
-                         clusters=args.clusters, grouping=args.grouping))
+                         clusters=args.clusters, grouping=args.grouping,
+                         placer=args.placer))
     payload = result.payload
     print(f"{payload['design']} [{payload['method']}] "
           f"beta={payload['beta']:.0%}: baseline "
@@ -104,6 +110,46 @@ def _cmd_allocate(args: argparse.Namespace) -> int:
               f"bias domains solved, {payload['num_domains']} physical "
               "domains used")
     print(f"savings vs single BB: {payload['savings_pct']:.2f}%")
+    return 0
+
+
+def _cmd_place(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.core import build_problem, solve, solve_single_bb
+    from repro.flow import format_placer_sweep, implement
+    from repro.layout import well_separation
+    from repro.placement import total_hpwl
+    placers = ["bfs"]
+    if args.placer not in placers:
+        placers.append(args.placer)
+    rows = []
+    for placer in placers:
+        start = time.perf_counter()
+        flow = implement(args.design, placer=placer)
+        place_s = time.perf_counter() - start
+        problem = build_problem(flow.placed, flow.clib, args.beta,
+                                analyzer=flow.analyzer,
+                                paths=list(flow.paths),
+                                dcrit_ps=flow.dcrit_ps)
+        baseline = solve_single_bb(problem)
+        solution = solve(problem, args.method, args.clusters)
+        wells = well_separation(flow.placed, solution.levels)
+        rows.append({
+            "placer": placer,
+            "hpwl_um": total_hpwl(flow.placed),
+            "boundaries": wells.num_boundaries,
+            "leakage_uw": solution.leakage_uw,
+            "savings_pct": solution.savings_vs(baseline.leakage_nw),
+            "place_s": place_s,
+        })
+    print(format_placer_sweep(args.design, args.beta, rows))
+    if len(rows) == 2:
+        base, tuned = rows
+        print(f"{args.placer} vs bfs: boundaries "
+              f"{tuned['boundaries'] - base['boundaries']:+d}, "
+              f"leakage {tuned['leakage_uw'] - base['leakage_uw']:+.3f} "
+              f"uW, hpwl {tuned['hpwl_um'] - base['hpwl_um']:+.1f} um")
     return 0
 
 
@@ -307,6 +353,15 @@ def _add_grouping_flag(parser: argparse.ArgumentParser) -> None:
              "bands:<k>, correlation:<k> or community:<k>")
 
 
+def _add_placer_flag(parser: argparse.ArgumentParser,
+                     default: str = "bfs") -> None:
+    parser.add_argument(
+        "--placer", default=default,
+        help="placement engine: bfs (serpentine baseline) or "
+             "anneal:<quick|default|deep> (bias-domain-aware "
+             f"annealer; default: {default})")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-fbb",
@@ -333,7 +388,18 @@ def build_parser() -> argparse.ArgumentParser:
                           help="solver-registry method (e.g. ilp:simplex, "
                                "heuristic:level-sweep); overrides --ilp")
     _add_grouping_flag(allocate)
+    _add_placer_flag(allocate)
     allocate.set_defaults(func=_cmd_allocate)
+
+    place = sub.add_parser(
+        "place", help="compare placement engines on one design")
+    place.add_argument("design", choices=ALL_BENCHMARK_NAMES)
+    place.add_argument("--beta", type=float, default=0.05)
+    place.add_argument("--clusters", type=int, default=3)
+    place.add_argument("--method", default="heuristic:row-descent",
+                       help="allocation solver scoring each placement")
+    _add_placer_flag(place, default="anneal:default")
+    place.set_defaults(func=_cmd_place)
 
     layout = sub.add_parser("layout", help="ASCII clustered layout")
     layout.add_argument("design", choices=ALL_BENCHMARK_NAMES)

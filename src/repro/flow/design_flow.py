@@ -71,6 +71,7 @@ def implement(source: str | Netlist,
               tech: Technology | None = None,
               utilization: float = 0.75,
               sizing_budget_ps: float | None = None,
+              placer: str = "bfs",
               cache: ArtifactCache | None = None) -> FlowResult:
     """Run the full implementation flow on a benchmark name or netlist.
 
@@ -79,7 +80,10 @@ def implement(source: str | Netlist,
     sweeps and population studies re-running the same design share one
     synthesis/placement/STA pass.  Prebuilt netlists bypass the flow
     memo (their content is not cheaply addressable) but still reuse the
-    cached characterized library.
+    cached characterized library.  ``placer`` names a placer-registry
+    engine (``"bfs"`` default, ``"anneal:<preset>"``); the default is
+    elided from the cache material so every pre-existing flow artifact
+    key is unchanged.
     """
     if cache is None:
         cache = default_cache()
@@ -91,18 +95,21 @@ def implement(source: str | Netlist,
             "utilization": utilization,
             "sizing_budget_ps": sizing_budget_ps,
         }
+        if placer != "bfs":
+            material["placer"] = placer
         return cache.get_or_create(
             "flow", material,
             lambda: _implement_uncached(source, tech, utilization,
-                                        sizing_budget_ps, cache))
+                                        sizing_budget_ps, placer, cache))
     return _implement_uncached(source, tech, utilization,
-                               sizing_budget_ps, cache)
+                               sizing_budget_ps, placer, cache)
 
 
 def _implement_uncached(source: str | Netlist,
                         tech: Technology | None,
                         utilization: float,
                         sizing_budget_ps: float | None,
+                        placer: str,
                         cache: ArtifactCache) -> FlowResult:
     clib = characterized_library(tech, cache=cache)
     library = clib.library
@@ -113,7 +120,8 @@ def _implement_uncached(source: str | Netlist,
         size_for_load(mapped, library)
     else:
         size_for_load(mapped, library, budget_ps=sizing_budget_ps)
-    placed = place_design(mapped, library, utilization=utilization)
+    placed = place_design(mapped, library, utilization=utilization,
+                          placer=placer)
     analyzer = TimingAnalyzer.for_placed(placed)
     paths = tuple(extract_paths(analyzer))
     return FlowResult(

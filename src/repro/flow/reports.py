@@ -268,3 +268,30 @@ def format_grouping_tradeoff(design: str, beta: float,
     lines.append("bnd = well-separation boundaries of the expanded "
                  "assignment; domains = contiguous same-voltage wells.")
     return "\n".join(lines)
+
+
+def format_placer_sweep(design: str, beta: float,
+                        rows: Sequence[dict]) -> str:
+    """Render the placer quality comparison of ``repro-fbb place`` and
+    ``bench_placer.py``.
+
+    Each row is one placer run (``placer``/``hpwl_um``/``boundaries``/
+    ``leakage_uw``/``savings_pct``/``place_s`` keys): the knob-sweep
+    Pareto view of the annealer — wirelength and well fragmentation
+    versus the leakage the allocation flow then recovers (the paper's
+    Sec. 3.3 area-cost axis made tunable).
+    """
+    header = f"placer sweep: {design}, beta={beta:.0%}"
+    lines = [header,
+             f"{'placer':<22}{'hpwl um':>12} {'bnd':>5} "
+             f"{'leak uW':>9} {'savings %':>10} {'place s':>9}"]
+    for row in rows:
+        lines.append(
+            f"{row['placer']:<22}{row['hpwl_um']:>12.1f} "
+            f"{row['boundaries']:>5} {row['leakage_uw']:>9.3f} "
+            f"{row['savings_pct']:>10.2f} {row['place_s']:>9.3f}")
+    lines.append("")
+    lines.append("bnd = well-separation boundaries of the allocated "
+                 "assignment; leakage/savings via the same solver on "
+                 "each placement.")
+    return "\n".join(lines)

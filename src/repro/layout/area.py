@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.layout.contacts import ContactPlan, insert_contacts
 from repro.layout.routing import RoutePlan, route_bias_rails
 from repro.layout.wells import WellSeparationReport, well_separation
+from repro.placement.hpwl import total_hpwl
 from repro.placement.placed_design import PlacedDesign
 
 #: the paper's reported bounds
@@ -29,6 +30,9 @@ class AreaReport:
     contacts: ContactPlan
     wells: WellSeparationReport
     route: RoutePlan
+    hpwl_um: float | None = None
+    """Total placement wirelength (vectorized HPWL); None when the
+    report was built without it (older call sites)."""
 
     @property
     def within_paper_bounds(self) -> bool:
@@ -50,6 +54,8 @@ class AreaReport:
             f"  within paper bounds: "
             f"{'yes' if self.within_paper_bounds else 'NO'}",
         ]
+        if self.hpwl_um is not None:
+            lines.insert(1, f"  wirelength: {self.hpwl_um:.1f} um (HPWL)")
         return "\n".join(lines)
 
 
@@ -61,4 +67,5 @@ def area_report(placed: PlacedDesign, row_levels: Sequence[int],
         contacts=insert_contacts(placed),
         wells=well_separation(placed, row_levels),
         route=route_bias_rails(placed, row_levels, vbs_levels),
+        hpwl_um=total_hpwl(placed),
     )

@@ -1,18 +1,30 @@
-"""Row-based placement: floorplan, placer, placed-design container
-(rows are the paper's Sec. 3.3 clustering granularity)."""
+"""Row-based placement: floorplan, placer engines, placed-design
+container (rows are the paper's Sec. 3.3 clustering granularity).
+
+Two engines live behind :func:`place_design`: the deterministic
+BFS/serpentine fold (default) and the simulated annealer of
+:mod:`repro.placement.anneal`, dispatched through
+:mod:`repro.placement.registry` (``placer="anneal:<preset>"``).
+"""
 
 from repro.placement.floorplan import (DEFAULT_UTILIZATION, Floorplan, Row,
                                        make_floorplan)
+from repro.placement.hpwl import (HpwlKernel, MoveBatch, refine_design,
+                                  total_hpwl)
 from repro.placement.placed_design import PlacedDesign, Placement
 from repro.placement.placer import connectivity_order, place_design
 
 __all__ = [
     "DEFAULT_UTILIZATION",
     "Floorplan",
+    "HpwlKernel",
+    "MoveBatch",
     "PlacedDesign",
     "Placement",
     "Row",
     "connectivity_order",
     "make_floorplan",
     "place_design",
+    "refine_design",
+    "total_hpwl",
 ]

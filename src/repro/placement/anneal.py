@@ -1,0 +1,331 @@
+"""Seeded simulated-annealing placer with a bias-domain-aware cost.
+
+The paper's physical premise (Sec. 1-3.3) is that timing-critical gates
+cluster spatially, which is what keeps row-level FBB wells cheap
+(< 5 % area, Sec. 5).  The BFS/serpentine placer merely *inherits*
+whatever clustering the netlist order produces; this annealer actively
+optimizes for it.  Starting from the BFS result it minimizes
+
+    cost = HPWL + lambda * (boundaries + kappa * sum_r sqrt(c_r))
+
+where ``c_r`` counts timing-critical gates on row ``r`` (criticality =
+membership of a Sec. 3.1 violating path at ``critical_beta``),
+``boundaries`` counts adjacent rows that disagree on holding critical
+gates — exactly the :mod:`repro.layout.wells` well-separation semantics
+against the induced critical/non-critical row map — and the
+Schur-concave ``sqrt`` term rewards *concentrating* critical gates into
+few rows even while the integer boundary count sits on a plateau.
+
+Per temperature step a whole batch of K candidate moves (equal-width
+swaps, relocates to a row frontier, and targeted relocates of critical
+gates toward already-critical rows) is scored in one vectorized
+:meth:`~repro.placement.hpwl.HpwlKernel.delta_hpwl` call, thinned to a
+conflict-free subset and committed.  Cooling is geometric.
+
+Determinism contract: all randomness flows from one
+``np.random.default_rng(config.seed)`` with a fixed per-step draw
+order, so the same seed reproduces a bit-identical
+:class:`~repro.placement.placed_design.PlacedDesign`, and
+``iterations=0`` returns exactly the BFS seed placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PlacementError
+from repro.netlist.core import Netlist
+from repro.placement.floorplan import DEFAULT_UTILIZATION
+from repro.placement.hpwl import HpwlKernel, MoveBatch, refine_design
+from repro.placement.placed_design import PlacedDesign
+from repro.tech.cells import CellLibrary
+
+#: rows with critical weight above this count as biased wells
+BIAS_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class AnnealConfig:
+    """Knobs of one annealing run (all defaults give the CI preset)."""
+
+    iterations: int = 256
+    """Temperature steps; 0 disables annealing (BFS result returned)."""
+    moves_per_step: int = 128
+    """Candidate moves scored per step in one vectorized batch."""
+    t0_scale: float = 1.0
+    """Initial temperature as a multiple of the seed's mean net span."""
+    cool_to: float = 0.02
+    """Final temperature as a fraction of the initial one."""
+    lambda_scale: float = 1.0
+    """Well-penalty weight as a multiple of the auto weight (1 % of the
+    seed HPWL per boundary unit)."""
+    kappa: float = 0.25
+    """Weight of the sqrt concentration surrogate inside the penalty."""
+    swap_frac: float = 0.5
+    """Fraction of proposals that are equal-width two-gate swaps."""
+    targeted_frac: float = 0.25
+    """Fraction of proposals relocating a critical gate toward an
+    already-critical row (the rest are uniform relocates)."""
+    critical_beta: float = 0.05
+    """Slowdown coefficient defining the violating-path gate set."""
+    seed: int = 0
+    """RNG seed; same seed => bit-identical placement."""
+
+    def __post_init__(self) -> None:
+        if self.iterations < 0:
+            raise PlacementError(
+                f"iterations must be >= 0, got {self.iterations}")
+        if self.moves_per_step < 1:
+            raise PlacementError(
+                f"moves_per_step must be >= 1, got {self.moves_per_step}")
+        if not 0.0 < self.cool_to <= 1.0:
+            raise PlacementError(
+                f"cool_to must be in (0, 1], got {self.cool_to}")
+        if self.t0_scale <= 0 or self.lambda_scale < 0 or self.kappa < 0:
+            raise PlacementError(
+                "t0_scale must be positive; lambda_scale and kappa "
+                "non-negative")
+        if not (0.0 <= self.swap_frac <= 1.0
+                and 0.0 <= self.targeted_frac <= 1.0
+                and self.swap_frac + self.targeted_frac <= 1.0):
+            raise PlacementError(
+                "swap_frac and targeted_frac must be fractions summing "
+                "to at most 1")
+        if self.critical_beta < 0:
+            raise PlacementError(
+                f"critical_beta must be >= 0, got {self.critical_beta}")
+
+
+class WellField:
+    """Row criticality counts and the bias-domain penalty terms."""
+
+    def __init__(self, num_rows: int, weights: np.ndarray,
+                 rows: np.ndarray, kappa: float) -> None:
+        self.num_rows = num_rows
+        self.weights = weights
+        self.kappa = kappa
+        self.counts = np.zeros(num_rows)
+        self.rebuild(rows)
+
+    def rebuild(self, rows: np.ndarray) -> None:
+        """Exact recount of per-row critical weight from the state."""
+        self.counts = np.bincount(rows, weights=self.weights,
+                                  minlength=self.num_rows)
+
+    def biased_rows(self) -> np.ndarray:
+        """Row indices currently holding critical weight."""
+        return np.nonzero(self.counts > BIAS_EPS)[0]
+
+    def total(self) -> float:
+        """boundaries + kappa * sum sqrt(c_r), in penalty units."""
+        biased = self.counts > BIAS_EPS
+        boundaries = int(np.count_nonzero(biased[:-1] != biased[1:]))
+        concentration = float(np.sqrt(
+            np.maximum(self.counts, 0.0)).sum())
+        return boundaries + self.kappa * concentration
+
+    def delta(self, batch: MoveBatch, rows_now: np.ndarray) -> np.ndarray:
+        """Per-move penalty change for K moves, vectorized.
+
+        Builds the (move, row, weight-change) triples each move
+        induces, folds duplicates, and evaluates the boundary and
+        concentration terms only on the touched rows/edges.
+        """
+        num_moves = len(batch)
+        if num_moves == 0:
+            return np.zeros(0)
+        weight0 = self.weights[batch.gate0]
+        has_partner = batch.gate1 >= 0
+        gate1 = np.where(has_partner, batch.gate1, 0)
+        weight1 = np.where(has_partner, self.weights[gate1], 0.0)
+        old_row0 = rows_now[batch.gate0]
+        old_row1 = np.where(has_partner, rows_now[gate1], old_row0)
+        new_row1 = np.where(has_partner, batch.row1, old_row0)
+        move_rows = np.stack(
+            [old_row0, batch.row0, old_row1, new_row1], axis=1)
+        changes = np.stack(
+            [-weight0, weight0, -weight1,
+             np.where(has_partner, weight1, 0.0)], axis=1)
+        keys = (np.arange(num_moves)[:, None] * self.num_rows
+                + move_rows).ravel()
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+        row_change = np.zeros(len(unique_keys))
+        np.add.at(row_change, inverse, changes.ravel())
+        pair_move = unique_keys // self.num_rows
+        pair_row = unique_keys % self.num_rows
+        old_counts = self.counts[pair_row]
+        new_counts = np.maximum(old_counts + row_change, 0.0)
+
+        delta = np.zeros(num_moves)
+        concentration_change = (np.sqrt(new_counts)
+                                - np.sqrt(np.maximum(old_counts, 0.0)))
+        np.add.at(delta, pair_move, self.kappa * concentration_change)
+
+        # Boundary term: only edges adjacent to a touched row can flip.
+        biased = self.counts > BIAS_EPS
+        new_biased = new_counts > BIAS_EPS
+        edges = np.concatenate([pair_row - 1, pair_row])
+        edge_move = np.concatenate([pair_move, pair_move])
+        in_range = (edges >= 0) & (edges < self.num_rows - 1)
+        edge_keys = np.unique(
+            edge_move[in_range] * self.num_rows + edges[in_range])
+        edge_pm = edge_keys // self.num_rows
+        edge_row = edge_keys % self.num_rows
+
+        def lookup(move_ids: np.ndarray,
+                   row_ids: np.ndarray) -> np.ndarray:
+            """Post-move biased status of (move, row), falling back to
+            the current status for untouched rows."""
+            targets = move_ids * self.num_rows + row_ids
+            pos = np.searchsorted(unique_keys, targets)
+            pos_clipped = np.minimum(pos, len(unique_keys) - 1)
+            hit = unique_keys[pos_clipped] == targets
+            return np.where(hit, new_biased[pos_clipped],
+                            biased[row_ids])
+
+        below = lookup(edge_pm, edge_row)
+        above = lookup(edge_pm, edge_row + 1)
+        was_boundary = biased[edge_row] != biased[edge_row + 1]
+        now_boundary = below != above
+        np.add.at(delta, edge_pm,
+                  now_boundary.astype(float) - was_boundary.astype(float))
+        return delta
+
+
+def critical_gate_weights(design: PlacedDesign,
+                          critical_beta: float) -> np.ndarray:
+    """Per-gate criticality (1.0 = on a violating path) in netlist order.
+
+    Runs one STA on the seed placement and marks every gate of every
+    Sec. 3.1 violating path at slowdown ``critical_beta`` — the gate
+    set whose rows the allocator will have to bias.
+    """
+    from repro.sta.engine import TimingAnalyzer
+    from repro.sta.paths import extract_paths, violating_paths
+    analyzer = TimingAnalyzer.for_placed(design)
+    paths = extract_paths(analyzer)
+    weights = np.zeros(len(design.netlist.gates))
+    if not paths:
+        return weights
+    index = {name: i for i, name in enumerate(design.netlist.gates)}
+    dcrit_ps = paths[0].delay_ps
+    for path in violating_paths(paths, dcrit_ps, critical_beta):
+        for name in path.gates:
+            weights[index[name]] = 1.0
+    return weights
+
+
+def _propose(kernel: HpwlKernel, field: WellField,
+             rng: np.random.Generator, config: AnnealConfig,
+             critical_ids: np.ndarray
+             ) -> tuple[MoveBatch, np.ndarray]:
+    """Draw one step's move batch; returns (batch, feasible mask).
+
+    The draw order and count per step are fixed by ``config``, so the
+    RNG stream — and with it the whole anneal — replays exactly for a
+    given seed.
+    """
+    num_moves = config.moves_per_step
+    num_gates = len(kernel.rows)
+    kind_u = rng.random(num_moves)
+    gate_a = rng.integers(0, num_gates, num_moves)
+    gate_b = rng.integers(0, num_gates, num_moves)
+    target_rows = rng.integers(0, kernel.num_rows, num_moves)
+    critical_pick = rng.integers(0, max(len(critical_ids), 1), num_moves)
+    biased = field.biased_rows()
+    biased_pick = rng.integers(0, max(len(biased), 1), num_moves)
+
+    is_swap = kind_u < config.swap_frac
+    is_targeted = (kind_u >= 1.0 - config.targeted_frac) \
+        & (len(critical_ids) > 0)
+    gate0 = np.where(is_targeted, critical_ids[critical_pick]
+                     if len(critical_ids) else gate_a, gate_a)
+    target = np.where(is_targeted & (len(biased) > 0),
+                      biased[biased_pick] if len(biased) else target_rows,
+                      target_rows)
+
+    row_ends = kernel.row_ends()
+    # Swap slots: exchange (row, site); relocate: append at frontier.
+    new_row0 = np.where(is_swap, kernel.rows[gate_b], target)
+    new_site0 = np.where(is_swap, kernel.sites[gate_b],
+                         row_ends[target])
+    gate1 = np.where(is_swap, gate_b, -1)
+    new_row1 = np.where(is_swap, kernel.rows[gate0], 0)
+    new_site1 = np.where(is_swap, kernel.sites[gate0], 0)
+    batch = MoveBatch(gate0=gate0, row0=new_row0, site0=new_site0,
+                      gate1=gate1, row1=new_row1, site1=new_site1)
+    swap_ok = (kernel.widths[gate0] == kernel.widths[gate_b]) \
+        & (gate0 != gate_b)
+    relocate_ok = (row_ends[target] + kernel.widths[gate0]
+                   <= kernel.num_sites)
+    feasible = np.where(is_swap, swap_ok, relocate_ok)
+    return batch, feasible
+
+
+def anneal_place(netlist: Netlist, library: CellLibrary, *,
+                 utilization: float = DEFAULT_UTILIZATION,
+                 aspect_ratio: float = 1.0,
+                 num_rows: int | None = None,
+                 refine_passes: int = 1,
+                 config: AnnealConfig | None = None) -> PlacedDesign:
+    """Anneal a design from the BFS seed; returns a validated design.
+
+    With ``config.iterations == 0`` the BFS seed is returned untouched
+    (bit-identical to ``place_design(..., placer="bfs")``).  Otherwise
+    the best-cost snapshot seen during cooling is restored, greedily
+    refined (intra-row swaps keep the well penalty invariant) and
+    validated.
+    """
+    from repro.placement.placer import _place_bfs
+    if config is None:
+        config = AnnealConfig()
+    seed_design = _place_bfs(netlist, library, utilization=utilization,
+                             aspect_ratio=aspect_ratio, num_rows=num_rows,
+                             refine_passes=refine_passes)
+    if config.iterations == 0:
+        return seed_design
+
+    rng = np.random.default_rng(config.seed)
+    kernel = HpwlKernel(seed_design)
+    weights = critical_gate_weights(seed_design, config.critical_beta)
+    field = WellField(kernel.num_rows, weights, kernel.rows, config.kappa)
+    critical_ids = np.nonzero(weights > 0)[0]
+
+    seed_hpwl_um = kernel.total_hpwl_um()
+    lambda_um = config.lambda_scale * 0.01 * seed_hpwl_um
+    mean_span_um = seed_hpwl_um / max(kernel.num_nets, 1)
+    t0_um = config.t0_scale * max(mean_span_um, 1e-9)
+    t_end_um = config.cool_to * t0_um
+
+    best_cost = kernel.total_hpwl_um() + lambda_um * field.total()
+    best_rows = kernel.rows.copy()
+    best_sites = kernel.sites.copy()
+    steps = config.iterations
+    for step in range(steps):
+        temperature = t0_um * (t_end_um / t0_um) ** (
+            step / max(steps - 1, 1))
+        batch, feasible = _propose(kernel, field, rng, config,
+                                   critical_ids)
+        delta_um = kernel.delta_hpwl(batch) \
+            + lambda_um * field.delta(batch, kernel.rows)
+        delta_um = np.where(feasible, delta_um, np.inf)
+        uniform = rng.random(len(delta_um))
+        accept_p = np.exp(-np.maximum(delta_um, 0.0) / temperature)
+        accepted = feasible & ((delta_um <= 0.0) | (uniform < accept_p))
+        keep = kernel.first_claim(batch, accepted)
+        if kernel.apply(batch, keep):
+            field.rebuild(kernel.rows)
+        cost = kernel.total_hpwl_um() + lambda_um * field.total()
+        if cost < best_cost - 1e-9:
+            best_cost = cost
+            best_rows = kernel.rows.copy()
+            best_sites = kernel.sites.copy()
+
+    kernel.set_state(best_rows, best_sites)
+    design = kernel.to_placed_design()
+    if refine_passes > 0:
+        refine_design(design, refine_passes)
+    design.validate()
+    return design

@@ -1,0 +1,469 @@
+"""Vectorized HPWL kernel: batched delta-wirelength for placement moves.
+
+The annealing placer (Sec. 2-3.3 premise: timing-critical gates must
+*cluster spatially* for row-level FBB to stay cheap) needs to score
+thousands of candidate moves per temperature step.  Doing that with the
+scalar per-net python loop of
+:meth:`~repro.placement.placed_design.PlacedDesign.half_perimeter_wirelength_um`
+would dominate runtime, so this module compiles the netlist **once**
+into per-net gate-index arrays — the same trick
+:mod:`repro.sta.batched` plays with level blocks — and keeps per-net
+bounding boxes as numpy state:
+
+* :class:`HpwlKernel` — netlist compiled to a padded member matrix plus
+  a CSR gate→net incidence; placement state as ``rows``/``sites``
+  arrays with derived coordinates.
+* :meth:`HpwlKernel.delta_hpwl` — one vectorized evaluation of a whole
+  :class:`MoveBatch` (K swap/relocate candidates): gather the affected
+  (move, net) pairs, rebuild their boxes with the moved coordinates
+  overridden, reduce per move with ``np.bincount``.  Bit-identical to
+  the scalar oracle :meth:`HpwlKernel.delta_hpwl_scalar` because both
+  traverse the same float64 operands in the same net order.
+* :func:`total_hpwl` — the public full-design wirelength metric.
+* :func:`refine_design` — greedy same-width adjacent-swap refinement
+  expressed as batched kernel moves (the T→0 limit of the annealer).
+
+Everything here is deterministic: no RNG, no dict-order dependence
+beyond netlist insertion order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PlacementError
+from repro.placement.placed_design import PlacedDesign, Placement
+
+#: swap-acceptance threshold shared with the legacy scalar refinement
+IMPROVE_EPS_UM = 1e-12
+
+
+@dataclass(frozen=True)
+class MoveBatch:
+    """K candidate moves, encoded as target slots per touched gate.
+
+    ``gate0`` always moves to ``(row0, site0)``.  For a swap, ``gate1``
+    is the partner gate moving to ``(row1, site1)``; for a single-gate
+    relocate ``gate1`` is ``-1`` and the ``row1``/``site1`` entries are
+    ignored.
+    """
+
+    gate0: np.ndarray
+    row0: np.ndarray
+    site0: np.ndarray
+    gate1: np.ndarray
+    row1: np.ndarray
+    site1: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.gate0)
+
+
+def _ragged_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(s, s + c)`` for each (start, count) pair."""
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    offsets = np.repeat(starts - (ends - counts), counts)
+    return np.arange(total, dtype=np.int64) + offsets
+
+
+class HpwlKernel:
+    """Netlist compiled to numpy arrays + incremental per-net boxes.
+
+    The compile step walks python objects once; every hot-path method
+    afterwards is pure array code.  Placement state lives in the
+    ``rows``/``sites``/``widths`` int arrays (gate order = netlist
+    insertion order); per-net bounding boxes are maintained
+    incrementally by :meth:`apply`.
+    """
+
+    def __init__(self, design: PlacedDesign) -> None:
+        self.design = design
+        netlist = design.netlist
+        self.gate_names: list[str] = list(netlist.gates)
+        index = {name: i for i, name in enumerate(self.gate_names)}
+        num_gates = len(self.gate_names)
+
+        floorplan = design.floorplan
+        self.num_rows = floorplan.num_rows
+        self.num_sites = floorplan.sites_per_row
+        self._site_width_um = float(floorplan.rows[0].site_width_um)
+        self._row_y_um = np.array([row.y_um for row in floorplan.rows])
+
+        # Distinct member gates per net, nets with >= 2 members only
+        # (single-gate and floating nets contribute zero span).
+        members_list: list[list[int]] = []
+        for net in netlist.nets.values():
+            seen: list[int] = []
+            seen_set: set[int] = set()
+            gates = ([net.driver] if net.driver is not None else []) \
+                + [sink for sink, _pin in net.sinks]
+            for gate_name in gates:
+                gate_index = index[gate_name]
+                if gate_index not in seen_set:
+                    seen_set.add(gate_index)
+                    seen.append(gate_index)
+            if len(seen) >= 2:
+                members_list.append(seen)
+        self.num_nets = len(members_list)
+        max_degree = max((len(m) for m in members_list), default=1)
+        members = np.full((self.num_nets, max_degree), -1, dtype=np.int64)
+        for net_index, net_members in enumerate(members_list):
+            members[net_index, :len(net_members)] = net_members
+        self._members = members
+        self._member_mask = members >= 0
+        # Flat CSR of net members (net-major): the delta path iterates
+        # only real pins instead of the padded matrix, which matters
+        # when one high-fanout net would otherwise pad every row.
+        self._net_deg = self._member_mask.sum(axis=1).astype(np.int64)
+        self._net_members_flat = members[self._member_mask]
+        self._net_start = np.zeros(self.num_nets + 1, dtype=np.int64)
+        np.cumsum(self._net_deg, out=self._net_start[1:])
+
+        # CSR gate -> incident net ids.
+        flat_gates = members[self._member_mask]
+        flat_nets = np.repeat(
+            np.arange(self.num_nets, dtype=np.int64),
+            self._member_mask.sum(axis=1))
+        order = np.argsort(flat_gates, kind="stable")
+        self._inc_nets = flat_nets[order]
+        counts = np.bincount(flat_gates, minlength=num_gates)
+        self._inc_start = np.zeros(num_gates + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._inc_start[1:])
+
+        # Placement state.
+        rows = np.empty(num_gates, dtype=np.int64)
+        sites = np.empty(num_gates, dtype=np.int64)
+        widths = np.empty(num_gates, dtype=np.int64)
+        for gate_index, name in enumerate(self.gate_names):
+            placement = design.placement(name)
+            rows[gate_index] = placement.row
+            sites[gate_index] = placement.site
+            widths[gate_index] = placement.width_sites
+        self.rows = rows
+        self.sites = sites
+        self.widths = widths
+
+        self._min_x = np.zeros(self.num_nets)
+        self._max_x = np.zeros(self.num_nets)
+        self._min_y = np.zeros(self.num_nets)
+        self._max_y = np.zeros(self.num_nets)
+        self._span = np.zeros(self.num_nets)
+        self._refresh_positions(np.arange(num_gates))
+        self._recompute_boxes(np.arange(self.num_nets))
+
+    # -- state maintenance ------------------------------------------------
+
+    def _refresh_positions(self, gate_ids: np.ndarray) -> None:
+        if not hasattr(self, "_x"):
+            self._x = np.zeros(len(self.rows))
+            self._y = np.zeros(len(self.rows))
+        self._x[gate_ids] = self.sites[gate_ids] * self._site_width_um
+        self._y[gate_ids] = self._row_y_um[self.rows[gate_ids]]
+
+    def _recompute_boxes(self, net_ids: np.ndarray) -> None:
+        if len(net_ids) == 0:
+            return
+        mask = self._member_mask[net_ids]
+        gate_ids = np.where(mask, self._members[net_ids], 0)
+        x = self._x[gate_ids]
+        y = self._y[gate_ids]
+        self._min_x[net_ids] = np.where(mask, x, np.inf).min(axis=1)
+        self._max_x[net_ids] = np.where(mask, x, -np.inf).max(axis=1)
+        self._min_y[net_ids] = np.where(mask, y, np.inf).min(axis=1)
+        self._max_y[net_ids] = np.where(mask, y, -np.inf).max(axis=1)
+        self._span[net_ids] = \
+            (self._max_x[net_ids] - self._min_x[net_ids]) \
+            + (self._max_y[net_ids] - self._min_y[net_ids])
+
+    def set_state(self, rows: np.ndarray, sites: np.ndarray) -> None:
+        """Load a full placement state (e.g. a best-cost snapshot)."""
+        self.rows = rows.astype(np.int64, copy=True)
+        self.sites = sites.astype(np.int64, copy=True)
+        all_gates = np.arange(len(self.rows))
+        self._refresh_positions(all_gates)
+        self._recompute_boxes(np.arange(self.num_nets))
+
+    def row_ends(self) -> np.ndarray:
+        """Per-row frontier: first site after the rightmost placed cell.
+
+        Recomputed exactly from the current state, so space vacated by
+        earlier relocates is reusable; appending a cell at
+        ``row_ends()[r]`` can never overlap (every cell in row ``r``
+        ends at or before it).
+        """
+        ends = np.zeros(self.num_rows, dtype=np.int64)
+        np.maximum.at(ends, self.rows, self.sites + self.widths)
+        return ends
+
+    # -- metrics ----------------------------------------------------------
+
+    def total_hpwl_um(self) -> float:
+        """Full-design HPWL from the maintained per-net boxes."""
+        return float(self._span.sum())
+
+    def incident_nets(self, gate_index: int) -> np.ndarray:
+        """Net ids incident to one gate (ascending)."""
+        start = self._inc_start[gate_index]
+        stop = self._inc_start[gate_index + 1]
+        return self._inc_nets[start:stop]
+
+    # -- batched move evaluation ------------------------------------------
+
+    def _pair_list(self, batch: MoveBatch) -> tuple[np.ndarray, np.ndarray]:
+        """Deduplicated (move, net) pairs affected by the batch,
+        sorted by move then net id."""
+        num_moves = len(batch)
+        start0 = self._inc_start[batch.gate0]
+        count0 = self._inc_start[batch.gate0 + 1] - start0
+        has_partner = batch.gate1 >= 0
+        gate1 = np.where(has_partner, batch.gate1, 0)
+        start1 = self._inc_start[gate1]
+        count1 = np.where(has_partner,
+                          self._inc_start[gate1 + 1] - start1, 0)
+        move_ids = np.concatenate([
+            np.repeat(np.arange(num_moves), count0),
+            np.repeat(np.arange(num_moves), count1)])
+        net_ids = np.concatenate([
+            self._inc_nets[_ragged_ranges(start0, count0)],
+            self._inc_nets[_ragged_ranges(start1, count1)]])
+        keys = np.unique(move_ids * self.num_nets + net_ids)
+        return keys // self.num_nets, keys % self.num_nets
+
+    def delta_hpwl(self, batch: MoveBatch) -> np.ndarray:
+        """Per-move HPWL change for K moves, one vectorized pass.
+
+        Exactly equal (bit-for-bit) to looping
+        :meth:`delta_hpwl_scalar` over the batch: both recompute each
+        affected net's box from the same float64 coordinates and
+        accumulate per-net deltas in ascending net order
+        (``np.bincount`` adds its weights sequentially in input order,
+        and the pair list is sorted by move then net).
+        """
+        num_moves = len(batch)
+        if num_moves == 0:
+            return np.zeros(0)
+        pair_move, pair_net = self._pair_list(batch)
+        if len(pair_net) == 0:
+            return np.zeros(num_moves)
+        # Flat pin list of the affected nets (no padding): segment
+        # boundaries for reduceat are the per-pair degree offsets.
+        deg = self._net_deg[pair_net]
+        pins = self._net_members_flat[
+            _ragged_ranges(self._net_start[pair_net], deg)]
+        seg_pair = np.repeat(np.arange(len(pair_net)), deg)
+        x = self._x[pins]
+        y = self._y[pins]
+        new_x0 = batch.site0 * self._site_width_um
+        new_y0 = self._row_y_um[batch.row0]
+        new_x1 = batch.site1 * self._site_width_um
+        new_y1 = self._row_y_um[np.where(batch.gate1 >= 0, batch.row1, 0)]
+        pin_move = pair_move[seg_pair]
+        moved0 = pins == batch.gate0[pin_move]
+        x = np.where(moved0, new_x0[pin_move], x)
+        y = np.where(moved0, new_y0[pin_move], y)
+        # gate1 == -1 never equals a real pin id, so no spurious match.
+        moved1 = pins == batch.gate1[pin_move]
+        x = np.where(moved1, new_x1[pin_move], x)
+        y = np.where(moved1, new_y1[pin_move], y)
+        starts = np.zeros(len(pair_net), dtype=np.int64)
+        np.cumsum(deg[:-1], out=starts[1:])
+        new_span = \
+            (np.maximum.reduceat(x, starts)
+             - np.minimum.reduceat(x, starts)) \
+            + (np.maximum.reduceat(y, starts)
+               - np.minimum.reduceat(y, starts))
+        deltas = new_span - self._span[pair_net]
+        return np.bincount(pair_move, weights=deltas, minlength=num_moves)
+
+    def delta_hpwl_scalar(self, batch: MoveBatch, move: int) -> float:
+        """Scalar per-net oracle for one move of the batch.
+
+        Kept deliberately loop-based (the pre-kernel
+        ``_local_wirelength`` evaluation strategy) as the equivalence
+        oracle for :meth:`delta_hpwl` in tests and benchmarks.
+        """
+        gate0 = int(batch.gate0[move])
+        gate1 = int(batch.gate1[move])
+        nets = set(self.incident_nets(gate0).tolist())
+        if gate1 >= 0:
+            nets |= set(self.incident_nets(gate1).tolist())
+        overrides = {gate0: (batch.site0[move] * self._site_width_um,
+                             self._row_y_um[batch.row0[move]])}
+        if gate1 >= 0:
+            overrides[gate1] = (batch.site1[move] * self._site_width_um,
+                                self._row_y_um[batch.row1[move]])
+        delta = 0.0
+        for net_id in sorted(nets):
+            xs, ys = [], []
+            for gate_id in self._members[net_id]:
+                if gate_id < 0:
+                    continue
+                if gate_id in overrides:
+                    x, y = overrides[gate_id]
+                else:
+                    x, y = self._x[gate_id], self._y[gate_id]
+                xs.append(x)
+                ys.append(y)
+            new_span = (max(xs) - min(xs)) + (max(ys) - min(ys))
+            delta += new_span - self._span[net_id]
+        return delta
+
+    # -- conflict resolution and state updates ----------------------------
+
+    def first_claim(self, batch: MoveBatch,
+                    accepted: np.ndarray) -> np.ndarray:
+        """Thin accepted moves to a conflict-free subset.
+
+        Resources are the nets a move perturbs, the moved gates
+        themselves, and (for relocates) the target row's frontier; the
+        lowest-index accepted move claims each resource and any other
+        claimant is dropped.  Kept moves are pairwise disjoint, so
+        their batched deltas compose exactly.
+        """
+        keep = accepted.copy()
+        ids = np.nonzero(keep)[0]
+        if len(ids) <= 1:
+            return keep
+        gate0 = batch.gate0[ids]
+        gate1 = batch.gate1[ids]
+        has_partner = gate1 >= 0
+        start0 = self._inc_start[gate0]
+        count0 = self._inc_start[gate0 + 1] - start0
+        gate1c = np.where(has_partner, gate1, 0)
+        start1 = self._inc_start[gate1c]
+        count1 = np.where(has_partner,
+                          self._inc_start[gate1c + 1] - start1, 0)
+        net_base, row_base = 0, self.num_nets
+        gate_base = row_base + self.num_rows
+        resources = [
+            net_base + self._inc_nets[_ragged_ranges(start0, count0)],
+            net_base + self._inc_nets[_ragged_ranges(start1, count1)],
+            gate_base + gate0,
+            gate_base + gate1[has_partner],
+            row_base + batch.row0[ids][~has_partner],
+        ]
+        claimants = [
+            np.repeat(ids, count0),
+            np.repeat(ids, count1),
+            ids,
+            ids[has_partner],
+            ids[~has_partner],
+        ]
+        resource = np.concatenate(resources)
+        claimant = np.concatenate(claimants)
+        total = gate_base + len(self.rows)
+        claim = np.full(total, len(batch), dtype=np.int64)
+        np.minimum.at(claim, resource, claimant)
+        lost = claim[resource] != claimant
+        keep[claimant[lost]] = False
+        return keep
+
+    def apply(self, batch: MoveBatch, keep: np.ndarray) -> int:
+        """Commit the kept moves; returns how many were applied.
+
+        Scatters the new slots into the state arrays, refreshes the
+        moved coordinates and recomputes exactly the affected nets'
+        boxes.  ``keep`` must be conflict-free (see
+        :meth:`first_claim`).
+        """
+        ids = np.nonzero(keep)[0]
+        if len(ids) == 0:
+            return 0
+        gate0 = batch.gate0[ids]
+        self.rows[gate0] = batch.row0[ids]
+        self.sites[gate0] = batch.site0[ids]
+        has_partner = batch.gate1[ids] >= 0
+        gate1 = batch.gate1[ids][has_partner]
+        self.rows[gate1] = batch.row1[ids][has_partner]
+        self.sites[gate1] = batch.site1[ids][has_partner]
+        moved = np.concatenate([gate0, gate1])
+        self._refresh_positions(moved)
+        starts = self._inc_start[moved]
+        counts = self._inc_start[moved + 1] - starts
+        nets = np.unique(self._inc_nets[_ragged_ranges(starts, counts)])
+        self._recompute_boxes(nets)
+        return int(len(ids))
+
+    # -- export -----------------------------------------------------------
+
+    def write_back(self) -> None:
+        """Write the current state into the source design in place."""
+        placements = self.design.placements
+        for gate_index, name in enumerate(self.gate_names):
+            placements[name] = Placement(
+                row=int(self.rows[gate_index]),
+                site=int(self.sites[gate_index]),
+                width_sites=int(self.widths[gate_index]))
+
+    def to_placed_design(self) -> PlacedDesign:
+        """A fresh :class:`PlacedDesign` of the current state."""
+        placements = {
+            name: Placement(row=int(self.rows[gate_index]),
+                            site=int(self.sites[gate_index]),
+                            width_sites=int(self.widths[gate_index]))
+            for gate_index, name in enumerate(self.gate_names)}
+        return PlacedDesign(netlist=self.design.netlist,
+                            library=self.design.library,
+                            floorplan=self.design.floorplan,
+                            placements=placements)
+
+
+def total_hpwl(design: PlacedDesign) -> float:
+    """Vectorized full-design half-perimeter wirelength in µm.
+
+    The public wirelength metric for reports and stats; agrees with the
+    scalar
+    :meth:`~repro.placement.placed_design.PlacedDesign.half_perimeter_wirelength_um`
+    up to float summation order.
+    """
+    if not design.placements:
+        raise PlacementError(
+            f"design {design.netlist.name!r} has no placements")
+    return HpwlKernel(design).total_hpwl_um()
+
+
+def _adjacent_swap_batch(kernel: HpwlKernel) -> MoveBatch:
+    """All equal-width horizontally adjacent pairs as swap candidates."""
+    order = np.lexsort((kernel.sites, kernel.rows))
+    same_row = kernel.rows[order][:-1] == kernel.rows[order][1:]
+    left = order[:-1][same_row]
+    right = order[1:][same_row]
+    same_width = kernel.widths[left] == kernel.widths[right]
+    left, right = left[same_width], right[same_width]
+    return MoveBatch(
+        gate0=left,
+        row0=kernel.rows[right], site0=kernel.sites[right],
+        gate1=right,
+        row1=kernel.rows[left], site1=kernel.sites[left])
+
+
+def refine_design(design: PlacedDesign, passes: int = 1) -> int:
+    """Greedy same-width adjacent-swap refinement, batched.
+
+    The T→0 limit of the annealer: each round evaluates every adjacent
+    equal-width pair in one :meth:`HpwlKernel.delta_hpwl` call and
+    commits the non-conflicting strictly improving swaps.  Mutates
+    ``design`` in place; returns the number of swaps applied.
+    """
+    if passes <= 0 or not design.placements:
+        return 0
+    kernel = HpwlKernel(design)
+    swaps = 0
+    for _ in range(passes):
+        batch = _adjacent_swap_batch(kernel)
+        if len(batch) == 0:
+            break
+        improving = kernel.delta_hpwl(batch) < -IMPROVE_EPS_UM
+        keep = kernel.first_claim(batch, improving)
+        applied = kernel.apply(batch, keep)
+        swaps += applied
+        if applied == 0:
+            break
+    if swaps:
+        kernel.write_back()
+    return swaps

@@ -14,9 +14,13 @@ netlist-driven placers do, just more simply:
    (alternating direction) onto the floorplan, turning 1-D locality into
    2-D locality.
 3. **Greedy refinement** — optional pairwise-swap passes reduce
-   half-perimeter wirelength further.
+   half-perimeter wirelength further (batched through the vectorized
+   :mod:`repro.placement.hpwl` kernel).
 
-The result is deterministic for a given netlist.
+The result is deterministic for a given netlist.  ``place_design``
+also fronts the placer registry: ``placer="anneal:<preset>"`` hands
+the BFS result to the simulated annealer of
+:mod:`repro.placement.anneal` as its starting point.
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ from repro.errors import PlacementError
 from repro.netlist.core import Netlist
 from repro.placement.floorplan import (DEFAULT_UTILIZATION, Floorplan,
                                        make_floorplan)
+from repro.placement.hpwl import refine_design
 from repro.placement.placed_design import PlacedDesign, Placement
 from repro.tech.cells import CellLibrary
 
@@ -186,36 +191,6 @@ def _fold_into_rows(order: list[str], netlist: Netlist,
     return placements
 
 
-def _refine_swaps(design: PlacedDesign, passes: int) -> int:
-    """Greedy adjacent same-width swap refinement; returns swap count."""
-    swaps = 0
-    for _ in range(passes):
-        improved = False
-        rows = design.rows_to_gates()
-        for members in rows:
-            for index in range(len(members) - 1):
-                left, right = members[index], members[index + 1]
-                pl, pr = design.placements[left], design.placements[right]
-                if pl.width_sites != pr.width_sites:
-                    continue
-                before = _local_wirelength(design, (left, right))
-                design.placements[left] = Placement(
-                    pr.row, pr.site, pl.width_sites)
-                design.placements[right] = Placement(
-                    pl.row, pl.site, pr.width_sites)
-                after = _local_wirelength(design, (left, right))
-                if after < before - 1e-12:
-                    swaps += 1
-                    improved = True
-                    members[index], members[index + 1] = right, left
-                else:
-                    design.placements[left] = pl
-                    design.placements[right] = pr
-        if not improved:
-            break
-    return swaps
-
-
 def _local_wirelength(design: PlacedDesign, gate_names: tuple[str, ...]) -> float:
     """HPWL restricted to nets touching the given gates."""
     nets: set[str] = set()
@@ -239,12 +214,12 @@ def _local_wirelength(design: PlacedDesign, gate_names: tuple[str, ...]) -> floa
     return total
 
 
-def place_design(netlist: Netlist, library: CellLibrary,
-                 utilization: float = DEFAULT_UTILIZATION,
-                 aspect_ratio: float = 1.0,
-                 num_rows: int | None = None,
-                 refine_passes: int = 1) -> PlacedDesign:
-    """Place a mapped netlist onto a freshly sized floorplan.
+def _place_bfs(netlist: Netlist, library: CellLibrary,
+               utilization: float = DEFAULT_UTILIZATION,
+               aspect_ratio: float = 1.0,
+               num_rows: int | None = None,
+               refine_passes: int = 1) -> PlacedDesign:
+    """The BFS/serpentine engine behind ``placer="bfs"``.
 
     Returns a validated :class:`PlacedDesign`.  Raises
     :class:`PlacementError` for unmapped netlists or overfull floorplans.
@@ -268,6 +243,35 @@ def place_design(netlist: Netlist, library: CellLibrary,
     design = PlacedDesign(netlist=netlist, library=library,
                           floorplan=floorplan, placements=placements)
     if refine_passes > 0:
-        _refine_swaps(design, refine_passes)
+        refine_design(design, refine_passes)
     design.validate()
     return design
+
+
+def place_design(netlist: Netlist, library: CellLibrary,
+                 utilization: float = DEFAULT_UTILIZATION,
+                 aspect_ratio: float = 1.0,
+                 num_rows: int | None = None,
+                 refine_passes: int = 1,
+                 placer: str = "bfs",
+                 **placer_opts) -> PlacedDesign:
+    """Place a mapped netlist onto a freshly sized floorplan.
+
+    ``placer`` names an engine in the placer registry (``"bfs"`` — the
+    deterministic default — or ``"anneal:<preset>"``); extra keyword
+    options are forwarded to the engine (e.g. ``seed=1`` for the
+    annealer).  Returns a validated :class:`PlacedDesign`.  Raises
+    :class:`PlacementError` for unmapped netlists or overfull
+    floorplans and :class:`~repro.errors.RegistryError` for unknown
+    placer names.
+    """
+    if placer == "bfs" and not placer_opts:
+        return _place_bfs(netlist, library, utilization=utilization,
+                          aspect_ratio=aspect_ratio, num_rows=num_rows,
+                          refine_passes=refine_passes)
+    # Lazy import: the registry imports this module for the bfs entry.
+    from repro.placement.registry import place_registry
+    return place_registry.place(
+        netlist, library, placer, utilization=utilization,
+        aspect_ratio=aspect_ratio, num_rows=num_rows,
+        refine_passes=refine_passes, **placer_opts)

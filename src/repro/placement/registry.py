@@ -1,0 +1,205 @@
+"""Placer registry: every placement engine behind one ``place()`` call.
+
+Placement started as a single deterministic BFS/serpentine fold; the
+annealing placer (Sec. 2-3.3: make critical-gate clustering an
+*optimized* property, not an accident of netlist order) adds a second
+engine family with tunable presets.  Mirroring
+:mod:`repro.core.registry`, this module puts the engines behind one
+dispatch table so the flow layer, ``repro.api`` specs and the CLI name
+placers declaratively and new engines plug in without touching callers:
+
+    from repro.placement.registry import place
+    design = place(netlist, library, method="anneal:quick")
+
+Registered entries (aliases in parentheses):
+
+* ``bfs`` — the BFS/serpentine baseline (the default everywhere);
+* ``anneal:quick`` — short anneal for smoke tests and CI;
+* ``anneal:default`` (``anneal``) — the standard quality preset;
+* ``anneal:deep`` — long cooling schedule for benchmark frontiers.
+
+Every entry must carry a docstring — registration fails without one,
+matching the solver-registry contract that ``make lint`` enforces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.errors import PlacementError, RegistryError
+from repro.netlist.core import Netlist
+from repro.placement.anneal import AnnealConfig, anneal_place
+from repro.placement.floorplan import DEFAULT_UTILIZATION
+from repro.placement.placed_design import PlacedDesign
+from repro.placement.placer import _place_bfs
+from repro.tech.cells import CellLibrary
+
+PlacerFunc = Callable[..., PlacedDesign]
+
+
+@dataclasses.dataclass(frozen=True)
+class PlacerEntry:
+    """One registered placement engine."""
+
+    name: str
+    func: PlacerFunc
+    summary: str
+    """First docstring line, shown in CLI/API listings."""
+
+
+class PlacerRegistry:
+    """Name -> placer dispatch table with alias support.
+
+    Entries are callables ``func(netlist, library, *, utilization,
+    aspect_ratio, num_rows, refine_passes, **opts) -> PlacedDesign``.
+    Registration enforces a non-empty docstring so the registry doubles
+    as user-facing documentation of the engine space.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, PlacerEntry] = {}
+        self._aliases: dict[str, str] = {}
+
+    def register(self, name: str,
+                 func: PlacerFunc | None = None) -> PlacerFunc:
+        """Register a placement engine (usable as a decorator)."""
+        if func is None:
+            return lambda f: self.register(name, f)
+        if name in self._entries or name in self._aliases:
+            raise RegistryError(f"placer {name!r} is already registered")
+        doc = (func.__doc__ or "").strip()
+        if not doc:
+            raise RegistryError(
+                f"placer {name!r} has no docstring; every registry entry "
+                "must document its engine")
+        summary = doc.splitlines()[0].strip()
+        self._entries[name] = PlacerEntry(name=name, func=func,
+                                          summary=summary)
+        return func
+
+    def alias(self, alias: str, target: str) -> None:
+        """Register ``alias`` as another name for entry ``target``."""
+        if alias in self._entries or alias in self._aliases:
+            raise RegistryError(f"placer {alias!r} is already registered")
+        if target not in self._entries:
+            raise RegistryError(
+                f"alias target {target!r} is not a registered placer")
+        self._aliases[alias] = target
+
+    def get(self, method: str) -> PlacerEntry:
+        """Resolve a placer name (or alias) to its entry."""
+        name = self._aliases.get(method, method)
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise RegistryError(
+                f"unknown placer {method!r}; registered placers: "
+                f"{', '.join(self.names())}") from None
+
+    def names(self, include_aliases: bool = False) -> tuple[str, ...]:
+        """Registered placer names, sorted."""
+        names = set(self._entries)
+        if include_aliases:
+            names |= set(self._aliases)
+        return tuple(sorted(names))
+
+    def entries(self) -> tuple[PlacerEntry, ...]:
+        """All registered entries, sorted by name."""
+        return tuple(self._entries[name] for name in sorted(self._entries))
+
+    def place(self, netlist: Netlist, library: CellLibrary,
+              method: str = "bfs", *,
+              utilization: float = DEFAULT_UTILIZATION,
+              aspect_ratio: float = 1.0,
+              num_rows: int | None = None,
+              refine_passes: int = 1, **opts) -> PlacedDesign:
+        """Dispatch one placement run to the named engine."""
+        return self.get(method).func(
+            netlist, library, utilization=utilization,
+            aspect_ratio=aspect_ratio, num_rows=num_rows,
+            refine_passes=refine_passes, **opts)
+
+
+place_registry = PlacerRegistry()
+"""The process-wide default registry, pre-loaded with the engines
+below."""
+
+
+def place(netlist: Netlist, library: CellLibrary, method: str = "bfs",
+          **kwargs) -> PlacedDesign:
+    """Place a netlist via the default registry."""
+    return place_registry.place(netlist, library, method, **kwargs)
+
+
+def placer_names(include_aliases: bool = True) -> tuple[str, ...]:
+    """Registered placer names (the valid ``RunSpec.placer`` values)."""
+    return place_registry.names(include_aliases=include_aliases)
+
+
+def validate_placer_spec(placer: str) -> None:
+    """Raise :class:`RegistryError` unless ``placer`` names an engine."""
+    if not isinstance(placer, str) or not placer:
+        raise RegistryError(
+            f"placer spec must be a non-empty string, got {placer!r}")
+    place_registry.get(placer)
+
+
+@place_registry.register("bfs")
+def _bfs_entry(netlist: Netlist, library: CellLibrary, *,
+               utilization: float = DEFAULT_UTILIZATION,
+               aspect_ratio: float = 1.0,
+               num_rows: int | None = None,
+               refine_passes: int = 1, **opts) -> PlacedDesign:
+    """BFS/serpentine baseline: deterministic connectivity-order fold.
+
+    Takes no engine options; passing any raises
+    :class:`PlacementError`.
+    """
+    if opts:
+        raise PlacementError(
+            f"the bfs placer takes no options, got {sorted(opts)}")
+    return _place_bfs(netlist, library, utilization=utilization,
+                      aspect_ratio=aspect_ratio, num_rows=num_rows,
+                      refine_passes=refine_passes)
+
+
+#: preset cooling schedules for the annealing engine
+ANNEAL_PRESETS: dict[str, AnnealConfig] = {
+    "quick": AnnealConfig(iterations=64, moves_per_step=64),
+    "default": AnnealConfig(iterations=256, moves_per_step=128),
+    "deep": AnnealConfig(iterations=768, moves_per_step=256),
+}
+
+
+def _make_anneal_entry(preset: str) -> PlacerFunc:
+    def entry(netlist: Netlist, library: CellLibrary, *,
+              utilization: float = DEFAULT_UTILIZATION,
+              aspect_ratio: float = 1.0,
+              num_rows: int | None = None,
+              refine_passes: int = 1, **opts) -> PlacedDesign:
+        try:
+            config = dataclasses.replace(ANNEAL_PRESETS[preset], **opts)
+        except TypeError as exc:
+            raise PlacementError(
+                f"bad anneal option for preset {preset!r}: {exc}"
+            ) from exc
+        return anneal_place(netlist, library, utilization=utilization,
+                            aspect_ratio=aspect_ratio, num_rows=num_rows,
+                            refine_passes=refine_passes, config=config)
+    entry.__name__ = f"anneal_{preset}"
+    entry.__doc__ = (
+        f"Simulated-annealing placer, {preset!r} preset "
+        f"({ANNEAL_PRESETS[preset].iterations} steps x "
+        f"{ANNEAL_PRESETS[preset].moves_per_step} moves).\n\n"
+        "Accepts AnnealConfig field overrides as keyword options "
+        "(``seed``, ``iterations``, ``lambda_scale``, ...); see "
+        ":class:`repro.placement.anneal.AnnealConfig`.")
+    return entry
+
+
+for _preset in ANNEAL_PRESETS:
+    place_registry.register(f"anneal:{_preset}",
+                            _make_anneal_entry(_preset))
+
+place_registry.alias("anneal", "anneal:default")

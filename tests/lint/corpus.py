@@ -73,6 +73,31 @@ def epoch_increment(seed, epoch, num_rows, sigma):
     return sigma * rng.normal(size=num_rows)
 '''
 
+BAD_PLACER_UNSEEDED_MOVES = '''\
+"""An annealing move proposer drawing from hidden global state: the
+same placement run would explore a different move sequence every
+invocation, breaking the same-seed bit-identity contract."""
+import numpy as np
+
+def propose_moves(num_gates, num_moves):
+    gates = np.random.randint(0, num_gates, num_moves)
+    return gates, np.random.rand(num_moves)
+'''
+
+GOOD_PLACER_SEEDED = '''\
+"""The seeded twin: all annealer randomness flows from one
+``default_rng(seed)`` with a fixed draw order, so a seed replays the
+whole move stream bit-identically."""
+import numpy as np
+
+def propose_moves(rng: np.random.Generator, num_gates, num_moves):
+    gates = rng.integers(0, num_gates, num_moves)
+    return gates, rng.random(num_moves)
+
+def make_rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+'''
+
 # -- hash-stability --------------------------------------------------------
 
 BAD_HASH_NO_KNOBS_TUPLE = '''\

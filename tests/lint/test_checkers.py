@@ -70,6 +70,21 @@ class TestDeterminism:
         assert not findings_for(corpus.GOOD_DETERMINISM_SEEDED_DRIFT,
                                 "determinism")
 
+    def test_unseeded_move_proposal_flagged(self):
+        """The annealer contract: move proposals on hidden global
+        state must fail lint."""
+        found = findings_for(corpus.BAD_PLACER_UNSEEDED_MOVES,
+                             "determinism")
+        messages = " ".join(f.message for f in found)
+        assert "np.random.randint" in messages
+        assert "np.random.rand" in messages
+
+    def test_seeded_move_proposal_passes(self):
+        """The shipped annealer idiom — one typed generator built by
+        ``default_rng(seed)`` — must stay clean."""
+        assert not findings_for(corpus.GOOD_PLACER_SEEDED,
+                                "determinism")
+
 
 class TestHashStability:
     def test_missing_exclusion_tuple_flagged(self):

@@ -1,0 +1,201 @@
+"""Tests for the vectorized HPWL kernel: total-wirelength metric,
+batched-vs-scalar delta equivalence, conflict thinning and the batched
+greedy refinement."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import c1355_like
+from repro.errors import PlacementError
+from repro.netlist import Netlist
+from repro.placement import (HpwlKernel, MoveBatch, place_design,
+                             refine_design, total_hpwl)
+from repro.placement.hpwl import _adjacent_swap_batch, _ragged_ranges
+from repro.synth import map_netlist, size_for_load
+from repro.tech import reduced_library
+
+LIBRARY = reduced_library()
+
+
+def _placed(refine_passes: int = 1):
+    mapped = map_netlist(c1355_like(data_width=10, check_bits=5), LIBRARY)
+    size_for_load(mapped, LIBRARY)
+    return place_design(mapped, LIBRARY, refine_passes=refine_passes)
+
+
+@pytest.fixture(scope="module")
+def placed():
+    return _placed()
+
+
+def _random_batch(kernel: HpwlKernel, rng: np.random.Generator,
+                  num_moves: int = 64) -> MoveBatch:
+    """Mixed swap/relocate batch over legal slots (mirrors the
+    annealer's proposal shapes without its feasibility thinning)."""
+    num_gates = len(kernel.rows)
+    gate_a = rng.integers(0, num_gates, num_moves)
+    gate_b = rng.integers(0, num_gates, num_moves)
+    is_swap = rng.random(num_moves) < 0.5
+    target = rng.integers(0, kernel.num_rows, num_moves)
+    ends = kernel.row_ends()
+    return MoveBatch(
+        gate0=gate_a,
+        row0=np.where(is_swap, kernel.rows[gate_b], target),
+        site0=np.where(is_swap, kernel.sites[gate_b], ends[target]),
+        gate1=np.where(is_swap, gate_b, -1),
+        row1=np.where(is_swap, kernel.rows[gate_a], 0),
+        site1=np.where(is_swap, kernel.sites[gate_a], 0))
+
+
+class TestTotalHpwl:
+    def test_matches_scalar_metric(self, placed):
+        vectorized = total_hpwl(placed)
+        scalar = placed.half_perimeter_wirelength_um()
+        assert vectorized == pytest.approx(scalar, rel=1e-12)
+
+    def test_empty_design_rejected(self):
+        netlist = Netlist("void")
+        from repro.placement.floorplan import make_floorplan
+        from repro.placement.placed_design import PlacedDesign
+        design = PlacedDesign(
+            netlist=netlist, library=LIBRARY,
+            floorplan=make_floorplan(LIBRARY.tech, 10),
+            placements={})
+        with pytest.raises(PlacementError):
+            total_hpwl(design)
+
+    def test_kernel_total_matches_metric(self, placed):
+        assert HpwlKernel(placed).total_hpwl_um() == total_hpwl(placed)
+
+
+class TestRaggedRanges:
+    def test_concatenated_aranges(self):
+        starts = np.array([3, 0, 7])
+        counts = np.array([2, 0, 3])
+        expected = [3, 4, 7, 8, 9]
+        assert _ragged_ranges(starts, counts).tolist() == expected
+
+    def test_empty(self):
+        empty = np.zeros(0, dtype=np.int64)
+        assert len(_ragged_ranges(empty, empty)) == 0
+
+
+class TestDeltaHpwl:
+    def test_vectorized_equals_scalar_oracle(self, placed):
+        """Bit-for-bit equality of the batched evaluation against the
+        per-move python-loop oracle over random mixed batches."""
+        kernel = HpwlKernel(placed)
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            batch = _random_batch(kernel, rng)
+            deltas = kernel.delta_hpwl(batch)
+            oracle = np.array([kernel.delta_hpwl_scalar(batch, move)
+                               for move in range(len(batch))])
+            assert np.array_equal(deltas, oracle)
+
+    def test_empty_batch(self, placed):
+        kernel = HpwlKernel(placed)
+        empty = np.zeros(0, dtype=np.int64)
+        batch = MoveBatch(empty, empty, empty, empty, empty, empty)
+        assert len(kernel.delta_hpwl(batch)) == 0
+
+    def test_null_move_has_zero_delta(self, placed):
+        """Moving a gate onto its own slot changes nothing."""
+        kernel = HpwlKernel(placed)
+        gate = np.array([0])
+        batch = MoveBatch(
+            gate0=gate, row0=kernel.rows[gate].copy(),
+            site0=kernel.sites[gate].copy(),
+            gate1=np.array([-1]), row1=np.array([0]),
+            site1=np.array([0]))
+        assert kernel.delta_hpwl(batch)[0] == 0.0
+
+    def test_incremental_apply_matches_fresh_kernel(self, placed):
+        """Applied moves keep per-net boxes bit-identical to a cold
+        rebuild from the resulting design."""
+        kernel = HpwlKernel(placed)
+        rng = np.random.default_rng(11)
+        for _ in range(5):
+            batch = _random_batch(kernel, rng, num_moves=32)
+            ends = kernel.row_ends()
+            relocate = batch.gate1 < 0
+            fits = ends[batch.row0] + kernel.widths[batch.gate0] \
+                <= kernel.num_sites
+            same_width = kernel.widths[batch.gate0] \
+                == kernel.widths[np.maximum(batch.gate1, 0)]
+            distinct = batch.gate0 != batch.gate1
+            feasible = np.where(relocate, fits, same_width & distinct)
+            keep = kernel.first_claim(batch, feasible)
+            kernel.apply(batch, keep)
+        fresh = HpwlKernel(kernel.to_placed_design())
+        assert np.array_equal(kernel._span, fresh._span)
+        assert kernel.total_hpwl_um() == fresh.total_hpwl_um()
+
+
+class TestFirstClaim:
+    def test_kept_moves_are_disjoint(self, placed):
+        kernel = HpwlKernel(placed)
+        rng = np.random.default_rng(3)
+        batch = _random_batch(kernel, rng, num_moves=128)
+        keep = kernel.first_claim(batch,
+                                  np.ones(len(batch), dtype=bool))
+        ids = np.nonzero(keep)[0]
+        gates: set[int] = set()
+        nets: set[int] = set()
+        for move in ids:
+            touched = {int(batch.gate0[move])}
+            if batch.gate1[move] >= 0:
+                touched.add(int(batch.gate1[move]))
+            assert not (gates & touched)
+            gates |= touched
+            incident = set()
+            for gate in touched:
+                incident |= set(kernel.incident_nets(gate).tolist())
+            assert not (nets & incident)
+            nets |= incident
+
+    def test_lowest_index_wins(self, placed):
+        kernel = HpwlKernel(placed)
+        gate = np.array([5, 5])
+        batch = MoveBatch(
+            gate0=gate, row0=kernel.rows[gate].copy(),
+            site0=kernel.sites[gate].copy(),
+            gate1=np.array([-1, -1]), row1=np.zeros(2, dtype=np.int64),
+            site1=np.zeros(2, dtype=np.int64))
+        keep = kernel.first_claim(batch, np.ones(2, dtype=bool))
+        assert keep.tolist() == [True, False]
+
+
+class TestRefineDesign:
+    def test_never_hurts_and_validates(self):
+        design = _placed(refine_passes=0)
+        before = total_hpwl(design)
+        swaps = refine_design(design, passes=3)
+        design.validate()
+        assert swaps >= 0
+        assert total_hpwl(design) <= before + 1e-9
+
+    def test_zero_passes_noop(self):
+        design = _placed(refine_passes=0)
+        snapshot = dict(design.placements)
+        assert refine_design(design, passes=0) == 0
+        assert design.placements == snapshot
+
+    def test_swaps_match_local_wirelength_oracle(self):
+        """Every committed swap improves the legacy per-pair scalar
+        objective (the pre-kernel refinement criterion)."""
+        from repro.placement.placer import _local_wirelength
+        design = _placed(refine_passes=0)
+        kernel = HpwlKernel(design)
+        batch = _adjacent_swap_batch(kernel)
+        deltas = kernel.delta_hpwl(batch)
+        for move in np.nonzero(deltas < -1e-12)[0][:20]:
+            left = kernel.gate_names[int(batch.gate0[move])]
+            right = kernel.gate_names[int(batch.gate1[move])]
+            before = _local_wirelength(design, (left, right))
+            saved = (design.placements[left], design.placements[right])
+            design.placements[left], design.placements[right] = \
+                saved[1], saved[0]
+            after = _local_wirelength(design, (left, right))
+            design.placements[left], design.placements[right] = saved
+            assert after < before

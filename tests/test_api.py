@@ -534,3 +534,66 @@ class TestLifetimeKind:
                      cache=cache)
         with pytest.raises(SpecError, match="not a lifetime"):
             result.to_lifetime_row()
+
+
+class TestPlacerSpecAxis:
+    """RunSpec.placer: validated against the registry, hash-stable at
+    the "bfs" default, and a real content-address axis otherwise."""
+
+    def test_placer_is_hashed_field(self):
+        from repro.api import HASHED_FIELDS
+        assert "placer" in HASHED_FIELDS
+
+    def test_default_placer_not_key_material(self):
+        spec = RunSpec(kind="allocate", design="c1355")
+        assert "placer" not in spec.cache_material()
+        assert spec.to_dict()["placer"] == "bfs"
+
+    def test_default_hashes_unchanged_by_placer_field(self):
+        """The bfs default elides, so every pre-placer spec hash from
+        TestGroupingSpecAxis.PINNED_HASHES must still hold."""
+        for kind, expected in TestGroupingSpecAxis.PINNED_HASHES.items():
+            assert RunSpec(kind=kind, design="c1355").spec_hash() == \
+                expected, f"{kind} spec hash drifted with placer field"
+
+    def test_non_default_placer_is_key_material(self):
+        plain = RunSpec(kind="allocate", design="c1355")
+        annealed = RunSpec(kind="allocate", design="c1355",
+                           placer="anneal:quick")
+        assert annealed.cache_material()["placer"] == "anneal:quick"
+        assert annealed.spec_hash() != plain.spec_hash()
+        assert RunSpec(kind="allocate", design="c1355",
+                       placer="anneal:deep").spec_hash() != \
+            annealed.spec_hash()
+
+    def test_pre_placer_json_still_parses(self):
+        spec = RunSpec.from_json(
+            '{"kind": "allocate", "design": "c1355", "beta": 0.05}')
+        assert spec.placer == "bfs"
+
+    def test_placer_round_trips(self):
+        spec = RunSpec(kind="allocate", design="c1355",
+                       placer="anneal:default")
+        assert RunSpec.from_json(spec.to_json()) == spec
+
+    def test_bad_placer_spec_rejected(self):
+        with pytest.raises(SpecError, match="placer"):
+            RunSpec(kind="allocate", design="c1355", placer="mystery")
+        with pytest.raises(SpecError, match="placer"):
+            RunSpec(kind="allocate", design="c1355", placer="")
+
+    def test_alias_accepted(self):
+        spec = RunSpec(kind="allocate", design="c1355", placer="anneal")
+        assert spec.placer == "anneal"
+        assert spec.cache_material()["placer"] == "anneal"
+
+    def test_annealed_allocate_runs_and_caches(self, cache):
+        spec = RunSpec(kind="allocate", design="c1355",
+                       placer="anneal:quick")
+        cold = run(spec, cache=cache)
+        warm = run(spec, cache=cache)
+        assert not cold.cache_hit and warm.cache_hit
+        assert warm.payload == cold.payload
+        # distinct content address from the bfs baseline run
+        assert spec.spec_hash() != RunSpec(
+            kind="allocate", design="c1355").spec_hash()

@@ -262,6 +262,51 @@ def test_aging_bench_artifact_documented():
         assert name in text, f"EXPERIMENTS.md does not mention {name}"
 
 
+#: names of the annealing-placement layer that DESIGN.md's "Annealing
+#: placement" section must pin down (ISSUE 10)
+PLACER_DOC_NAMES = ("Annealing placement", "HpwlKernel", "MoveBatch",
+                    "delta_hpwl", "delta_hpwl_scalar", "first_claim",
+                    "AnnealConfig", "anneal:default", "lambda_scale",
+                    "total_hpwl", "refine_design", "cache_material",
+                    "bench_placer.py", "repro-fbb place", "--placer")
+
+
+def test_annealing_placement_documented():
+    """DESIGN.md must describe the cost model, the batched-move
+    vectorization and its scalar equivalence oracle, and the seeded
+    determinism contract of the annealing placer."""
+    text = (REPO_ROOT / "DESIGN.md").read_text(encoding="utf-8")
+    missing = [name for name in PLACER_DOC_NAMES if name not in text]
+    assert not missing, f"DESIGN.md does not mention: {missing}"
+
+
+def test_documented_placers_exist():
+    """Every placer name DESIGN.md lists must be registered, and every
+    registered placer must be documented there."""
+    _ensure_src_on_path()
+    from repro.placement.registry import place_registry
+    text = (REPO_ROOT / "DESIGN.md").read_text(encoding="utf-8")
+    for name in place_registry.names(include_aliases=True):
+        assert f"`{name}" in text, (
+            f"DESIGN.md does not document placer {name!r}")
+
+
+def test_placer_bench_artifact_documented():
+    """EXPERIMENTS.md must track the annealing-placer benchmark."""
+    text = (REPO_ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+    for name in ("bench_placer.py", "out/placer.txt"):
+        assert name in text, f"EXPERIMENTS.md does not mention {name}"
+
+
+def test_tutorial_shows_annealing_placer():
+    """TUTORIAL.md must carry the annealing walkthrough (the Python
+    block is executed, the CLI lines parser-validated)."""
+    text = (REPO_ROOT / "TUTORIAL.md").read_text(encoding="utf-8")
+    assert 'placer="anneal:quick"' in text
+    assert "repro-fbb place" in text
+    assert "--placer" in text
+
+
 def test_tutorial_shows_lifetime():
     """TUTORIAL.md must carry the lifetime walkthrough (the Python
     block is executed, the CLI lines parser-validated)."""
